@@ -1,0 +1,192 @@
+"""E10 — The slide-19 "perspectives" implemented as extensions.
+
+Two of the paper's future-work items, measured:
+
+* **Negation** — TPWJ patterns with ``!``-subpatterns, evaluated on
+  fuzzy trees through condition complements.  The bench closes the
+  commutation diagram on random negated queries and measures the
+  overhead over the positive-only query.
+
+* **Complexity analysis** — the empirical growth classifier
+  (:mod:`repro.analysis.complexity`) applied to the two evaluation
+  paths: fuzzy evaluation must classify as polynomial in document
+  size; naive possible-worlds evaluation as exponential in the event
+  count.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import classify_growth, fit_exponential, fit_power_law
+from repro import (
+    parse_pattern,
+    query_fuzzy_tree,
+    query_possible_worlds,
+    to_possible_worlds,
+)
+from repro.tpwj.pattern import PatternNode
+from repro.trees import RandomTreeConfig
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
+
+from conftest import fmt
+
+
+def negated_instance(seed: int):
+    rng = random.Random(seed)
+    doc = random_fuzzy_tree(
+        rng,
+        FuzzyWorkloadConfig(
+            tree=RandomTreeConfig(max_nodes=14, max_children=3, max_depth=4),
+            n_events=3,
+        ),
+    )
+    pattern = random_query_for(rng, doc.root, max_nodes=3, join_probability=0.0)
+    if pattern.root.value is not None:
+        return None
+    pattern.root.add_child(
+        PatternNode(
+            rng.choice(["A", "B", "C", "D", "E", "F"]),
+            descendant=rng.random() < 0.5,
+            negated=True,
+        )
+    )
+    return doc, parse_pattern(str(pattern))
+
+
+def test_negation_commutation(report, benchmark):
+    def sweep():
+        checked = 0
+        for seed in range(25):
+            instance = negated_instance(seed)
+            if instance is None:
+                continue
+            doc, pattern = instance
+            via_fuzzy = {
+                a.tree.canonical(): a.probability
+                for a in query_fuzzy_tree(doc, pattern)
+            }
+            via_worlds = {
+                w.tree.canonical(): w.probability
+                for w in query_possible_worlds(to_possible_worlds(doc), pattern)
+            }
+            assert set(via_fuzzy) == set(via_worlds)
+            for key in via_worlds:
+                assert abs(via_fuzzy[key] - via_worlds[key]) < 1e-9
+            checked += 1
+        return checked
+
+    checked = benchmark.pedantic(sweep, rounds=1)
+    report.table(
+        "E10a  negation extension: commutation diagram",
+        ["random negated queries checked", "diagram closes"],
+        [[checked, "yes"]],
+    )
+    assert checked >= 10
+
+
+def test_negation_overhead(report, benchmark):
+    rng = random.Random(77)
+    doc = random_fuzzy_tree(
+        rng,
+        FuzzyWorkloadConfig(
+            tree=RandomTreeConfig(max_nodes=80, max_children=4, max_depth=5),
+            n_events=5,
+        ),
+    )
+    positive = random_query_for(rng, doc.root, max_nodes=3, join_probability=0.0)
+    if positive.root.value is not None:
+        positive = random_query_for(rng, doc.root, max_nodes=2, join_probability=0.0)
+    negated = parse_pattern(str(positive))
+    negated.root.add_child(PatternNode("Z", negated=True))  # absent label: cheap
+    heavy = parse_pattern(str(positive))
+    heavy.root.add_child(PatternNode(None, descendant=True, negated=True))  # any node
+
+    def run_all():
+        times = {}
+        for name, pattern in (
+            ("positive", positive),
+            ("negated (absent)", negated),
+            ("negated (wildcard)", heavy),
+        ):
+            start = time.perf_counter()
+            query_fuzzy_tree(doc, pattern)
+            times[name] = time.perf_counter() - start
+        return times
+
+    times = benchmark.pedantic(run_all, rounds=3)
+    report.table(
+        "E10b  negation overhead on an 80-node document",
+        ["query", "seconds"],
+        [[name, fmt(seconds)] for name, seconds in times.items()],
+    )
+
+
+def test_growth_classification(report, benchmark):
+    """Fuzzy path: polynomial in nodes.  Worlds path: exponential in events."""
+
+    def classify():
+        # Fuzzy evaluation vs document size.
+        sizes, fuzzy_times = [], []
+        for n_nodes in (40, 80, 160, 320, 640):
+            rng = random.Random(50)
+            doc = random_fuzzy_tree(
+                rng,
+                FuzzyWorkloadConfig(
+                    tree=RandomTreeConfig(
+                        max_nodes=n_nodes,
+                        max_children=4,
+                        max_depth=7,
+                        min_nodes=max(2, n_nodes // 2),
+                    ),
+                    n_events=5,
+                ),
+            )
+            pattern = random_query_for(rng, doc.root, max_nodes=3, join_probability=0.0)
+            start = time.perf_counter()
+            for _ in range(3):
+                query_fuzzy_tree(doc, pattern)
+            fuzzy_times.append((time.perf_counter() - start) / 3)
+            sizes.append(doc.size())
+        fuzzy_fit = fit_power_law(sizes, fuzzy_times)
+
+        # Naive worlds evaluation vs event count.
+        events, worlds_times = [], []
+        for n_events in (4, 6, 8, 10, 12):
+            rng = random.Random(51)
+            doc = random_fuzzy_tree(
+                rng,
+                FuzzyWorkloadConfig(
+                    tree=RandomTreeConfig(
+                        max_nodes=30, max_children=3, max_depth=5, min_nodes=15
+                    ),
+                    n_events=n_events,
+                    condition_probability=0.8,
+                ),
+            )
+            pattern = random_query_for(rng, doc.root, max_nodes=3, join_probability=0.0)
+            start = time.perf_counter()
+            query_possible_worlds(to_possible_worlds(doc), pattern)
+            worlds_times.append(time.perf_counter() - start)
+            events.append(len(doc.used_events()))
+        worlds_fit = fit_exponential(events, worlds_times)
+        worlds_class = classify_growth(events, worlds_times)
+        return fuzzy_fit, worlds_fit, worlds_class
+
+    fuzzy_fit, worlds_fit, worlds_class = benchmark.pedantic(classify, rounds=1)
+    report.table(
+        "E10c  empirical growth classification (slide-19 complexity analysis)",
+        ["path", "fitted model", "verdict"],
+        [
+            ["fuzzy query vs nodes", str(fuzzy_fit), "polynomial"],
+            ["naive worlds vs events", str(worlds_fit), worlds_class.model],
+        ],
+    )
+    # Shape assertions: the fuzzy path must not look exponential in n,
+    # and the worlds path must double (or worse) per added event.
+    assert fuzzy_fit.exponent < 3.0
+    assert worlds_class.model == "exponential"
+    assert worlds_fit.exponent > 0.5

@@ -1,0 +1,103 @@
+"""E1 — Expressiveness of the fuzzy tree model (paper, slide 12).
+
+Claim: the fuzzy tree model is as expressive as the possible-worlds
+model.  This bench (a) reproduces the slide-12 worked example exactly,
+(b) round-trips random fuzzy documents through the possible-worlds
+representation and back, checking the distribution is preserved, and
+(c) times both translation directions as the number of events grows
+(the semantics arrow is exponential in events — the reason the fuzzy
+representation exists).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Condition,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    from_possible_worlds,
+    to_possible_worlds,
+)
+from repro.trees import RandomTreeConfig
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree
+
+from conftest import fmt
+
+
+def slide12_doc() -> FuzzyTree:
+    events = EventTable({"w1": 0.8, "w2": 0.7})
+    root = FuzzyNode(
+        "A",
+        children=[
+            FuzzyNode("B", condition=Condition.of("w1", "!w2")),
+            FuzzyNode("C", children=[FuzzyNode("D", condition=Condition.of("w2"))]),
+        ],
+    )
+    return FuzzyTree(root, events)
+
+
+def doc_with_events(n_events: int, seed: int = 0) -> FuzzyTree:
+    config = FuzzyWorkloadConfig(
+        tree=RandomTreeConfig(
+            max_nodes=30, max_children=3, max_depth=5, min_nodes=15
+        ),
+        n_events=n_events,
+        condition_probability=0.9,
+    )
+    return random_fuzzy_tree(random.Random(seed + n_events), config)
+
+
+def test_slide12_world_table(report, benchmark):
+    doc = slide12_doc()
+    worlds = benchmark(to_possible_worlds, doc)
+    rows = [[w.tree.canonical(), fmt(w.probability)] for w in worlds]
+    report.table(
+        "E1a  slide-12 fuzzy tree -> possible worlds (paper: 0.70 / 0.24 / 0.06)",
+        ["world", "probability"],
+        rows,
+    )
+    assert worlds.probability_of(doc.world({"w1": False, "w2": True})) == pytest.approx(0.70)
+    assert len(worlds) == 3
+
+
+@pytest.mark.parametrize("n_events", [2, 4, 6, 8])
+def test_roundtrip_preserves_distribution(report, benchmark, n_events):
+    doc = doc_with_events(n_events)
+    worlds = to_possible_worlds(doc)
+
+    def roundtrip():
+        rebuilt = from_possible_worlds(worlds)
+        return to_possible_worlds(rebuilt)
+
+    rebuilt_worlds = benchmark(roundtrip)
+    assert rebuilt_worlds.same_distribution(worlds, 1e-9)
+    report.table(
+        f"E1b  round-trip, {n_events} events",
+        ["direction", "worlds", "selector events"],
+        [
+            ["fuzzy -> worlds", len(worlds), len(doc.used_events())],
+            ["worlds -> fuzzy -> worlds", len(rebuilt_worlds), max(0, len(worlds) - 1)],
+        ],
+    )
+
+
+@pytest.mark.parametrize("n_events", [4, 8, 12, 16])
+def test_semantics_cost_grows_with_events(report, benchmark, n_events):
+    """The semantics arrow grows with the number of used events.
+
+    The enumerator Shannon-expands over live conditions, so its cost is
+    the number of condition-distinguishable world classes — still
+    growing fast with the event count, but far below 2^n.
+    """
+    doc = doc_with_events(n_events, seed=3)
+    worlds = benchmark(to_possible_worlds, doc)
+    report.table(
+        f"E1c  semantics enumeration, {n_events} events requested",
+        ["events used", "naive assignments (2^n)", "distinct worlds"],
+        [[len(doc.used_events()), 2 ** len(doc.used_events()), len(worlds)]],
+    )

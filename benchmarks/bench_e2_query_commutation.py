@@ -1,0 +1,84 @@
+"""E2 — Query commutation (paper, slide 13).
+
+Claim: evaluating a TPWJ query directly on the fuzzy tree commutes
+with the possible-worlds semantics.  This bench checks the diagram on
+random documents/queries of growing size and times both paths — the
+fuzzy path stays polynomial while the possible-worlds path pays the
+exponential world enumeration.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import query_fuzzy_tree, query_possible_worlds, to_possible_worlds
+from repro.trees import RandomTreeConfig
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
+
+from conftest import fmt
+
+
+def instance(n_nodes: int, n_events: int, seed: int = 1):
+    rng = random.Random(seed)
+    config = FuzzyWorkloadConfig(
+        tree=RandomTreeConfig(
+            max_nodes=n_nodes,
+            max_children=4,
+            max_depth=6,
+            min_nodes=max(2, n_nodes // 2),
+        ),
+        n_events=n_events,
+        condition_probability=0.9,
+    )
+    doc = random_fuzzy_tree(rng, config)
+    pattern = random_query_for(rng, doc.root, max_nodes=4)
+    return doc, pattern
+
+
+@pytest.mark.parametrize("n_nodes", [20, 60, 120, 200])
+def test_fuzzy_query_scales_with_document(report, benchmark, n_nodes):
+    doc, pattern = instance(n_nodes, n_events=6)
+    answers = benchmark(query_fuzzy_tree, doc, pattern)
+    report.table(
+        f"E2a  fuzzy query, {n_nodes}-node document",
+        ["document nodes", "pattern", "answers"],
+        [[doc.size(), str(pattern), len(answers)]],
+    )
+
+
+@pytest.mark.parametrize("n_events", [2, 4, 6, 8, 10])
+def test_commutation_diagram_closes(report, benchmark, n_events):
+    doc, pattern = instance(40, n_events, seed=2)
+
+    def both_paths():
+        via_fuzzy = query_fuzzy_tree(doc, pattern)
+        via_worlds = query_possible_worlds(to_possible_worlds(doc), pattern)
+        return via_fuzzy, via_worlds
+
+    via_fuzzy, via_worlds = benchmark(both_paths)
+    got = {a.tree.canonical(): a.probability for a in via_fuzzy}
+    want = {w.tree.canonical(): w.probability for w in via_worlds}
+    assert set(got) == set(want)
+    for key in want:
+        assert got[key] == pytest.approx(want[key], abs=1e-9)
+
+    start = time.perf_counter()
+    query_fuzzy_tree(doc, pattern)
+    fuzzy_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    query_possible_worlds(to_possible_worlds(doc), pattern)
+    worlds_seconds = time.perf_counter() - start
+    report.table(
+        f"E2b  commutation, {n_events} events (diagram closes: yes)",
+        ["events", "answers", "fuzzy path (s)", "worlds path (s)", "speedup"],
+        [[
+            n_events,
+            len(got),
+            fmt(fuzzy_seconds),
+            fmt(worlds_seconds),
+            fmt(worlds_seconds / fuzzy_seconds if fuzzy_seconds else float("inf"), 3),
+        ]],
+    )

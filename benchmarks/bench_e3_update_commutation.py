@@ -1,0 +1,121 @@
+"""E3 — Update commutation (paper, slide 14).
+
+Claim: applying a probabilistic update directly to the fuzzy tree
+commutes with the possible-worlds update semantics, for insertions and
+deletions at any confidence.  The bench closes the diagram on random
+instances across confidences and times insertion-only vs deletion-only
+transactions (slide 14: insertions are cheap, deletions are the
+problematic case).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateTransaction,
+    apply_update,
+    to_possible_worlds,
+    update_possible_worlds,
+)
+from repro.trees import RandomTreeConfig, tree
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
+
+
+def instance(seed: int):
+    rng = random.Random(seed)
+    config = FuzzyWorkloadConfig(
+        tree=RandomTreeConfig(max_nodes=16, max_children=3, max_depth=4),
+        n_events=3,
+        condition_probability=0.5,
+    )
+    doc = random_fuzzy_tree(rng, config)
+    pattern = random_query_for(
+        rng, doc.root, max_nodes=3, join_probability=0.0, wildcard_probability=0.0
+    )
+    return rng, doc, pattern
+
+
+def make_tx(rng, pattern, kind: str, confidence: float) -> UpdateTransaction | None:
+    nodes = pattern.nodes()
+    if kind == "insert":
+        anchors = [n for n in nodes if n.value is None]
+        if not anchors:
+            return None
+        anchor = rng.choice(anchors)
+        anchor.variable = anchor.variable or "a"
+        return UpdateTransaction(
+            pattern, [InsertOperation(anchor.variable, tree("NEW", tree("leaf", "v")))], confidence
+        )
+    targets = [n for n in nodes if n.parent is not None]
+    if not targets:
+        return None
+    target = rng.choice(targets)
+    target.variable = target.variable or "d"
+    return UpdateTransaction(pattern, [DeleteOperation(target.variable)], confidence)
+
+
+@pytest.mark.parametrize("confidence", [0.5, 0.9, 1.0])
+@pytest.mark.parametrize("kind", ["insert", "delete"])
+def test_update_commutation(report, benchmark, kind, confidence):
+    checked = 0
+    copies = 0
+    for seed in range(12):
+        rng, doc, pattern = instance(seed)
+        tx = make_tx(rng, pattern, kind, confidence)
+        if tx is None:
+            continue
+        truth = update_possible_worlds(to_possible_worlds(doc), tx)
+        work = doc.clone()
+        update_report = apply_update(work, tx)
+        assert to_possible_worlds(work).same_distribution(truth, 1e-9)
+        checked += 1
+        copies += update_report.survivor_copies
+    assert checked > 0
+    report.table(
+        f"E3a  {kind} @ confidence {confidence} (diagram closes on {checked} instances)",
+        ["kind", "confidence", "instances", "survivor copies total"],
+        [[kind, confidence, checked, copies]],
+    )
+
+    # Time one representative application on a fresh clone each round.
+    rng, doc, pattern = instance(0)
+    tx = make_tx(rng, pattern, kind, confidence)
+    if tx is not None:
+        benchmark(lambda: apply_update(doc.clone(), tx))
+
+
+def test_insert_cheaper_than_delete(report, benchmark):
+    """Slide 14's asymmetry: survivor copies only appear on deletions."""
+
+    def sweep():
+        totals = {"insert": [0, 0], "delete": [0, 0]}  # copies, node growth
+        for seed in range(20):
+            rng, doc, pattern = instance(seed + 100)
+            for kind in ("insert", "delete"):
+                tx = make_tx(rng, pattern, kind, 0.8)
+                if tx is None:
+                    continue
+                work = doc.clone()
+                before = work.size()
+                update_report = apply_update(work, tx)
+                totals[kind][0] += update_report.survivor_copies
+                totals[kind][1] += max(work.size() - before, 0)
+        return totals
+
+    totals = benchmark.pedantic(sweep, rounds=1)
+    insert_copies, insert_nodes = totals["insert"]
+    delete_copies, delete_nodes = totals["delete"]
+    report.table(
+        "E3b  insertion vs deletion cost (20 random instances, confidence 0.8)",
+        ["operation", "survivor copies", "net node growth"],
+        [
+            ["insert", insert_copies, insert_nodes],
+            ["delete", delete_copies, delete_nodes],
+        ],
+    )
+    assert insert_copies == 0  # insertions never copy subtrees

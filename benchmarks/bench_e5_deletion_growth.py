@@ -1,0 +1,157 @@
+"""E5 — Exponential growth under deletions (paper, slide 14).
+
+Claim: "deletions may yield an exponential growth of the fuzzy tree in
+case of complex dependencies".  The bench constructs exactly such a
+dependency chain — k successive uncertain deletions whose queries
+depend on previously conditioned nodes — and measures the document
+size with and without simplification after each step.  The
+unsimplified series grows super-linearly in k; simplification keeps it
+bounded while (checked) preserving the distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Condition,
+    DeleteOperation,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    UpdateTransaction,
+    apply_update,
+    parse_pattern,
+    simplify,
+)
+
+
+def chain_document(width: int = 4) -> FuzzyTree:
+    """A root with `width` uncertain guard nodes and one payload target.
+
+    Each deletion step conditions on *two* guards, so its match
+    condition carries several literals — the "complex dependencies"
+    of slide 14.  The survivor copies of each step then pick up those
+    literals, and the next step's complement decomposition splits every
+    copy again: multiplicative growth.
+    """
+    events = EventTable({f"g{i}": 0.6 for i in range(width)})
+    root = FuzzyNode("root")
+    for i in range(width):
+        root.add_child(
+            FuzzyNode("guard", value=f"g{i}", condition=Condition.of(f"g{i}"))
+        )
+    root.add_child(FuzzyNode("item", value="target"))
+    return FuzzyTree(root, events)
+
+
+def deletion_step(step: int, width: int = 4) -> UpdateTransaction:
+    """Delete the item when two (rotating) guards are present, conf 0.8."""
+    first = f"g{step % width}"
+    second = f"g{(step + 1) % width}"
+    query = parse_pattern(
+        f'/root {{ guard[="{first}"], guard[="{second}"], item[$t="target"] }}'
+    )
+    return UpdateTransaction(query, [DeleteOperation("t")], 0.8)
+
+
+@pytest.mark.parametrize("steps", [1, 2, 4, 6, 8])
+def test_growth_without_simplification(report, benchmark, steps):
+    def run():
+        doc = chain_document()
+        for step in range(steps):
+            apply_update(doc, deletion_step(step))
+        return doc
+
+    doc = benchmark(run)
+    report.table(
+        f"E5a  {steps} dependent deletions, no simplification",
+        ["steps", "nodes", "condition literals", "events"],
+        [[steps, doc.size(), doc.condition_literal_count(), len(doc.events)]],
+    )
+
+
+def test_growth_series_with_and_without_simplify(report, benchmark):
+    def run():
+        rows = []
+        plain = chain_document()
+        managed = chain_document()
+        for step in range(10):
+            apply_update(plain, deletion_step(step))
+            apply_update(managed, deletion_step(step))
+            simplify(managed)
+            rows.append(
+                [
+                    step + 1,
+                    plain.size(),
+                    plain.condition_literal_count(),
+                    managed.size(),
+                    managed.condition_literal_count(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        "E5b  growth series: raw vs simplified (paper: deletions may grow the tree)",
+        ["step", "raw nodes", "raw literals", "simplified nodes", "simplified literals"],
+        rows,
+    )
+    final_raw_nodes = rows[-1][1]
+    final_managed_nodes = rows[-1][3]
+    assert final_raw_nodes >= final_managed_nodes
+    # Raw literal count must grow markedly past the initial document's.
+    assert rows[-1][2] > 3 * chain_document().condition_literal_count()
+
+
+def fresh_chain_document(steps: int) -> FuzzyTree:
+    """Guards for *steps* deletions, two fresh guards per step."""
+    events = EventTable({f"g{i}": 0.6 for i in range(2 * steps)})
+    root = FuzzyNode("root")
+    for i in range(2 * steps):
+        root.add_child(
+            FuzzyNode("guard", value=f"g{i}", condition=Condition.of(f"g{i}"))
+        )
+    root.add_child(FuzzyNode("item", value="target"))
+    return FuzzyTree(root, events)
+
+
+def fresh_deletion_step(step: int) -> UpdateTransaction:
+    first, second = f"g{2 * step}", f"g{2 * step + 1}"
+    query = parse_pattern(
+        f'/root {{ guard[="{first}"], guard[="{second}"], item[$t="target"] }}'
+    )
+    return UpdateTransaction(query, [DeleteOperation("t")], 0.8)
+
+
+def test_exponential_growth_with_fresh_dependencies(report, benchmark):
+    """Slide 14's worst case: every deletion depends on events the
+    survivors have never seen, so each survivor copy splits three ways
+    (¬g2k ∪ g2k¬g2k+1 ∪ g2k g2k+1 ¬wk) — 3^k growth."""
+
+    def run():
+        rows = []
+        doc = fresh_chain_document(steps=6)
+        copies = 1
+        for step in range(6):
+            apply_update(doc, fresh_deletion_step(step))
+            copies *= 3
+            item_copies = sum(
+                1 for n in doc.iter_nodes() if n.label == "item"
+            )
+            rows.append(
+                [step + 1, 3 ** (step + 1), item_copies, doc.size(),
+                 doc.condition_literal_count()]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        "E5c  exponential growth: fresh dependencies per deletion "
+        "(paper: 'may yield an exponential growth')",
+        ["step", "3^k", "item survivor copies", "total nodes", "literals"],
+        rows,
+    )
+    # The survivor-copy count must track the 3^k model exactly.
+    for step, model, item_copies, _nodes, _literals in rows:
+        assert item_copies == model, (step, item_copies, model)

@@ -1,0 +1,97 @@
+"""E7 — Fuzzy data simplification (paper, slide 19 perspectives).
+
+After a stream of probabilistic updates the document accumulates
+survivor copies, redundant literals and dead events.  The bench
+measures how much each simplification rule recovers (rule ablation),
+verifies semantics preservation, and times full simplification.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import apply_update, simplify, to_possible_worlds
+from repro.core.simplify import ALL_RULES
+from repro.trees import RandomTreeConfig
+from repro.workloads import (
+    CleaningScenario,
+    FuzzyWorkloadConfig,
+    random_fuzzy_tree,
+    random_update_for,
+)
+
+
+def battered_document(seed: int = 9, updates: int = 6):
+    """A random document after several uncertain updates."""
+    rng = random.Random(seed)
+    doc = random_fuzzy_tree(
+        rng,
+        FuzzyWorkloadConfig(
+            tree=RandomTreeConfig(max_nodes=15, max_children=3, max_depth=4),
+            n_events=2,
+        ),
+    )
+    for _ in range(updates):
+        apply_update(doc, random_update_for(rng, doc, confidence=0.8))
+    return doc
+
+
+def test_rule_ablation(report, benchmark):
+    def run():
+        rows = []
+        baseline = battered_document()
+        rows.append(
+            ["(none)", baseline.size(), baseline.condition_literal_count(), len(baseline.events)]
+        )
+        for rule in ALL_RULES:
+            doc = battered_document()
+            simplify(doc, rules=(rule,))
+            rows.append([rule, doc.size(), doc.condition_literal_count(), len(doc.events)])
+        doc = battered_document()
+        simplify(doc)
+        rows.append(["ALL", doc.size(), doc.condition_literal_count(), len(doc.events)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        "E7a  simplification rule ablation (after 6 uncertain updates)",
+        ["rules", "nodes", "condition literals", "events"],
+        rows,
+    )
+    all_nodes = rows[-1][1]
+    none_nodes = rows[0][1]
+    assert all_nodes <= none_nodes
+
+
+def test_semantics_preserved_on_cleaning_stream(report, benchmark):
+    def run():
+        scenario = CleaningScenario(seed=10, n_products=3, duplicate_rate=1.0)
+        doc = scenario.initial_document()
+        for tx in scenario.stream(4):
+            apply_update(doc, tx)
+        before_worlds = to_possible_worlds(doc)
+        before_nodes = doc.size()
+        simplify_report = simplify(doc)
+        return doc, before_worlds, before_nodes, simplify_report
+
+    doc, before_worlds, before_nodes, simplify_report = benchmark.pedantic(run, rounds=1)
+    assert to_possible_worlds(doc).same_distribution(before_worlds, 1e-9)
+    report.table(
+        "E7b  dedup stream then simplify (distribution preserved: yes)",
+        ["nodes before", "nodes after", "literals before", "literals after", "events collected"],
+        [[
+            before_nodes,
+            doc.size(),
+            simplify_report.literals_before,
+            simplify_report.literals_after,
+            simplify_report.collected_events,
+        ]],
+    )
+
+
+@pytest.mark.parametrize("updates", [2, 4, 6])
+def test_simplify_cost(benchmark, updates):
+    doc = battered_document(updates=updates)
+    benchmark.pedantic(lambda: simplify(doc.clone()), rounds=5)

@@ -1,0 +1,112 @@
+"""E9 — Query optimization ablation (paper, slide 19 perspectives).
+
+The matcher ships three optimizations (DESIGN.md §6.4): label-index
+candidate pre-filtering, bottom-up semi-join pruning and early join
+checking.  The bench toggles each on documents of growing size,
+verifying the result sets are identical and measuring the pruning wins.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import counters
+from repro.tpwj import MatchConfig, find_matches
+from repro.trees import RandomTreeConfig
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
+
+from conftest import fmt
+
+CONFIGS = {
+    "all-on": MatchConfig(),
+    "no-label-index": MatchConfig(use_label_index=False),
+    "no-semijoin": MatchConfig(use_semijoin_pruning=False),
+    "no-early-join": MatchConfig(early_join_check=False),
+    "all-off": MatchConfig(
+        use_label_index=False, use_semijoin_pruning=False, early_join_check=False
+    ),
+}
+
+
+def instance(n_nodes: int, seed: int = 40):
+    rng = random.Random(seed)
+    doc = random_fuzzy_tree(
+        rng,
+        FuzzyWorkloadConfig(
+            tree=RandomTreeConfig(
+                max_nodes=n_nodes,
+                max_children=5,
+                max_depth=7,
+                min_nodes=max(2, n_nodes // 2),
+            ),
+            n_events=4,
+        ),
+    )
+    pattern = random_query_for(
+        rng, doc.root, max_nodes=5, join_probability=0.8, value_test_probability=0.5
+    )
+    return doc, pattern
+
+
+@pytest.mark.parametrize("n_nodes", [100, 300, 600])
+def test_ablation_table(report, benchmark, n_nodes):
+    doc, pattern = instance(n_nodes)
+
+    def run():
+        baseline = None
+        rows = []
+        for name, config in CONFIGS.items():
+            counters.reset()
+            start = time.perf_counter()
+            matches = find_matches(pattern, doc.root, config)
+            elapsed = time.perf_counter() - start
+            assignments = counters.get("match.assignments")
+            if baseline is None:
+                baseline = len(matches)
+            assert len(matches) == baseline  # optimizations never change results
+            rows.append([name, len(matches), int(assignments), fmt(elapsed)])
+        counters.reset()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        f"E9a  matcher ablation, {n_nodes}-node document, query {pattern}",
+        ["config", "matches", "assignments tried", "seconds"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("config_name", ["all-on", "all-off"])
+def test_matcher_benchmark(benchmark, config_name):
+    doc, pattern = instance(400, seed=41)
+    config = CONFIGS[config_name]
+    benchmark(find_matches, pattern, doc.root, config)
+
+
+def test_pruning_wins_grow_with_document(report, benchmark):
+    def run():
+        rows = []
+        for n_nodes in (100, 300, 600, 1000):
+            doc, pattern = instance(n_nodes, seed=42)
+            counters.reset()
+            find_matches(pattern, doc.root, CONFIGS["all-on"])
+            on_assignments = counters.get("match.assignments")
+            counters.reset()
+            find_matches(pattern, doc.root, CONFIGS["all-off"])
+            off_assignments = counters.get("match.assignments")
+            counters.reset()
+            ratio = off_assignments / on_assignments if on_assignments else float("inf")
+            rows.append(
+                [doc.size(), int(on_assignments), int(off_assignments), fmt(ratio, 3)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        "E9b  assignments tried: optimized vs naive matcher",
+        ["nodes", "optimized", "naive", "naive/optimized"],
+        rows,
+    )

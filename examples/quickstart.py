@@ -1,0 +1,99 @@
+"""Quickstart: the paper's worked examples in a dozen lines each.
+
+Builds the slide-12 fuzzy tree, inspects its possible worlds, runs a
+TPWJ query both ways (direct fuzzy evaluation and via the worlds
+semantics), then replays the slide-15 conditional replacement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Condition,
+    DeleteOperation,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    InsertOperation,
+    UpdateTransaction,
+    apply_update,
+    parse_pattern,
+    query_fuzzy_tree,
+    query_possible_worlds,
+    to_possible_worlds,
+)
+from repro.trees import tree
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A fuzzy tree (slide 12): nodes guarded by event conditions.
+    # ------------------------------------------------------------------
+    events = EventTable({"w1": 0.8, "w2": 0.7})
+    root = FuzzyNode(
+        "A",
+        children=[
+            FuzzyNode("B", condition=Condition.of("w1", "!w2")),
+            FuzzyNode("C", children=[FuzzyNode("D", condition=Condition.of("w2"))]),
+        ],
+    )
+    doc = FuzzyTree(root, events)
+    print("The fuzzy document:")
+    print(doc.root.pretty())
+    print("\nEvent table:", doc.events)
+
+    # ------------------------------------------------------------------
+    # 2. Its possible-worlds semantics: three worlds, as on the slide.
+    # ------------------------------------------------------------------
+    worlds = to_possible_worlds(doc)
+    print("\nPossible worlds:")
+    for world in worlds:
+        print(f"  P = {world.probability:.2f}   {world.tree.canonical()}")
+
+    # ------------------------------------------------------------------
+    # 3. A TPWJ query, evaluated directly on the fuzzy tree.
+    # ------------------------------------------------------------------
+    pattern = parse_pattern("//D")
+    print(f"\nQuery {pattern}:")
+    for answer in query_fuzzy_tree(doc, pattern):
+        print(f"  P = {answer.probability:.2f}   {answer.tree.canonical()}")
+
+    # The same query through the possible-worlds semantics agrees
+    # (the slide-13 commutation theorem).
+    via_worlds = query_possible_worlds(worlds, pattern)
+    assert via_worlds.worlds[0].probability == next(
+        a.probability for a in query_fuzzy_tree(doc, pattern)
+    )
+    print("  (identical through the possible-worlds semantics)")
+
+    # ------------------------------------------------------------------
+    # 4. A probabilistic update (slide 15): replace C by D if B is
+    #    present, with confidence 0.9.
+    # ------------------------------------------------------------------
+    events = EventTable({"w1": 0.8, "w2": 0.7})
+    doc = FuzzyTree(
+        FuzzyNode(
+            "A",
+            children=[
+                FuzzyNode("B", condition=Condition.of("w1")),
+                FuzzyNode("C", condition=Condition.of("w2")),
+            ],
+        ),
+        events,
+    )
+    transaction = UpdateTransaction(
+        parse_pattern("/A[$a] { B, C[$c] }"),
+        [DeleteOperation("c"), InsertOperation("a", tree("D"))],
+        confidence=0.9,
+    )
+    report = apply_update(doc, transaction)
+    print("\nAfter the slide-15 conditional replacement:")
+    print(doc.root.pretty())
+    print("Event table:", doc.events)
+    print(
+        f"(matches: {report.matches}, survivor copies: {report.survivor_copies}, "
+        f"confidence event: {report.confidence_event})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and lacks the ``wheel``
+package, so ``pip install -e .`` must use the legacy ``setup.py
+develop`` path instead of PEP 517 build isolation.  All real metadata
+lives in pyproject.toml; this file only exists to enable that path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

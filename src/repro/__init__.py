@@ -1,0 +1,157 @@
+"""repro — a reproduction of Abiteboul & Senellart, *Querying and
+Updating Probabilistic Information in XML* (EDBT 2006).
+
+The library implements the paper end to end:
+
+* **fuzzy trees** (:mod:`repro.core`) — unordered data trees whose
+  nodes carry conjunctive event conditions, with an event table;
+* the **possible-worlds model** (:mod:`repro.pworlds`) — the semantic
+  foundation, used as ground truth;
+* **TPWJ queries** (:mod:`repro.tpwj`) — tree patterns with value
+  joins, evaluated both on worlds and directly on fuzzy trees;
+* **probabilistic updates** (:mod:`repro.updates`, applied via
+  :func:`repro.apply_update`) — insert/delete transactions with a
+  confidence;
+* an **XML dialect** (:mod:`repro.xmlio`) and a filesystem
+  **warehouse** (:mod:`repro.warehouse`) matching the paper's system
+  architecture;
+* **workload generators** (:mod:`repro.workloads`) simulating the
+  imprecise modules of the paper's introduction.
+
+Quickstart::
+
+    from repro import (FuzzyNode, FuzzyTree, EventTable, Condition,
+                       parse_pattern, query_fuzzy_tree)
+
+    events = EventTable({"w1": 0.8, "w2": 0.7})
+    root = FuzzyNode("A", children=[
+        FuzzyNode("B", condition=Condition.of("w1", "!w2")),
+        FuzzyNode("C", children=[FuzzyNode("D", condition=Condition.of("w2"))]),
+    ])
+    doc = FuzzyTree(root, events)
+    for answer in query_fuzzy_tree(doc, parse_pattern("/A { //D }")):
+        print(answer.probability, answer.tree.canonical())
+"""
+
+from repro.core import (
+    ALL_RULES,
+    AnswerEstimate,
+    FuzzyAnswer,
+    FuzzyNode,
+    FuzzyTree,
+    SimplifyReport,
+    UpdateReport,
+    apply_update,
+    estimate_query,
+    from_possible_worlds,
+    match_condition,
+    query_fuzzy_tree,
+    simplify,
+    to_possible_worlds,
+)
+from repro.errors import (
+    EventError,
+    InconsistentConditionError,
+    InvalidProbabilityError,
+    QueryError,
+    QueryParseError,
+    ReproError,
+    TreeError,
+    UnknownEventError,
+    UpdateError,
+    WarehouseError,
+    XMLFormatError,
+)
+from repro.events import (
+    TRUE,
+    Condition,
+    Dnf,
+    EventTable,
+    Literal,
+    complement_as_disjoint_conditions,
+    dnf_probability,
+)
+from repro.pworlds import (
+    PossibleWorlds,
+    World,
+    query_possible_worlds,
+    update_possible_worlds,
+)
+from repro.tpwj import (
+    Match,
+    MatchConfig,
+    Pattern,
+    PatternNode,
+    find_matches,
+    format_pattern,
+    parse_pattern,
+)
+from repro.trees import Node, tree
+from repro.updates import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateTransaction,
+    apply_deterministic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TreeError",
+    "EventError",
+    "UnknownEventError",
+    "InvalidProbabilityError",
+    "InconsistentConditionError",
+    "QueryError",
+    "QueryParseError",
+    "UpdateError",
+    "XMLFormatError",
+    "WarehouseError",
+    # trees
+    "Node",
+    "tree",
+    # events
+    "Literal",
+    "Condition",
+    "TRUE",
+    "EventTable",
+    "Dnf",
+    "dnf_probability",
+    "complement_as_disjoint_conditions",
+    # possible worlds
+    "PossibleWorlds",
+    "World",
+    "query_possible_worlds",
+    "update_possible_worlds",
+    # queries
+    "Pattern",
+    "PatternNode",
+    "parse_pattern",
+    "format_pattern",
+    "find_matches",
+    "Match",
+    "MatchConfig",
+    # updates
+    "InsertOperation",
+    "DeleteOperation",
+    "UpdateTransaction",
+    "apply_deterministic",
+    # core
+    "FuzzyNode",
+    "FuzzyTree",
+    "to_possible_worlds",
+    "from_possible_worlds",
+    "FuzzyAnswer",
+    "query_fuzzy_tree",
+    "match_condition",
+    "UpdateReport",
+    "apply_update",
+    "SimplifyReport",
+    "simplify",
+    "ALL_RULES",
+    "AnswerEstimate",
+    "estimate_query",
+]

@@ -1,0 +1,30 @@
+"""Instrumentation and metrics — substrate S10 (slide 19, complexity analysis)."""
+
+from repro.analysis.complexity import (
+    Fit,
+    classify_growth,
+    fit_exponential,
+    fit_power_law,
+    measure,
+)
+from repro.analysis.instrumentation import Counters, counters
+from repro.analysis.metrics import (
+    FuzzyStats,
+    distribution_entropy,
+    fuzzy_stats,
+    tree_stats,
+)
+
+__all__ = [
+    "Counters",
+    "counters",
+    "FuzzyStats",
+    "fuzzy_stats",
+    "tree_stats",
+    "distribution_entropy",
+    "Fit",
+    "fit_power_law",
+    "fit_exponential",
+    "classify_growth",
+    "measure",
+]

@@ -1,0 +1,102 @@
+"""Empirical complexity estimation (paper, slide 19: "complexity analysis").
+
+The paper lists complexity analysis of queries, updates and
+simplification as a perspective.  This module provides the measurement
+half: run an operation over a parameter sweep, fit the measurements to
+power-law (``t ≈ c·n^k``, slope ``k`` in log-log space) and exponential
+(``t ≈ c·2^(k·n)``, slope in lin-log space) models, and report which
+fits better.  Benchmarks use it to *check shapes*: fuzzy query time
+should fit a small polynomial in the document size, while naive
+possible-worlds evaluation should fit an exponential in the event
+count.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["Fit", "fit_power_law", "fit_exponential", "measure", "classify_growth"]
+
+
+@dataclass(slots=True)
+class Fit:
+    """A least-squares fit of a growth model.
+
+    ``exponent`` is ``k`` in ``c·n^k`` (power law) or ``c·2^(k·n)``
+    (exponential); ``r_squared`` is the coefficient of determination in
+    the fitted space.
+    """
+
+    model: str
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def __str__(self) -> str:
+        if self.model == "power":
+            return f"t ≈ {self.constant:.3g}·n^{self.exponent:.2f} (R²={self.r_squared:.3f})"
+        return f"t ≈ {self.constant:.3g}·2^({self.exponent:.2f}·n) (R²={self.r_squared:.3f})"
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Slope, intercept and R² of a 1-D least-squares line."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0.0:
+        raise ValueError("degenerate sweep: all x values equal")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    ss_residual = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 - ss_residual / ss_total if ss_total > 0 else 1.0
+    return slope, intercept, r_squared
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> Fit:
+    """Fit ``t ≈ c·n^k`` by regressing log t on log n."""
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-12)) for t in times]
+    slope, intercept, r_squared = _least_squares(xs, ys)
+    return Fit("power", slope, math.exp(intercept), r_squared)
+
+
+def fit_exponential(sizes: Sequence[float], times: Sequence[float]) -> Fit:
+    """Fit ``t ≈ c·2^(k·n)`` by regressing log2 t on n."""
+    ys = [math.log2(max(t, 1e-12)) for t in times]
+    slope, intercept, r_squared = _least_squares(list(sizes), ys)
+    return Fit("exponential", slope, 2.0**intercept, r_squared)
+
+
+def classify_growth(sizes: Sequence[float], times: Sequence[float]) -> Fit:
+    """The better of the power-law and exponential fits (by R²)."""
+    power = fit_power_law(sizes, times)
+    exponential = fit_exponential(sizes, times)
+    return power if power.r_squared >= exponential.r_squared else exponential
+
+
+def measure(
+    operation: Callable[[int], object],
+    sizes: Sequence[int],
+    repeats: int = 3,
+) -> list[float]:
+    """Median wall-clock seconds of ``operation(size)`` per size."""
+    results: list[float] = []
+    for size in sizes:
+        samples: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            operation(size)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        results.append(samples[len(samples) // 2])
+    return results

@@ -1,0 +1,57 @@
+"""Lightweight global counters and timers.
+
+The "complexity analysis" perspective of the paper (slide 19) is served
+by instrumenting the hot paths: the TPWJ matcher counts candidates and
+partial assignments, the update engine counts survivor copies, the
+semantics module counts enumerated worlds.  Benchmarks snapshot and
+reset these counters around measured sections (E5, E9).
+
+A single process-global :data:`counters` instance keeps the hot-path
+cost to one dictionary increment; everything is explicit — no decorators
+or import-time magic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Counters", "counters"]
+
+
+class Counters:
+    """A named-counter registry with stopwatch support."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """A point-in-time copy of all counters."""
+        return dict(self._values)
+
+    @contextmanager
+    def timed(self, name: str):
+        """Accumulate wall-clock seconds spent in the body under *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.incr(name, time.perf_counter() - start)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({body})"
+
+
+#: Process-global counter registry used by the matcher, the update
+#: engine and the possible-worlds semantics.
+counters = Counters()

@@ -1,0 +1,90 @@
+"""Size and complexity metrics for fuzzy documents and world sets.
+
+These feed the growth/simplification benchmarks (E5, E7) and the
+warehouse statistics endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.core.fuzzy_tree import FuzzyTree
+    from repro.pworlds.worlds import PossibleWorlds
+    from repro.trees.node import Node
+
+__all__ = ["FuzzyStats", "fuzzy_stats", "tree_stats", "distribution_entropy"]
+
+
+@dataclass(slots=True)
+class FuzzyStats:
+    """Aggregate measurements of a fuzzy document."""
+
+    nodes: int
+    height: int
+    declared_events: int
+    used_events: int
+    condition_literals: int
+    max_condition_size: int
+    conditioned_nodes: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "nodes": self.nodes,
+            "height": self.height,
+            "declared_events": self.declared_events,
+            "used_events": self.used_events,
+            "condition_literals": self.condition_literals,
+            "max_condition_size": self.max_condition_size,
+            "conditioned_nodes": self.conditioned_nodes,
+        }
+
+
+def fuzzy_stats(fuzzy: "FuzzyTree") -> FuzzyStats:
+    """Measure a fuzzy document (nodes, events, condition sizes)."""
+    literals = 0
+    max_condition = 0
+    conditioned = 0
+    for node in fuzzy.iter_nodes():
+        size = len(node.condition)
+        literals += size
+        max_condition = max(max_condition, size)
+        if size:
+            conditioned += 1
+    return FuzzyStats(
+        nodes=fuzzy.size(),
+        height=fuzzy.root.height(),
+        declared_events=len(fuzzy.events),
+        used_events=len(fuzzy.used_events()),
+        condition_literals=literals,
+        max_condition_size=max_condition,
+        conditioned_nodes=conditioned,
+    )
+
+
+def tree_stats(root: "Node") -> dict[str, object]:
+    """Basic shape statistics of an ordinary data tree."""
+    sizes = Counter(node.label for node in root.iter())
+    leaves = sum(1 for _ in root.leaves())
+    return {
+        "nodes": root.size(),
+        "height": root.height(),
+        "leaves": leaves,
+        "labels": dict(sizes),
+    }
+
+
+def distribution_entropy(worlds: "PossibleWorlds") -> float:
+    """Shannon entropy (bits) of a normalized world distribution."""
+    total = worlds.total_probability()
+    if total <= 0.0:
+        return 0.0
+    entropy = 0.0
+    for world in worlds:
+        p = world.probability / total
+        if p > 0.0:
+            entropy -= p * math.log2(p)
+    return entropy

@@ -1,0 +1,230 @@
+"""Command-line interface to the probabilistic XML warehouse.
+
+The paper's system is a warehouse with a query interface and an update
+interface (slide 3); this CLI is the operational face of that
+architecture::
+
+    python -m repro init WH --root directory          # create a store
+    python -m repro init WH --document doc.xml        # ... or from XML
+    python -m repro query WH '/directory { person { name, email } }'
+    python -m repro update WH --xupdate tx.xml --confidence 0.85
+    python -m repro simplify WH
+    python -m repro stats WH
+    python -m repro history WH --tail 10
+    python -m repro worlds WH                         # enumerate (small docs)
+    python -m repro estimate WH '//email' --samples 2000
+
+Every command exits 0 on success and 2 on a usage/model error with the
+message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.core.montecarlo import estimate_query
+from repro.core.semantics import to_possible_worlds
+from repro.errors import ReproError
+from repro.events.table import EventTable
+from repro.tpwj.parser import parse_pattern
+from repro.warehouse.warehouse import Warehouse
+from repro.xmlio.parse import fuzzy_from_string
+from repro.xmlio.serialize import fuzzy_to_string, plain_to_string
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic XML warehouse (Abiteboul & Senellart, EDBT 2006)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser("init", help="create a new warehouse")
+    init.add_argument("path", type=Path)
+    source = init.add_mutually_exclusive_group(required=True)
+    source.add_argument("--root", help="label of an empty document root")
+    source.add_argument(
+        "--document", type=Path, help="probabilistic XML file to load"
+    )
+
+    query = commands.add_parser("query", help="evaluate a TPWJ query")
+    query.add_argument("path", type=Path)
+    query.add_argument("pattern", help="TPWJ text syntax")
+    query.add_argument("--limit", type=int, default=None, help="max answers shown")
+    query.add_argument(
+        "--xml", action="store_true", help="print answers as XML instead of canonical"
+    )
+
+    update = commands.add_parser("update", help="apply an XUpdate transaction")
+    update.add_argument("path", type=Path)
+    update.add_argument("--xupdate", type=Path, required=True, help="transaction XML")
+    update.add_argument(
+        "--confidence", type=float, default=None, help="override the confidence"
+    )
+
+    simplify = commands.add_parser("simplify", help="run fuzzy data simplification")
+    simplify.add_argument("path", type=Path)
+
+    stats = commands.add_parser("stats", help="document and log statistics")
+    stats.add_argument("path", type=Path)
+
+    history = commands.add_parser("history", help="show the transaction log")
+    history.add_argument("path", type=Path)
+    history.add_argument("--tail", type=int, default=None, help="last N entries only")
+
+    worlds = commands.add_parser("worlds", help="enumerate the possible worlds")
+    worlds.add_argument("path", type=Path)
+
+    estimate = commands.add_parser("estimate", help="Monte-Carlo query estimation")
+    estimate.add_argument("path", type=Path)
+    estimate.add_argument("pattern")
+    estimate.add_argument("--samples", type=int, default=1000)
+    estimate.add_argument("--seed", type=int, default=0)
+
+    export = commands.add_parser("export", help="print the document as XML")
+    export.add_argument("path", type=Path)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    handlers = {
+        "init": _cmd_init,
+        "query": _cmd_query,
+        "update": _cmd_update,
+        "simplify": _cmd_simplify,
+        "stats": _cmd_stats,
+        "history": _cmd_history,
+        "worlds": _cmd_worlds,
+        "estimate": _cmd_estimate,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    if args.document is not None:
+        document = fuzzy_from_string(args.document.read_text(encoding="utf-8"))
+    else:
+        document = FuzzyTree(FuzzyNode(args.root), EventTable())
+    with Warehouse.create(args.path, document) as warehouse:
+        print(f"created warehouse at {args.path} ({warehouse.stats()['nodes']} nodes)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        answers = warehouse.query(args.pattern)
+    shown = answers if args.limit is None else answers[: args.limit]
+    for answer in shown:
+        if args.xml:
+            print(f"<!-- P = {answer.probability:.6f} -->")
+            print(plain_to_string(answer.tree))
+        else:
+            print(f"{answer.probability:.6f}  {answer.tree.canonical()}")
+    if not answers:
+        print("(no answers)")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    text = args.xupdate.read_text(encoding="utf-8")
+    with Warehouse.open(args.path) as warehouse:
+        report = warehouse.update(text, confidence=args.confidence)
+        print(
+            f"matches: {report.matches}  applied: {report.applied}  "
+            f"inserted nodes: {report.inserted_nodes}  "
+            f"survivor copies: {report.survivor_copies}"
+            + (f"  event: {report.confidence_event}" if report.confidence_event else "")
+        )
+    return 0
+
+
+def _cmd_simplify(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        report = warehouse.simplify()
+        print(
+            f"nodes: {report.nodes_before} -> {report.nodes_after}  "
+            f"literals: {report.literals_before} -> {report.literals_after}  "
+            f"events collected: {report.collected_events}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        for key, value in warehouse.stats().items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        entries = warehouse.history()
+    if args.tail is not None:
+        entries = entries[-args.tail :]
+    for entry in entries:
+        kind = entry.get("kind", "?")
+        sequence = entry.get("sequence", "?")
+        extra = ""
+        if kind == "update":
+            extra = (
+                f"  confidence={entry.get('confidence')}"
+                f"  matches={entry.get('matches')}"
+            )
+        elif kind == "simplify":
+            extra = f"  nodes={entry.get('nodes_before')}->{entry.get('nodes_after')}"
+        print(f"#{sequence}  {kind}{extra}")
+    return 0
+
+
+def _cmd_worlds(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        worlds = to_possible_worlds(warehouse.document)
+    for world in worlds:
+        print(f"{world.probability:.6f}  {world.tree.canonical()}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        estimates = estimate_query(
+            warehouse.document,
+            parse_pattern(args.pattern),
+            samples=args.samples,
+            rng=random.Random(args.seed),
+        )
+    for estimate in estimates:
+        print(
+            f"{estimate.probability:.4f} ± {estimate.stderr:.4f}  "
+            f"{estimate.tree.canonical()}"
+        )
+    if not estimates:
+        print("(no answers observed)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        print(fuzzy_to_string(warehouse.document))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""Fuzzy trees — the paper's primary contribution (slide 12).
+
+A *fuzzy tree* is a data tree in which every node carries an *event
+condition* (a conjunction of probabilistic event literals), together
+with an event table assigning each event an independent probability.
+The document root's condition must be true: a document always has its
+root, and the possible worlds of a fuzzy tree are the restrictions of
+the tree to the nodes whose conditions hold (a node needs its whole
+ancestor chain to survive).
+
+:class:`FuzzyNode` extends the plain :class:`~repro.trees.node.Node`
+with a condition, so every tree algorithm (matching, minimal subtrees,
+canonical forms of the *underlying* tree) applies unchanged.
+:class:`FuzzyTree` pairs the root with its :class:`EventTable`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ReproError, TreeError
+from repro.events.condition import TRUE, Condition
+from repro.events.table import EventTable
+from repro.trees.node import Node
+
+__all__ = ["FuzzyNode", "FuzzyTree"]
+
+
+class FuzzyNode(Node):
+    """A data-tree node guarded by an event condition."""
+
+    __slots__ = ("_condition",)
+
+    def __init__(
+        self,
+        label: str,
+        value: str | None = None,
+        condition: Condition = TRUE,
+        children: Iterable["FuzzyNode"] = (),
+    ) -> None:
+        if not isinstance(condition, Condition):
+            raise TreeError(f"condition must be a Condition, got {type(condition).__name__}")
+        self._condition = condition
+        super().__init__(label, value=value, children=children)
+
+    @property
+    def condition(self) -> Condition:
+        return self._condition
+
+    @condition.setter
+    def condition(self, condition: Condition) -> None:
+        if not isinstance(condition, Condition):
+            raise TreeError(f"condition must be a Condition, got {type(condition).__name__}")
+        self._condition = condition
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "FuzzyNode":
+        copy = FuzzyNode(self.label, self.value, self._condition)
+        for child in self.children:
+            copy.add_child(child.clone())
+        return copy
+
+    def canonical(self) -> str:
+        """Canonical form *including conditions* (fuzzy-tree equality).
+
+        Two fuzzy subtrees are equal iff labels, values, the multiset of
+        child subtrees **and** the conditions coincide.  Use
+        :meth:`underlying` / plain-node canonicals to compare only the
+        data part.
+        """
+        own = self.label if self.value is None else f"{self.label}={self.value!r}"
+        condition = str(self._condition)
+        if condition != "true":
+            own = f"{own}[{condition}]"
+        if self.is_leaf:
+            return own
+        parts = sorted(child.canonical() for child in self.children)
+        return f"{own}({','.join(parts)})"
+
+    def pretty(self, indent: str = "  ") -> str:
+        """ASCII rendering with conditions, matching the paper's figures."""
+        lines: list[str] = []
+
+        def visit(node: FuzzyNode, level: int) -> None:
+            suffix = f" = {node.value!r}" if node.value is not None else ""
+            if not node.condition.is_true:
+                suffix += f"  [{node.condition.pretty()}]"
+            lines.append(f"{indent * level}{node.label}{suffix}")
+            for child in node.children:
+                visit(child, level + 1)
+
+        visit(self, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Fuzzy-specific helpers
+    # ------------------------------------------------------------------
+
+    def path_condition(self) -> Condition:
+        """Conjunction of this node's and all its ancestors' conditions.
+
+        This is the exact existence condition of the node: it is present
+        in a world iff the whole conjunction holds.  Raises
+        :class:`~repro.errors.InconsistentConditionError` when the node
+        can never exist; use ``path_condition_or_none`` to probe.
+        """
+        combined = self._condition
+        for ancestor in self.ancestors():
+            combined = combined.conjoin(ancestor.condition)  # type: ignore[attr-defined]
+        return combined
+
+    def path_condition_or_none(self) -> Condition | None:
+        """Like :meth:`path_condition` but None when inconsistent."""
+        literals = set(self._condition.literals)
+        for ancestor in self.ancestors():
+            literals |= ancestor.condition.literals  # type: ignore[attr-defined]
+        combined = Condition(literals, allow_inconsistent=True)
+        return combined if combined.is_consistent else None
+
+    @staticmethod
+    def from_plain(node: Node, condition: Condition = TRUE) -> "FuzzyNode":
+        """Deep-convert a plain tree; *condition* guards the new root only."""
+        root = FuzzyNode(node.label, node.value, condition)
+        for child in node.children:
+            root.add_child(FuzzyNode.from_plain(child))
+        return root
+
+
+class FuzzyTree:
+    """A fuzzy document: a :class:`FuzzyNode` root plus its event table."""
+
+    __slots__ = ("root", "events")
+
+    def __init__(self, root: FuzzyNode, events: EventTable | None = None) -> None:
+        if not isinstance(root, FuzzyNode):
+            raise ReproError(f"fuzzy root must be a FuzzyNode, got {type(root).__name__}")
+        if root.parent is not None:
+            raise ReproError("fuzzy root must not have a parent")
+        self.root = root
+        self.events = events if events is not None else EventTable()
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants of a fuzzy document.
+
+        * the root's condition is true (a document always has a root);
+        * every condition only references declared events;
+        * every node is a :class:`FuzzyNode`.
+        """
+        if not self.root.condition.is_true:
+            raise ReproError(
+                "the document root must have the true condition "
+                f"(found {self.root.condition})"
+            )
+        for node in self.root.iter():
+            if not isinstance(node, FuzzyNode):
+                raise ReproError(
+                    f"fuzzy tree contains a plain node: {node.label!r}"
+                )
+            self.events.check_condition(node.condition)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def condition_literal_count(self) -> int:
+        """Total number of literals across all node conditions."""
+        return sum(len(node.condition) for node in self.iter_nodes())
+
+    def used_events(self) -> frozenset[str]:
+        """Events referenced by at least one node condition."""
+        used: set[str] = set()
+        for node in self.iter_nodes():
+            used |= node.condition.events()
+        return frozenset(used)
+
+    def iter_nodes(self) -> Iterable[FuzzyNode]:
+        return self.root.iter()  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Worlds
+    # ------------------------------------------------------------------
+
+    def world(self, assignment: Mapping[str, bool]) -> Node:
+        """The ordinary tree selected by a truth assignment.
+
+        Keeps exactly the nodes whose condition is satisfied and whose
+        ancestors are all kept; returns a plain tree.
+        """
+
+        def copy(node: FuzzyNode) -> Node:
+            fresh = Node(node.label, node.value)
+            for child in node.children:
+                assert isinstance(child, FuzzyNode)
+                if child.condition.satisfied_by(assignment):
+                    fresh.add_child(copy(child))
+            return fresh
+
+        return copy(self.root)
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "FuzzyTree":
+        return FuzzyTree(self.root.clone(), self.events.copy())
+
+    def __repr__(self) -> str:
+        return (
+            f"FuzzyTree({self.size()} nodes, {len(self.events)} events, "
+            f"{len(self.used_events())} used)"
+        )

@@ -1,0 +1,77 @@
+"""Monte-Carlo query estimation on fuzzy trees.
+
+Exact possible-worlds evaluation enumerates ``2^n`` assignments; the
+fuzzy evaluator is exact but its answer-combination step is exponential
+in the events of an answer's DNF in the worst case.  Sampling gives a
+third point on the cost/accuracy trade-off curve (benchmark E6): draw
+assignments from the event table's product distribution, materialise
+each sampled world, run the query, and count how often each answer
+appears.
+
+Estimates come with a standard error (binomial), so benchmarks can
+report confidence intervals alongside the exact probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.fuzzy_tree import FuzzyTree
+from repro.events.assignment import sample_assignment
+from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig, find_matches
+from repro.tpwj.pattern import Pattern
+from repro.tpwj.result import distinct_answers
+from repro.trees.node import Node
+
+__all__ = ["AnswerEstimate", "estimate_query"]
+
+
+@dataclass(slots=True)
+class AnswerEstimate:
+    """A sampled answer: tree, estimated probability and standard error."""
+
+    tree: Node
+    probability: float
+    stderr: float
+    occurrences: int
+    samples: int
+
+
+def estimate_query(
+    fuzzy: FuzzyTree,
+    pattern: Pattern,
+    samples: int = 1000,
+    rng: random.Random | None = None,
+    config: MatchConfig = DEFAULT_CONFIG,
+) -> list[AnswerEstimate]:
+    """Estimate the query-answer probabilities by world sampling.
+
+    Returns estimates sorted by decreasing probability (ties broken by
+    the answer's canonical form).  Answers never observed in a sample
+    do not appear — callers comparing against exact results should
+    treat missing answers as probability 0.
+    """
+    if samples < 1:
+        raise ValueError("samples must be at least 1")
+    rng = rng if rng is not None else random.Random(0)
+    used = sorted(fuzzy.used_events())
+
+    counts: dict[str, int] = {}
+    trees: dict[str, Node] = {}
+    for _ in range(samples):
+        assignment = sample_assignment(fuzzy.events, rng, events=used)
+        world = fuzzy.world(assignment)
+        matches = find_matches(pattern, world, config)
+        for key, answer in distinct_answers(world, matches).items():
+            counts[key] = counts.get(key, 0) + 1
+            trees.setdefault(key, answer)
+
+    estimates: list[AnswerEstimate] = []
+    for key, count in counts.items():
+        p = count / samples
+        stderr = math.sqrt(p * (1.0 - p) / samples)
+        estimates.append(AnswerEstimate(trees[key], p, stderr, count, samples))
+    estimates.sort(key=lambda e: (-e.probability, e.tree.canonical()))
+    return estimates

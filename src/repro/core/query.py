@@ -1,0 +1,177 @@
+"""TPWJ query evaluation directly on fuzzy trees (paper, slide 13).
+
+Definition (slide 13): evaluate the query on the *underlying* data tree;
+the probability of an answer is the probability of the conjunction of
+the conditions of the nodes of the mapping.  Because the answer is the
+minimal subtree containing the mapped nodes, the relevant conjunction
+ranges over the mapped nodes *and all their ancestors* — an answer
+exists in a world only when its whole subtree does.
+
+Several matches may induce the same answer tree; the answer's
+probability is then the probability of the *disjunction* of the match
+conditions, computed exactly by Shannon expansion
+(:func:`repro.events.dnf.dnf_probability`).  This is precisely what
+makes the fuzzy evaluation commute with the possible-worlds semantics
+(the theorem of slide 13, validated by benchmark E2 and the property
+tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.instrumentation import counters
+from repro.events.condition import Condition
+from repro.events.dnf import Dnf, complement_as_disjoint_conditions, dnf_probability
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.tpwj.match import (
+    DEFAULT_CONFIG,
+    Match,
+    MatchConfig,
+    find_embeddings,
+    find_matches,
+)
+from repro.tpwj.pattern import Pattern
+from repro.tpwj.result import answer_tree
+from repro.trees.node import Node
+
+__all__ = ["FuzzyAnswer", "query_fuzzy_tree", "match_condition", "match_conditions"]
+
+
+class FuzzyAnswer:
+    """One answer of a query over a fuzzy tree.
+
+    Attributes
+    ----------
+    tree:
+        The answer tree (an ordinary data tree — conditions are not part
+        of answers).
+    dnf:
+        The disjunction of the per-match existence conditions that
+        produce this answer.
+    probability:
+        Exact probability that this answer belongs to the query result.
+    """
+
+    __slots__ = ("tree", "dnf", "probability")
+
+    def __init__(self, tree: Node, dnf: Dnf, probability: float) -> None:
+        self.tree = tree
+        self.dnf = dnf
+        self.probability = probability
+
+    def __repr__(self) -> str:
+        return f"FuzzyAnswer(p={self.probability:.6g}, tree={self.tree.canonical()})"
+
+
+def match_condition(match: Match) -> Condition | None:
+    """Existence condition of a match: the conjunction over the mapped
+    nodes *and their ancestors* of the node conditions.
+
+    Returns None when the conjunction is inconsistent (the match can
+    fire in no world).
+    """
+    literals: set = set()
+    seen: set[int] = set()
+    for node in match.nodes():
+        for walk in node.ancestors(include_self=True):
+            if id(walk) in seen:
+                continue
+            seen.add(id(walk))
+            assert isinstance(walk, FuzzyNode), "match must be over a fuzzy tree"
+            literals |= walk.condition.literals
+    combined = Condition(literals, allow_inconsistent=True)
+    return combined if combined.is_consistent else None
+
+
+def _embedding_condition(embedding: dict) -> Condition | None:
+    """Existence condition of a negated-subpattern embedding."""
+    literals: set = set()
+    seen: set[int] = set()
+    for node in embedding.values():
+        for walk in node.ancestors(include_self=True):
+            if id(walk) in seen:
+                continue
+            seen.add(id(walk))
+            assert isinstance(walk, FuzzyNode)
+            literals |= walk.condition.literals
+    combined = Condition(literals, allow_inconsistent=True)
+    return combined if combined.is_consistent else None
+
+
+def match_conditions(match: Match) -> list[Condition]:
+    """Disjoint conjunctive conditions under which *match* holds.
+
+    For a pattern without negation this is the singleton
+    ``[match_condition(match)]`` (or ``[]`` when inconsistent).  With
+    negated subpatterns (slide-19 extension) the match holds when its
+    positive image exists *and no* embedding of any negated subpattern
+    exists; the complement of the embeddings' conditions is rewritten
+    into disjoint conjunctions, each conjoined with the positive
+    condition.
+    """
+    gamma = match_condition(match)
+    if gamma is None:
+        return []
+    constraints = match.pattern.negated_constraints()
+    if not constraints:
+        return [gamma]
+
+    violations: list[Condition] = []
+    for constraint in constraints:
+        parent_image = match[constraint.parent]
+        for embedding in find_embeddings(constraint, parent_image):
+            delta = _embedding_condition(embedding)
+            if delta is not None:
+                violations.append(delta)
+
+    pieces = complement_as_disjoint_conditions(violations)
+    results: list[Condition] = []
+    for piece in pieces:
+        combined = Condition(
+            gamma.literals | piece.literals, allow_inconsistent=True
+        )
+        if combined.is_consistent:
+            results.append(Condition(combined.literals))
+    return results
+
+
+def query_fuzzy_tree(
+    fuzzy: FuzzyTree,
+    pattern: Pattern,
+    config: MatchConfig = DEFAULT_CONFIG,
+) -> list[FuzzyAnswer]:
+    """Evaluate a TPWJ query on a fuzzy tree without enumerating worlds.
+
+    Returns the answers sorted by decreasing probability (ties broken
+    by canonical form), mirroring the normalized possible-worlds
+    result.  Negated subpatterns are handled through conditions, not
+    structure: their presence varies across worlds.
+    """
+    structural_config = (
+        replace(config, honor_negation=False) if pattern.has_negation() else config
+    )
+    matches = find_matches(pattern, fuzzy.root, structural_config)
+    grouped: dict[str, tuple[Node, list[Condition]]] = {}
+    for match in matches:
+        counters.incr("core.query.matches")
+        conditions = match_conditions(match)
+        if not conditions:
+            counters.incr("core.query.inconsistent_matches")
+            continue
+        answer = answer_tree(fuzzy.root, match)
+        key = answer.canonical()
+        if key in grouped:
+            grouped[key][1].extend(conditions)
+        else:
+            grouped[key] = (answer, list(conditions))
+
+    answers: list[FuzzyAnswer] = []
+    for tree, conditions in grouped.values():
+        dnf = Dnf(conditions)
+        probability = dnf_probability(dnf, fuzzy.events)
+        if probability == 0.0:
+            continue
+        answers.append(FuzzyAnswer(tree, dnf, probability))
+    answers.sort(key=lambda a: (-a.probability, a.tree.canonical()))
+    return answers

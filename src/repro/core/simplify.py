@@ -1,0 +1,247 @@
+"""Fuzzy data simplification (paper, slide 19 "perspectives").
+
+Updates — deletions especially — grow the fuzzy tree: survivor copies
+multiply and conditions accumulate literals.  Simplification rewrites
+the document into a smaller one with the *same possible-worlds
+semantics* (the property the test suite checks on every rule):
+
+``certain``
+    Events with probability 0 or 1 are resolved: a literal that is
+    always true is dropped; a node whose condition contains a literal
+    that is always false is removed with its subtree.
+
+``impossible``
+    A node whose condition, conjoined with its ancestors' conditions,
+    is inconsistent can exist in no world; its subtree is removed.
+
+``implied``
+    A literal that already appears in an ancestor's condition is
+    redundant on a descendant (the descendant only exists in worlds
+    where all ancestors exist) and is dropped.
+
+``siblings``
+    Two sibling subtrees identical in every respect except that their
+    root conditions are ``γ ∧ e`` and ``γ ∧ ¬e`` are merged into one
+    subtree with root condition ``γ`` — in every world where ``γ``
+    holds exactly one of the pair existed, so the multiset of children
+    is preserved.
+
+``gc``
+    Events no longer referenced by any condition are dropped from the
+    event table.
+
+Rules run in rounds until a fixpoint is reached.  Each rule can be
+toggled (the E7 ablation measures their individual contributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events.condition import Condition
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+
+__all__ = ["SimplifyReport", "simplify", "ALL_RULES"]
+
+#: Rule names in application order.
+ALL_RULES = ("certain", "impossible", "implied", "siblings", "gc")
+
+
+@dataclass(slots=True)
+class SimplifyReport:
+    """Counts of what each simplification rule did."""
+
+    rounds: int = 0
+    nodes_before: int = 0
+    nodes_after: int = 0
+    literals_before: int = 0
+    literals_after: int = 0
+    removed_certain: int = 0
+    removed_impossible: int = 0
+    dropped_literals: int = 0
+    merged_siblings: int = 0
+    collected_events: int = 0
+    by_rule: dict = field(default_factory=dict)
+
+
+def simplify(
+    fuzzy: FuzzyTree,
+    rules: tuple[str, ...] = ALL_RULES,
+    max_rounds: int = 100,
+) -> SimplifyReport:
+    """Simplify *fuzzy* in place; returns a :class:`SimplifyReport`.
+
+    ``rules`` selects which rewriting rules run (names from
+    :data:`ALL_RULES`); unknown names raise ``ValueError``.
+    """
+    unknown = set(rules) - set(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown simplification rules: {sorted(unknown)}")
+
+    report = SimplifyReport()
+    report.nodes_before = fuzzy.size()
+    report.literals_before = fuzzy.condition_literal_count()
+
+    changed = True
+    while changed and report.rounds < max_rounds:
+        changed = False
+        report.rounds += 1
+        if "certain" in rules:
+            changed |= _resolve_certain(fuzzy, report) > 0
+        if "impossible" in rules:
+            changed |= _remove_impossible(fuzzy, report) > 0
+        if "implied" in rules:
+            changed |= _drop_implied(fuzzy, report) > 0
+        if "siblings" in rules:
+            changed |= _merge_siblings(fuzzy, report) > 0
+    if "gc" in rules:
+        _collect_events(fuzzy, report)
+
+    report.nodes_after = fuzzy.size()
+    report.literals_after = fuzzy.condition_literal_count()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+
+def _resolve_certain(fuzzy: FuzzyTree, report: SimplifyReport) -> int:
+    """Resolve probability-0/1 events inside conditions."""
+    certain: dict[str, bool] = {}
+    for name, probability in fuzzy.events.items():
+        if probability == 1.0:
+            certain[name] = True
+        elif probability == 0.0:
+            certain[name] = False
+    if not certain:
+        return 0
+
+    work = 0
+    for node in list(fuzzy.iter_nodes()):
+        if node.parent is None and node is not fuzzy.root:
+            continue  # already detached in this pass
+        if node.root() is not fuzzy.root:
+            continue
+        doomed = False
+        dropped: list = []
+        for literal in node.condition.literals:
+            truth = certain.get(literal.event)
+            if truth is None:
+                continue
+            if truth == literal.positive:
+                dropped.append(literal)  # literal always true: redundant
+            else:
+                doomed = True  # literal always false: node impossible
+                break
+        if doomed:
+            node.detach()
+            report.removed_certain += node.size()
+            work += 1
+        elif dropped:
+            node.condition = node.condition.without_literals(dropped)
+            report.dropped_literals += len(dropped)
+            work += 1
+    return work
+
+
+def _remove_impossible(fuzzy: FuzzyTree, report: SimplifyReport) -> int:
+    """Remove subtrees whose path condition is inconsistent."""
+    work = 0
+
+    def visit(node: FuzzyNode, accumulated: frozenset) -> None:
+        nonlocal work
+        literals = accumulated | node.condition.literals
+        combined = Condition(literals, allow_inconsistent=True)
+        if not combined.is_consistent:
+            report.removed_impossible += node.size()
+            node.detach()
+            work += 1
+            return
+        for child in list(node.children):
+            assert isinstance(child, FuzzyNode)
+            visit(child, frozenset(literals))
+
+    visit(fuzzy.root, frozenset())
+    return work
+
+
+def _drop_implied(fuzzy: FuzzyTree, report: SimplifyReport) -> int:
+    """Drop literals that already appear on an ancestor."""
+    work = 0
+
+    def visit(node: FuzzyNode, inherited: frozenset) -> None:
+        nonlocal work
+        redundant = node.condition.literals & inherited
+        if redundant:
+            node.condition = node.condition.without_literals(redundant)
+            report.dropped_literals += len(redundant)
+            work += 1
+        for child in list(node.children):
+            assert isinstance(child, FuzzyNode)
+            visit(child, inherited | node.condition.literals)
+
+    visit(fuzzy.root, frozenset())
+    return work
+
+
+def _subtree_key(node: FuzzyNode) -> str:
+    """Canonical form of a subtree *excluding* the root's own condition."""
+    own = node.label if node.value is None else f"{node.label}={node.value!r}"
+    if node.is_leaf:
+        return own
+    parts = sorted(child.canonical() for child in node.children)
+    return f"{own}({','.join(parts)})"
+
+
+def _merge_siblings(fuzzy: FuzzyTree, report: SimplifyReport) -> int:
+    """Merge sibling pairs with complementary conditions ``γ∧e`` / ``γ∧¬e``."""
+    work = 0
+    for node in list(fuzzy.iter_nodes()):
+        if node.root() is not fuzzy.root:
+            continue
+        merged_here = True
+        while merged_here:
+            merged_here = False
+            children = [c for c in node.children if isinstance(c, FuzzyNode)]
+            groups: dict[str, list[FuzzyNode]] = {}
+            for child in children:
+                groups.setdefault(_subtree_key(child), []).append(child)
+            for group in groups.values():
+                if len(group) < 2:
+                    continue
+                pair = _find_complementary_pair(group)
+                if pair is None:
+                    continue
+                first, second, merged_condition = pair
+                first.condition = merged_condition
+                second.detach()
+                report.merged_siblings += 1
+                work += 1
+                merged_here = True
+                break
+    return work
+
+
+def _find_complementary_pair(
+    group: list[FuzzyNode],
+) -> tuple[FuzzyNode, FuzzyNode, Condition] | None:
+    for i, first in enumerate(group):
+        for second in group[i + 1 :]:
+            difference = first.condition.literals ^ second.condition.literals
+            if len(difference) != 2:
+                continue
+            a, b = sorted(difference, key=lambda lit: lit.positive)
+            if a.event == b.event and a.positive != b.positive:
+                shared = first.condition.literals & second.condition.literals
+                return first, second, Condition(shared)
+    return None
+
+
+def _collect_events(fuzzy: FuzzyTree, report: SimplifyReport) -> None:
+    used = fuzzy.used_events()
+    for name in list(fuzzy.events.names()):
+        if name not in used:
+            fuzzy.events.remove(name)
+            report.collected_events += 1

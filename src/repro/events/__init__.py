@@ -1,0 +1,32 @@
+"""Probabilistic event algebra — substrate S2 (paper, slide 12).
+
+Events are independent boolean random variables; node conditions are
+conjunctions of event literals; a document's event table assigns each
+event its probability.  :mod:`repro.events.dnf` adds disjunctions with
+exact probability (Shannon expansion) and the disjoint complement
+decomposition used by probabilistic deletions.
+"""
+
+from repro.events.assignment import (
+    assignment_weight,
+    enumerate_assignments,
+    sample_assignment,
+)
+from repro.events.condition import TRUE, Condition
+from repro.events.dnf import Dnf, complement_as_disjoint_conditions, dnf_probability
+from repro.events.literal import Literal, parse_literal
+from repro.events.table import EventTable
+
+__all__ = [
+    "Literal",
+    "parse_literal",
+    "Condition",
+    "TRUE",
+    "EventTable",
+    "enumerate_assignments",
+    "assignment_weight",
+    "sample_assignment",
+    "Dnf",
+    "dnf_probability",
+    "complement_as_disjoint_conditions",
+]

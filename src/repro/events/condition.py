@@ -1,0 +1,189 @@
+"""Conjunctive event conditions (paper, slide 12).
+
+A fuzzy-tree node is guarded by a *condition*: a conjunction of event
+literals (events or negated events).  :class:`Condition` is an immutable
+set of literals with the conjunction-specific operations the model
+needs: consistency checking, conjunction, satisfaction under a world
+assignment, implication, and literal removal (used by simplification).
+
+The empty condition is ``TRUE`` (always satisfied).  A condition that
+contains both ``w`` and ``¬w`` is *inconsistent*; constructing one
+raises :class:`~repro.errors.InconsistentConditionError` unless
+``allow_inconsistent=True`` is passed (the update engine builds and then
+discards inconsistent survivor candidates).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import EventError, InconsistentConditionError
+from repro.events.literal import Literal, parse_literal
+
+__all__ = ["Condition", "TRUE"]
+
+
+class Condition:
+    """An immutable conjunction of event literals."""
+
+    __slots__ = ("_literals",)
+
+    def __init__(
+        self, literals: Iterable[Literal] = (), *, allow_inconsistent: bool = False
+    ) -> None:
+        frozen = frozenset(literals)
+        for literal in frozen:
+            if not isinstance(literal, Literal):
+                raise EventError(f"expected Literal, got {type(literal).__name__}")
+        if not allow_inconsistent:
+            by_event: dict[str, bool] = {}
+            for literal in frozen:
+                if by_event.setdefault(literal.event, literal.positive) != literal.positive:
+                    raise InconsistentConditionError(
+                        f"condition requires both {literal.event} and its negation"
+                    )
+        self._literals = frozen
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: str | Literal) -> "Condition":
+        """Build a condition from literal specs: ``Condition.of("w1", "!w2")``."""
+        literals = [
+            spec if isinstance(spec, Literal) else parse_literal(spec) for spec in specs
+        ]
+        return cls(literals)
+
+    @classmethod
+    def parse(cls, text: str) -> "Condition":
+        """Parse a whitespace- or comma-separated conjunction: ``"w1 !w2"``."""
+        text = text.strip()
+        if not text:
+            return TRUE
+        parts = [part for chunk in text.split(",") for part in chunk.split()]
+        return cls(parse_literal(part) for part in parts)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def literals(self) -> frozenset[Literal]:
+        return self._literals
+
+    @property
+    def is_true(self) -> bool:
+        """True for the empty conjunction (always satisfied)."""
+        return not self._literals
+
+    @property
+    def is_consistent(self) -> bool:
+        by_event: dict[str, bool] = {}
+        for literal in self._literals:
+            if by_event.setdefault(literal.event, literal.positive) != literal.positive:
+                return False
+        return True
+
+    def events(self) -> frozenset[str]:
+        """Names of the events mentioned by this condition."""
+        return frozenset(literal.event for literal in self._literals)
+
+    def polarity(self, event: str) -> bool | None:
+        """True/False if the event occurs positively/negatively, else None."""
+        for literal in self._literals:
+            if literal.event == event:
+                return literal.positive
+        return None
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def conjoin(self, other: "Condition", *, allow_inconsistent: bool = False) -> "Condition":
+        """The conjunction of the two conditions."""
+        return Condition(
+            self._literals | other._literals, allow_inconsistent=allow_inconsistent
+        )
+
+    def with_literal(self, literal: Literal, *, allow_inconsistent: bool = False) -> "Condition":
+        return Condition(
+            self._literals | {literal}, allow_inconsistent=allow_inconsistent
+        )
+
+    def without_events(self, events: Iterable[str]) -> "Condition":
+        """Drop every literal over the given events (simplification)."""
+        drop = set(events)
+        return Condition(lit for lit in self._literals if lit.event not in drop)
+
+    def without_literals(self, literals: Iterable[Literal]) -> "Condition":
+        drop = set(literals)
+        return Condition(lit for lit in self._literals if lit not in drop)
+
+    def restrict(self, event: str, truth: bool) -> "Condition | None":
+        """Condition after fixing *event* to *truth* (Shannon cofactor).
+
+        Returns None when the condition becomes unsatisfiable (it
+        required the opposite polarity), otherwise the condition with
+        literals over *event* removed.
+        """
+        polarity = self.polarity(event)
+        if polarity is None:
+            return self
+        if polarity != truth:
+            return None
+        return self.without_events((event,))
+
+    def implies(self, other: "Condition") -> bool:
+        """Conjunction implication: self ⇒ other iff other's literals ⊆ self's."""
+        return other._literals <= self._literals
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a (total, for the mentioned events) assignment."""
+        for literal in self._literals:
+            try:
+                truth = assignment[literal.event]
+            except KeyError:
+                raise EventError(
+                    f"assignment does not cover event {literal.event!r}"
+                ) from None
+            if truth != literal.positive:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return hash(self._literals)
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __iter__(self):
+        return iter(sorted(self._literals, key=lambda lit: (lit.event, not lit.positive)))
+
+    def __str__(self) -> str:
+        if not self._literals:
+            return "true"
+        return " ".join(str(lit) for lit in self)
+
+    def pretty(self) -> str:
+        """Paper-style rendering: ``w1, ¬w2``."""
+        if not self._literals:
+            return "⊤"
+        return ", ".join(lit.pretty() for lit in self)
+
+    def __repr__(self) -> str:
+        return f"Condition.parse({str(self)!r})"
+
+
+#: The always-true (empty) condition.
+TRUE = Condition()

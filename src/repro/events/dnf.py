@@ -1,0 +1,214 @@
+"""Disjunctions of conjunctive conditions (DNF) and exact probability.
+
+Two places in the model need more than a single conjunction:
+
+1. **Query answers.**  Several matches of a TPWJ query may produce the
+   same answer tree; the answer's probability is the probability of the
+   *disjunction* of the per-match conjunctions (slide 13 defines the
+   per-match probability; combining equal answers is how the possible-
+   worlds normalization manifests on the fuzzy side).
+
+2. **Deletions.**  A node survives a probabilistic deletion when *no*
+   deleting match fires: the complement of a disjunction of
+   conjunctions.  Conditions are conjunctive only, so the complement
+   must be rewritten as a *disjoint* union of conjunctions — this is the
+   decomposition that makes slide 15's example produce two ``C`` copies
+   and drives the exponential growth of slide 14.
+
+Both computations use Shannon expansion over the events mentioned by the
+DNF, with memoisation, so the cost is exponential only in the number of
+*distinct events involved*, never in the document size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.events.condition import TRUE, Condition
+from repro.events.literal import Literal
+from repro.events.table import EventTable
+
+__all__ = ["Dnf", "dnf_probability", "complement_as_disjoint_conditions"]
+
+
+class Dnf:
+    """An immutable disjunction of conjunctive :class:`Condition` terms.
+
+    The empty disjunction is *false*; a disjunction containing the empty
+    condition is *true*.  Terms subsumed by weaker terms are pruned
+    (``w1 ∧ w2`` is absorbed by ``w1``), keeping the structure minimal
+    without changing its semantics.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Iterable[Condition] = ()) -> None:
+        kept: list[Condition] = []
+        for term in terms:
+            if not isinstance(term, Condition):
+                raise TypeError(f"expected Condition, got {type(term).__name__}")
+            if not term.is_consistent:
+                continue
+            if any(term.implies(existing) for existing in kept):
+                continue  # absorbed by a weaker existing term
+            kept = [existing for existing in kept if not existing.implies(term)]
+            kept.append(term)
+        self._terms = tuple(kept)
+
+    @property
+    def terms(self) -> tuple[Condition, ...]:
+        return self._terms
+
+    @property
+    def is_false(self) -> bool:
+        return not self._terms
+
+    @property
+    def is_true(self) -> bool:
+        return any(term.is_true for term in self._terms)
+
+    def events(self) -> frozenset[str]:
+        names: set[str] = set()
+        for term in self._terms:
+            names |= term.events()
+        return frozenset(names)
+
+    def or_(self, other: "Dnf | Condition") -> "Dnf":
+        if isinstance(other, Condition):
+            other = Dnf([other])
+        return Dnf(self._terms + other._terms)
+
+    def satisfied_by(self, assignment) -> bool:
+        return any(term.satisfied_by(assignment) for term in self._terms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dnf):
+            return NotImplemented
+        return frozenset(self._terms) == frozenset(other._terms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms))
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "false"
+        return " | ".join(f"({term})" for term in self._terms)
+
+    def __repr__(self) -> str:
+        return f"Dnf([{', '.join(repr(t) for t in self._terms)}])"
+
+
+def dnf_probability(dnf: Dnf | Sequence[Condition], table: EventTable) -> float:
+    """Exact probability of a DNF under the independent-event table.
+
+    Shannon expansion: pick an event mentioned by the DNF, condition on
+    it being true/false, recurse, and combine with the event's
+    probability.  Memoised on the conditioned term set.
+    """
+    if not isinstance(dnf, Dnf):
+        dnf = Dnf(dnf)
+    cache: dict[frozenset[Condition], float] = {}
+
+    def solve(terms: frozenset[Condition]) -> float:
+        if not terms:
+            return 0.0
+        if any(term.is_true for term in terms):
+            return 1.0
+        cached = cache.get(terms)
+        if cached is not None:
+            return cached
+        # Branch on the most frequent event for better sharing.
+        counts: dict[str, int] = {}
+        for term in terms:
+            for event in term.events():
+                counts[event] = counts.get(event, 0) + 1
+        event = max(sorted(counts), key=lambda name: counts[name])
+        p = table.probability(event)
+        result = 0.0
+        for truth, weight in ((True, p), (False, 1.0 - p)):
+            if weight == 0.0:
+                continue
+            branch = frozenset(
+                restricted
+                for term in terms
+                if (restricted := term.restrict(event, truth)) is not None
+            )
+            result += weight * solve(branch)
+        cache[terms] = result
+        return result
+
+    return solve(frozenset(dnf.terms))
+
+
+def complement_as_disjoint_conditions(
+    conditions: Sequence[Condition],
+    order: Sequence[str] | None = None,
+) -> list[Condition]:
+    """Rewrite ``¬(c1 ∨ … ∨ ck)`` as a disjoint union of conjunctions.
+
+    Returns conjunctive conditions that are pairwise inconsistent and
+    whose union is exactly the complement of the input disjunction.
+    For a single condition ``ℓ1 ∧ … ∧ ℓk`` (with *order* following the
+    literal order) this is the "first failing literal" decomposition
+    ``¬ℓ1 ∪ ℓ1¬ℓ2 ∪ … ∪ ℓ1…ℓk-1¬ℓk`` — exactly the shape of slide 15.
+
+    Parameters
+    ----------
+    conditions:
+        The disjuncts being complemented.  Inconsistent disjuncts are
+        ignored (they cover nothing).
+    order:
+        Optional event branching order; defaults to a deterministic
+        order that branches on literals of the first live disjunct
+        first, which keeps the output small in the common cases.
+    """
+    dnf = Dnf(conditions)
+    if dnf.is_true:
+        return []
+    if dnf.is_false:
+        return [TRUE]
+
+    fixed_order = list(order) if order is not None else None
+    output: list[Condition] = []
+
+    def explore(terms: tuple[Condition, ...], prefix: list[Literal]) -> None:
+        if not terms:
+            output.append(Condition(prefix))
+            return
+        if any(term.is_true for term in terms):
+            return  # this branch is covered by the disjunction: nothing survives
+        event = _pick_event(terms, fixed_order, prefix)
+        for truth in (True, False):
+            branch = tuple(
+                restricted
+                for term in terms
+                if (restricted := term.restrict(event, truth)) is not None
+            )
+            explore(branch, prefix + [Literal(event, truth)])
+
+    explore(dnf.terms, [])
+    return output
+
+
+def _pick_event(
+    terms: tuple[Condition, ...],
+    fixed_order: list[str] | None,
+    prefix: list[Literal],
+) -> str:
+    assigned = {literal.event for literal in prefix}
+    if fixed_order is not None:
+        for name in fixed_order:
+            if name in assigned:
+                continue
+            if any(name in term.events() for term in terms):
+                return name
+    # Default: branch on the smallest live term's events, in sorted order,
+    # which reproduces the first-failing-literal decomposition for a
+    # single condition and keeps branching shallow in general.
+    smallest = min(terms, key=lambda term: (len(term), sorted(term.events())))
+    for name in sorted(smallest.events()):
+        if name not in assigned:
+            return name
+    # All of the smallest term's events assigned but the term survived
+    # restriction — cannot happen: restrict() removes assigned events.
+    raise AssertionError("unreachable: live term with no unassigned events")

@@ -1,0 +1,64 @@
+"""Probabilistic event literals (paper, slide 12).
+
+A *probabilistic event* is a named boolean random variable (``w1``,
+``w2``, ...), independent of all other events, whose probability of
+being true is recorded in an :class:`~repro.events.table.EventTable`.
+A :class:`Literal` is an event or its negation; fuzzy-tree node
+conditions are conjunctions of literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EventError
+
+__all__ = ["Literal", "parse_literal"]
+
+#: Characters accepted in event names (kept simple so names round-trip
+#: through the XML and text syntaxes).
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-")
+
+
+def check_event_name(name: str) -> str:
+    """Validate an event name, returning it unchanged."""
+    if not isinstance(name, str) or not name:
+        raise EventError(f"event name must be a non-empty string, got {name!r}")
+    if name[0] in "0123456789" or any(ch not in _NAME_OK for ch in name):
+        raise EventError(
+            f"invalid event name {name!r}: must start with a letter/underscore and "
+            "contain only letters, digits, '_', '.', '-'"
+        )
+    return name
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An event occurrence ``w`` or its negation ``¬w``."""
+
+    event: str
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        check_event_name(self.event)
+
+    def negate(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.event, not self.positive)
+
+    def __str__(self) -> str:
+        return self.event if self.positive else f"!{self.event}"
+
+    def pretty(self) -> str:
+        """Unicode rendering matching the paper's notation (``¬w``)."""
+        return self.event if self.positive else f"¬{self.event}"
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse ``"w1"``, ``"!w1"`` or ``"¬w1"`` into a :class:`Literal`."""
+    text = text.strip()
+    if not text:
+        raise EventError("empty literal")
+    if text.startswith("!") or text.startswith("¬"):
+        return Literal(text[1:].strip(), positive=False)
+    return Literal(text, positive=True)

@@ -1,0 +1,173 @@
+"""Event tables: the probability assignment of a fuzzy document.
+
+Slide 12 of the paper shows a fuzzy tree alongside a table ``w1: 0.8,
+w2: 0.7``.  :class:`EventTable` is that table: a mapping from event
+names to independent probabilities, plus the bookkeeping the update
+engine needs (allocation of fresh events for update confidences) and
+the probability computations for conjunctive conditions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import EventError, InvalidProbabilityError, UnknownEventError
+from repro.events.condition import Condition
+from repro.events.literal import Literal, check_event_name
+
+__all__ = ["EventTable"]
+
+
+class EventTable:
+    """A registry of independent probabilistic events.
+
+    The table preserves insertion order (deterministic iteration keeps
+    benchmarks and serialized documents stable across runs).
+    """
+
+    __slots__ = ("_probabilities", "_fresh_counter")
+
+    def __init__(self, probabilities: Mapping[str, float] | None = None) -> None:
+        self._probabilities: dict[str, float] = {}
+        self._fresh_counter = 0
+        if probabilities:
+            for name, probability in probabilities.items():
+                self.declare(name, probability)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def declare(self, name: str, probability: float) -> str:
+        """Register event *name* with the given probability.
+
+        Re-declaring an event with the same probability is a no-op;
+        changing the probability of an existing event raises
+        :class:`~repro.errors.EventError` (event identities are global
+        to a document and must not silently drift).
+        """
+        check_event_name(name)
+        probability = _check_probability(probability)
+        existing = self._probabilities.get(name)
+        if existing is not None and not math.isclose(
+            existing, probability, rel_tol=0.0, abs_tol=1e-12
+        ):
+            raise EventError(
+                f"event {name!r} already declared with probability {existing}, "
+                f"cannot redeclare with {probability}"
+            )
+        self._probabilities[name] = probability
+        return name
+
+    def fresh(self, probability: float, prefix: str = "w") -> str:
+        """Allocate a new event name not yet in the table and declare it.
+
+        Update application calls this to materialise an update's
+        confidence as a new independent event (slide 15's ``w3``).
+        """
+        probability = _check_probability(probability)
+        while True:
+            self._fresh_counter += 1
+            name = f"{prefix}{self._fresh_counter}"
+            if name not in self._probabilities:
+                self._probabilities[name] = probability
+                return name
+
+    def remove(self, name: str) -> None:
+        """Drop an event (used by simplification's unused-event GC)."""
+        if name not in self._probabilities:
+            raise UnknownEventError(name)
+        del self._probabilities[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def probability(self, name: str) -> float:
+        try:
+            return self._probabilities[name]
+        except KeyError:
+            raise UnknownEventError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probabilities
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._probabilities)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._probabilities)
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        return iter(self._probabilities.items())
+
+    # ------------------------------------------------------------------
+    # Probability computations
+    # ------------------------------------------------------------------
+
+    def literal_probability(self, literal: Literal) -> float:
+        p = self.probability(literal.event)
+        return p if literal.positive else 1.0 - p
+
+    def condition_probability(self, condition: Condition) -> float:
+        """P(conjunction) — product over literals (events are independent)."""
+        if not condition.is_consistent:
+            return 0.0
+        result = 1.0
+        for literal in condition.literals:
+            result *= self.literal_probability(literal)
+        return result
+
+    def check_condition(self, condition: Condition) -> None:
+        """Raise :class:`UnknownEventError` if a literal uses an unknown event."""
+        for event in condition.events():
+            if event not in self._probabilities:
+                raise UnknownEventError(event)
+
+    # ------------------------------------------------------------------
+    # Copies and views
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "EventTable":
+        clone = EventTable()
+        clone._probabilities = dict(self._probabilities)
+        clone._fresh_counter = self._fresh_counter
+        return clone
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._probabilities)
+
+    def restrict_to(self, names: Iterable[str]) -> "EventTable":
+        """A copy containing only the given events (must all exist)."""
+        keep = set(names)
+        clone = EventTable()
+        for name, probability in self._probabilities.items():
+            if name in keep:
+                clone._probabilities[name] = probability
+                keep.discard(name)
+        if keep:
+            raise UnknownEventError(sorted(keep)[0])
+        clone._fresh_counter = self._fresh_counter
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventTable):
+            return NotImplemented
+        return self._probabilities == other._probabilities
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}: {p}" for name, p in self._probabilities.items())
+        return f"EventTable({{{body}}})"
+
+
+def _check_probability(value: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidProbabilityError(value)
+    value = float(value)
+    if not 0.0 <= value <= 1.0 or math.isnan(value):
+        raise InvalidProbabilityError(value)
+    return value

@@ -1,0 +1,11 @@
+"""PrXML-style distributional documents (``ind``/``mux``) — an extension.
+
+A front-end surface syntax for probabilistic XML that compiles into the
+paper's fuzzy-tree representation (see :mod:`repro.prxml.compile`), so
+every engine of the library applies unchanged.
+"""
+
+from repro.prxml.compile import compile_to_fuzzy
+from repro.prxml.model import PDocument, PInd, PMux, PNode, PRegular
+
+__all__ = ["PNode", "PRegular", "PInd", "PMux", "PDocument", "compile_to_fuzzy"]

@@ -1,0 +1,116 @@
+"""Compilation of PrXML documents into fuzzy trees.
+
+Distributional nodes are *transparent*: they do not appear in the data,
+they only decide which of their descendants exist.  The translation
+walks the PrXML tree accumulating, for every regular node, the
+condition under which it is attached to its nearest regular ancestor:
+
+* crossing an ``ind`` edge with probability ``p`` conjoins a fresh
+  event of probability ``p``;
+* crossing a ``mux`` node allocates a first-success selector chain
+  (``x1``, ``¬x1 x2``, …) over fresh events with the appropriate
+  conditional probabilities — exactly the slide-12 expressiveness
+  construction — and conjoins the selected branch's condition;
+* regular-to-regular edges conjoin nothing.
+
+The result is a :class:`~repro.core.fuzzy_tree.FuzzyTree` with the same
+possible-worlds distribution (checked exhaustively by the tests), on
+which every engine of the library operates unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.errors import ReproError
+from repro.events.condition import Condition
+from repro.events.literal import Literal
+from repro.events.table import EventTable
+from repro.prxml.model import PDocument, PInd, PMux, PNode, PRegular
+
+__all__ = ["compile_to_fuzzy"]
+
+
+def compile_to_fuzzy(document: PDocument, prefix: str = "d") -> FuzzyTree:
+    """Translate a PrXML document into an equivalent fuzzy tree.
+
+    Fresh events are named ``{prefix}1``, ``{prefix}2``, … in traversal
+    order, so compilation is deterministic.
+    """
+    events = EventTable()
+    root = FuzzyNode(document.root.label, document.root.value)
+    _attach_children(document.root, root, Condition(), events, prefix)
+    return FuzzyTree(root, events)
+
+
+def _attach_children(
+    source: PNode,
+    target: FuzzyNode,
+    inherited: Condition,
+    events: EventTable,
+    prefix: str,
+) -> None:
+    """Attach the regular descendants of *source* under *target*.
+
+    ``inherited`` is the condition accumulated from distributional
+    nodes between *target*'s regular source and *source*'s children.
+    """
+    if isinstance(source, PRegular):
+        child_conditions = [(child, inherited) for child in source.children]
+    elif isinstance(source, PInd):
+        child_conditions = []
+        for child, probability in zip(source.children, source.probabilities):
+            condition = _conjoin_event(inherited, events, probability, prefix)
+            child_conditions.append((child, condition))
+    elif isinstance(source, PMux):
+        child_conditions = list(
+            zip(source.children, _mux_selectors(source, inherited, events, prefix))
+        )
+    else:  # pragma: no cover - the model has exactly three node kinds
+        raise ReproError(f"unknown PrXML node type: {type(source).__name__}")
+
+    for child, condition in child_conditions:
+        if isinstance(child, PRegular):
+            fuzzy_child = FuzzyNode(child.label, child.value, condition)
+            target.add_child(fuzzy_child)
+            _attach_children(child, fuzzy_child, Condition(), events, prefix)
+        else:
+            # Distributional under distributional: stays transparent,
+            # conditions accumulate.
+            _attach_children(child, target, condition, events, prefix)
+
+
+def _conjoin_event(
+    inherited: Condition, events: EventTable, probability: float, prefix: str
+) -> Condition:
+    if probability == 1.0:
+        return inherited
+    name = events.fresh(probability, prefix=prefix)
+    return inherited.with_literal(Literal(name, True))
+
+
+def _mux_selectors(
+    node: PMux, inherited: Condition, events: EventTable, prefix: str
+) -> list[Condition]:
+    """First-success selector conditions for a mux node's children."""
+    selectors: list[Condition] = []
+    negatives: list[Literal] = []
+    remaining = 1.0
+    for probability in node.probabilities:
+        conditional = probability / remaining if remaining > 1e-12 else 0.0
+        conditional = min(1.0, max(0.0, conditional))
+        if conditional == 1.0:
+            # This alternative absorbs all remaining mass: no new event.
+            selectors.append(
+                Condition(set(inherited.literals) | set(negatives))
+            )
+            remaining = 0.0
+            continue
+        name = events.fresh(conditional, prefix=prefix)
+        selectors.append(
+            Condition(
+                set(inherited.literals) | set(negatives) | {Literal(name, True)}
+            )
+        )
+        negatives.append(Literal(name, False))
+        remaining -= probability
+    return selectors

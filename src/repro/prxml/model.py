@@ -1,0 +1,214 @@
+"""PrXML-style distributional documents (``ind`` / ``mux`` nodes).
+
+The fuzzy-tree model attaches conditions to ordinary nodes.  The
+probabilistic-XML literature that followed this paper (by the same
+authors) popularised an alternative surface syntax: *distributional
+nodes* embedded in the document —
+
+* ``ind``: each child is kept independently with its own probability;
+* ``mux``: at most one child is kept, chosen by a probability
+  distribution (summing to at most 1; the remainder is "none").
+
+This subpackage implements that family as a front-end: a
+:class:`PDocument` is a tree of regular and distributional nodes, and
+:func:`repro.prxml.compile.compile_to_fuzzy` translates it into the
+paper's fuzzy-tree representation (fresh events for ``ind`` choices,
+first-success selector chains for ``mux``), after which every engine in
+the library — queries, updates, simplification, the warehouse — applies
+unchanged.  The translation is validated by comparing possible-worlds
+distributions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["PNode", "PRegular", "PInd", "PMux", "PDocument"]
+
+
+class PNode:
+    """Base class for PrXML nodes (regular or distributional)."""
+
+    __slots__ = ("_children", "_parent")
+
+    def __init__(self) -> None:
+        self._children: list[PNode] = []
+        self._parent: PNode | None = None
+
+    @property
+    def children(self) -> tuple["PNode", ...]:
+        return tuple(self._children)
+
+    @property
+    def parent(self) -> "PNode | None":
+        return self._parent
+
+    def add_child(self, child: "PNode") -> "PNode":
+        if not isinstance(child, PNode):
+            raise ReproError(f"expected a PNode, got {type(child).__name__}")
+        if child._parent is not None:
+            raise ReproError("PrXML node already has a parent")
+        self._children.append(child)
+        child._parent = self
+        return child
+
+    def iter(self) -> Iterator["PNode"]:
+        stack: list[PNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node._children))
+
+    def clone(self) -> "PNode":
+        raise NotImplementedError
+
+
+class PRegular(PNode):
+    """An ordinary data node (label, optional leaf value)."""
+
+    __slots__ = ("label", "value")
+
+    def __init__(
+        self,
+        label: str,
+        value: str | None = None,
+        children: Iterable[PNode] = (),
+    ) -> None:
+        super().__init__()
+        if not isinstance(label, str) or not label:
+            raise ReproError(f"label must be a non-empty string, got {label!r}")
+        if value is not None and not isinstance(value, str):
+            raise ReproError(f"value must be a string or None, got {value!r}")
+        self.label = label
+        self.value = value
+        for child in children:
+            self.add_child(child)
+        if self.value is not None and self._children:
+            raise ReproError("a valued PrXML node cannot have children (no mixed content)")
+
+    def add_child(self, child: PNode) -> PNode:
+        if getattr(self, "value", None) is not None:
+            raise ReproError("a valued PrXML node cannot have children (no mixed content)")
+        return super().add_child(child)
+
+    def clone(self) -> "PRegular":
+        copy = PRegular(self.label, self.value)
+        for child in self._children:
+            copy.add_child(child.clone())
+        return copy
+
+    def __repr__(self) -> str:
+        return f"PRegular({self.label!r})"
+
+
+def _check_probability(value: float, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReproError(f"{where}: probability must be a number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ReproError(f"{where}: probability {value} outside [0, 1]")
+    return value
+
+
+class PInd(PNode):
+    """An independent-choice distributional node.
+
+    Each child is kept with its associated probability, independently
+    of the others.  ``ind`` nodes are transparent: their surviving
+    children attach to the nearest regular ancestor.
+    """
+
+    __slots__ = ("probabilities",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.probabilities: list[float] = []
+
+    def add(self, child: PNode, probability: float) -> PNode:
+        self.probabilities.append(_check_probability(probability, "ind child"))
+        return super().add_child(child)
+
+    def add_child(self, child: PNode) -> PNode:  # pragma: no cover - guarded API
+        raise ReproError("use PInd.add(child, probability)")
+
+    def clone(self) -> "PInd":
+        copy = PInd()
+        for child, probability in zip(self._children, self.probabilities):
+            copy.add(child.clone(), probability)
+        return copy
+
+    def __repr__(self) -> str:
+        return f"PInd({len(self._children)} choices)"
+
+
+class PMux(PNode):
+    """A mutually-exclusive-choice distributional node.
+
+    At most one child is kept; child ``i`` is chosen with its
+    probability, and with the remaining mass no child is kept.  The
+    probabilities must sum to at most 1.
+    """
+
+    __slots__ = ("probabilities",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.probabilities: list[float] = []
+
+    def add(self, child: PNode, probability: float) -> PNode:
+        probability = _check_probability(probability, "mux child")
+        if sum(self.probabilities) + probability > 1.0 + 1e-9:
+            raise ReproError(
+                "mux child probabilities exceed 1 "
+                f"(have {sum(self.probabilities)}, adding {probability})"
+            )
+        self.probabilities.append(probability)
+        return super().add_child(child)
+
+    def add_child(self, child: PNode) -> PNode:  # pragma: no cover - guarded API
+        raise ReproError("use PMux.add(child, probability)")
+
+    def clone(self) -> "PMux":
+        copy = PMux()
+        for child, probability in zip(self._children, self.probabilities):
+            copy.add(child.clone(), probability)
+        return copy
+
+    def __repr__(self) -> str:
+        return f"PMux({len(self._children)} alternatives)"
+
+
+class PDocument:
+    """A PrXML document: a regular root over a mixed node tree.
+
+    Validation rules:
+
+    * the root is a regular node (documents always have their root);
+    * distributional nodes are never leaves pointlessly (allowed but
+      meaningless — flagged) and never carry values;
+    * a distributional node's child may be regular or distributional
+      (``ind`` under ``mux`` etc. compose freely).
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: PRegular) -> None:
+        if not isinstance(root, PRegular):
+            raise ReproError("a PrXML document root must be a regular node")
+        if root.parent is not None:
+            raise ReproError("the root must not have a parent")
+        self.root = root
+
+    def size(self) -> int:
+        return sum(1 for _ in self.root.iter())
+
+    def distributional_count(self) -> int:
+        return sum(1 for n in self.root.iter() if isinstance(n, (PInd, PMux)))
+
+    def __repr__(self) -> str:
+        return (
+            f"PDocument({self.size()} nodes, "
+            f"{self.distributional_count()} distributional)"
+        )

@@ -1,0 +1,17 @@
+"""Possible-worlds model — substrate S3, the semantic foundation (slide 9).
+
+* :class:`PossibleWorlds` / :class:`World` — normalized world sets;
+* :func:`query_possible_worlds` — slide-10 query semantics;
+* :func:`update_possible_worlds` — slide-10 update semantics.
+"""
+
+from repro.pworlds.query import query_possible_worlds
+from repro.pworlds.update import update_possible_worlds
+from repro.pworlds.worlds import PossibleWorlds, World
+
+__all__ = [
+    "PossibleWorlds",
+    "World",
+    "query_possible_worlds",
+    "update_possible_worlds",
+]

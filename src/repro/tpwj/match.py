@@ -1,0 +1,361 @@
+"""TPWJ matching: find all embeddings of a pattern in a data tree.
+
+A *match* is a homomorphism from pattern nodes to data nodes that
+
+* respects labels (wildcard ``*`` matches any label),
+* respects value tests,
+* respects edges (child edges map to parent/child pairs, descendant
+  edges to proper ancestor/descendant pairs),
+* satisfies the value joins (all nodes sharing a join variable map to
+  leaves carrying equal values).
+
+The matcher enumerates homomorphisms by backtracking over per-pattern-
+node candidate lists.  Three optimizations — each individually
+toggleable through :class:`MatchConfig` for the E9 ablation — keep the
+enumeration tractable:
+
+1. **label-index candidate pre-filtering**: candidates are drawn from a
+   label -> nodes index instead of scanning the document per pattern
+   node;
+2. **bottom-up semi-join pruning**: a candidate survives only if each
+   pattern child has at least one surviving candidate in the right
+   axis relation, computed leaf-up before enumeration;
+3. **early join checking**: join-variable bindings are checked as they
+   are assigned instead of after a full mapping is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.instrumentation import counters
+from repro.errors import QueryError
+from repro.tpwj.pattern import Pattern, PatternNode
+from repro.trees.node import Node
+
+__all__ = ["MatchConfig", "Match", "find_matches", "find_embeddings"]
+
+
+def find_embeddings(
+    pattern_node: PatternNode, anchor: Node
+) -> list[dict[PatternNode, Node]]:
+    """All embeddings of the subtree at *pattern_node* below *anchor*.
+
+    *pattern_node* maps under *anchor* through its declared axis (child
+    or descendant edge); its subtree embeds homomorphically below that.
+    Used for negated subpatterns: the plain-tree matcher needs "does an
+    embedding exist?", the fuzzy evaluator needs every embedding's image
+    to build the violation conditions.  Negated subpatterns are small,
+    so this is a direct recursive search without index structures.
+    """
+
+    def local_ok(p: PatternNode, d: Node) -> bool:
+        if p.label is not None and p.label != d.label:
+            return False
+        if p.value is not None and d.value != p.value:
+            return False
+        if p.children and d.is_leaf:
+            return False
+        return True
+
+    def axis_candidates(p: PatternNode, base: Node) -> list[Node]:
+        if p.descendant:
+            return [n for n in base.iter() if n is not base]
+        return list(base.children)
+
+    def embed(p: PatternNode, d: Node) -> list[dict[PatternNode, Node]]:
+        mappings: list[dict[PatternNode, Node]] = [{p: d}]
+        for pattern_child in p.children:
+            extensions: list[dict[PatternNode, Node]] = []
+            for candidate in axis_candidates(pattern_child, d):
+                if local_ok(pattern_child, candidate):
+                    extensions.extend(embed(pattern_child, candidate))
+            if not extensions:
+                return []
+            mappings = [
+                {**mapping, **extension}
+                for mapping in mappings
+                for extension in extensions
+            ]
+        return mappings
+
+    results: list[dict[PatternNode, Node]] = []
+    for candidate in axis_candidates(pattern_node, anchor):
+        if local_ok(pattern_node, candidate):
+            results.extend(embed(pattern_node, candidate))
+    return results
+
+
+@dataclass(frozen=True, slots=True)
+class MatchConfig:
+    """Matcher optimization toggles (all on by default).
+
+    ``honor_negation`` controls whether negated subpatterns are checked
+    structurally (the plain-tree semantics).  The fuzzy evaluator turns
+    it off and accounts for negated subpatterns through event
+    conditions instead (their presence is world-dependent).
+    """
+
+    use_label_index: bool = True
+    use_semijoin_pruning: bool = True
+    early_join_check: bool = True
+    max_matches: int | None = None
+    honor_negation: bool = True
+
+
+#: Default configuration shared by all callers that do not customise.
+DEFAULT_CONFIG = MatchConfig()
+
+
+class Match:
+    """One embedding of a pattern into a data tree."""
+
+    __slots__ = ("pattern", "_mapping")
+
+    def __init__(self, pattern: Pattern, mapping: dict[PatternNode, Node]) -> None:
+        self.pattern = pattern
+        self._mapping = mapping
+
+    @property
+    def mapping(self) -> dict[PatternNode, Node]:
+        return dict(self._mapping)
+
+    def __getitem__(self, pattern_node: PatternNode) -> Node:
+        return self._mapping[pattern_node]
+
+    def nodes(self) -> list[Node]:
+        """The image data nodes (with duplicates removed, identity-based)."""
+        seen: set[int] = set()
+        result: list[Node] = []
+        for node in self._mapping.values():
+            if id(node) not in seen:
+                seen.add(id(node))
+                result.append(node)
+        return result
+
+    def node_for(self, variable: str) -> Node:
+        """The data node mapped by the pattern node carrying *variable*."""
+        return self._mapping[self.pattern.node_for_variable(variable)]
+
+    def binding(self, variable: str) -> str | None:
+        """The value bound by *variable* (None when the node has no value)."""
+        nodes = self.pattern.variables().get(variable)
+        if not nodes:
+            raise QueryError(f"no pattern node carries variable ${variable}")
+        return self._mapping[nodes[0]].value
+
+    def bindings(self) -> dict[str, str | None]:
+        return {var: self.binding(var) for var in self.pattern.variables()}
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{p.label or '*'}->{d.label}" for p, d in self._mapping.items()
+        )
+        return f"Match({pairs})"
+
+
+def find_matches(
+    pattern: Pattern, root: Node, config: MatchConfig = DEFAULT_CONFIG
+) -> list[Match]:
+    """All matches of *pattern* in the tree rooted at *root*.
+
+    The result order is deterministic (pre-order of candidate data
+    nodes, pattern children in declaration order).
+    """
+    matcher = _Matcher(pattern, root, config)
+    return matcher.run()
+
+
+class _Matcher:
+    def __init__(self, pattern: Pattern, root: Node, config: MatchConfig) -> None:
+        self.pattern = pattern
+        self.root = root
+        self.config = config
+        self.join_groups = pattern.join_variables()
+        # Pre-order interval numbering for O(1) ancestor/descendant tests.
+        self.enter: dict[int, int] = {}
+        self.exit: dict[int, int] = {}
+        self._number_tree()
+        self.candidates: dict[PatternNode, list[Node]] = {}
+
+    def _number_tree(self) -> None:
+        clock = 0
+
+        def visit(node: Node) -> None:
+            nonlocal clock
+            self.enter[id(node)] = clock
+            clock += 1
+            for child in node.children:
+                visit(child)
+            self.exit[id(node)] = clock
+
+        visit(self.root)
+
+    def _is_descendant(self, node: Node, ancestor: Node) -> bool:
+        return (
+            self.enter[id(ancestor)] < self.enter[id(node)]
+            and self.enter[id(node)] < self.exit[id(ancestor)]
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate computation
+    # ------------------------------------------------------------------
+
+    def _local_ok(self, pattern_node: PatternNode, data_node: Node) -> bool:
+        if pattern_node.label is not None and pattern_node.label != data_node.label:
+            return False
+        if pattern_node.value is not None and data_node.value != pattern_node.value:
+            return False
+        # Positive children require an internal image; negated children
+        # do not (a leaf trivially has no embedding of the subpattern).
+        if data_node.is_leaf and any(not c.negated for c in pattern_node.children):
+            return False
+        # A join variable can only bind a valued leaf.
+        variable = pattern_node.variable
+        if variable is not None and variable in self.join_groups:
+            if data_node.value is None:
+                return False
+        return True
+
+    def _compute_candidates(self) -> bool:
+        """Fill per-pattern-node candidate lists; False when one is empty."""
+        if self.config.use_label_index:
+            index: dict[str, list[Node]] = {}
+            all_nodes: list[Node] = []
+            for node in self.root.iter():
+                all_nodes.append(node)
+                index.setdefault(node.label, []).append(node)
+        else:
+            index = {}
+            all_nodes = list(self.root.iter())
+
+        for pattern_node in self.pattern.positive_nodes():
+            if self.config.use_label_index and pattern_node.label is not None:
+                base = index.get(pattern_node.label, [])
+            else:
+                base = all_nodes
+            kept = [node for node in base if self._local_ok(pattern_node, node)]
+            counters.incr("match.candidates", len(kept))
+            if not kept:
+                return False
+            self.candidates[pattern_node] = kept
+
+        if self.pattern.anchored:
+            anchored = [n for n in self.candidates[self.pattern.root] if n is self.root]
+            if not anchored:
+                return False
+            self.candidates[self.pattern.root] = anchored
+        return True
+
+    def _semijoin_prune(self) -> bool:
+        """Bottom-up structural pruning; False when a list empties."""
+        order = self.pattern.positive_nodes()
+        order.reverse()  # children before parents
+        for pattern_node in order:
+            required = [c for c in pattern_node.children if not c.negated]
+            if not required:
+                continue
+            survivors: list[Node] = []
+            for data_node in self.candidates[pattern_node]:
+                if all(
+                    self._has_axis_candidate(child, data_node)
+                    for child in required
+                ):
+                    survivors.append(data_node)
+            counters.incr(
+                "match.semijoin_pruned",
+                len(self.candidates[pattern_node]) - len(survivors),
+            )
+            if not survivors:
+                return False
+            self.candidates[pattern_node] = survivors
+        return True
+
+    def _has_axis_candidate(self, pattern_child: PatternNode, data_node: Node) -> bool:
+        child_candidates = self.candidates[pattern_child]
+        if pattern_child.descendant:
+            return any(self._is_descendant(c, data_node) for c in child_candidates)
+        return any(c.parent is data_node for c in child_candidates)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[Match]:
+        if not self._compute_candidates():
+            return []
+        if self.config.use_semijoin_pruning and not self._semijoin_prune():
+            return []
+
+        matches: list[Match] = []
+        mapping: dict[PatternNode, Node] = {}
+        bindings: dict[str, str] = {}
+
+        def assign(pending: list[PatternNode]) -> bool:
+            """Backtracking over pattern nodes; True to stop (limit hit)."""
+            if not pending:
+                if not self.config.early_join_check and not self._joins_ok(mapping):
+                    return False
+                matches.append(Match(self.pattern, dict(mapping)))
+                counters.incr("match.found")
+                return (
+                    self.config.max_matches is not None
+                    and len(matches) >= self.config.max_matches
+                )
+            pattern_node = pending[0]
+            rest = pending[1:]
+            for data_node in self._options(pattern_node, mapping):
+                counters.incr("match.assignments")
+                if self.config.honor_negation and any(
+                    child.negated and find_embeddings(child, data_node)
+                    for child in pattern_node.children
+                ):
+                    counters.incr("match.negation_pruned")
+                    continue
+                variable = pattern_node.variable
+                joined = (
+                    self.config.early_join_check
+                    and variable is not None
+                    and variable in self.join_groups
+                )
+                if joined:
+                    value = data_node.value
+                    bound = bindings.get(variable)
+                    if bound is not None and bound != value:
+                        continue
+                    fresh_binding = bound is None
+                    if fresh_binding:
+                        bindings[variable] = value  # value is non-None (candidate filter)
+                mapping[pattern_node] = data_node
+                stop = assign(rest)
+                del mapping[pattern_node]
+                if joined and fresh_binding:
+                    del bindings[variable]
+                if stop:
+                    return True
+            return False
+
+        # Process pattern nodes in pre-order so a node's parent is always
+        # assigned before the node itself.  Negated subpatterns are not
+        # part of the mapping; they are checked as parents get assigned.
+        assign(self.pattern.positive_nodes())
+        return matches
+
+    def _options(
+        self, pattern_node: PatternNode, mapping: dict[PatternNode, Node]
+    ) -> list[Node]:
+        candidates = self.candidates[pattern_node]
+        parent = pattern_node.parent
+        if parent is None:
+            return candidates
+        anchor = mapping[parent]
+        if pattern_node.descendant:
+            return [c for c in candidates if self._is_descendant(c, anchor)]
+        return [c for c in candidates if c.parent is anchor]
+
+    def _joins_ok(self, mapping: dict[PatternNode, Node]) -> bool:
+        for nodes in self.join_groups.values():
+            values = {mapping[p].value for p in nodes}
+            if len(values) != 1 or None in values:
+                return False
+        return True

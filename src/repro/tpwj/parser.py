@@ -1,0 +1,177 @@
+"""Text syntax for TPWJ queries.
+
+The paper compiles TPWJ to XQuery; this reproduction gives TPWJ its own
+small concrete syntax (round-tripping through :func:`format_pattern`)::
+
+    /A { B[$x], C { //D[$x] } }
+
+* a leading ``/`` anchors the pattern root at the document root; a
+  leading ``//`` (or nothing) lets it map anywhere;
+* ``{ ... }`` encloses sub-patterns, separated by commas;
+* a ``//`` prefix on a sub-pattern makes its edge a descendant edge;
+* a ``!`` prefix *negates* a sub-pattern (slide-19 extension): the
+  parent's image must have no embedding of it — ``A { B, !C }`` is
+  "an A with a B child and no C child";
+* ``*`` is the wildcard label;
+* ``[...]`` carries the value test and/or variable:
+  ``[="foo"]`` (value test), ``[$x]`` (variable), ``[$x="foo"]`` (both).
+
+The slide-6 example — "A with a B child and a C child, the C having a
+D descendant whose value joins with B's value" — reads::
+
+    /A { B[$v], C { //D[$v] } }
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryParseError
+from repro.tpwj.pattern import Pattern, PatternNode
+
+__all__ = ["parse_pattern", "format_pattern"]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_BODY = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character scanner with position tracking for error messages."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise QueryParseError(f"expected {token!r}", self.pos)
+        self.pos += len(token)
+
+    def try_consume(self, token: str) -> bool:
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def name(self) -> str:
+        start = self.pos
+        if self.peek() not in _NAME_START:
+            raise QueryParseError("expected a name", self.pos)
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_BODY:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def string(self) -> str:
+        self.expect('"')
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise QueryParseError("unterminated string", self.pos)
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return "".join(chars)
+            if ch == "\\":
+                if self.pos >= len(self.text):
+                    raise QueryParseError("dangling escape", self.pos)
+                escaped = self.text[self.pos]
+                self.pos += 1
+                if escaped not in '"\\':
+                    raise QueryParseError(f"unknown escape \\{escaped}", self.pos - 1)
+                chars.append(escaped)
+            else:
+                chars.append(ch)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the TPWJ text syntax into a :class:`Pattern`."""
+    scanner = _Scanner(text)
+    scanner.skip_ws()
+    anchored = False
+    if scanner.startswith("//"):
+        scanner.expect("//")
+    elif scanner.try_consume("/"):
+        anchored = True
+    root = _parse_node(scanner, descendant=False)
+    scanner.skip_ws()
+    if scanner.pos != len(scanner.text):
+        raise QueryParseError("trailing input after pattern", scanner.pos)
+    return Pattern(root, anchored=anchored)
+
+
+def _parse_node(scanner: _Scanner, descendant: bool) -> PatternNode:
+    scanner.skip_ws()
+    if scanner.try_consume("*"):
+        label: str | None = None
+    else:
+        label = scanner.name()
+    value: str | None = None
+    variable: str | None = None
+    scanner.skip_ws()
+    if scanner.try_consume("["):
+        scanner.skip_ws()
+        if scanner.try_consume("$"):
+            variable = scanner.name()
+            scanner.skip_ws()
+            if scanner.try_consume("="):
+                scanner.skip_ws()
+                value = scanner.string()
+        elif scanner.try_consume("="):
+            scanner.skip_ws()
+            value = scanner.string()
+        else:
+            raise QueryParseError("expected '$var' or '=\"value\"' inside [...]", scanner.pos)
+        scanner.skip_ws()
+        scanner.expect("]")
+    node = PatternNode(label, value=value, variable=variable, descendant=descendant)
+    scanner.skip_ws()
+    if scanner.try_consume("{"):
+        while True:
+            scanner.skip_ws()
+            child_negated = scanner.try_consume("!")
+            scanner.skip_ws()
+            child_descendant = scanner.try_consume("//")
+            child = _parse_node(scanner, descendant=child_descendant)
+            child.negated = child_negated
+            node.add_child(child)
+            scanner.skip_ws()
+            if scanner.try_consume(","):
+                continue
+            scanner.expect("}")
+            break
+    return node
+
+
+def format_pattern(pattern: Pattern) -> str:
+    """Render a pattern back into the text syntax (parse/format round-trips)."""
+    prefix = "/" if pattern.anchored else ""
+    return prefix + _format_node(pattern.root, top=True)
+
+
+def _format_node(node: PatternNode, top: bool = False) -> str:
+    parts: list[str] = []
+    if not top and node.negated:
+        parts.append("!")
+    if not top and node.descendant:
+        parts.append("//")
+    parts.append(node.label if node.label is not None else "*")
+    if node.variable is not None or node.value is not None:
+        inner = ""
+        if node.variable is not None:
+            inner += f"${node.variable}"
+        if node.value is not None:
+            escaped = node.value.replace("\\", "\\\\").replace('"', '\\"')
+            inner += f'="{escaped}"'
+        parts.append(f"[{inner}]")
+    if node.children:
+        body = ", ".join(_format_node(child) for child in node.children)
+        parts.append(f" {{ {body} }}")
+    return "".join(parts)

@@ -1,0 +1,157 @@
+"""Tree algorithms shared by the query engine, updates and semantics.
+
+The central operation is :func:`minimal_subtree`: the answer to a TPWJ
+query is "the minimal subtree containing all the nodes mapped by the
+query" (paper, slide 6).  For a rooted tree this is the union of the
+root-paths of the mapped nodes; we materialise it as a fresh tree
+restricted to those nodes and their ancestors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.errors import TreeError
+from repro.trees.node import Node
+
+__all__ = [
+    "minimal_subtree",
+    "restrict",
+    "label_counts",
+    "label_index",
+    "find_all",
+    "find_first",
+    "lowest_common_ancestor",
+    "same_tree",
+    "multiset_equal",
+    "node_path",
+    "node_at_path",
+]
+
+
+def minimal_subtree(root: Node, targets: Iterable[Node]) -> Node:
+    """The minimal subtree of *root* containing every node in *targets*.
+
+    Returns a fresh tree (a restricted copy).  Every target must belong
+    to the tree rooted at *root*.  The result always includes *root*
+    itself, matching the paper's convention that an answer is a subtree
+    of the document (hence rooted at the document root).
+    """
+    keep: set[int] = {id(root)}
+    target_list = list(targets)
+    for target in target_list:
+        walk: Node | None = target
+        while walk is not None and id(walk) not in keep:
+            keep.add(id(walk))
+            walk = walk.parent
+        # Verify the walk reached a node already kept (ultimately root).
+    # Membership check: every target's root must be *root*.
+    for target in target_list:
+        if target.root() is not root:
+            raise TreeError("target node does not belong to the given tree")
+    return restrict(root, keep)
+
+
+def restrict(root: Node, keep_ids: set[int]) -> Node:
+    """Copy of *root* keeping exactly the nodes whose id() is in *keep_ids*.
+
+    A kept node whose parent is not kept is dropped along with its
+    subtree (subtrees must be connected to the root to survive).  The
+    root must be kept.
+    """
+    if id(root) not in keep_ids:
+        raise TreeError("the root itself must be kept")
+
+    def copy(node: Node) -> Node:
+        fresh = Node(node.label, node.value)
+        for child in node.children:
+            if id(child) in keep_ids:
+                fresh.add_child(copy(child))
+        return fresh
+
+    return copy(root)
+
+
+def label_counts(root: Node) -> Counter:
+    """Multiset of labels in the subtree (used by workload stats)."""
+    return Counter(node.label for node in root.iter())
+
+
+def label_index(root: Node) -> dict[str, list[Node]]:
+    """Map label -> nodes with that label, in pre-order.
+
+    The TPWJ matcher uses this to enumerate candidates per pattern node
+    instead of scanning the whole document for every pattern node.
+    """
+    index: dict[str, list[Node]] = {}
+    for node in root.iter():
+        index.setdefault(node.label, []).append(node)
+    return index
+
+
+def find_all(root: Node, label: str) -> list[Node]:
+    """All nodes of the subtree with the given label, in pre-order."""
+    return [node for node in root.iter() if node.label == label]
+
+
+def find_first(root: Node, label: str) -> Node | None:
+    """First node (pre-order) with the given label, or None."""
+    for node in root.iter():
+        if node.label == label:
+            return node
+    return None
+
+
+def lowest_common_ancestor(first: Node, second: Node) -> Node:
+    """LCA of two nodes of the same tree."""
+    seen = {id(node) for node in first.ancestors(include_self=True)}
+    for node in second.ancestors(include_self=True):
+        if id(node) in seen:
+            return node
+    raise TreeError("nodes do not belong to the same tree")
+
+
+def same_tree(first: Node, second: Node) -> bool:
+    """True when both nodes belong to the same tree instance."""
+    return first.root() is second.root()
+
+
+def multiset_equal(first: Iterable[Node], second: Iterable[Node]) -> bool:
+    """Compare two collections of trees as multisets (unordered equality)."""
+    return Counter(node.canonical() for node in first) == Counter(
+        node.canonical() for node in second
+    )
+
+
+def node_path(node: Node) -> tuple[int, ...]:
+    """Positional path of *node* from its root (child indexes, top-down).
+
+    Positions refer to the current attachment order; they are stable as
+    long as the tree is not mutated, which is how the update executor
+    transfers match positions onto cloned trees.
+    """
+    path: list[int] = []
+    walk = node
+    while walk.parent is not None:
+        parent = walk.parent
+        for index, child in enumerate(parent.children):
+            if child is walk:
+                path.append(index)
+                break
+        else:  # pragma: no cover - defensive; parent links are maintained by Node
+            raise TreeError("corrupt parent link")
+        walk = parent
+    path.reverse()
+    return tuple(path)
+
+
+def node_at_path(root: Node, path: tuple[int, ...]) -> Node:
+    """Inverse of :func:`node_path` relative to *root*."""
+    node = root
+    for index in path:
+        children = node.children
+        if index >= len(children):
+            raise TreeError(f"path {path!r} does not exist in this tree")
+        node = children[index]
+    return node

@@ -1,0 +1,191 @@
+"""Schema validation for data trees (a warehouse input-checking substrate).
+
+A light, DTD-flavoured schema: per-label rules constraining the allowed
+child labels and the presence of text values.  The constraint language
+is deliberately *monotone* — removing nodes can never introduce a
+violation — which yields a useful property for probabilistic documents:
+
+    if the **underlying** tree of a fuzzy document satisfies a schema,
+    then **every possible world** does too,
+
+because each world is a restriction of the underlying tree (nodes only
+disappear) and labels/values are static.  Checking the underlying tree
+is therefore sound for all worlds; the test suite verifies this world
+by world.  (This is also why the rule set has no "required child"
+constraint: it would be non-monotone.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import TreeError
+from repro.trees.node import Node
+
+__all__ = ["ValuePolicy", "NodeRule", "Schema", "Violation"]
+
+#: Accepted value policies for :class:`NodeRule`.
+ValuePolicy = str
+_VALUE_POLICIES = ("forbidden", "optional", "required")
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRule:
+    """Constraints on the nodes carrying one label.
+
+    Parameters
+    ----------
+    children:
+        Allowed child labels, or None for "any".  An empty set means
+        the node must be a leaf.
+    value:
+        ``"forbidden"`` (internal/empty nodes only), ``"optional"``
+        (default) or ``"required"`` (must be a valued leaf).
+    """
+
+    children: frozenset[str] | None = None
+    value: ValuePolicy = "optional"
+
+    def __post_init__(self) -> None:
+        if self.value not in _VALUE_POLICIES:
+            raise TreeError(
+                f"value policy must be one of {_VALUE_POLICIES}, got {self.value!r}"
+            )
+        if self.children is not None and not isinstance(self.children, frozenset):
+            object.__setattr__(self, "children", frozenset(self.children))
+        if self.value == "required" and self.children:
+            raise TreeError("a value-required label cannot also allow children")
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One schema violation, with enough context to locate it."""
+
+    label: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.kind} — {self.detail}"
+
+
+class Schema:
+    """A label-indexed rule set for data trees.
+
+    Parameters
+    ----------
+    rules:
+        Map from label to :class:`NodeRule`.
+    root_label:
+        When given, the document root must carry this label.
+    allow_unknown_labels:
+        When False, any label without a rule is itself a violation
+        (a "closed" schema).
+    """
+
+    __slots__ = ("rules", "root_label", "allow_unknown_labels")
+
+    def __init__(
+        self,
+        rules: Mapping[str, NodeRule] | None = None,
+        root_label: str | None = None,
+        allow_unknown_labels: bool = True,
+    ) -> None:
+        self.rules = dict(rules or {})
+        for label, rule in self.rules.items():
+            if not isinstance(rule, NodeRule):
+                raise TreeError(f"rule for {label!r} must be a NodeRule")
+        self.root_label = root_label
+        self.allow_unknown_labels = bool(allow_unknown_labels)
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def violations(self, root: Node) -> list[Violation]:
+        """All violations of this schema in the tree rooted at *root*."""
+        found: list[Violation] = []
+        if self.root_label is not None and root.label != self.root_label:
+            found.append(
+                Violation(
+                    root.label,
+                    "root-label",
+                    f"expected root {self.root_label!r}",
+                )
+            )
+        for node in root.iter():
+            rule = self.rules.get(node.label)
+            if rule is None:
+                if not self.allow_unknown_labels:
+                    found.append(
+                        Violation(node.label, "unknown-label", "no rule in a closed schema")
+                    )
+                continue
+            if rule.children is not None:
+                for child in node.children:
+                    if child.label not in rule.children:
+                        found.append(
+                            Violation(
+                                node.label,
+                                "child-label",
+                                f"child {child.label!r} not among "
+                                f"{sorted(rule.children)}",
+                            )
+                        )
+            if rule.value == "forbidden" and node.value is not None:
+                found.append(
+                    Violation(node.label, "value-forbidden", f"carries {node.value!r}")
+                )
+            if rule.value == "required" and node.value is None:
+                found.append(
+                    Violation(node.label, "value-required", "carries no value")
+                )
+        return found
+
+    def is_valid(self, root: Node) -> bool:
+        return not self.violations(root)
+
+    def check(self, root: Node) -> None:
+        """Raise :class:`~repro.errors.TreeError` on the first violations."""
+        found = self.violations(root)
+        if found:
+            summary = "; ".join(str(v) for v in found[:5])
+            more = f" (+{len(found) - 5} more)" if len(found) > 5 else ""
+            raise TreeError(f"schema violations: {summary}{more}")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Iterable[str] | None], **kwargs) -> "Schema":
+        """Build a schema from ``{label: allowed-child-labels}``.
+
+        A None entry allows any children; ``"#text"`` in the child list
+        marks the label as value-required (and leaf), mirroring DTD
+        ``#PCDATA``.
+        """
+        rules: dict[str, NodeRule] = {}
+        for label, children in spec.items():
+            if children is None:
+                rules[label] = NodeRule()
+            else:
+                names = set(children)
+                if "#text" in names:
+                    names.discard("#text")
+                    if names:
+                        raise TreeError(
+                            f"label {label!r}: '#text' cannot mix with child labels "
+                            "(no mixed content)"
+                        )
+                    rules[label] = NodeRule(children=frozenset(), value="required")
+                else:
+                    rules[label] = NodeRule(children=frozenset(names), value="forbidden")
+        return cls(rules, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({len(self.rules)} rules, root={self.root_label!r}, "
+            f"{'open' if self.allow_unknown_labels else 'closed'})"
+        )

@@ -1,0 +1,18 @@
+"""Update transactions — substrate S5 (paper, slide 7).
+
+* :class:`InsertOperation` / :class:`DeleteOperation` — elementary ops;
+* :class:`UpdateTransaction` — TPWJ query + operations + confidence;
+* :func:`apply_deterministic` — the ``τ`` of the possible-worlds
+  update semantics (all ops for all matches, on an ordinary tree).
+"""
+
+from repro.updates.operations import DeleteOperation, InsertOperation, UpdateOperation
+from repro.updates.transaction import UpdateTransaction, apply_deterministic
+
+__all__ = [
+    "InsertOperation",
+    "DeleteOperation",
+    "UpdateOperation",
+    "UpdateTransaction",
+    "apply_deterministic",
+]

@@ -1,0 +1,54 @@
+"""Elementary update operations (paper, slide 7).
+
+An update transaction bundles a TPWJ query with a set of elementary
+operations anchored at the query's pattern nodes (through their
+variables):
+
+* :class:`InsertOperation` — insert a copy of a subtree under the data
+  node bound by an anchor variable;
+* :class:`DeleteOperation` — delete the subtree rooted at the data node
+  bound by a target variable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UpdateError
+from repro.trees.node import Node
+
+__all__ = ["InsertOperation", "DeleteOperation", "UpdateOperation"]
+
+
+class InsertOperation:
+    """Insert a clone of *subtree* under the node bound by ``$anchor``."""
+
+    __slots__ = ("anchor", "subtree")
+
+    def __init__(self, anchor: str, subtree: Node) -> None:
+        if not isinstance(anchor, str) or not anchor:
+            raise UpdateError(f"insert anchor must be a variable name, got {anchor!r}")
+        if not isinstance(subtree, Node):
+            raise UpdateError(f"insert subtree must be a Node, got {type(subtree).__name__}")
+        self.anchor = anchor
+        # Clone defensively: the operation owns an immutable template.
+        self.subtree = subtree.clone()
+
+    def __repr__(self) -> str:
+        return f"InsertOperation(anchor=${self.anchor}, subtree={self.subtree.label!r})"
+
+
+class DeleteOperation:
+    """Delete the subtree rooted at the node bound by ``$target``."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str) -> None:
+        if not isinstance(target, str) or not target:
+            raise UpdateError(f"delete target must be a variable name, got {target!r}")
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"DeleteOperation(target=${self.target})"
+
+
+#: Union alias for type hints.
+UpdateOperation = InsertOperation | DeleteOperation

@@ -1,0 +1,149 @@
+"""Probabilistic update transactions (paper, slides 7 and 10).
+
+A transaction is a TPWJ query plus elementary operations stating where
+to insert and delete, and a *confidence* ``c``: the probability that the
+update actually holds.  Its possible-worlds semantics (slide 10) splits
+every selected world ``(t, p)`` into ``(τ(t), p·c)`` and ``(t, p·(1-c))``,
+where ``τ`` applies **all** operations for **all** matches of the query
+in ``t``.
+
+:func:`apply_deterministic` implements ``τ`` on ordinary trees.  Its
+operation order is: all insertions first (one per match per insert
+operation), then all deletions (deepest targets first; deleting a node
+whose subtree was already removed is a no-op).  Inserting under a node
+that the same transaction deletes is therefore absorbed by the
+deletion — the fuzzy-tree executor mirrors exactly this order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.errors import UpdateError
+from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig, find_matches
+from repro.tpwj.pattern import Pattern
+from repro.updates.operations import DeleteOperation, InsertOperation, UpdateOperation
+from repro.trees.node import Node
+
+__all__ = ["UpdateTransaction", "apply_deterministic"]
+
+
+class UpdateTransaction:
+    """A TPWJ query, elementary operations, and a confidence."""
+
+    __slots__ = ("query", "operations", "confidence")
+
+    def __init__(
+        self,
+        query: Pattern,
+        operations: Iterable[UpdateOperation],
+        confidence: float = 1.0,
+    ) -> None:
+        if not isinstance(query, Pattern):
+            raise UpdateError(f"transaction query must be a Pattern, got {type(query).__name__}")
+        ops = tuple(operations)
+        if not ops:
+            raise UpdateError("transaction has no operations")
+        for op in ops:
+            if not isinstance(op, (InsertOperation, DeleteOperation)):
+                raise UpdateError(f"unsupported operation type: {type(op).__name__}")
+        if isinstance(confidence, bool) or not isinstance(confidence, (int, float)):
+            raise UpdateError(f"confidence must be a number in [0, 1], got {confidence!r}")
+        confidence = float(confidence)
+        if not 0.0 <= confidence <= 1.0 or math.isnan(confidence):
+            raise UpdateError(f"confidence must lie in [0, 1], got {confidence}")
+        self.query = query
+        self.operations = ops
+        self.confidence = confidence
+        self._check_variables()
+
+    def _check_variables(self) -> None:
+        """Every anchor/target must be a uniquely-bound query variable."""
+        for op in self.operations:
+            variable = op.anchor if isinstance(op, InsertOperation) else op.target
+            self.query.node_for_variable(variable)  # raises QueryError on misuse
+
+    @property
+    def insertions(self) -> tuple[InsertOperation, ...]:
+        return tuple(op for op in self.operations if isinstance(op, InsertOperation))
+
+    @property
+    def deletions(self) -> tuple[DeleteOperation, ...]:
+        return tuple(op for op in self.operations if isinstance(op, DeleteOperation))
+
+    def with_confidence(self, confidence: float) -> "UpdateTransaction":
+        """A copy of this transaction carrying a different confidence."""
+        return UpdateTransaction(self.query, self.operations, confidence)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateTransaction(query={str(self.query)!r}, "
+            f"{len(self.operations)} ops, confidence={self.confidence})"
+        )
+
+
+def apply_deterministic(
+    transaction: UpdateTransaction,
+    root: Node,
+    matches: Sequence[Match] | None = None,
+    config: MatchConfig = DEFAULT_CONFIG,
+) -> Node:
+    """Apply ``τ`` — all operations for all matches — returning a new tree.
+
+    The input tree is not modified.  When *matches* is None they are
+    computed on a clone of *root*; callers that already matched must
+    have matched against *root* itself and accept that the returned
+    tree is built by cloning (matches are transferred positionally).
+    """
+    clone = root.clone()
+    if matches is None:
+        own_matches = find_matches(transaction.query, clone, config)
+    else:
+        own_matches = _transfer_matches(matches, root, clone, transaction.query)
+
+    # Insertions first: one clone of the template per (match, operation).
+    # An anchor that is a valued leaf cannot take children ("no mixed
+    # content"); such insertions are defined as no-ops.  Values are a
+    # static property of a node, so this skip is world-independent and
+    # the fuzzy executor mirrors it exactly.
+    for match in own_matches:
+        for op in transaction.insertions:
+            anchor = match.node_for(op.anchor)
+            if anchor.value is not None:
+                continue
+            anchor.add_child(op.subtree.clone())
+
+    # Deletions: deepest targets first so nested deletions stay no-ops.
+    targets: list[Node] = []
+    seen: set[int] = set()
+    for match in own_matches:
+        for op in transaction.deletions:
+            target = match.node_for(op.target)
+            if target is clone:
+                raise UpdateError("cannot delete the document root")
+            if id(target) not in seen:
+                seen.add(id(target))
+                targets.append(target)
+    targets.sort(key=lambda node: node.depth(), reverse=True)
+    for target in targets:
+        if target.root() is clone:  # still attached
+            target.detach()
+    return clone
+
+
+def _transfer_matches(
+    matches: Sequence[Match], original: Node, clone: Node, query: Pattern
+) -> list[Match]:
+    """Rebuild matches found on *original* as matches on *clone*."""
+    from repro.tpwj.match import Match as MatchType
+    from repro.trees.algorithms import node_at_path, node_path
+
+    transferred: list[MatchType] = []
+    for match in matches:
+        mapping = {
+            pattern_node: node_at_path(clone, node_path(data_node))
+            for pattern_node, data_node in match.mapping.items()
+        }
+        transferred.append(MatchType(query, mapping))
+    return transferred

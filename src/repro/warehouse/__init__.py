@@ -1,0 +1,12 @@
+"""Probabilistic XML warehouse — substrate S8 (paper, slides 3 and 16).
+
+* :class:`Warehouse` — the query/update interface over a durable store;
+* :class:`Storage` — atomic commits, checksums, single-writer locking;
+* :class:`TransactionLog` — append-only audit log.
+"""
+
+from repro.warehouse.log import TransactionLog
+from repro.warehouse.storage import Storage
+from repro.warehouse.warehouse import Warehouse
+
+__all__ = ["Warehouse", "Storage", "TransactionLog"]

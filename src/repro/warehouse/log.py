@@ -1,0 +1,68 @@
+"""Append-only transaction log for the warehouse.
+
+Every committed operation (update, simplification) appends one JSON
+line recording what happened: the serialized transaction, the
+confidence, the report counters, and the resulting document sequence
+number.  The log supports the E8 benchmark's throughput accounting and
+makes warehouse history auditable; it is *not* a redo log — commits are
+atomic at the storage layer, so recovery never needs replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.errors import WarehouseCorruptError
+
+__all__ = ["TransactionLog"]
+
+_LOG_FILE = "log.jsonl"
+
+
+class TransactionLog:
+    """A JSON-lines audit log stored next to the document."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.path = Path(directory) / _LOG_FILE
+
+    def append(self, kind: str, sequence: int, payload: dict) -> dict:
+        """Append one entry; returns the full record written."""
+        record = {
+            "kind": kind,
+            "sequence": sequence,
+            "timestamp": time.time(),
+            **payload,
+        }
+        line = json.dumps(record, sort_keys=True)
+        fd = os.open(self.path, os.O_CREAT | os.O_APPEND | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8") + b"\n")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return record
+
+    def entries(self) -> list[dict]:
+        """All log records, oldest first."""
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise WarehouseCorruptError(
+                        f"corrupt log line {line_number} in {self.path}: {exc}"
+                    ) from exc
+        return records
+
+    def last_sequence(self) -> int:
+        entries = self.entries()
+        return max((entry.get("sequence", 0) for entry in entries), default=0)

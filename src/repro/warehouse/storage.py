@@ -1,0 +1,171 @@
+"""Filesystem storage for the probabilistic XML warehouse.
+
+The paper's system stores fuzzy documents on the file system
+(slide 16).  This layer provides the durability primitives the
+warehouse needs:
+
+* **atomic commits** — the document is written to a temporary file,
+  fsynced, then renamed over the live copy, so a crash can never leave
+  a half-written document;
+* **integrity checking** — a sidecar metadata file records the SHA-256
+  of the committed document; a mismatch on read raises
+  :class:`~repro.errors.WarehouseCorruptError`;
+* **single-writer locking** — an ``O_EXCL`` lock file holding the owner
+  pid; a held lock raises :class:`~repro.errors.WarehouseLockedError`
+  (stale locks from dead processes are broken automatically).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.errors import WarehouseCorruptError, WarehouseError, WarehouseLockedError
+
+__all__ = ["Storage"]
+
+_DOCUMENT_FILE = "document.xml"
+_META_FILE = "meta.json"
+_LOCK_FILE = "lock"
+
+
+class Storage:
+    """Durable storage rooted at a warehouse directory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock_fd: int | None = None
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    @property
+    def document_path(self) -> Path:
+        return self.path / _DOCUMENT_FILE
+
+    @property
+    def meta_path(self) -> Path:
+        return self.path / _META_FILE
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path / _LOCK_FILE
+
+    def initialize(self) -> None:
+        """Create the warehouse directory (idempotent)."""
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        return self.document_path.exists()
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+
+    def acquire_lock(self) -> None:
+        """Take the single-writer lock, breaking stale locks of dead pids."""
+        if self._lock_fd is not None:
+            return
+        self.initialize()
+        for _attempt in range(2):
+            try:
+                fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None and _pid_alive(owner):
+                    raise WarehouseLockedError(
+                        f"warehouse {self.path} is locked by pid {owner}"
+                    ) from None
+                # Stale lock: the owner is gone; break it and retry once.
+                try:
+                    self.lock_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.fsync(fd)
+            self._lock_fd = fd
+            return
+        raise WarehouseLockedError(f"could not acquire lock on {self.path}")
+
+    def release_lock(self) -> None:
+        if self._lock_fd is None:
+            return
+        os.close(self._lock_fd)
+        self._lock_fd = None
+        try:
+            self.lock_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _lock_owner(self) -> int | None:
+        try:
+            text = self.lock_path.read_text(encoding="ascii").strip()
+            return int(text) if text else None
+        except (FileNotFoundError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Document I/O
+    # ------------------------------------------------------------------
+
+    def write_document(self, xml_text: str, sequence: int) -> None:
+        """Atomically commit the document and its metadata."""
+        self.initialize()
+        payload = xml_text.encode("utf-8")
+        digest = hashlib.sha256(payload).hexdigest()
+        _atomic_write(self.document_path, payload)
+        meta = {
+            "sha256": digest,
+            "sequence": sequence,
+            "bytes": len(payload),
+            "format": "repro-probabilistic-xml-v1",
+        }
+        _atomic_write(
+            self.meta_path, json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
+        )
+
+    def read_document(self) -> tuple[str, int]:
+        """Read and verify the committed document; returns (xml, sequence)."""
+        if not self.document_path.exists():
+            raise WarehouseError(f"no document at {self.document_path}")
+        payload = self.document_path.read_bytes()
+        try:
+            meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise WarehouseCorruptError(
+                f"missing metadata file {self.meta_path}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise WarehouseCorruptError(f"corrupt metadata file: {exc}") from exc
+        digest = hashlib.sha256(payload).hexdigest()
+        if meta.get("sha256") != digest:
+            raise WarehouseCorruptError(
+                f"document checksum mismatch in {self.path} "
+                f"(expected {meta.get('sha256')}, found {digest})"
+            )
+        return payload.decode("utf-8"), int(meta.get("sequence", 0))
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    fd = os.open(tmp_path, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp_path, path)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True

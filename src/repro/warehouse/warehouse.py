@@ -1,0 +1,284 @@
+"""The probabilistic XML warehouse (paper, slide 3).
+
+The warehouse is the system the paper's architecture diagram shows:
+imprecise modules push *update transactions with a confidence* into a
+probabilistic store; consumers pose *TPWJ queries* and receive answers
+with confidences.  This class wires the fuzzy-tree engine to the
+storage substrate:
+
+* ``Warehouse.create(path, document)`` / ``Warehouse.open(path)``;
+* :meth:`query` — text or :class:`~repro.tpwj.pattern.Pattern` in,
+  probability-ranked answers out;
+* :meth:`update` — an :class:`~repro.updates.transaction.UpdateTransaction`
+  or an XUpdate document string in; the update is applied to the fuzzy
+  document, committed atomically and logged;
+* :meth:`simplify` — on-demand fuzzy-data simplification (also
+  triggered automatically when the document grows past
+  ``auto_simplify_factor`` times its size at open);
+* :meth:`stats` — document and log statistics.
+
+A warehouse handle owns the single-writer lock from open to close; use
+it as a context manager.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.metrics import fuzzy_stats
+from repro.core.fuzzy_tree import FuzzyTree
+from repro.core.query import FuzzyAnswer, query_fuzzy_tree
+from repro.core.simplify import SimplifyReport, simplify
+from repro.core.update import UpdateReport, apply_update
+from repro.errors import WarehouseError
+from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
+from repro.tpwj.parser import parse_pattern
+from repro.tpwj.pattern import Pattern
+from repro.updates.transaction import UpdateTransaction
+from repro.warehouse.log import TransactionLog
+from repro.warehouse.storage import Storage
+from repro.xmlio.parse import fuzzy_from_string
+from repro.xmlio.serialize import fuzzy_to_string
+from repro.xmlio.xupdate import transaction_from_string, transaction_to_string
+
+__all__ = ["Warehouse"]
+
+
+class Warehouse:
+    """A durable, lockable store for one fuzzy document."""
+
+    def __init__(
+        self,
+        storage: Storage,
+        document: FuzzyTree,
+        sequence: int,
+        match_config: MatchConfig = DEFAULT_CONFIG,
+        auto_simplify_factor: float | None = None,
+    ) -> None:
+        self._storage = storage
+        self._document = document
+        self._sequence = sequence
+        self._log = TransactionLog(storage.path)
+        self._match_config = match_config
+        self._auto_simplify_factor = auto_simplify_factor
+        self._baseline_size = document.size()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        document: FuzzyTree,
+        match_config: MatchConfig = DEFAULT_CONFIG,
+        auto_simplify_factor: float | None = None,
+    ) -> "Warehouse":
+        """Create a new warehouse at *path* holding *document*.
+
+        Fails when a document already exists there (open it instead).
+        """
+        storage = Storage(path)
+        storage.initialize()
+        if storage.exists():
+            raise WarehouseError(f"a warehouse already exists at {path}")
+        storage.acquire_lock()
+        try:
+            warehouse = cls(
+                storage,
+                document.clone(),
+                sequence=0,
+                match_config=match_config,
+                auto_simplify_factor=auto_simplify_factor,
+            )
+            warehouse._commit("create", {})
+        except BaseException:
+            storage.release_lock()
+            raise
+        return warehouse
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        match_config: MatchConfig = DEFAULT_CONFIG,
+        auto_simplify_factor: float | None = None,
+    ) -> "Warehouse":
+        """Open an existing warehouse, taking the writer lock."""
+        storage = Storage(path)
+        if not storage.exists():
+            raise WarehouseError(f"no warehouse at {path}")
+        storage.acquire_lock()
+        try:
+            xml_text, sequence = storage.read_document()
+            document = fuzzy_from_string(xml_text)
+        except BaseException:
+            storage.release_lock()
+            raise
+        return cls(
+            storage,
+            document,
+            sequence,
+            match_config=match_config,
+            auto_simplify_factor=auto_simplify_factor,
+        )
+
+    def close(self) -> None:
+        """Release the lock; the handle becomes unusable."""
+        if not self._closed:
+            self._storage.release_lock()
+            self._closed = True
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WarehouseError("warehouse handle is closed")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    @property
+    def document(self) -> FuzzyTree:
+        """The live fuzzy document (treat as read-only; use update())."""
+        self._check_open()
+        return self._document
+
+    @property
+    def sequence(self) -> int:
+        """Commit sequence number (increments on every commit)."""
+        return self._sequence
+
+    def query(self, pattern: str | Pattern) -> list[FuzzyAnswer]:
+        """Evaluate a TPWJ query; answers ranked by probability."""
+        self._check_open()
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        return query_fuzzy_tree(self._document, pattern, self._match_config)
+
+    def stats(self) -> dict:
+        """Document measurements plus commit/log counters."""
+        self._check_open()
+        info = fuzzy_stats(self._document).as_dict()
+        info["sequence"] = self._sequence
+        info["log_entries"] = len(self._log.entries())
+        return info
+
+    def history(self) -> list[dict]:
+        """The audit log, oldest first."""
+        self._check_open()
+        return self._log.entries()
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+
+    def provenance(self, event: str) -> dict | None:
+        """The log entry of the update whose confidence created *event*.
+
+        Returns None for events that predate the warehouse (part of the
+        initial document) or were not created by an update here.
+        """
+        self._check_open()
+        for entry in self._log.entries():
+            if entry.get("kind") == "update" and entry.get("confidence_event") == event:
+                return entry
+        return None
+
+    def explain(self, answer) -> list[dict]:
+        """Why does this answer hold? One record per involved event.
+
+        *answer* is a :class:`~repro.core.query.FuzzyAnswer` returned by
+        :meth:`query`.  Each record carries the event name, its
+        probability, and — when the event was minted by an update
+        committed through this warehouse — the originating transaction's
+        log entry.
+        """
+        self._check_open()
+        records: list[dict] = []
+        for event in sorted(answer.dnf.events()):
+            records.append(
+                {
+                    "event": event,
+                    "probability": self._document.events.probability(event),
+                    "origin": self.provenance(event),
+                }
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        transaction: UpdateTransaction | str,
+        confidence: float | None = None,
+    ) -> UpdateReport:
+        """Apply a probabilistic update transaction and commit.
+
+        *transaction* is an :class:`UpdateTransaction` or an XUpdate
+        document string.  *confidence*, when given, overrides the
+        transaction's own confidence (the paper's modules attach their
+        confidence at submission time).
+        """
+        self._check_open()
+        if isinstance(transaction, str):
+            transaction = transaction_from_string(transaction)
+        if confidence is not None:
+            transaction = transaction.with_confidence(confidence)
+        report = apply_update(self._document, transaction, self._match_config)
+        self._commit(
+            "update",
+            {
+                "transaction": transaction_to_string(transaction, indent=False),
+                "confidence": transaction.confidence,
+                "confidence_event": report.confidence_event,
+                "matches": report.matches,
+                "applied": report.applied,
+                "inserted_nodes": report.inserted_nodes,
+                "survivor_copies": report.survivor_copies,
+            },
+        )
+        self._maybe_auto_simplify()
+        return report
+
+    def simplify(self) -> SimplifyReport:
+        """Run fuzzy-data simplification and commit the smaller document."""
+        self._check_open()
+        report = simplify(self._document)
+        self._commit(
+            "simplify",
+            {
+                "nodes_before": report.nodes_before,
+                "nodes_after": report.nodes_after,
+                "merged_siblings": report.merged_siblings,
+                "collected_events": report.collected_events,
+            },
+        )
+        self._baseline_size = max(1, self._document.size())
+        return report
+
+    def _maybe_auto_simplify(self) -> None:
+        if self._auto_simplify_factor is None:
+            return
+        if self._document.size() > self._auto_simplify_factor * self._baseline_size:
+            self.simplify()
+
+    def _commit(self, kind: str, payload: dict) -> None:
+        self._sequence += 1
+        self._storage.write_document(
+            fuzzy_to_string(self._document), self._sequence
+        )
+        self._log.append(kind, self._sequence, payload)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"seq={self._sequence}"
+        return f"Warehouse({self._storage.path}, {state})"

@@ -1,0 +1,27 @@
+"""Workload generators — substrate S9 (paper, slide 2 motivation).
+
+* :mod:`repro.workloads.generator` — random fuzzy documents, matching
+  queries, and applicable update transactions (seeded);
+* :class:`ExtractionScenario` — information-extraction module stream;
+* :class:`CleaningScenario` / :class:`MatchingScenario` — data-cleaning
+  and schema-matching module streams.
+"""
+
+from repro.workloads.cleaning import CleaningScenario, MatchingScenario
+from repro.workloads.extraction import ExtractionScenario
+from repro.workloads.generator import (
+    FuzzyWorkloadConfig,
+    random_fuzzy_tree,
+    random_query_for,
+    random_update_for,
+)
+
+__all__ = [
+    "FuzzyWorkloadConfig",
+    "random_fuzzy_tree",
+    "random_query_for",
+    "random_update_for",
+    "ExtractionScenario",
+    "CleaningScenario",
+    "MatchingScenario",
+]

@@ -1,0 +1,114 @@
+"""Data-cleaning and schema-matching module simulators (paper, slide 2).
+
+Two further sources of imprecise updates from the paper's motivation:
+
+* **Data cleaning** (:class:`CleaningScenario`): a product catalog
+  polluted with duplicate entries; a deduplication module emits
+  *probabilistic deletions* ("entry X duplicates entry Y, drop X",
+  confidence ~0.6–0.95).  Deletions are the expensive fuzzy-tree
+  operation, so this scenario stresses survivor-copy growth.
+
+* **Schema matching** (:class:`MatchingScenario`): a matcher aligns
+  catalog categories with a target taxonomy and records each
+  correspondence as an inserted ``match`` annotation with the matcher's
+  confidence — the classic "schema matching produces scores" workload.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.events.table import EventTable
+from repro.tpwj.parser import parse_pattern
+from repro.trees.builder import tree
+from repro.updates.operations import DeleteOperation, InsertOperation
+from repro.updates.transaction import UpdateTransaction
+
+__all__ = ["CleaningScenario", "MatchingScenario"]
+
+_PRODUCTS = (
+    "laptop", "phone", "tablet", "camera", "printer", "monitor",
+    "keyboard", "mouse", "headset", "router",
+)
+_CATEGORIES = ("computing", "imaging", "peripherals", "networking")
+_TAXONOMY = ("electronics", "office", "accessories")
+
+
+class CleaningScenario:
+    """Duplicate-riddled catalog plus a deduplication update stream."""
+
+    def __init__(self, seed: int = 0, n_products: int = 6, duplicate_rate: float = 0.5) -> None:
+        if not 1 <= n_products <= len(_PRODUCTS):
+            raise ValueError(f"n_products must be in 1..{len(_PRODUCTS)}")
+        self.rng = random.Random(seed)
+        self.products = list(_PRODUCTS[:n_products])
+        self.duplicate_rate = duplicate_rate
+
+    def initial_document(self) -> FuzzyTree:
+        """A catalog where some products appear twice (dirty duplicates)."""
+        root = FuzzyNode("catalog")
+        for product in self.products:
+            copies = 2 if self.rng.random() < self.duplicate_rate else 1
+            for copy_index in range(copies):
+                entry = FuzzyNode("entry")
+                entry.add_child(FuzzyNode("sku", value=product))
+                price = 100 + 10 * copy_index + self.rng.randrange(50)
+                entry.add_child(FuzzyNode("price", value=str(price)))
+                root.add_child(entry)
+        return FuzzyTree(root, EventTable())
+
+    def stream(self, count: int) -> Iterator[UpdateTransaction]:
+        """Deduplication verdicts: delete one entry of a duplicated sku."""
+        for _ in range(count):
+            product = self.rng.choice(self.products)
+            query = parse_pattern(
+                f'/catalog {{ entry[$e] {{ sku[="{product}"] }} }}'
+            )
+            confidence = round(self.rng.uniform(0.6, 0.95), 2)
+            yield UpdateTransaction(query, [DeleteOperation("e")], confidence)
+
+    def query_mix(self):
+        return [
+            parse_pattern("/catalog { entry { sku, price } }"),
+            parse_pattern(f'/catalog {{ entry {{ sku[="{self.products[0]}"] }} }}'),
+        ]
+
+
+class MatchingScenario:
+    """Category taxonomy plus a schema-matcher correspondence stream."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def initial_document(self) -> FuzzyTree:
+        root = FuzzyNode("schema")
+        source = FuzzyNode("source")
+        for category in _CATEGORIES:
+            source.add_child(FuzzyNode("category", value=category))
+        target = FuzzyNode("target")
+        for concept in _TAXONOMY:
+            target.add_child(FuzzyNode("concept", value=concept))
+        root.add_child(source)
+        root.add_child(target)
+        root.add_child(FuzzyNode("correspondences"))
+        return FuzzyTree(root, EventTable())
+
+    def stream(self, count: int) -> Iterator[UpdateTransaction]:
+        """Matcher verdicts: insert a match annotation with a score."""
+        for _ in range(count):
+            category = self.rng.choice(_CATEGORIES)
+            concept = self.rng.choice(_TAXONOMY)
+            query = parse_pattern("/schema { correspondences[$c] }")
+            annotation = tree(
+                "match", tree("from", category), tree("to", concept)
+            )
+            confidence = round(self.rng.uniform(0.4, 0.95), 2)
+            yield UpdateTransaction(query, [InsertOperation("c", annotation)], confidence)
+
+    def query_mix(self):
+        return [
+            parse_pattern("/schema { correspondences { match { from, to } } }"),
+            parse_pattern("/schema { //match }"),
+        ]

@@ -1,0 +1,135 @@
+"""Information-extraction module simulator (paper, slide 2).
+
+The paper motivates probabilistic XML with pipelines whose modules emit
+facts *with a confidence*: information extraction, NLP, data cleaning,
+schema matching.  This scenario simulates the canonical one — an IE
+system populating a person directory:
+
+* the warehouse starts from a small certain skeleton
+  (``directory/person{name}`` entries);
+* extractor modules stream probabilistic updates: "person X has email
+  E" (insertion, confidence ~0.7–0.95), "person X works at O"
+  (insertion), and corrections "X's phone record is wrong" (deletion,
+  confidence ~0.6–0.9);
+* different modules can emit *conflicting* facts for the same person,
+  which the fuzzy tree keeps side by side under independent events —
+  exactly the situation the warehouse architecture is designed for.
+
+Used by benchmark E8 and the ``information_extraction`` example.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.events.table import EventTable
+from repro.tpwj.parser import parse_pattern
+from repro.tpwj.pattern import Pattern
+from repro.trees.builder import tree
+from repro.updates.operations import DeleteOperation, InsertOperation
+from repro.updates.transaction import UpdateTransaction
+
+__all__ = ["ExtractionScenario"]
+
+_FIRST_NAMES = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "oscar", "peggy", "sybil", "trent", "victor",
+)
+_DOMAINS = ("example.org", "inria.fr", "acm.org", "edbt.example")
+_ORGS = ("INRIA", "CNRS", "UPS", "ENS", "MPI", "UW")
+
+
+class ExtractionScenario:
+    """A reproducible stream of IE-style probabilistic updates."""
+
+    def __init__(self, seed: int = 0, n_people: int = 8) -> None:
+        if n_people < 1:
+            raise ValueError("n_people must be at least 1")
+        if n_people > len(_FIRST_NAMES):
+            raise ValueError(f"at most {len(_FIRST_NAMES)} people supported")
+        self.rng = random.Random(seed)
+        self.people = list(_FIRST_NAMES[:n_people])
+
+    # ------------------------------------------------------------------
+    # Initial state
+    # ------------------------------------------------------------------
+
+    def initial_document(self) -> FuzzyTree:
+        """The certain skeleton: one person entry per known name."""
+        root = FuzzyNode("directory")
+        for name in self.people:
+            person = FuzzyNode("person")
+            person.add_child(FuzzyNode("name", value=name))
+            root.add_child(person)
+        return FuzzyTree(root, EventTable())
+
+    # ------------------------------------------------------------------
+    # Update stream
+    # ------------------------------------------------------------------
+
+    def stream(self, count: int) -> Iterator[UpdateTransaction]:
+        """Yield *count* probabilistic update transactions."""
+        emitters = (
+            self._emit_email,
+            self._emit_affiliation,
+            self._emit_phone,
+            self._emit_phone_correction,
+        )
+        for _ in range(count):
+            emit = self.rng.choice(emitters)
+            yield emit()
+
+    def _person_query(self, name: str) -> Pattern:
+        return parse_pattern(f'/directory {{ person[$p] {{ name[="{name}"] }} }}')
+
+    def _emit_email(self) -> UpdateTransaction:
+        name = self.rng.choice(self.people)
+        email = f"{name}@{self.rng.choice(_DOMAINS)}"
+        subtree = tree("email", email)
+        confidence = round(self.rng.uniform(0.7, 0.95), 2)
+        return UpdateTransaction(
+            self._person_query(name), [InsertOperation("p", subtree)], confidence
+        )
+
+    def _emit_affiliation(self) -> UpdateTransaction:
+        name = self.rng.choice(self.people)
+        org = self.rng.choice(_ORGS)
+        subtree = tree("affiliation", tree("org", org))
+        confidence = round(self.rng.uniform(0.6, 0.9), 2)
+        return UpdateTransaction(
+            self._person_query(name), [InsertOperation("p", subtree)], confidence
+        )
+
+    def _emit_phone(self) -> UpdateTransaction:
+        name = self.rng.choice(self.people)
+        digits = "".join(str(self.rng.randrange(10)) for _ in range(8))
+        subtree = tree("phone", f"+33 {digits}")
+        confidence = round(self.rng.uniform(0.5, 0.9), 2)
+        return UpdateTransaction(
+            self._person_query(name), [InsertOperation("p", subtree)], confidence
+        )
+
+    def _emit_phone_correction(self) -> UpdateTransaction:
+        """A cleaning module asserting some person's phone is wrong."""
+        name = self.rng.choice(self.people)
+        query = parse_pattern(
+            f'/directory {{ person {{ name[="{name}"], phone[$ph] }} }}'
+        )
+        confidence = round(self.rng.uniform(0.6, 0.9), 2)
+        return UpdateTransaction(query, [DeleteOperation("ph")], confidence)
+
+    # ------------------------------------------------------------------
+    # Query mix
+    # ------------------------------------------------------------------
+
+    def query_mix(self) -> list[Pattern]:
+        """Representative read workload over the directory."""
+        someone = self.people[0]
+        return [
+            parse_pattern(f'/directory {{ person {{ name[="{someone}"], email }} }}'),
+            parse_pattern("/directory { person { affiliation { org } } }"),
+            parse_pattern("/directory { person { phone } }"),
+            parse_pattern("/directory { //email }"),
+        ]

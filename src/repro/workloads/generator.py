@@ -1,0 +1,214 @@
+"""Random workload generation: fuzzy documents, queries and updates.
+
+The benchmarks and property tests need instances whose size knobs
+(nodes, events, condition density, pattern size) can be swept
+independently.  Every generator takes an explicit
+:class:`random.Random` so runs are reproducible from their seed.
+
+Queries are generated *from* a document — the generator samples an
+actual embedded subtree and relaxes it (wildcards, descendant edges,
+value tests, joins on repeated values) — so generated queries are
+guaranteed to have at least one match, which keeps benchmark series
+comparable across sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.events.condition import Condition
+from repro.events.literal import Literal
+from repro.events.table import EventTable
+from repro.tpwj.pattern import Pattern, PatternNode
+from repro.trees.node import Node
+from repro.trees.random import RandomTreeConfig, random_tree
+from repro.updates.operations import DeleteOperation, InsertOperation
+from repro.updates.transaction import UpdateTransaction
+
+__all__ = [
+    "FuzzyWorkloadConfig",
+    "random_fuzzy_tree",
+    "random_query_for",
+    "random_update_for",
+]
+
+
+class FuzzyWorkloadConfig:
+    """Knobs for random fuzzy-document generation."""
+
+    def __init__(
+        self,
+        tree: RandomTreeConfig | None = None,
+        n_events: int = 4,
+        condition_probability: float = 0.5,
+        max_literals: int = 2,
+        min_event_probability: float = 0.1,
+        max_event_probability: float = 0.9,
+    ) -> None:
+        if n_events < 0:
+            raise ValueError("n_events must be non-negative")
+        if max_literals < 0:
+            raise ValueError("max_literals must be non-negative")
+        self.tree = tree or RandomTreeConfig()
+        self.n_events = n_events
+        self.condition_probability = condition_probability
+        self.max_literals = max_literals
+        self.min_event_probability = min_event_probability
+        self.max_event_probability = max_event_probability
+
+
+def random_fuzzy_tree(
+    rng: random.Random, config: FuzzyWorkloadConfig | None = None
+) -> FuzzyTree:
+    """A random fuzzy document with the configured shape.
+
+    Non-root nodes receive, with probability ``condition_probability``,
+    a random conjunction of up to ``max_literals`` literals over the
+    event pool.  The root stays unconditioned (model invariant).
+    """
+    config = config or FuzzyWorkloadConfig()
+    plain = random_tree(rng, config.tree)
+    events = EventTable()
+    names = [
+        events.fresh(
+            rng.uniform(config.min_event_probability, config.max_event_probability)
+        )
+        for _ in range(config.n_events)
+    ]
+
+    root = FuzzyNode.from_plain(plain)
+    if names:
+        for node in root.iter():
+            if node is root:
+                continue
+            if rng.random() >= config.condition_probability:
+                continue
+            count = rng.randint(1, max(1, config.max_literals))
+            chosen = rng.sample(names, min(count, len(names)))
+            literals = [Literal(name, rng.random() < 0.7) for name in chosen]
+            assert isinstance(node, FuzzyNode)
+            node.condition = Condition(
+                {Literal(l.event, l.positive) for l in literals}
+            )
+    return FuzzyTree(root, events)
+
+
+def random_query_for(
+    rng: random.Random,
+    root: Node,
+    max_nodes: int = 4,
+    descendant_probability: float = 0.3,
+    wildcard_probability: float = 0.1,
+    value_test_probability: float = 0.4,
+    join_probability: float = 0.3,
+    anchored_probability: float = 0.5,
+) -> Pattern:
+    """A TPWJ query with at least one match in the tree rooted at *root*.
+
+    The generator embeds the pattern into the document: it picks a data
+    node for the pattern root, then repeatedly extends a random pattern
+    leaf with one of its image's children (possibly via a descendant
+    edge, skipping a level when one exists).  Finally it decorates the
+    pattern with wildcards, value tests, and — when the document has a
+    repeated value reachable from two pattern positions — a join.
+    """
+    anchored = rng.random() < anchored_probability
+    base = root if anchored else rng.choice(list(root.iter()))
+
+    # Pattern skeleton paired with image nodes.
+    pattern_root = PatternNode(base.label)
+    paired: list[tuple[PatternNode, Node]] = [(pattern_root, base)]
+    growable = [(pattern_root, base)]
+    while len(paired) < max_nodes and growable:
+        parent_pattern, parent_data = growable[rng.randrange(len(growable))]
+        candidates = [c for c in parent_data.children]
+        if not candidates:
+            growable.remove((parent_pattern, parent_data))
+            continue
+        image = rng.choice(candidates)
+        descendant = False
+        # With a descendant edge we may skip into a deeper node.
+        if rng.random() < descendant_probability:
+            descendants = [n for n in image.iter()]
+            image = rng.choice(descendants)
+            descendant = True
+        child_pattern = PatternNode(image.label, descendant=descendant)
+        parent_pattern.add_child(child_pattern)
+        paired.append((child_pattern, image))
+        growable.append((child_pattern, image))
+
+    # Decoration: wildcards, value tests, joins.
+    values_seen: dict[str, list[PatternNode]] = {}
+    for pattern_node, image in paired:
+        if pattern_node is not pattern_root and rng.random() < wildcard_probability:
+            pattern_node.label = None
+        if image.value is not None and not pattern_node.children:
+            if rng.random() < value_test_probability:
+                pattern_node.value = image.value
+            values_seen.setdefault(image.value, []).append(pattern_node)
+
+    variable_counter = 0
+    if rng.random() < join_probability:
+        joinable = [nodes for nodes in values_seen.values() if len(nodes) >= 2]
+        if joinable:
+            group = rng.choice(joinable)
+            variable_counter += 1
+            for node in group[:2]:
+                node.variable = f"j{variable_counter}"
+
+    return Pattern(pattern_root, anchored=anchored)
+
+
+def random_update_for(
+    rng: random.Random,
+    fuzzy: FuzzyTree,
+    confidence: float | None = None,
+    insert_probability: float = 0.6,
+    max_insert_nodes: int = 4,
+    query_nodes: int = 3,
+) -> UpdateTransaction:
+    """A random update transaction applicable to *fuzzy*.
+
+    Generates a matching query, names two of its nodes, and builds an
+    insertion under one (a small random subtree) and/or a deletion of a
+    non-root pattern node.  At least one operation is always produced.
+    """
+    pattern = random_query_for(
+        rng,
+        fuzzy.root,
+        max_nodes=query_nodes,
+        join_probability=0.0,
+        value_test_probability=0.2,
+        wildcard_probability=0.0,
+    )
+    nodes = pattern.nodes()
+    # Anchor: any pattern node without a value test (mixed content rule).
+    anchors = [n for n in nodes if n.value is None]
+    non_roots = [n for n in nodes if n.parent is not None]
+
+    operations: list = []
+    counter = 0
+    if anchors and rng.random() < insert_probability:
+        counter += 1
+        anchor = rng.choice(anchors)
+        anchor.variable = anchor.variable or f"a{counter}"
+        subtree = random_tree(
+            rng,
+            RandomTreeConfig(max_nodes=max_insert_nodes, max_children=2, max_depth=2),
+        )
+        operations.append(InsertOperation(anchor.variable, subtree))
+    if non_roots and (not operations or rng.random() < 0.5):
+        counter += 1
+        target = rng.choice(non_roots)
+        target.variable = target.variable or f"d{counter}"
+        operations.append(DeleteOperation(target.variable))
+    if not operations:
+        # Root-only pattern with no insert drawn: force an insertion.
+        anchor = nodes[0]
+        anchor.variable = anchor.variable or "a0"
+        operations.append(InsertOperation(anchor.variable, Node("X")))
+
+    if confidence is None:
+        confidence = rng.choice([0.5, 0.8, 0.9, 1.0])
+    return UpdateTransaction(pattern, operations, confidence)

@@ -1,0 +1,40 @@
+"""XML input/output — substrate S7 (paper, slide 16).
+
+* :mod:`repro.xmlio.serialize` / :mod:`repro.xmlio.parse` — the
+  probabilistic XML dialect for fuzzy documents and plain trees;
+* :mod:`repro.xmlio.xupdate` — XUpdate-style transaction documents.
+"""
+
+from repro.xmlio.parse import (
+    fuzzy_from_element,
+    fuzzy_from_string,
+    plain_from_element,
+    plain_from_string,
+)
+from repro.xmlio.serialize import (
+    NAMESPACE,
+    fuzzy_to_element,
+    fuzzy_to_string,
+    plain_to_element,
+    plain_to_string,
+)
+from repro.xmlio.xupdate import (
+    XUPDATE_NAMESPACE,
+    transaction_from_string,
+    transaction_to_string,
+)
+
+__all__ = [
+    "NAMESPACE",
+    "XUPDATE_NAMESPACE",
+    "fuzzy_to_element",
+    "fuzzy_to_string",
+    "fuzzy_from_element",
+    "fuzzy_from_string",
+    "plain_to_element",
+    "plain_to_string",
+    "plain_from_element",
+    "plain_from_string",
+    "transaction_to_string",
+    "transaction_from_string",
+]

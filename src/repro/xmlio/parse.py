@@ -1,0 +1,146 @@
+"""Parsing of the probabilistic XML dialect back into fuzzy documents.
+
+Inverse of :mod:`repro.xmlio.serialize`; every structural rule of the
+data model is enforced at parse time with precise
+:class:`~repro.errors.XMLFormatError` messages (mixed content, unknown
+events, malformed probabilities), so a corrupted warehouse file cannot
+produce a silently-wrong document.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.errors import EventError, TreeError, XMLFormatError
+from repro.events.condition import Condition
+from repro.events.table import EventTable
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.trees.node import Node
+from repro.xmlio.serialize import NAMESPACE
+
+__all__ = ["fuzzy_from_element", "fuzzy_from_string", "plain_from_element", "plain_from_string"]
+
+_COND = f"{{{NAMESPACE}}}cond"
+_DOCUMENT = f"{{{NAMESPACE}}}document"
+_EVENTS = f"{{{NAMESPACE}}}events"
+_EVENT = f"{{{NAMESPACE}}}event"
+
+
+def fuzzy_from_string(text: str) -> FuzzyTree:
+    """Parse a serialized fuzzy document."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"not well-formed XML: {exc}") from exc
+    return fuzzy_from_element(element)
+
+
+def fuzzy_from_element(document: ET.Element) -> FuzzyTree:
+    if document.tag != _DOCUMENT:
+        raise XMLFormatError(
+            f"expected root element p:document, got {document.tag!r}"
+        )
+    children = list(document)
+    if len(children) != 2 or children[0].tag != _EVENTS:
+        raise XMLFormatError(
+            "p:document must contain exactly a p:events header followed by the data root"
+        )
+    events = _parse_events(children[0])
+    root = _parse_fuzzy_node(children[1], events)
+    try:
+        return FuzzyTree(root, events)
+    except Exception as exc:  # invariant violations become format errors
+        raise XMLFormatError(f"invalid fuzzy document: {exc}") from exc
+
+
+def _parse_events(header: ET.Element) -> EventTable:
+    events = EventTable()
+    for entry in header:
+        if entry.tag != _EVENT:
+            raise XMLFormatError(f"unexpected element in p:events: {entry.tag!r}")
+        name = entry.get("name")
+        prob = entry.get("prob")
+        if name is None or prob is None:
+            raise XMLFormatError("p:event requires both name and prob attributes")
+        try:
+            probability = float(prob)
+        except ValueError:
+            raise XMLFormatError(f"invalid probability {prob!r} for event {name!r}") from None
+        try:
+            events.declare(name, probability)
+        except EventError as exc:
+            raise XMLFormatError(str(exc)) from exc
+    return events
+
+
+def _parse_fuzzy_node(element: ET.Element, events: EventTable) -> FuzzyNode:
+    if element.tag.startswith("{"):
+        raise XMLFormatError(f"data elements must not be namespaced: {element.tag!r}")
+    condition_text = element.get(_COND, "")
+    try:
+        condition = Condition.parse(condition_text)
+    except EventError as exc:
+        raise XMLFormatError(
+            f"invalid condition {condition_text!r} on element {element.tag!r}: {exc}"
+        ) from exc
+    for attribute in element.keys():
+        if attribute != _COND:
+            raise XMLFormatError(
+                f"unexpected attribute {attribute!r} on element {element.tag!r} "
+                "(the dialect has no data attributes)"
+            )
+    children = list(element)
+    text = (element.text or "").strip() or None
+    if text is not None and children:
+        raise XMLFormatError(
+            f"element {element.tag!r} has both text and children (no mixed content)"
+        )
+    try:
+        node = FuzzyNode(element.tag, value=text, condition=condition)
+        for child in children:
+            tail = (child.tail or "").strip()
+            if tail:
+                raise XMLFormatError(
+                    f"element {element.tag!r} has mixed content (trailing text {tail!r})"
+                )
+            node.add_child(_parse_fuzzy_node(child, events))
+    except TreeError as exc:
+        raise XMLFormatError(str(exc)) from exc
+    return node
+
+
+def plain_from_string(text: str) -> Node:
+    """Parse an ordinary (non-probabilistic) data tree from XML."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"not well-formed XML: {exc}") from exc
+    return plain_from_element(element)
+
+
+def plain_from_element(element: ET.Element) -> Node:
+    if element.tag.startswith("{"):
+        raise XMLFormatError(f"data elements must not be namespaced: {element.tag!r}")
+    if element.keys():
+        raise XMLFormatError(
+            f"unexpected attributes on element {element.tag!r} "
+            "(plain trees carry no attributes)"
+        )
+    children = list(element)
+    text = (element.text or "").strip() or None
+    if text is not None and children:
+        raise XMLFormatError(
+            f"element {element.tag!r} has both text and children (no mixed content)"
+        )
+    try:
+        node = Node(element.tag, value=text)
+        for child in children:
+            tail = (child.tail or "").strip()
+            if tail:
+                raise XMLFormatError(
+                    f"element {element.tag!r} has mixed content (trailing text {tail!r})"
+                )
+            node.add_child(plain_from_element(child))
+    except TreeError as exc:
+        raise XMLFormatError(str(exc)) from exc
+    return node

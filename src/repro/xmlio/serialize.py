@@ -1,0 +1,82 @@
+"""Serialization of fuzzy documents to the probabilistic XML dialect.
+
+The paper's implementation stores fuzzy trees as XML files (slide 16).
+This reproduction uses an equivalent dialect built on
+:mod:`xml.etree.ElementTree`:
+
+* every data node becomes an element of the same name;
+* a leaf value becomes the element's text;
+* a node condition is carried in a ``p:cond`` attribute holding the
+  literal conjunction (``"w1 !w2"``);
+* the event table is a ``<p:events>`` header of ``<p:event name=".."
+  prob=".."/>`` entries, and the whole document is wrapped in
+  ``<p:document>``.
+
+``p:`` attributes use an explicit XML namespace so probabilistic
+metadata can never collide with data labels.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.trees.node import Node
+
+__all__ = [
+    "NAMESPACE",
+    "fuzzy_to_element",
+    "fuzzy_to_string",
+    "plain_to_element",
+    "plain_to_string",
+]
+
+#: Namespace of the probabilistic annotations.
+NAMESPACE = "urn:repro:probabilistic-xml"
+_COND = f"{{{NAMESPACE}}}cond"
+_DOCUMENT = f"{{{NAMESPACE}}}document"
+_EVENTS = f"{{{NAMESPACE}}}events"
+_EVENT = f"{{{NAMESPACE}}}event"
+
+ET.register_namespace("p", NAMESPACE)
+
+
+def fuzzy_to_element(fuzzy: FuzzyTree) -> ET.Element:
+    """Serialize a fuzzy document into a ``<p:document>`` element tree."""
+    document = ET.Element(_DOCUMENT)
+    events = ET.SubElement(document, _EVENTS)
+    for name, probability in fuzzy.events.items():
+        ET.SubElement(events, _EVENT, {"name": name, "prob": repr(probability)})
+    document.append(_node_to_element(fuzzy.root))
+    return document
+
+
+def _node_to_element(node: Node) -> ET.Element:
+    element = ET.Element(node.label)
+    if isinstance(node, FuzzyNode) and not node.condition.is_true:
+        element.set(_COND, str(node.condition))
+    if node.value is not None:
+        element.text = node.value
+    for child in node.children:
+        element.append(_node_to_element(child))
+    return element
+
+
+def fuzzy_to_string(fuzzy: FuzzyTree, indent: bool = True) -> str:
+    """Serialize a fuzzy document to an XML string."""
+    element = fuzzy_to_element(fuzzy)
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def plain_to_element(root: Node) -> ET.Element:
+    """Serialize an ordinary data tree (e.g. a query answer) to XML."""
+    return _node_to_element(root)
+
+
+def plain_to_string(root: Node, indent: bool = True) -> str:
+    element = plain_to_element(root)
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")

@@ -1,0 +1,114 @@
+"""XUpdate-style update transaction documents.
+
+The paper's implementation expresses updates in XUpdate (slide 16).
+This reproduction uses an XUpdate-flavoured dialect carrying the same
+information — a selecting query, elementary insert/delete operations,
+and the transaction confidence::
+
+    <xu:modifications xmlns:xu="urn:repro:xupdate"
+                      query="/A { B, C[$c] }" confidence="0.9">
+      <xu:insert anchor="a"><D/></xu:insert>
+      <xu:delete target="c"/>
+    </xu:modifications>
+
+* ``query`` holds the TPWJ text syntax (:mod:`repro.tpwj.parser`);
+* ``anchor`` / ``target`` name query variables (without the ``$``);
+* the body of ``xu:insert`` is the subtree to insert, in the plain
+  data dialect.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.errors import QueryError, QueryParseError, UpdateError, XMLFormatError
+from repro.tpwj.parser import format_pattern, parse_pattern
+from repro.updates.operations import DeleteOperation, InsertOperation
+from repro.updates.transaction import UpdateTransaction
+from repro.xmlio.parse import plain_from_element
+from repro.xmlio.serialize import plain_to_element
+
+__all__ = ["XUPDATE_NAMESPACE", "transaction_to_string", "transaction_from_string"]
+
+XUPDATE_NAMESPACE = "urn:repro:xupdate"
+_MODIFICATIONS = f"{{{XUPDATE_NAMESPACE}}}modifications"
+_INSERT = f"{{{XUPDATE_NAMESPACE}}}insert"
+_DELETE = f"{{{XUPDATE_NAMESPACE}}}delete"
+
+ET.register_namespace("xu", XUPDATE_NAMESPACE)
+
+
+def transaction_to_element(transaction: UpdateTransaction) -> ET.Element:
+    """Serialize a transaction into an ``xu:modifications`` element."""
+    element = ET.Element(
+        _MODIFICATIONS,
+        {
+            "query": format_pattern(transaction.query),
+            "confidence": repr(transaction.confidence),
+        },
+    )
+    for op in transaction.operations:
+        if isinstance(op, InsertOperation):
+            insert = ET.SubElement(element, _INSERT, {"anchor": op.anchor})
+            insert.append(plain_to_element(op.subtree))
+        else:
+            ET.SubElement(element, _DELETE, {"target": op.target})
+    return element
+
+
+def transaction_to_string(transaction: UpdateTransaction, indent: bool = True) -> str:
+    element = transaction_to_element(transaction)
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def transaction_from_string(text: str) -> UpdateTransaction:
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"not well-formed XML: {exc}") from exc
+    return transaction_from_element(element)
+
+
+def transaction_from_element(element: ET.Element) -> UpdateTransaction:
+    if element.tag != _MODIFICATIONS:
+        raise XMLFormatError(
+            f"expected root element xu:modifications, got {element.tag!r}"
+        )
+    query_text = element.get("query")
+    if query_text is None:
+        raise XMLFormatError("xu:modifications requires a query attribute")
+    try:
+        query = parse_pattern(query_text)
+    except QueryParseError as exc:
+        raise XMLFormatError(f"invalid query {query_text!r}: {exc}") from exc
+
+    confidence_text = element.get("confidence", "1.0")
+    try:
+        confidence = float(confidence_text)
+    except ValueError:
+        raise XMLFormatError(f"invalid confidence {confidence_text!r}") from None
+
+    operations: list = []
+    for child in element:
+        if child.tag == _INSERT:
+            anchor = child.get("anchor")
+            if anchor is None:
+                raise XMLFormatError("xu:insert requires an anchor attribute")
+            bodies = list(child)
+            if len(bodies) != 1:
+                raise XMLFormatError("xu:insert must contain exactly one subtree")
+            operations.append(InsertOperation(anchor, plain_from_element(bodies[0])))
+        elif child.tag == _DELETE:
+            target = child.get("target")
+            if target is None:
+                raise XMLFormatError("xu:delete requires a target attribute")
+            operations.append(DeleteOperation(target))
+        else:
+            raise XMLFormatError(f"unexpected element in xu:modifications: {child.tag!r}")
+
+    try:
+        return UpdateTransaction(query, operations, confidence)
+    except (UpdateError, QueryError) as exc:
+        raise XMLFormatError(f"invalid transaction: {exc}") from exc

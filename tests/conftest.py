@@ -1,0 +1,46 @@
+"""Shared fixtures: the paper's worked examples and random-instance helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Condition, EventTable, FuzzyNode, FuzzyTree
+
+
+@pytest.fixture
+def slide12_doc() -> FuzzyTree:
+    """The fuzzy tree of slide 12: A { B[w1,¬w2], C { D[w2] } }, w1=0.8 w2=0.7.
+
+    Its possible worlds are A(C)=0.06, A(C(D))=0.70, A(B,C)=0.24.
+    """
+    events = EventTable({"w1": 0.8, "w2": 0.7})
+    root = FuzzyNode(
+        "A",
+        children=[
+            FuzzyNode("B", condition=Condition.of("w1", "!w2")),
+            FuzzyNode("C", children=[FuzzyNode("D", condition=Condition.of("w2"))]),
+        ],
+    )
+    return FuzzyTree(root, events)
+
+
+@pytest.fixture
+def slide15_doc() -> FuzzyTree:
+    """The fuzzy tree of slide 15 before the update: A { B[w1], C[w2] }."""
+    events = EventTable({"w1": 0.8, "w2": 0.7})
+    root = FuzzyNode(
+        "A",
+        children=[
+            FuzzyNode("B", condition=Condition.of("w1")),
+            FuzzyNode("C", condition=Condition.of("w2")),
+        ],
+    )
+    return FuzzyTree(root, events)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for seed-driven tests."""
+    return random.Random(20060328)  # the paper's presentation date

@@ -1,0 +1,81 @@
+"""Tests for empirical complexity fitting (repro.analysis.complexity)."""
+
+import pytest
+
+from repro.analysis import classify_growth, fit_exponential, fit_power_law, measure
+
+
+class TestPowerLaw:
+    def test_recovers_quadratic(self):
+        sizes = [10, 20, 40, 80, 160]
+        times = [3e-6 * n**2 for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_recovers_linear(self):
+        sizes = [10, 100, 1000]
+        times = [5e-7 * n for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_constant_factor(self):
+        sizes = [1, 2, 4, 8]
+        times = [7.0 for _ in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+        assert fit.constant == pytest.approx(7.0)
+
+    def test_str_mentions_model(self):
+        fit = fit_power_law([1, 2, 4], [1.0, 2.0, 4.0])
+        assert "n^" in str(fit)
+
+
+class TestExponential:
+    def test_recovers_doubling(self):
+        sizes = [2, 4, 6, 8, 10]
+        times = [1e-6 * 2**n for n in sizes]
+        fit = fit_exponential(sizes, times)
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_str_mentions_model(self):
+        fit = fit_exponential([1, 2, 3], [2.0, 4.0, 8.0])
+        assert "2^(" in str(fit)
+
+
+class TestClassify:
+    def test_prefers_power_for_polynomial_data(self):
+        sizes = [10, 20, 40, 80]
+        times = [1e-6 * n**1.5 for n in sizes]
+        assert classify_growth(sizes, times).model == "power"
+
+    def test_prefers_exponential_for_exponential_data(self):
+        sizes = [2, 4, 6, 8, 10, 12]
+        times = [1e-7 * 2**n for n in sizes]
+        assert classify_growth(sizes, times).model == "exponential"
+
+
+class TestGuards:
+    def test_need_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5], [1.0])
+
+    def test_degenerate_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([3, 3, 3], [1.0, 2.0, 3.0])
+
+    def test_zero_times_clamped(self):
+        fit = fit_power_law([1, 2, 4], [0.0, 0.0, 0.0])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMeasure:
+    def test_returns_one_time_per_size(self):
+        times = measure(lambda n: sum(range(n)), [10, 100], repeats=3)
+        assert len(times) == 2
+        assert all(t >= 0.0 for t in times)
+
+    def test_work_actually_scales(self):
+        times = measure(lambda n: sum(range(n)), [1000, 1_000_000], repeats=3)
+        assert times[1] > times[0]

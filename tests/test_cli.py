@@ -1,0 +1,137 @@
+"""Tests for the warehouse CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmlio import fuzzy_to_string, transaction_to_string
+from repro import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateTransaction,
+    parse_pattern,
+)
+from repro.trees import tree
+
+
+@pytest.fixture
+def store(tmp_path, slide12_doc):
+    """A warehouse directory initialised from the slide-12 document."""
+    doc_file = tmp_path / "doc.xml"
+    doc_file.write_text(fuzzy_to_string(slide12_doc))
+    path = tmp_path / "wh"
+    assert main(["init", str(path), "--document", str(doc_file)]) == 0
+    return path
+
+
+class TestInit:
+    def test_init_with_root_label(self, tmp_path, capsys):
+        assert main(["init", str(tmp_path / "w"), "--root", "directory"]) == 0
+        out = capsys.readouterr().out
+        assert "created warehouse" in out and "1 nodes" in out
+
+    def test_init_from_document(self, store, capsys):
+        main(["stats", str(store)])
+        assert "nodes: 4" in capsys.readouterr().out
+
+    def test_init_twice_fails(self, store, capsys):
+        assert main(["init", str(store), "--root", "x"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_canonical_output(self, store, capsys):
+        assert main(["query", str(store), "//D"]) == 0
+        out = capsys.readouterr().out
+        assert "0.700000" in out and "A(C(D))" in out
+
+    def test_query_xml_output(self, store, capsys):
+        assert main(["query", str(store), "//D", "--xml"]) == 0
+        out = capsys.readouterr().out
+        assert "<A>" in out and "P = 0.700000" in out
+
+    def test_query_no_answers(self, store, capsys):
+        assert main(["query", str(store), "//Z"]) == 0
+        assert "(no answers)" in capsys.readouterr().out
+
+    def test_query_limit(self, store, capsys):
+        assert main(["query", str(store), "*", "--limit", "2"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2
+
+    def test_bad_pattern_is_an_error(self, store, capsys):
+        assert main(["query", str(store), "A {"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestUpdate:
+    def test_update_from_file(self, store, tmp_path, capsys):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 0.5
+        )
+        tx_file = tmp_path / "tx.xml"
+        tx_file.write_text(transaction_to_string(tx))
+        assert main(["update", str(store), "--xupdate", str(tx_file)]) == 0
+        out = capsys.readouterr().out
+        assert "applied: True" in out and "matches: 1" in out
+
+    def test_confidence_override(self, store, tmp_path, capsys):
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [DeleteOperation("b")], 1.0
+        )
+        tx_file = tmp_path / "tx.xml"
+        tx_file.write_text(transaction_to_string(tx))
+        assert main(
+            ["update", str(store), "--xupdate", str(tx_file), "--confidence", "0.4"]
+        ) == 0
+        assert "event: w3" in capsys.readouterr().out
+
+
+class TestMaintenance:
+    def test_stats(self, store, capsys):
+        assert main(["stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 4" in out and "sequence: 1" in out
+
+    def test_simplify(self, store, capsys):
+        assert main(["simplify", str(store)]) == 0
+        assert "nodes: 4 -> 4" in capsys.readouterr().out
+
+    def test_history_and_tail(self, store, tmp_path, capsys):
+        assert main(["history", str(store)]) == 0
+        assert "#1  create" in capsys.readouterr().out
+        assert main(["history", str(store), "--tail", "0"]) == 0
+
+    def test_worlds(self, store, capsys):
+        assert main(["worlds", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "A(C(D))" in out and "0.700000" in out
+
+    def test_estimate(self, store, capsys):
+        assert main(["estimate", str(store), "//D", "--samples", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "±" in out and "A(C(D))" in out
+
+    def test_export_roundtrips(self, store, capsys):
+        from repro.xmlio import fuzzy_from_string
+
+        assert main(["export", str(store)]) == 0
+        document = fuzzy_from_string(capsys.readouterr().out)
+        assert document.size() == 4
+
+    def test_missing_warehouse_is_an_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self, store):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", str(store)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "nodes: 4" in result.stdout

@@ -1,0 +1,144 @@
+"""Tests for aggregate queries (repro.core.aggregates)."""
+
+import random
+
+import pytest
+
+from repro import (
+    Condition,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    parse_pattern,
+)
+from repro.core import (
+    expected_answers,
+    expected_matches,
+    match_count_distribution,
+    probability_at_least,
+)
+from repro.tpwj import find_matches
+
+
+@pytest.fixture
+def two_bs():
+    """A with two independent uncertain B children (0.5 each)."""
+    events = EventTable({"w1": 0.5, "w2": 0.5})
+    root = FuzzyNode(
+        "A",
+        children=[
+            FuzzyNode("B", value="x", condition=Condition.of("w1")),
+            FuzzyNode("B", value="y", condition=Condition.of("w2")),
+        ],
+    )
+    return FuzzyTree(root, events)
+
+
+class TestExpectedMatches:
+    def test_sum_of_match_probabilities(self, two_bs):
+        assert expected_matches(two_bs, parse_pattern("B")) == pytest.approx(1.0)
+
+    def test_certain_matches(self, slide12_doc):
+        assert expected_matches(slide12_doc, parse_pattern("/A { C }")) == pytest.approx(1.0)
+
+    def test_no_match(self, slide12_doc):
+        assert expected_matches(slide12_doc, parse_pattern("Z")) == 0.0
+
+    def test_matches_worlds_expectation(self, slide12_doc):
+        from repro import to_possible_worlds
+
+        pattern = parse_pattern("*")
+        expectation = expected_matches(slide12_doc, pattern)
+        brute = sum(
+            w.probability * len(find_matches(pattern, w.tree))
+            for w in to_possible_worlds(slide12_doc)
+        )
+        assert expectation == pytest.approx(brute)
+
+
+class TestExpectedAnswers:
+    def test_distinct_answer_expectation(self, two_bs):
+        # Answers A(B=x) and A(B=y), each probability 0.5.
+        assert expected_answers(two_bs, parse_pattern("B")) == pytest.approx(1.0)
+
+    def test_identical_values_merge_answers(self):
+        events = EventTable({"w1": 0.5, "w2": 0.5})
+        root = FuzzyNode(
+            "A",
+            children=[
+                FuzzyNode("B", condition=Condition.of("w1")),
+                FuzzyNode("B", condition=Condition.of("w2")),
+            ],
+        )
+        doc = FuzzyTree(root, events)
+        # One distinct answer A(B), probability 1 - 0.25 = 0.75; but two
+        # matches with expected count 1.0.
+        assert expected_answers(doc, parse_pattern("B")) == pytest.approx(0.75)
+        assert expected_matches(doc, parse_pattern("B")) == pytest.approx(1.0)
+
+
+class TestCountDistribution:
+    def test_binomial_shape(self, two_bs):
+        distribution = match_count_distribution(two_bs, parse_pattern("B"))
+        assert distribution == pytest.approx({0: 0.25, 1: 0.5, 2: 0.25})
+
+    def test_sums_to_one(self, slide12_doc):
+        distribution = match_count_distribution(slide12_doc, parse_pattern("*"))
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_commutes_with_worlds(self, slide12_doc):
+        from repro import to_possible_worlds
+
+        pattern = parse_pattern("/A { B }")
+        distribution = match_count_distribution(slide12_doc, pattern)
+        brute: dict[int, float] = {}
+        for world in to_possible_worlds(slide12_doc):
+            count = len(find_matches(pattern, world.tree))
+            brute[count] = brute.get(count, 0.0) + world.probability
+        assert distribution == pytest.approx(brute)
+
+    def test_random_instances_commute(self):
+        from repro import to_possible_worlds
+        from repro.workloads import (
+            FuzzyWorkloadConfig,
+            random_fuzzy_tree,
+            random_query_for,
+        )
+
+        rng = random.Random(60)
+        for _ in range(10):
+            doc = random_fuzzy_tree(rng, FuzzyWorkloadConfig(n_events=3))
+            pattern = random_query_for(rng, doc.root, max_nodes=3)
+            distribution = match_count_distribution(doc, pattern)
+            brute: dict[int, float] = {}
+            for world in to_possible_worlds(doc):
+                count = len(find_matches(pattern, world.tree))
+                brute[count] = brute.get(count, 0.0) + world.probability
+            assert distribution == pytest.approx(brute)
+
+    def test_expectation_consistent_with_distribution(self, two_bs):
+        pattern = parse_pattern("B")
+        distribution = match_count_distribution(two_bs, pattern)
+        mean = sum(count * weight for count, weight in distribution.items())
+        assert mean == pytest.approx(expected_matches(two_bs, pattern))
+
+
+class TestTailProbability:
+    def test_at_least_zero_is_one(self, two_bs):
+        assert probability_at_least(two_bs, parse_pattern("B"), 0) == 1.0
+
+    def test_at_least_one(self, two_bs):
+        assert probability_at_least(two_bs, parse_pattern("B"), 1) == pytest.approx(0.75)
+
+    def test_at_least_two(self, two_bs):
+        assert probability_at_least(two_bs, parse_pattern("B"), 2) == pytest.approx(0.25)
+
+    def test_beyond_possible_count_is_zero(self, two_bs):
+        assert probability_at_least(two_bs, parse_pattern("B"), 3) == 0.0
+
+    def test_with_negation(self, slide12_doc):
+        # "A C child with no D": holds iff ¬w2 -> 0.3.
+        probability = probability_at_least(
+            slide12_doc, parse_pattern("C { !D }"), 1
+        )
+        assert probability == pytest.approx(0.3)

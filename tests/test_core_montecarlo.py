@@ -1,0 +1,70 @@
+"""Unit tests for Monte-Carlo query estimation (repro.core.montecarlo)."""
+
+import random
+
+import pytest
+
+from repro import estimate_query, parse_pattern, query_fuzzy_tree
+
+
+class TestEstimation:
+    def test_deterministic_for_seed(self, slide12_doc):
+        pattern = parse_pattern("//D")
+        first = estimate_query(slide12_doc, pattern, samples=200, rng=random.Random(5))
+        second = estimate_query(slide12_doc, pattern, samples=200, rng=random.Random(5))
+        assert [(e.tree.canonical(), e.occurrences) for e in first] == [
+            (e.tree.canonical(), e.occurrences) for e in second
+        ]
+
+    def test_estimates_close_to_exact(self, slide12_doc):
+        pattern = parse_pattern("//D")
+        exact = query_fuzzy_tree(slide12_doc, pattern)[0].probability
+        estimates = estimate_query(
+            slide12_doc, pattern, samples=4000, rng=random.Random(7)
+        )
+        assert len(estimates) == 1
+        assert estimates[0].probability == pytest.approx(exact, abs=0.03)
+
+    def test_stderr_formula(self, slide12_doc):
+        estimates = estimate_query(
+            slide12_doc, parse_pattern("//D"), samples=100, rng=random.Random(1)
+        )
+        estimate = estimates[0]
+        p = estimate.probability
+        assert estimate.stderr == pytest.approx((p * (1 - p) / 100) ** 0.5)
+        assert estimate.samples == 100
+        assert estimate.occurrences == round(p * 100)
+
+    def test_certain_answer_always_observed(self, slide12_doc):
+        estimates = estimate_query(
+            slide12_doc, parse_pattern("/A { C }"), samples=50, rng=random.Random(2)
+        )
+        assert len(estimates) == 1
+        assert estimates[0].probability == 1.0
+        assert estimates[0].stderr == 0.0
+
+    def test_impossible_answer_never_observed(self, slide12_doc):
+        estimates = estimate_query(
+            slide12_doc,
+            parse_pattern("/A { B, //D }"),
+            samples=200,
+            rng=random.Random(3),
+        )
+        assert estimates == []
+
+    def test_multiple_answers_sorted(self, slide12_doc):
+        estimates = estimate_query(
+            slide12_doc, parse_pattern("*"), samples=500, rng=random.Random(4)
+        )
+        probabilities = [e.probability for e in estimates]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_invalid_sample_count_rejected(self, slide12_doc):
+        with pytest.raises(ValueError):
+            estimate_query(slide12_doc, parse_pattern("B"), samples=0)
+
+    def test_default_rng_is_seeded(self, slide12_doc):
+        pattern = parse_pattern("B")
+        first = estimate_query(slide12_doc, pattern, samples=100)
+        second = estimate_query(slide12_doc, pattern, samples=100)
+        assert [e.occurrences for e in first] == [e.occurrences for e in second]

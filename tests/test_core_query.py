@@ -1,0 +1,116 @@
+"""Unit tests for query evaluation on fuzzy trees (repro.core.query) —
+the slide-13 definition and commutation theorem."""
+
+import pytest
+
+from repro import (
+    Condition,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    parse_pattern,
+    query_fuzzy_tree,
+    query_possible_worlds,
+    to_possible_worlds,
+)
+from repro.tpwj import find_matches
+from repro.core import match_condition
+from repro.trees import tree
+
+
+class TestMatchCondition:
+    def test_includes_ancestors(self, slide12_doc):
+        pattern = parse_pattern("D")
+        match = find_matches(pattern, slide12_doc.root)[0]
+        # D's own condition is w2; C and A add nothing.
+        assert match_condition(match) == Condition.of("w2")
+
+    def test_conjunction_over_all_mapped_nodes(self, slide12_doc):
+        pattern = parse_pattern("/A { B, C }")
+        match = find_matches(pattern, slide12_doc.root)[0]
+        # B contributes w1 ∧ ¬w2; C and A are unconditioned.
+        assert match_condition(match) == Condition.of("w1", "!w2")
+
+    def test_inconsistent_match_returns_none(self, slide12_doc):
+        pattern = parse_pattern("/A { B, //D }")
+        match = find_matches(pattern, slide12_doc.root)[0]
+        assert match_condition(match) is None
+
+
+class TestQueryEvaluation:
+    def test_simple_answer_probability(self, slide12_doc):
+        answers = query_fuzzy_tree(slide12_doc, parse_pattern("//D"))
+        assert len(answers) == 1
+        assert answers[0].probability == pytest.approx(0.7)
+        assert answers[0].tree.canonical() == "A(C(D))"
+
+    def test_impossible_query_gives_no_answers(self, slide12_doc):
+        # B requires ¬w2, D requires w2: never both.
+        answers = query_fuzzy_tree(slide12_doc, parse_pattern("/A { B, //D }"))
+        assert answers == []
+
+    def test_unconditioned_answer_has_probability_one(self, slide12_doc):
+        answers = query_fuzzy_tree(slide12_doc, parse_pattern("/A { C }"))
+        assert len(answers) == 1
+        assert answers[0].probability == pytest.approx(1.0)
+
+    def test_answers_sorted_by_probability(self, slide12_doc):
+        answers = query_fuzzy_tree(slide12_doc, parse_pattern("*"))
+        probabilities = [a.probability for a in answers]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_multiple_matches_same_answer_combine_via_dnf(self):
+        # Two B copies under different events both yield answer A(B):
+        # P = P(w1 ∨ w2) = 1 - 0.5*0.5 = 0.75, not 0.5 + 0.5.
+        events = EventTable({"w1": 0.5, "w2": 0.5})
+        root = FuzzyNode(
+            "A",
+            children=[
+                FuzzyNode("B", condition=Condition.of("w1")),
+                FuzzyNode("B", condition=Condition.of("w2")),
+            ],
+        )
+        doc = FuzzyTree(root, events)
+        answers = query_fuzzy_tree(doc, parse_pattern("B"))
+        assert len(answers) == 1
+        assert answers[0].probability == pytest.approx(0.75)
+        assert len(answers[0].dnf.terms) == 2
+
+    def test_join_probability(self):
+        events = EventTable({"w1": 0.6})
+        root = FuzzyNode(
+            "A",
+            children=[
+                FuzzyNode("B", value="v", condition=Condition.of("w1")),
+                FuzzyNode("C", value="v"),
+            ],
+        )
+        doc = FuzzyTree(root, events)
+        answers = query_fuzzy_tree(doc, parse_pattern("A { B[$x], C[$x] }"))
+        assert len(answers) == 1
+        assert answers[0].probability == pytest.approx(0.6)
+
+
+class TestCommutation:
+    """The slide-13 commuting diagram on the worked examples."""
+
+    def commutes(self, doc, pattern_text):
+        pattern = parse_pattern(pattern_text)
+        via_fuzzy = query_fuzzy_tree(doc, pattern)
+        via_worlds = query_possible_worlds(to_possible_worlds(doc), pattern)
+        got = {a.tree.canonical(): a.probability for a in via_fuzzy}
+        want = {w.tree.canonical(): w.probability for w in via_worlds}
+        assert set(got) == set(want)
+        for key in want:
+            assert got[key] == pytest.approx(want[key], abs=1e-12)
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["//D", "B", "/A { C }", "/A { B, C }", "*", "/A { //D }", "C { D }"],
+    )
+    def test_slide12_patterns(self, slide12_doc, pattern):
+        self.commutes(slide12_doc, pattern)
+
+    @pytest.mark.parametrize("pattern", ["B", "C", "/A { B, C }"])
+    def test_slide15_patterns(self, slide15_doc, pattern):
+        self.commutes(slide15_doc, pattern)

@@ -1,0 +1,255 @@
+"""Unit tests for fuzzy data simplification (repro.core.simplify)."""
+
+import pytest
+
+from repro import (
+    Condition,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    simplify,
+    to_possible_worlds,
+)
+from repro.core.simplify import ALL_RULES
+
+
+def doc_with(events: dict, build) -> FuzzyTree:
+    table = EventTable(events)
+    return FuzzyTree(build(), table)
+
+
+class TestCertainRule:
+    def test_probability_one_literal_dropped(self):
+        doc = doc_with(
+            {"sure": 1.0},
+            lambda: FuzzyNode(
+                "A", children=[FuzzyNode("B", condition=Condition.of("sure"))]
+            ),
+        )
+        report = simplify(doc, rules=("certain", "gc"))
+        assert doc.root.children[0].condition.is_true
+        assert report.dropped_literals == 1
+        assert "sure" not in doc.events
+
+    def test_probability_zero_positive_literal_removes_node(self):
+        doc = doc_with(
+            {"never": 0.0},
+            lambda: FuzzyNode(
+                "A", children=[FuzzyNode("B", condition=Condition.of("never"))]
+            ),
+        )
+        simplify(doc, rules=("certain",))
+        assert doc.size() == 1
+
+    def test_probability_one_negative_literal_removes_node(self):
+        doc = doc_with(
+            {"sure": 1.0},
+            lambda: FuzzyNode(
+                "A", children=[FuzzyNode("B", condition=Condition.of("!sure"))]
+            ),
+        )
+        simplify(doc, rules=("certain",))
+        assert doc.size() == 1
+
+
+class TestImpossibleRule:
+    def test_path_conflict_removes_subtree(self):
+        doc = doc_with(
+            {"w1": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode(
+                        "B",
+                        condition=Condition.of("w1"),
+                        children=[
+                            FuzzyNode(
+                                "C",
+                                condition=Condition.of("!w1"),
+                                children=[FuzzyNode("D")],
+                            )
+                        ],
+                    )
+                ],
+            ),
+        )
+        report = simplify(doc, rules=("impossible",))
+        assert doc.size() == 2  # A and B remain
+        assert report.removed_impossible == 2  # C and D
+
+
+class TestImpliedRule:
+    def test_ancestor_literal_dropped_from_descendant(self):
+        doc = doc_with(
+            {"w1": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode(
+                        "B",
+                        condition=Condition.of("w1"),
+                        children=[FuzzyNode("C", condition=Condition.of("w1"))],
+                    )
+                ],
+            ),
+        )
+        simplify(doc, rules=("implied",))
+        c = doc.root.children[0].children[0]
+        assert c.condition.is_true
+
+    def test_opposite_polarity_not_dropped(self):
+        doc = doc_with(
+            {"w1": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode(
+                        "B",
+                        condition=Condition.of("w1"),
+                        children=[FuzzyNode("C", condition=Condition.of("!w1"))],
+                    )
+                ],
+            ),
+        )
+        simplify(doc, rules=("implied",))
+        c = doc.root.children[0].children[0]
+        assert c.condition == Condition.of("!w1")
+
+
+class TestSiblingMerge:
+    def test_complementary_pair_merges(self):
+        doc = doc_with(
+            {"w1": 0.5, "w2": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", condition=Condition.of("w1", "w2")),
+                    FuzzyNode("B", condition=Condition.of("w1", "!w2")),
+                ],
+            ),
+        )
+        report = simplify(doc, rules=("siblings", "gc"))
+        assert report.merged_siblings == 1
+        assert doc.size() == 2
+        assert doc.root.children[0].condition == Condition.of("w1")
+        assert "w2" not in doc.events
+
+    def test_identical_conditions_not_merged(self):
+        # Two copies with the SAME condition are a genuine multiset of 2.
+        doc = doc_with(
+            {"w1": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", condition=Condition.of("w1")),
+                    FuzzyNode("B", condition=Condition.of("w1")),
+                ],
+            ),
+        )
+        simplify(doc)
+        assert doc.size() == 3
+
+    def test_different_subtrees_not_merged(self):
+        doc = doc_with(
+            {"w1": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", value="x", condition=Condition.of("w1")),
+                    FuzzyNode("B", value="y", condition=Condition.of("!w1")),
+                ],
+            ),
+        )
+        simplify(doc)
+        assert doc.size() == 3
+
+    def test_children_conditions_must_match_too(self):
+        doc = doc_with(
+            {"w1": 0.5, "w2": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode(
+                        "B",
+                        condition=Condition.of("w1"),
+                        children=[FuzzyNode("C", condition=Condition.of("w2"))],
+                    ),
+                    FuzzyNode(
+                        "B",
+                        condition=Condition.of("!w1"),
+                        children=[FuzzyNode("C")],
+                    ),
+                ],
+            ),
+        )
+        simplify(doc, rules=("siblings",))
+        assert len(doc.root.children) == 2  # not mergeable
+
+    def test_cascading_merges(self):
+        # Four complementary copies collapse pairwise then fully.
+        doc = doc_with(
+            {"w1": 0.5, "w2": 0.5},
+            lambda: FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", condition=Condition.of("w1", "w2")),
+                    FuzzyNode("B", condition=Condition.of("w1", "!w2")),
+                    FuzzyNode("B", condition=Condition.of("!w1", "w2")),
+                    FuzzyNode("B", condition=Condition.of("!w1", "!w2")),
+                ],
+            ),
+        )
+        simplify(doc, rules=("siblings",))
+        assert doc.size() == 2
+        assert doc.root.children[0].condition.is_true
+
+
+class TestGc:
+    def test_unused_events_collected(self, slide12_doc):
+        slide12_doc.events.declare("orphan", 0.4)
+        report = simplify(slide12_doc, rules=("gc",))
+        assert report.collected_events == 1
+        assert "orphan" not in slide12_doc.events
+
+    def test_used_events_kept(self, slide12_doc):
+        simplify(slide12_doc, rules=("gc",))
+        assert set(slide12_doc.events.names()) == {"w1", "w2"}
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize("rules", [ALL_RULES] + [(rule,) for rule in ALL_RULES])
+    def test_each_rule_preserves_distribution(self, slide12_doc, rules):
+        before = to_possible_worlds(slide12_doc)
+        simplify(slide12_doc, rules=rules)
+        assert to_possible_worlds(slide12_doc).same_distribution(before, 1e-12)
+
+    def test_after_update_chain(self, slide15_doc):
+        from repro import (
+            DeleteOperation,
+            InsertOperation,
+            UpdateTransaction,
+            apply_update,
+            parse_pattern,
+        )
+        from repro.trees import tree as t
+
+        tx = UpdateTransaction(
+            parse_pattern("/A[$a] { B, C[$c] }"),
+            [DeleteOperation("c"), InsertOperation("a", t("D"))],
+            0.9,
+        )
+        apply_update(slide15_doc, tx)
+        before = to_possible_worlds(slide15_doc)
+        report = simplify(slide15_doc)
+        after = to_possible_worlds(slide15_doc)
+        assert after.same_distribution(before, 1e-12)
+        assert report.nodes_after <= report.nodes_before
+
+    def test_unknown_rule_rejected(self, slide12_doc):
+        with pytest.raises(ValueError, match="unknown"):
+            simplify(slide12_doc, rules=("bogus",))
+
+    def test_report_measures(self, slide12_doc):
+        report = simplify(slide12_doc)
+        assert report.nodes_before == 4
+        assert report.rounds >= 1

@@ -1,0 +1,223 @@
+"""Unit tests for probabilistic updates on fuzzy trees
+(repro.core.update) — slides 14 and 15."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro import (
+    Condition,
+    DeleteOperation,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    InsertOperation,
+    UpdateTransaction,
+    apply_update,
+    parse_pattern,
+    to_possible_worlds,
+    update_possible_worlds,
+)
+from repro.trees import tree
+
+
+def conditional_replacement_tx() -> UpdateTransaction:
+    """Slide 15: replace C by D if B is present, confidence 0.9."""
+    query = parse_pattern("/A[$a] { B, C[$c] }")
+    return UpdateTransaction(
+        query, [DeleteOperation("c"), InsertOperation("a", tree("D"))], 0.9
+    )
+
+
+class TestSlide15:
+    def test_exact_fuzzy_tree_shape(self, slide15_doc):
+        apply_update(slide15_doc, conditional_replacement_tx())
+        by_condition = {
+            str(node.condition): node.label
+            for node in slide15_doc.iter_nodes()
+            if node is not slide15_doc.root
+        }
+        # The four conditioned nodes of the slide-15 result figure.
+        assert by_condition == {
+            "w1": "B",
+            "!w1 w2": "C",
+            "w1 w2 !w3": "C",
+            "w1 w2 w3": "D",
+        }
+
+    def test_event_table_extended_with_confidence(self, slide15_doc):
+        report = apply_update(slide15_doc, conditional_replacement_tx())
+        assert report.confidence_event == "w3"
+        assert slide15_doc.events.probability("w3") == pytest.approx(0.9)
+
+    def test_commutes_with_possible_worlds(self, slide15_doc):
+        baseline = to_possible_worlds(slide15_doc)
+        truth = update_possible_worlds(baseline, conditional_replacement_tx())
+        apply_update(slide15_doc, conditional_replacement_tx())
+        assert to_possible_worlds(slide15_doc).same_distribution(truth, 1e-12)
+
+    def test_report_counters(self, slide15_doc):
+        report = apply_update(slide15_doc, conditional_replacement_tx())
+        assert report.applied
+        assert report.matches == 1
+        assert report.inserted_subtrees == 1
+        assert report.deletion_targets == 1
+        assert report.survivor_copies == 2
+
+
+class TestInsertions:
+    def test_inserted_root_carries_match_condition_and_confidence(self, slide12_doc):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N", "x"))], 0.5
+        )
+        apply_update(slide12_doc, tx)
+        inserted = [n for n in slide12_doc.iter_nodes() if n.label == "N"]
+        assert len(inserted) == 1
+        # C is unconditioned, so the condition is just the fresh event.
+        assert str(inserted[0].condition) == "w3"
+        assert slide12_doc.events.probability("w3") == pytest.approx(0.5)
+
+    def test_insertion_with_certainty_adds_no_event(self, slide12_doc):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
+        )
+        report = apply_update(slide12_doc, tx)
+        assert report.confidence_event is None
+        assert len(slide12_doc.events) == 2
+
+    def test_inserted_descendants_unconditioned(self, slide12_doc):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"),
+            [InsertOperation("c", tree("N", tree("M")))],
+            0.5,
+        )
+        apply_update(slide12_doc, tx)
+        m = next(n for n in slide12_doc.iter_nodes() if n.label == "M")
+        assert m.condition.is_true
+
+    def test_insert_under_valued_leaf_skipped(self):
+        events = EventTable()
+        doc = FuzzyTree(
+            FuzzyNode("A", children=[FuzzyNode("B", value="x")]), events
+        )
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [InsertOperation("b", tree("N"))], 0.5
+        )
+        report = apply_update(doc, tx)
+        assert report.skipped_insertions == 1
+        assert report.inserted_subtrees == 0
+
+    def test_one_insert_per_match(self):
+        events = EventTable()
+        doc = FuzzyTree(
+            FuzzyNode("A", children=[FuzzyNode("B"), FuzzyNode("B")]), events
+        )
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [InsertOperation("b", tree("N"))], 0.8
+        )
+        report = apply_update(doc, tx)
+        assert report.inserted_subtrees == 2
+        # Both insertions share the same confidence event.
+        assert len(doc.events) == 1
+
+
+class TestDeletions:
+    def test_certain_deletion_removes_node(self):
+        doc = FuzzyTree(
+            FuzzyNode("A", children=[FuzzyNode("B"), FuzzyNode("C")]), EventTable()
+        )
+        tx = UpdateTransaction(parse_pattern("B[$b]"), [DeleteOperation("b")], 1.0)
+        apply_update(doc, tx)
+        assert doc.root.canonical() == "A(C)"
+
+    def test_uncertain_deletion_splits_into_survivor(self):
+        doc = FuzzyTree(FuzzyNode("A", children=[FuzzyNode("B")]), EventTable())
+        tx = UpdateTransaction(parse_pattern("B[$b]"), [DeleteOperation("b")], 0.8)
+        report = apply_update(doc, tx)
+        assert report.survivor_copies == 1
+        survivor = doc.root.children[0]
+        assert survivor.label == "B" and str(survivor.condition) == "!w1"
+
+    def test_delete_root_rejected(self, slide12_doc):
+        tx = UpdateTransaction(parse_pattern("/A[$a]"), [DeleteOperation("a")], 1.0)
+        with pytest.raises(UpdateError, match="document root"):
+            apply_update(slide12_doc, tx)
+
+    def test_nested_targets_deepest_first(self):
+        # Delete both B and its child C with confidence < 1 — the
+        # survivor structure must still commute with the worlds semantics.
+        events = EventTable({"w1": 0.5})
+        doc = FuzzyTree(
+            FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode(
+                        "B",
+                        condition=Condition.of("w1"),
+                        children=[FuzzyNode("C")],
+                    )
+                ],
+            ),
+            events,
+        )
+        baseline = to_possible_worlds(doc)
+        tx = UpdateTransaction(
+            parse_pattern("/A { B[$b] { C[$c] } }"),
+            [DeleteOperation("b"), DeleteOperation("c")],
+            0.7,
+        )
+        truth = update_possible_worlds(baseline, tx)
+        apply_update(doc, tx)
+        assert to_possible_worlds(doc).same_distribution(truth, 1e-12)
+
+    def test_multiple_matches_delete_same_node(self):
+        # Two matches (via two B's) both delete the same C.
+        events = EventTable({"w1": 0.5, "w2": 0.5})
+        doc = FuzzyTree(
+            FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", condition=Condition.of("w1")),
+                    FuzzyNode("B", condition=Condition.of("w2")),
+                    FuzzyNode("C"),
+                ],
+            ),
+            events,
+        )
+        baseline = to_possible_worlds(doc)
+        tx = UpdateTransaction(
+            parse_pattern("/A { B, C[$c] }"), [DeleteOperation("c")], 0.9
+        )
+        truth = update_possible_worlds(baseline, tx)
+        apply_update(doc, tx)
+        assert to_possible_worlds(doc).same_distribution(truth, 1e-12)
+
+
+class TestNoOps:
+    def test_no_match_is_noop(self, slide12_doc):
+        before = to_possible_worlds(slide12_doc)
+        tx = UpdateTransaction(parse_pattern("Z[$z]"), [DeleteOperation("z")], 0.9)
+        report = apply_update(slide12_doc, tx)
+        assert not report.applied
+        assert to_possible_worlds(slide12_doc).same_distribution(before)
+
+    def test_zero_confidence_is_noop(self, slide12_doc):
+        before = to_possible_worlds(slide12_doc)
+        tx = UpdateTransaction(parse_pattern("C[$c]"), [DeleteOperation("c")], 0.0)
+        report = apply_update(slide12_doc, tx)
+        assert not report.applied
+        assert to_possible_worlds(slide12_doc).same_distribution(before)
+
+    def test_impossible_match_is_noop(self, slide12_doc):
+        # B ∧ D is inconsistent: the query selects no world.
+        tx = UpdateTransaction(
+            parse_pattern("/A[$a] { B, //D }"),
+            [InsertOperation("a", tree("N"))],
+            0.9,
+        )
+        report = apply_update(slide12_doc, tx)
+        assert report.matches == 1 and report.consistent_matches == 0
+        assert not report.applied
+
+    def test_wrong_transaction_type_rejected(self, slide12_doc):
+        with pytest.raises(UpdateError):
+            apply_update(slide12_doc, "not a transaction")  # type: ignore[arg-type]

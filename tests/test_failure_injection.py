@@ -1,0 +1,110 @@
+"""Failure-injection tests: crash debris, partial writes, lock leaks.
+
+The warehouse claims atomic commits and safe recovery; these tests
+simulate the failure modes those claims are about.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import WarehouseCorruptError, WarehouseError, XMLFormatError
+from repro import InsertOperation, UpdateTransaction, parse_pattern
+from repro.trees import tree
+from repro.warehouse import Storage, Warehouse
+
+
+class TestCrashDebris:
+    def test_leftover_tmp_file_is_ignored(self, tmp_path, slide12_doc):
+        """A crash between tmp-write and rename leaves a .tmp file; the
+        committed document must still load."""
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        debris = path / "document.xml.tmp"
+        debris.write_text("<p:document>half-writ")
+        with Warehouse.open(path) as wh:
+            assert wh.document.size() == 4
+
+    def test_commit_overwrites_debris(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        with Warehouse.create(path, slide12_doc) as wh:
+            (path / "document.xml.tmp").write_text("junk")
+            tx = UpdateTransaction(
+                parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
+            )
+            wh.update(tx)
+        with Warehouse.open(path) as wh:
+            assert wh.document.size() == 5
+
+    def test_truncated_document_detected(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        full = (path / "document.xml").read_bytes()
+        (path / "document.xml").write_bytes(full[: len(full) // 2])
+        with pytest.raises(WarehouseCorruptError, match="checksum"):
+            Warehouse.open(path)
+
+    def test_garbage_document_with_fixed_meta_detected(self, tmp_path, slide12_doc):
+        """Even if an attacker fixes the checksum, the parser validates."""
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        storage = Storage(path)
+        storage.write_document("<p:document>not a document", sequence=99)
+        with pytest.raises((XMLFormatError, WarehouseError)):
+            Warehouse.open(path)
+
+
+class TestLockHygiene:
+    def test_lock_released_after_failed_open(self, tmp_path, slide12_doc):
+        """A failed open (corrupt store) must not leak the lock."""
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        (path / "meta.json").unlink()
+        with pytest.raises(WarehouseCorruptError):
+            Warehouse.open(path)
+        assert not (path / "lock").exists()
+
+    def test_lock_released_after_failed_create(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        with pytest.raises(WarehouseError, match="already exists"):
+            Warehouse.create(path, slide12_doc)
+        # The failed create must not have stolen the lock.
+        Warehouse.open(path).close()
+
+    def test_double_close_is_safe(self, tmp_path, slide12_doc):
+        wh = Warehouse.create(tmp_path / "wh", slide12_doc)
+        wh.close()
+        wh.close()  # no raise
+
+    def test_context_manager_releases_on_exception(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        with pytest.raises(RuntimeError):
+            with Warehouse.create(path, slide12_doc):
+                raise RuntimeError("boom")
+        Warehouse.open(path).close()  # lock was released
+
+
+class TestLogResilience:
+    def test_blank_lines_tolerated(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        with Warehouse.create(path, slide12_doc) as wh:
+            with open(path / "log.jsonl", "a") as handle:
+                handle.write("\n\n")
+            assert len(wh.history()) == 1
+
+    def test_unwritable_directory_fails_loudly(self, tmp_path, slide12_doc):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        os.chmod(path, 0o500)
+        try:
+            with pytest.raises(OSError):
+                with Warehouse.open(path) as wh:
+                    tx = UpdateTransaction(
+                        parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
+                    )
+                    wh.update(tx)
+        finally:
+            os.chmod(path, 0o700)

@@ -1,0 +1,115 @@
+"""Cross-feature integration: PrXML documents inside a warehouse,
+negated queries, aggregates, and CLI access — the extensions working
+together through the same fuzzy-tree core."""
+
+import pytest
+
+from repro import (
+    DeleteOperation,
+    UpdateTransaction,
+    parse_pattern,
+    to_possible_worlds,
+    update_possible_worlds,
+)
+from repro.cli import main
+from repro.core import expected_matches, probability_at_least
+from repro.prxml import PDocument, PInd, PMux, PRegular, compile_to_fuzzy
+from repro.warehouse import Warehouse
+from repro.xmlio import fuzzy_to_string
+
+
+@pytest.fixture
+def compiled_catalog():
+    """A PrXML catalog compiled to a fuzzy tree."""
+    root = PRegular("catalog")
+    for sku, p_exists in (("laptop", 0.9), ("phone", 0.4)):
+        entry = PRegular("entry")
+        entry.add_child(PRegular("sku", sku))
+        mux = PMux()
+        mux.add(PRegular("price", "100"), 0.6)
+        mux.add(PRegular("price", "120"), 0.4)
+        entry.add_child(mux)
+        ind = PInd()
+        ind.add(entry, p_exists)
+        root.add_child(ind)
+    return compile_to_fuzzy(PDocument(root))
+
+
+class TestPrxmlInWarehouse:
+    def test_compiled_document_persists_and_queries(self, tmp_path, compiled_catalog):
+        with Warehouse.create(tmp_path / "wh", compiled_catalog) as wh:
+            answers = wh.query('//sku[="laptop"]')
+            assert answers[0].probability == pytest.approx(0.9)
+        with Warehouse.open(tmp_path / "wh") as wh:
+            answers = wh.query('//sku[="laptop"]')
+            assert answers[0].probability == pytest.approx(0.9)
+
+    def test_update_on_compiled_document_commutes(self, compiled_catalog):
+        tx = UpdateTransaction(
+            parse_pattern('/catalog { entry { sku[="phone"], price[$p] } }'),
+            [DeleteOperation("p")],
+            0.7,
+        )
+        truth = update_possible_worlds(to_possible_worlds(compiled_catalog), tx)
+        work = compiled_catalog.clone()
+        from repro import apply_update
+
+        apply_update(work, tx)
+        assert to_possible_worlds(work).same_distribution(truth, 1e-9)
+
+    def test_negated_query_on_compiled_document(self, compiled_catalog):
+        # Entries whose price survived nowhere cannot exist by construction;
+        # ask for a catalog with no phone entry: P(¬phone) = 0.6.
+        probability = probability_at_least(
+            compiled_catalog, parse_pattern('//sku[="phone"]'), 1
+        )
+        assert probability == pytest.approx(0.4)
+        answers_without = parse_pattern('/catalog { !entry { sku[="phone"] } }')
+        from repro import query_fuzzy_tree
+
+        answers = query_fuzzy_tree(compiled_catalog, answers_without)
+        assert answers[0].probability == pytest.approx(0.6)
+
+    def test_aggregates_on_compiled_document(self, compiled_catalog):
+        entries = parse_pattern("/catalog { entry }")
+        assert expected_matches(compiled_catalog, entries) == pytest.approx(1.3)
+
+    def test_cli_over_compiled_document(self, tmp_path, compiled_catalog, capsys):
+        doc_file = tmp_path / "catalog.xml"
+        doc_file.write_text(fuzzy_to_string(compiled_catalog))
+        path = tmp_path / "wh"
+        assert main(["init", str(path), "--document", str(doc_file)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(path), '//sku[="laptop"]']) == 0
+        assert "0.900000" in capsys.readouterr().out
+        assert main(["worlds", str(path)]) == 0
+        worlds_output = capsys.readouterr().out
+        assert "catalog" in worlds_output
+
+
+class TestNegatedQueriesInWarehouse:
+    def test_warehouse_update_with_negated_query(self, tmp_path):
+        from repro import Condition, EventTable, FuzzyNode, FuzzyTree
+
+        events = EventTable({"w1": 0.5})
+        doc = FuzzyTree(
+            FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", condition=Condition.of("w1")),
+                    FuzzyNode("C"),
+                ],
+            ),
+            events,
+        )
+        baseline = to_possible_worlds(doc)
+        tx = UpdateTransaction(
+            parse_pattern("/A { !B, C[$c] }"), [DeleteOperation("c")], 0.8
+        )
+        truth = update_possible_worlds(baseline, tx)
+        with Warehouse.create(tmp_path / "wh", doc) as wh:
+            wh.update(tx)
+            assert to_possible_worlds(wh.document).same_distribution(truth, 1e-9)
+        # And it survives a reopen byte-exactly.
+        with Warehouse.open(tmp_path / "wh") as wh:
+            assert to_possible_worlds(wh.document).same_distribution(truth, 1e-9)

@@ -1,0 +1,173 @@
+"""Tests for the PrXML front-end (repro.prxml): ind/mux documents
+compile into fuzzy trees with the same possible-worlds distribution."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro import to_possible_worlds
+from repro.prxml import PDocument, PInd, PMux, PRegular, compile_to_fuzzy
+from repro.pworlds import PossibleWorlds
+from repro.trees import tree
+
+
+class TestModel:
+    def test_regular_construction(self):
+        root = PRegular("A", children=[PRegular("B", "x")])
+        assert root.children[0].value == "x"
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(ReproError, match="no mixed content"):
+            PRegular("A", value="x", children=[PRegular("B")])
+        node = PRegular("A", value="x")
+        with pytest.raises(ReproError, match="no mixed content"):
+            node.add_child(PRegular("B"))
+
+    def test_document_root_must_be_regular(self):
+        with pytest.raises(ReproError, match="regular"):
+            PDocument(PInd())  # type: ignore[arg-type]
+
+    def test_ind_requires_probability(self):
+        ind = PInd()
+        with pytest.raises(ReproError, match="PInd.add"):
+            ind.add_child(PRegular("B"))
+
+    def test_ind_probability_validated(self):
+        with pytest.raises(ReproError):
+            PInd().add(PRegular("B"), 1.5)
+
+    def test_mux_mass_capped(self):
+        mux = PMux()
+        mux.add(PRegular("B"), 0.7)
+        with pytest.raises(ReproError, match="exceed 1"):
+            mux.add(PRegular("C"), 0.5)
+
+    def test_clone_is_deep(self):
+        ind = PInd()
+        ind.add(PRegular("B"), 0.5)
+        root = PRegular("A")
+        root.add_child(ind)
+        doc = PDocument(root)
+        copy = doc.root.clone()
+        assert copy is not doc.root
+        assert isinstance(copy.children[0], PInd)
+        assert copy.children[0].probabilities == [0.5]
+
+    def test_counts(self):
+        ind = PInd()
+        ind.add(PRegular("B"), 0.5)
+        root = PRegular("A")
+        root.add_child(ind)
+        doc = PDocument(root)
+        assert doc.size() == 3
+        assert doc.distributional_count() == 1
+
+
+def worlds_of(document: PDocument) -> PossibleWorlds:
+    return to_possible_worlds(compile_to_fuzzy(document))
+
+
+class TestCompileInd:
+    def test_single_ind_child(self):
+        root = PRegular("A")
+        ind = PInd()
+        ind.add(PRegular("B"), 0.3)
+        root.add_child(ind)
+        worlds = worlds_of(PDocument(root))
+        assert worlds.probability_of(tree("A", tree("B"))) == pytest.approx(0.3)
+        assert worlds.probability_of(tree("A")) == pytest.approx(0.7)
+
+    def test_ind_children_are_independent(self):
+        root = PRegular("A")
+        ind = PInd()
+        ind.add(PRegular("B"), 0.5)
+        ind.add(PRegular("C"), 0.5)
+        root.add_child(ind)
+        worlds = worlds_of(PDocument(root))
+        assert len(worlds) == 4
+        assert worlds.probability_of(tree("A", tree("B"), tree("C"))) == pytest.approx(0.25)
+
+    def test_certain_ind_child_costs_no_event(self):
+        root = PRegular("A")
+        ind = PInd()
+        ind.add(PRegular("B"), 1.0)
+        root.add_child(ind)
+        fuzzy = compile_to_fuzzy(PDocument(root))
+        assert len(fuzzy.events) == 0
+
+
+class TestCompileMux:
+    def test_mux_alternatives_are_exclusive(self):
+        root = PRegular("A")
+        mux = PMux()
+        mux.add(PRegular("B"), 0.3)
+        mux.add(PRegular("C"), 0.5)
+        root.add_child(mux)
+        worlds = worlds_of(PDocument(root))
+        assert worlds.probability_of(tree("A", tree("B"))) == pytest.approx(0.3)
+        assert worlds.probability_of(tree("A", tree("C"))) == pytest.approx(0.5)
+        assert worlds.probability_of(tree("A")) == pytest.approx(0.2)
+        assert worlds.probability_of(tree("A", tree("B"), tree("C"))) == 0.0
+
+    def test_full_mass_mux_never_empty(self):
+        root = PRegular("A")
+        mux = PMux()
+        mux.add(PRegular("B"), 0.4)
+        mux.add(PRegular("C"), 0.6)
+        root.add_child(mux)
+        worlds = worlds_of(PDocument(root))
+        assert worlds.probability_of(tree("A")) == pytest.approx(0.0)
+        assert len(worlds) == 2
+
+
+class TestCompileNesting:
+    def test_ind_under_mux(self):
+        # mux(0.5 -> ind(B@0.5), 0.5 -> C)
+        root = PRegular("A")
+        mux = PMux()
+        inner = PInd()
+        inner.add(PRegular("B"), 0.5)
+        mux.add(inner, 0.5)
+        mux.add(PRegular("C"), 0.5)
+        root.add_child(mux)
+        worlds = worlds_of(PDocument(root))
+        assert worlds.probability_of(tree("A", tree("B"))) == pytest.approx(0.25)
+        assert worlds.probability_of(tree("A", tree("C"))) == pytest.approx(0.5)
+        assert worlds.probability_of(tree("A")) == pytest.approx(0.25)
+
+    def test_distributional_below_regular_child(self):
+        root = PRegular("A")
+        b = PRegular("B")
+        ind = PInd()
+        ind.add(PRegular("C", "x"), 0.5)
+        b.add_child(ind)
+        root.add_child(b)
+        worlds = worlds_of(PDocument(root))
+        assert worlds.probability_of(tree("A", tree("B", tree("C", "x")))) == pytest.approx(0.5)
+        assert worlds.probability_of(tree("A", tree("B"))) == pytest.approx(0.5)
+
+    def test_compiled_document_is_valid_and_queries(self):
+        from repro import parse_pattern, query_fuzzy_tree
+
+        root = PRegular("catalog")
+        for sku, probability in (("laptop", 0.9), ("phone", 0.4)):
+            ind = PInd()
+            entry = PRegular("entry")
+            entry.add_child(PRegular("sku", sku))
+            ind.add(entry, probability)
+            root.add_child(ind)
+        fuzzy = compile_to_fuzzy(PDocument(root))
+        fuzzy.validate()
+        answers = query_fuzzy_tree(fuzzy, parse_pattern('//sku[="laptop"]'))
+        assert answers[0].probability == pytest.approx(0.9)
+
+    def test_deterministic_event_naming(self):
+        def build():
+            root = PRegular("A")
+            ind = PInd()
+            ind.add(PRegular("B"), 0.5)
+            ind.add(PRegular("C"), 0.25)
+            root.add_child(ind)
+            return compile_to_fuzzy(PDocument(root))
+
+        assert build().events.names() == build().events.names()
+        assert all(name.startswith("d") for name in build().events.names())

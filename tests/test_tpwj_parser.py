@@ -1,0 +1,119 @@
+"""Unit tests for the TPWJ text syntax (repro.tpwj.parser)."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.tpwj import format_pattern, parse_pattern
+
+
+class TestParsing:
+    def test_single_label(self):
+        pattern = parse_pattern("A")
+        assert pattern.root.label == "A" and not pattern.anchored
+
+    def test_anchored(self):
+        assert parse_pattern("/A").anchored
+
+    def test_leading_descendant_means_unanchored(self):
+        assert not parse_pattern("//A").anchored
+
+    def test_children(self):
+        pattern = parse_pattern("A { B, C }")
+        assert [c.label for c in pattern.root.children] == ["B", "C"]
+        assert not any(c.descendant for c in pattern.root.children)
+
+    def test_descendant_edge(self):
+        pattern = parse_pattern("A { //B }")
+        assert pattern.root.children[0].descendant
+
+    def test_nested(self):
+        pattern = parse_pattern("A { B { C { D } } }")
+        node = pattern.root
+        for label in ("B", "C", "D"):
+            node = node.children[0]
+            assert node.label == label
+
+    def test_wildcard(self):
+        pattern = parse_pattern("* { B }")
+        assert pattern.root.label is None
+
+    def test_value_test(self):
+        pattern = parse_pattern('A[="foo"]')
+        assert pattern.root.value == "foo"
+
+    def test_variable(self):
+        pattern = parse_pattern("A[$x]")
+        assert pattern.root.variable == "x"
+
+    def test_variable_with_value(self):
+        pattern = parse_pattern('A[$x="foo"]')
+        assert pattern.root.variable == "x" and pattern.root.value == "foo"
+
+    def test_string_escapes(self):
+        pattern = parse_pattern(r'A[="say \"hi\" \\ there"]')
+        assert pattern.root.value == 'say "hi" \\ there'
+
+    def test_slide6_query(self):
+        pattern = parse_pattern('/A { B[$v], C { //D[$v] } }')
+        assert pattern.anchored
+        assert set(pattern.join_variables()) == {"v"}
+        d = pattern.root.children[1].children[0]
+        assert d.label == "D" and d.descendant
+
+    def test_whitespace_insensitive(self):
+        tight = parse_pattern("A{B[$x],//C}")
+        loose = parse_pattern("  A  {  B [ $x ] ,  // C  }  ")
+        assert format_pattern(tight) == format_pattern(loose)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "A {",
+            "A { B",
+            "A { B,, C }",
+            "A[",
+            "A[=foo]",
+            'A[="unterminated]',
+            "A[$]",
+            "A trailing",
+            "{ B }",
+            "A[=\"x\\q\"]",
+            "A[x]",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_pattern(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QueryParseError) as info:
+            parse_pattern("A { B,, C }")
+        assert info.value.position is not None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A",
+            "/A",
+            "A { B, C }",
+            "A { //B }",
+            'A[="foo"]',
+            "A { B[$x], C[$x] }",
+            '/A { B[$v], C { //D[$v] } }',
+            '* { B[$x="q"], //*[="z"] }',
+        ],
+    )
+    def test_format_then_parse_is_identity(self, text):
+        once = format_pattern(parse_pattern(text))
+        twice = format_pattern(parse_pattern(once))
+        assert once == twice
+
+    def test_escape_roundtrip(self):
+        pattern = parse_pattern(r'A[="a\"b\\c"]')
+        again = parse_pattern(format_pattern(pattern))
+        assert again.root.value == pattern.root.value == 'a"b\\c'

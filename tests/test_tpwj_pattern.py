@@ -1,0 +1,113 @@
+"""Unit tests for the TPWJ pattern AST (repro.tpwj.pattern)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.tpwj import Pattern, PatternNode
+
+
+class TestPatternNode:
+    def test_basic(self):
+        node = PatternNode("A")
+        assert node.label == "A" and node.value is None and node.variable is None
+        assert not node.descendant
+
+    def test_wildcard(self):
+        assert PatternNode(None).label is None
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(QueryError):
+            PatternNode("")
+
+    def test_value_test(self):
+        node = PatternNode("A", value="foo")
+        assert node.value == "foo"
+
+    def test_valued_node_cannot_have_children(self):
+        with pytest.raises(QueryError):
+            PatternNode("A", value="foo", children=[PatternNode("B")])
+        node = PatternNode("A", value="foo")
+        with pytest.raises(QueryError):
+            node.add_child(PatternNode("B"))
+
+    def test_add_child_sets_parent(self):
+        parent = PatternNode("A")
+        child = parent.add_child(PatternNode("B"))
+        assert child.parent is parent and parent.children == (child,)
+
+    def test_reattach_rejected(self):
+        parent = PatternNode("A")
+        child = parent.add_child(PatternNode("B"))
+        with pytest.raises(QueryError):
+            PatternNode("C").add_child(child)
+
+    def test_iter_preorder(self):
+        root = PatternNode("A", children=[PatternNode("B"), PatternNode("C")])
+        assert [n.label for n in root.iter()] == ["A", "B", "C"]
+
+    def test_invalid_variable_rejected(self):
+        with pytest.raises(QueryError):
+            PatternNode("A", variable="")
+
+
+class TestPattern:
+    def test_root_must_be_detached(self):
+        parent = PatternNode("A")
+        child = parent.add_child(PatternNode("B"))
+        with pytest.raises(QueryError):
+            Pattern(child)
+
+    def test_size_and_nodes(self):
+        root = PatternNode("A", children=[PatternNode("B")])
+        pattern = Pattern(root)
+        assert pattern.size() == 2 and len(pattern.nodes()) == 2
+
+    def test_variables(self):
+        root = PatternNode(
+            "A",
+            children=[PatternNode("B", variable="x"), PatternNode("C", variable="y")],
+        )
+        pattern = Pattern(root)
+        assert set(pattern.variables()) == {"x", "y"}
+        assert pattern.join_variables() == {}
+
+    def test_join_variables(self):
+        root = PatternNode(
+            "A",
+            children=[PatternNode("B", variable="x"), PatternNode("C", variable="x")],
+        )
+        pattern = Pattern(root)
+        assert set(pattern.join_variables()) == {"x"}
+
+    def test_join_on_internal_node_rejected(self):
+        inner = PatternNode("B", variable="x", children=[PatternNode("D")])
+        root = PatternNode("A", children=[inner, PatternNode("C", variable="x")])
+        with pytest.raises(QueryError, match="non-leaf"):
+            Pattern(root)
+
+    def test_node_for_variable(self):
+        child = PatternNode("B", variable="x")
+        pattern = Pattern(PatternNode("A", children=[child]))
+        assert pattern.node_for_variable("x") is child
+
+    def test_node_for_unknown_variable_rejected(self):
+        pattern = Pattern(PatternNode("A"))
+        with pytest.raises(QueryError, match="no pattern node"):
+            pattern.node_for_variable("zz")
+
+    def test_node_for_join_variable_rejected(self):
+        root = PatternNode(
+            "A",
+            children=[PatternNode("B", variable="x"), PatternNode("C", variable="x")],
+        )
+        pattern = Pattern(root)
+        with pytest.raises(QueryError, match="join variable"):
+            pattern.node_for_variable("x")
+
+    def test_anchored_flag(self):
+        assert Pattern(PatternNode("A"), anchored=True).anchored
+        assert not Pattern(PatternNode("A")).anchored
+
+    def test_repr_and_str_round(self):
+        pattern = Pattern(PatternNode("A", children=[PatternNode("B", value="x")]))
+        assert "A" in str(pattern) and "B" in str(pattern)

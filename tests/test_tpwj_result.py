@@ -1,0 +1,52 @@
+"""Unit tests for answer construction (repro.tpwj.result)."""
+
+from repro.tpwj import answer_tree, distinct_answers, find_matches, parse_pattern
+from repro.trees import tree
+
+
+class TestAnswerTree:
+    def test_minimal_subtree_of_match(self):
+        doc = tree("A", tree("B", "x"), tree("C", tree("D", "y")))
+        pattern = parse_pattern("A { C { D } }")
+        match = find_matches(pattern, doc)[0]
+        answer = answer_tree(doc, match)
+        # B is not part of the match: pruned.
+        assert answer.canonical() == "A(C(D='y'))"
+
+    def test_answer_rooted_at_document_root_even_for_deep_matches(self):
+        doc = tree("A", tree("B", tree("C")))
+        pattern = parse_pattern("C")
+        match = find_matches(pattern, doc)[0]
+        assert answer_tree(doc, match).canonical() == "A(B(C))"
+
+    def test_answer_is_fresh_copy(self):
+        doc = tree("A", tree("B"))
+        match = find_matches(parse_pattern("B"), doc)[0]
+        answer = answer_tree(doc, match)
+        answer.children[0].detach()
+        assert doc.size() == 2  # original intact
+
+    def test_join_answer_contains_both_sides(self):
+        doc = tree("A", tree("B", "v"), tree("C", tree("D", "v")), tree("E"))
+        pattern = parse_pattern("A { B[$x], C { D[$x] } }")
+        match = find_matches(pattern, doc)[0]
+        assert answer_tree(doc, match).canonical() == "A(B='v',C(D='v'))"
+
+
+class TestDistinctAnswers:
+    def test_different_matches_same_answer_collapse(self):
+        doc = tree("A", tree("B", "x"), tree("B", "x"))
+        matches = find_matches(parse_pattern("A { B }"), doc)
+        assert len(matches) == 2
+        answers = distinct_answers(doc, matches)
+        assert len(answers) == 1
+
+    def test_distinct_answers_stay_distinct(self):
+        doc = tree("A", tree("B", "x"), tree("B", "y"))
+        matches = find_matches(parse_pattern("A { B }"), doc)
+        answers = distinct_answers(doc, matches)
+        assert len(answers) == 2
+
+    def test_empty_matches(self):
+        doc = tree("A")
+        assert distinct_answers(doc, []) == {}

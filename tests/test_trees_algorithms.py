@@ -1,0 +1,141 @@
+"""Unit tests for tree algorithms (repro.trees.algorithms)."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees import (
+    find_all,
+    find_first,
+    label_counts,
+    label_index,
+    lowest_common_ancestor,
+    minimal_subtree,
+    multiset_equal,
+    node_at_path,
+    node_path,
+    restrict,
+    same_tree,
+    tree,
+)
+
+
+@pytest.fixture
+def doc():
+    return tree(
+        "A",
+        tree("B", "foo"),
+        tree("E", tree("C", "bar"), tree("C", "baz")),
+        tree("D", tree("F", tree("G"))),
+    )
+
+
+class TestMinimalSubtree:
+    def test_single_target_keeps_root_path(self, doc):
+        g = find_first(doc, "G")
+        answer = minimal_subtree(doc, [g])
+        assert answer.canonical() == "A(D(F(G)))"
+
+    def test_multiple_targets_union_of_paths(self, doc):
+        b = find_first(doc, "B")
+        g = find_first(doc, "G")
+        answer = minimal_subtree(doc, [g, b])
+        assert answer.canonical() == "A(B='foo',D(F(G)))"
+
+    def test_root_target_gives_root_only(self, doc):
+        answer = minimal_subtree(doc, [doc])
+        assert answer.canonical() == "A"
+
+    def test_result_is_a_fresh_tree(self, doc):
+        b = find_first(doc, "B")
+        answer = minimal_subtree(doc, [b])
+        assert answer is not doc
+        answer.children[0].detach()
+        assert find_first(doc, "B") is not None  # original untouched
+
+    def test_foreign_target_rejected(self, doc):
+        with pytest.raises(TreeError):
+            minimal_subtree(doc, [tree("X")])
+
+    def test_duplicate_targets_are_fine(self, doc):
+        g = find_first(doc, "G")
+        answer = minimal_subtree(doc, [g, g])
+        assert answer.canonical() == "A(D(F(G)))"
+
+
+class TestRestrict:
+    def test_keeps_connected_component_of_root(self, doc):
+        d = find_first(doc, "D")
+        g = find_first(doc, "G")
+        # G kept but its parent F is not: G is dropped.
+        kept = {id(doc), id(d), id(g)}
+        result = restrict(doc, kept)
+        assert result.canonical() == "A(D)"
+
+    def test_root_must_be_kept(self, doc):
+        with pytest.raises(TreeError, match="root itself"):
+            restrict(doc, set())
+
+
+class TestSearchHelpers:
+    def test_find_all_in_preorder(self, doc):
+        assert [n.value for n in find_all(doc, "C")] == ["bar", "baz"]
+
+    def test_find_first_and_missing(self, doc):
+        assert find_first(doc, "E").label == "E"
+        assert find_first(doc, "Z") is None
+
+    def test_label_index_covers_every_node(self, doc):
+        index = label_index(doc)
+        assert sum(len(nodes) for nodes in index.values()) == doc.size()
+        assert len(index["C"]) == 2
+
+    def test_label_counts(self, doc):
+        counts = label_counts(doc)
+        assert counts["C"] == 2 and counts["A"] == 1
+
+
+class TestLca:
+    def test_siblings(self, doc):
+        first, second = find_all(doc, "C")
+        assert lowest_common_ancestor(first, second).label == "E"
+
+    def test_ancestor_descendant(self, doc):
+        d = find_first(doc, "D")
+        g = find_first(doc, "G")
+        assert lowest_common_ancestor(d, g) is d
+
+    def test_self(self, doc):
+        b = find_first(doc, "B")
+        assert lowest_common_ancestor(b, b) is b
+
+    def test_different_trees_rejected(self, doc):
+        with pytest.raises(TreeError):
+            lowest_common_ancestor(doc, tree("X"))
+
+
+class TestPaths:
+    def test_roundtrip_for_every_node(self, doc):
+        for node in doc.iter():
+            assert node_at_path(doc, node_path(node)) is node
+
+    def test_root_path_is_empty(self, doc):
+        assert node_path(doc) == ()
+
+    def test_bad_path_rejected(self, doc):
+        with pytest.raises(TreeError):
+            node_at_path(doc, (9, 9))
+
+
+class TestComparators:
+    def test_same_tree(self, doc):
+        b = find_first(doc, "B")
+        assert same_tree(b, doc)
+        assert not same_tree(b, tree("X"))
+
+    def test_multiset_equal_ignores_order(self):
+        first = [tree("A"), tree("B")]
+        second = [tree("B"), tree("A")]
+        assert multiset_equal(first, second)
+
+    def test_multiset_equal_counts_duplicates(self):
+        assert not multiset_equal([tree("A")], [tree("A"), tree("A")])

@@ -1,0 +1,64 @@
+"""Unit tests for the tree construction helpers (repro.trees.builder)."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees import Node, from_spec, to_spec, tree
+
+
+class TestTreeLiteral:
+    def test_leaf(self):
+        node = tree("A")
+        assert node.label == "A" and node.is_leaf and node.value is None
+
+    def test_leaf_with_value(self):
+        node = tree("A", "foo")
+        assert node.value == "foo"
+
+    def test_nested(self):
+        node = tree("A", tree("B", "x"), tree("C"))
+        assert [c.label for c in node.children] == ["B", "C"]
+
+    def test_two_values_rejected(self):
+        with pytest.raises(TreeError, match="two text values"):
+            tree("A", "x", "y")
+
+    def test_value_plus_children_rejected(self):
+        with pytest.raises(TreeError, match="no mixed content"):
+            tree("A", "x", tree("B"))
+
+    def test_bad_argument_type_rejected(self):
+        with pytest.raises(TreeError):
+            tree("A", 42)  # type: ignore[arg-type]
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "A",
+            ("A", "foo"),
+            ("A", ["B", ("C", "bar")]),
+            ("A", [("B", ["C"]), "D"]),
+        ],
+    )
+    def test_roundtrip(self, spec):
+        assert to_spec(from_spec(spec)) == spec
+
+    def test_none_payload_means_leaf(self):
+        node = from_spec(("A", None))
+        assert node.is_leaf and node.value is None
+
+    def test_matches_literal_builder(self):
+        via_spec = from_spec(("A", [("B", "x"), "C"]))
+        via_literal = tree("A", tree("B", "x"), tree("C"))
+        assert via_spec.equals(via_literal)
+
+    @pytest.mark.parametrize("bad", [42, ("A",), ("A", 42), (1, "x"), ["A"]])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(TreeError, match="invalid tree spec"):
+            from_spec(bad)
+
+    def test_to_spec_of_internal_node(self):
+        node = Node("A", children=[Node("B")])
+        assert to_spec(node) == ("A", ["B"])

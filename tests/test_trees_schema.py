@@ -1,0 +1,112 @@
+"""Tests for schema validation (repro.trees.schema)."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees import NodeRule, Schema, tree
+
+
+@pytest.fixture
+def directory_schema():
+    return Schema.from_spec(
+        {
+            "directory": ["person"],
+            "person": ["name", "email", "phone"],
+            "name": ["#text"],
+            "email": ["#text"],
+            "phone": ["#text"],
+        },
+        root_label="directory",
+        allow_unknown_labels=False,
+    )
+
+
+class TestNodeRule:
+    def test_bad_value_policy(self):
+        with pytest.raises(TreeError):
+            NodeRule(value="maybe")
+
+    def test_required_value_with_children_rejected(self):
+        with pytest.raises(TreeError):
+            NodeRule(children=frozenset({"x"}), value="required")
+
+    def test_children_normalised_to_frozenset(self):
+        rule = NodeRule(children={"a", "b"})  # type: ignore[arg-type]
+        assert isinstance(rule.children, frozenset)
+
+
+class TestChecking:
+    def test_valid_document(self, directory_schema):
+        doc = tree(
+            "directory",
+            tree("person", tree("name", "alice"), tree("email", "a@x.org")),
+        )
+        assert directory_schema.is_valid(doc)
+        directory_schema.check(doc)  # no raise
+
+    def test_wrong_root(self, directory_schema):
+        violations = directory_schema.violations(tree("catalog"))
+        assert any(v.kind == "root-label" for v in violations)
+
+    def test_unexpected_child_label(self, directory_schema):
+        doc = tree("directory", tree("person", tree("ssn", "123")))
+        kinds = {v.kind for v in directory_schema.violations(doc)}
+        assert "child-label" in kinds
+
+    def test_unknown_label_in_closed_schema(self, directory_schema):
+        doc = tree("directory", tree("person", tree("name", "x")), tree("audit"))
+        kinds = {v.kind for v in directory_schema.violations(doc)}
+        assert "unknown-label" in kinds and "child-label" in kinds
+
+    def test_unknown_label_in_open_schema_ok(self):
+        schema = Schema.from_spec({"a": ["b"]})
+        assert schema.is_valid(tree("a", tree("b", tree("mystery"))))
+
+    def test_value_required(self, directory_schema):
+        doc = tree("directory", tree("person", tree("name")))
+        kinds = {v.kind for v in directory_schema.violations(doc)}
+        assert "value-required" in kinds
+
+    def test_value_forbidden(self):
+        schema = Schema({"a": NodeRule(value="forbidden")})
+        assert not schema.is_valid(tree("a", "text"))
+
+    def test_check_raises_with_summary(self, directory_schema):
+        with pytest.raises(TreeError, match="schema violations"):
+            directory_schema.check(tree("oops"))
+
+
+class TestFromSpec:
+    def test_text_mixed_with_children_rejected(self):
+        with pytest.raises(TreeError, match="mixed"):
+            Schema.from_spec({"a": ["#text", "b"]})
+
+    def test_none_allows_anything(self):
+        schema = Schema.from_spec({"a": None})
+        assert schema.is_valid(tree("a", tree("anything", "v")))
+
+
+class TestMonotonicity:
+    """Underlying-tree validity implies every-world validity."""
+
+    def test_all_worlds_valid_when_underlying_is(self, directory_schema):
+        from repro import Condition, EventTable, FuzzyNode, FuzzyTree, to_possible_worlds
+
+        events = EventTable({"w1": 0.5, "w2": 0.5})
+        root = FuzzyNode(
+            "directory",
+            children=[
+                FuzzyNode(
+                    "person",
+                    condition=Condition.of("w1"),
+                    children=[
+                        FuzzyNode("name", value="alice"),
+                        FuzzyNode("email", value="a@x.org", condition=Condition.of("w2")),
+                    ],
+                )
+            ],
+        )
+        doc = FuzzyTree(root, events)
+        assert directory_schema.is_valid(doc.root)
+        for world in to_possible_worlds(doc):
+            assert directory_schema.is_valid(world.tree), world

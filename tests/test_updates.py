@@ -1,0 +1,143 @@
+"""Unit tests for update transactions and the deterministic τ
+(repro.updates)."""
+
+import pytest
+
+from repro.errors import QueryError, UpdateError
+from repro.tpwj import parse_pattern
+from repro.trees import tree
+from repro.updates import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateTransaction,
+    apply_deterministic,
+)
+
+
+class TestOperations:
+    def test_insert_clones_template(self):
+        template = tree("X", tree("Y"))
+        op = InsertOperation("a", template)
+        template.children[0].detach()  # mutate after construction
+        assert op.subtree.size() == 2  # operation kept its own copy
+
+    def test_insert_validation(self):
+        with pytest.raises(UpdateError):
+            InsertOperation("", tree("X"))
+        with pytest.raises(UpdateError):
+            InsertOperation("a", "not a node")  # type: ignore[arg-type]
+
+    def test_delete_validation(self):
+        assert DeleteOperation("t").target == "t"
+        with pytest.raises(UpdateError):
+            DeleteOperation("")
+
+
+class TestTransactionValidation:
+    def test_requires_operations(self):
+        with pytest.raises(UpdateError, match="no operations"):
+            UpdateTransaction(parse_pattern("A"), [], 0.5)
+
+    def test_requires_known_variable(self):
+        with pytest.raises(QueryError):
+            UpdateTransaction(parse_pattern("A"), [DeleteOperation("zz")], 0.5)
+
+    def test_rejects_join_variable_reference(self):
+        pattern = parse_pattern("A { B[$x], C[$x] }")
+        with pytest.raises(QueryError, match="join variable"):
+            UpdateTransaction(pattern, [DeleteOperation("x")], 0.5)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan"), "hi", None, True])
+    def test_confidence_validation(self, bad):
+        with pytest.raises(UpdateError):
+            UpdateTransaction(
+                parse_pattern("A[$a]"), [InsertOperation("a", tree("X"))], bad
+            )
+
+    def test_with_confidence(self):
+        tx = UpdateTransaction(
+            parse_pattern("A[$a]"), [InsertOperation("a", tree("X"))], 0.5
+        )
+        assert tx.with_confidence(0.9).confidence == 0.9
+        assert tx.confidence == 0.5  # original unchanged
+
+    def test_partition_accessors(self):
+        tx = UpdateTransaction(
+            parse_pattern("A[$a] { B[$b] }"),
+            [InsertOperation("a", tree("X")), DeleteOperation("b")],
+            1.0,
+        )
+        assert len(tx.insertions) == 1 and len(tx.deletions) == 1
+
+
+class TestDeterministicApplication:
+    def test_insert_per_match(self):
+        doc = tree("A", tree("B"), tree("B"))
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [InsertOperation("b", tree("N"))], 1.0
+        )
+        result = apply_deterministic(tx, doc)
+        assert result.canonical() == "A(B(N),B(N))"
+        assert doc.canonical() == "A(B,B)"  # input untouched
+
+    def test_delete(self):
+        doc = tree("A", tree("B"), tree("C"))
+        tx = UpdateTransaction(parse_pattern("B[$b]"), [DeleteOperation("b")], 1.0)
+        assert apply_deterministic(tx, doc).canonical() == "A(C)"
+
+    def test_nested_deletes_are_noop_for_inner(self):
+        doc = tree("A", tree("B", tree("C")), tree("C"))
+        # Delete every C and every B: the C inside B disappears with B.
+        tx = UpdateTransaction(
+            parse_pattern("A { B[$b], //C[$c] }"),
+            [DeleteOperation("b"), DeleteOperation("c")],
+            1.0,
+        )
+        assert apply_deterministic(tx, doc).canonical() == "A"
+
+    def test_insert_then_delete_same_target_absorbed(self):
+        # Insertion under a node the transaction also deletes vanishes.
+        doc = tree("A", tree("B"))
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"),
+            [InsertOperation("b", tree("N")), DeleteOperation("b")],
+            1.0,
+        )
+        assert apply_deterministic(tx, doc).canonical() == "A"
+
+    def test_insert_under_valued_leaf_is_noop(self):
+        doc = tree("A", tree("B", "val"))
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [InsertOperation("b", tree("N"))], 1.0
+        )
+        assert apply_deterministic(tx, doc).canonical() == "A(B='val')"
+
+    def test_delete_root_rejected(self):
+        doc = tree("A", tree("B"))
+        tx = UpdateTransaction(parse_pattern("/A[$a]"), [DeleteOperation("a")], 1.0)
+        with pytest.raises(UpdateError, match="document root"):
+            apply_deterministic(tx, doc)
+
+    def test_no_match_returns_equal_tree(self):
+        doc = tree("A", tree("B"))
+        tx = UpdateTransaction(parse_pattern("Z[$z]"), [DeleteOperation("z")], 1.0)
+        assert apply_deterministic(tx, doc).equals(doc)
+
+    def test_multiple_matches_same_anchor_insert_twice(self):
+        # Two matches bind the same anchor A: two inserted copies.
+        doc = tree("A", tree("B"), tree("B"))
+        tx = UpdateTransaction(
+            parse_pattern("A[$a] { B }"), [InsertOperation("a", tree("N"))], 1.0
+        )
+        assert apply_deterministic(tx, doc).canonical() == "A(B,B,N,N)"
+
+    def test_precomputed_matches_are_transferred(self):
+        from repro.tpwj import find_matches
+
+        doc = tree("A", tree("B"))
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [InsertOperation("b", tree("N"))], 1.0
+        )
+        matches = find_matches(tx.query, doc)
+        result = apply_deterministic(tx, doc, matches)
+        assert result.canonical() == "A(B(N))"

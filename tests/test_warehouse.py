@@ -1,0 +1,227 @@
+"""Unit tests for the probabilistic XML warehouse (repro.warehouse)."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    WarehouseCorruptError,
+    WarehouseError,
+    WarehouseLockedError,
+)
+from repro import (
+    DeleteOperation,
+    InsertOperation,
+    UpdateTransaction,
+    parse_pattern,
+)
+from repro.trees import tree
+from repro.warehouse import Storage, TransactionLog, Warehouse
+
+
+@pytest.fixture
+def warehouse(tmp_path, slide12_doc):
+    with Warehouse.create(tmp_path / "wh", slide12_doc) as wh:
+        yield wh
+
+
+class TestStorage:
+    def test_atomic_write_and_read(self, tmp_path):
+        storage = Storage(tmp_path / "s")
+        storage.write_document("<hello/>", sequence=3)
+        text, sequence = storage.read_document()
+        assert text == "<hello/>" and sequence == 3
+
+    def test_missing_document(self, tmp_path):
+        with pytest.raises(WarehouseError, match="no document"):
+            Storage(tmp_path / "s").read_document()
+
+    def test_checksum_detects_tampering(self, tmp_path):
+        storage = Storage(tmp_path / "s")
+        storage.write_document("<hello/>", sequence=1)
+        storage.document_path.write_text("<tampered/>")
+        with pytest.raises(WarehouseCorruptError, match="checksum"):
+            storage.read_document()
+
+    def test_missing_meta_is_corrupt(self, tmp_path):
+        storage = Storage(tmp_path / "s")
+        storage.write_document("<hello/>", sequence=1)
+        storage.meta_path.unlink()
+        with pytest.raises(WarehouseCorruptError, match="metadata"):
+            storage.read_document()
+
+    def test_lock_exclusive(self, tmp_path):
+        first = Storage(tmp_path / "s")
+        second = Storage(tmp_path / "s")
+        first.acquire_lock()
+        with pytest.raises(WarehouseLockedError):
+            second.acquire_lock()
+        first.release_lock()
+        second.acquire_lock()
+        second.release_lock()
+
+    def test_stale_lock_broken(self, tmp_path):
+        storage = Storage(tmp_path / "s")
+        storage.initialize()
+        storage.lock_path.write_text("999999999")  # no such pid
+        storage.acquire_lock()
+        storage.release_lock()
+
+    def test_acquire_is_idempotent_within_holder(self, tmp_path):
+        storage = Storage(tmp_path / "s")
+        storage.acquire_lock()
+        storage.acquire_lock()
+        storage.release_lock()
+
+
+class TestTransactionLog:
+    def test_append_and_read(self, tmp_path):
+        log = TransactionLog(tmp_path)
+        log.append("update", 1, {"matches": 2})
+        log.append("simplify", 2, {})
+        entries = log.entries()
+        assert [e["kind"] for e in entries] == ["update", "simplify"]
+        assert entries[0]["matches"] == 2
+
+    def test_empty_log(self, tmp_path):
+        assert TransactionLog(tmp_path).entries() == []
+        assert TransactionLog(tmp_path).last_sequence() == 0
+
+    def test_corrupt_line_detected(self, tmp_path):
+        log = TransactionLog(tmp_path)
+        log.append("update", 1, {})
+        with open(log.path, "a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(WarehouseCorruptError, match="line 2"):
+            log.entries()
+
+    def test_last_sequence(self, tmp_path):
+        log = TransactionLog(tmp_path)
+        log.append("update", 5, {})
+        log.append("update", 7, {})
+        assert log.last_sequence() == 7
+
+
+class TestWarehouseLifecycle:
+    def test_create_then_open(self, tmp_path, slide12_doc):
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as wh:
+            sequence = wh.sequence
+        with Warehouse.open(tmp_path / "wh") as wh:
+            assert wh.sequence == sequence
+            assert wh.document.root.canonical() == slide12_doc.root.canonical()
+
+    def test_create_twice_rejected(self, tmp_path, slide12_doc):
+        Warehouse.create(tmp_path / "wh", slide12_doc).close()
+        with pytest.raises(WarehouseError, match="already exists"):
+            Warehouse.create(tmp_path / "wh", slide12_doc)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError, match="no warehouse"):
+            Warehouse.open(tmp_path / "nope")
+
+    def test_open_while_locked_rejected(self, tmp_path, slide12_doc):
+        with Warehouse.create(tmp_path / "wh", slide12_doc):
+            with pytest.raises(WarehouseLockedError):
+                Warehouse.open(tmp_path / "wh")
+
+    def test_closed_handle_unusable(self, tmp_path, slide12_doc):
+        wh = Warehouse.create(tmp_path / "wh", slide12_doc)
+        wh.close()
+        with pytest.raises(WarehouseError, match="closed"):
+            wh.query("B")
+
+    def test_create_stores_a_clone(self, tmp_path, slide12_doc):
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as wh:
+            slide12_doc.root.children[0].detach()
+            assert wh.document.size() == 4
+
+
+class TestWarehouseOperations:
+    def test_query_text_or_pattern(self, warehouse):
+        via_text = warehouse.query("//D")
+        via_pattern = warehouse.query(parse_pattern("//D"))
+        assert len(via_text) == len(via_pattern) == 1
+        assert via_text[0].probability == pytest.approx(0.7)
+
+    def test_update_with_transaction(self, warehouse):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 0.5
+        )
+        report = warehouse.update(tx)
+        assert report.applied
+        assert warehouse.sequence == 2
+
+    def test_update_with_xupdate_string(self, warehouse):
+        text = (
+            '<xu:modifications xmlns:xu="urn:repro:xupdate" '
+            'query="C[$c]" confidence="0.5">'
+            "<xu:insert anchor='c'><N/></xu:insert>"
+            "</xu:modifications>"
+        )
+        report = warehouse.update(text)
+        assert report.applied
+
+    def test_update_confidence_override(self, warehouse):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
+        )
+        report = warehouse.update(tx, confidence=0.25)
+        assert warehouse.document.events.probability(
+            report.confidence_event
+        ) == pytest.approx(0.25)
+
+    def test_updates_survive_reopen(self, tmp_path, slide12_doc):
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 0.5
+        )
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as wh:
+            wh.update(tx)
+            expected = wh.document.root.canonical()
+        with Warehouse.open(tmp_path / "wh") as wh:
+            assert wh.document.root.canonical() == expected
+
+    def test_history_records_updates(self, warehouse):
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [DeleteOperation("b")], 0.9
+        )
+        warehouse.update(tx)
+        kinds = [entry["kind"] for entry in warehouse.history()]
+        assert kinds == ["create", "update"]
+        last = warehouse.history()[-1]
+        assert last["confidence"] == 0.9
+        assert "xu:modifications" in last["transaction"]
+
+    def test_stats(self, warehouse):
+        stats = warehouse.stats()
+        assert stats["nodes"] == 4
+        assert stats["sequence"] == 1
+        assert stats["log_entries"] == 1
+
+    def test_explicit_simplify_commits(self, warehouse):
+        warehouse.document.events.declare("orphan", 0.5)
+        report = warehouse.simplify()
+        assert report.collected_events == 1
+        assert warehouse.sequence == 2
+
+    def test_auto_simplify_triggers(self, tmp_path, slide12_doc):
+        wh = Warehouse.create(
+            tmp_path / "wh", slide12_doc, auto_simplify_factor=1.5
+        )
+        with wh:
+            tx = UpdateTransaction(
+                parse_pattern("C[$c]"),
+                [InsertOperation("c", tree("N", tree("M"), tree("O")))],
+                1.0,
+            )
+            wh.update(tx)  # 4 -> 7 nodes > 1.5 * 4: simplify committed too
+            kinds = [entry["kind"] for entry in wh.history()]
+            assert "simplify" in kinds
+
+    def test_log_is_valid_json(self, warehouse, tmp_path):
+        tx = UpdateTransaction(
+            parse_pattern("B[$b]"), [DeleteOperation("b")], 0.9
+        )
+        warehouse.update(tx)
+        log_path = warehouse.history()
+        for entry in log_path:
+            json.dumps(entry)  # re-serializable

@@ -1,0 +1,173 @@
+"""Unit tests for the workload generators (repro.workloads)."""
+
+import random
+
+import pytest
+
+from repro import (
+    apply_update,
+    query_fuzzy_tree,
+    to_possible_worlds,
+    update_possible_worlds,
+)
+from repro.tpwj import find_matches
+from repro.trees import RandomTreeConfig
+from repro.workloads import (
+    CleaningScenario,
+    ExtractionScenario,
+    FuzzyWorkloadConfig,
+    MatchingScenario,
+    random_fuzzy_tree,
+    random_query_for,
+    random_update_for,
+)
+
+
+class TestRandomFuzzyTree:
+    def test_deterministic_for_seed(self):
+        first = random_fuzzy_tree(random.Random(9))
+        second = random_fuzzy_tree(random.Random(9))
+        assert first.root.canonical() == second.root.canonical()
+        assert first.events == second.events
+
+    def test_event_count(self):
+        doc = random_fuzzy_tree(random.Random(0), FuzzyWorkloadConfig(n_events=7))
+        assert len(doc.events) == 7
+
+    def test_zero_events_gives_certain_document(self):
+        doc = random_fuzzy_tree(random.Random(0), FuzzyWorkloadConfig(n_events=0))
+        assert doc.condition_literal_count() == 0
+        assert len(to_possible_worlds(doc)) == 1
+
+    def test_document_is_valid(self):
+        for seed in range(10):
+            doc = random_fuzzy_tree(random.Random(seed))
+            doc.validate()
+
+    def test_condition_size_bounded(self):
+        config = FuzzyWorkloadConfig(max_literals=2)
+        doc = random_fuzzy_tree(random.Random(1), config)
+        assert all(len(n.condition) <= 2 for n in doc.iter_nodes())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzyWorkloadConfig(n_events=-1)
+        with pytest.raises(ValueError):
+            FuzzyWorkloadConfig(max_literals=-1)
+
+
+class TestRandomQuery:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_always_matches(self, seed):
+        rng = random.Random(seed)
+        doc = random_fuzzy_tree(rng, FuzzyWorkloadConfig(n_events=3))
+        pattern = random_query_for(rng, doc.root)
+        assert find_matches(pattern, doc.root), str(pattern)
+
+    def test_deterministic_for_seed(self):
+        doc = random_fuzzy_tree(random.Random(2))
+        first = str(random_query_for(random.Random(3), doc.root))
+        second = str(random_query_for(random.Random(3), doc.root))
+        assert first == second
+
+    def test_size_bounded(self):
+        doc = random_fuzzy_tree(
+            random.Random(4),
+            FuzzyWorkloadConfig(tree=RandomTreeConfig(max_nodes=60)),
+        )
+        pattern = random_query_for(random.Random(5), doc.root, max_nodes=3)
+        assert pattern.size() <= 3
+
+
+class TestRandomUpdate:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_transaction_is_applicable(self, seed):
+        rng = random.Random(seed)
+        doc = random_fuzzy_tree(rng, FuzzyWorkloadConfig(n_events=2))
+        tx = random_update_for(rng, doc)
+        report = apply_update(doc, tx)
+        assert report.matches >= 1
+
+    def test_explicit_confidence(self):
+        rng = random.Random(0)
+        doc = random_fuzzy_tree(rng)
+        tx = random_update_for(rng, doc, confidence=0.42)
+        assert tx.confidence == 0.42
+
+
+class TestExtractionScenario:
+    def test_initial_document(self):
+        scenario = ExtractionScenario(seed=0, n_people=3)
+        doc = scenario.initial_document()
+        assert doc.root.label == "directory"
+        assert sum(1 for n in doc.iter_nodes() if n.label == "person") == 3
+
+    def test_stream_is_deterministic(self):
+        first = [
+            str(tx.query) for tx in ExtractionScenario(seed=5, n_people=4).stream(10)
+        ]
+        second = [
+            str(tx.query) for tx in ExtractionScenario(seed=5, n_people=4).stream(10)
+        ]
+        assert first == second
+
+    def test_stream_applies_cleanly(self):
+        scenario = ExtractionScenario(seed=1, n_people=4)
+        doc = scenario.initial_document()
+        for tx in scenario.stream(15):
+            apply_update(doc, tx)
+        doc.validate()
+        assert doc.size() > scenario.initial_document().size()
+
+    def test_queries_run(self):
+        scenario = ExtractionScenario(seed=2, n_people=4)
+        doc = scenario.initial_document()
+        for tx in scenario.stream(10):
+            apply_update(doc, tx)
+        for pattern in scenario.query_mix():
+            query_fuzzy_tree(doc, pattern)  # must not raise
+
+    def test_confidences_in_range(self):
+        for tx in ExtractionScenario(seed=3).stream(30):
+            assert 0.0 < tx.confidence <= 1.0
+
+    def test_population_bounds(self):
+        with pytest.raises(ValueError):
+            ExtractionScenario(n_people=0)
+        with pytest.raises(ValueError):
+            ExtractionScenario(n_people=999)
+
+
+class TestCleaningScenario:
+    def test_duplicates_exist(self):
+        doc = CleaningScenario(seed=1, duplicate_rate=1.0).initial_document()
+        entries = [n for n in doc.iter_nodes() if n.label == "entry"]
+        assert len(entries) == 12  # every product duplicated
+
+    def test_dedup_stream_commutes(self):
+        scenario = CleaningScenario(seed=2, n_products=2, duplicate_rate=1.0)
+        doc = scenario.initial_document()
+        worlds = to_possible_worlds(doc)
+        for tx in list(scenario.stream(2)):
+            worlds = update_possible_worlds(worlds, tx)
+            apply_update(doc, tx)
+        assert to_possible_worlds(doc).same_distribution(worlds, 1e-9)
+
+
+class TestMatchingScenario:
+    def test_stream_inserts_matches(self):
+        scenario = MatchingScenario(seed=3)
+        doc = scenario.initial_document()
+        for tx in scenario.stream(5):
+            report = apply_update(doc, tx)
+            assert report.inserted_subtrees == 1
+        matches = [n for n in doc.iter_nodes() if n.label == "match"]
+        assert len(matches) == 5
+
+    def test_queries_return_scored_answers(self):
+        scenario = MatchingScenario(seed=4)
+        doc = scenario.initial_document()
+        for tx in scenario.stream(3):
+            apply_update(doc, tx)
+        answers = query_fuzzy_tree(doc, scenario.query_mix()[1])
+        assert answers and all(0.0 < a.probability <= 1.0 for a in answers)

@@ -1,0 +1,222 @@
+"""Unit tests for the XML dialects (repro.xmlio)."""
+
+import pytest
+
+from repro.errors import XMLFormatError
+from repro import (
+    Condition,
+    DeleteOperation,
+    EventTable,
+    FuzzyNode,
+    FuzzyTree,
+    InsertOperation,
+    UpdateTransaction,
+    parse_pattern,
+)
+from repro.trees import tree
+from repro.xmlio import (
+    fuzzy_from_string,
+    fuzzy_to_string,
+    plain_from_string,
+    plain_to_string,
+    transaction_from_string,
+    transaction_to_string,
+)
+
+
+class TestFuzzyDocumentRoundtrip:
+    def test_slide12_roundtrip(self, slide12_doc):
+        text = fuzzy_to_string(slide12_doc)
+        parsed = fuzzy_from_string(text)
+        assert parsed.root.canonical() == slide12_doc.root.canonical()
+        assert parsed.events == slide12_doc.events
+
+    def test_condition_attribute_format(self, slide12_doc):
+        text = fuzzy_to_string(slide12_doc)
+        assert 'p:cond="w1 !w2"' in text or 'p:cond="!w2 w1"' in text
+
+    def test_events_header(self, slide12_doc):
+        text = fuzzy_to_string(slide12_doc)
+        assert 'name="w1"' in text and 'prob="0.8"' in text
+
+    def test_unindented_is_parseable(self, slide12_doc):
+        text = fuzzy_to_string(slide12_doc, indent=False)
+        assert fuzzy_from_string(text).root.canonical() == slide12_doc.root.canonical()
+
+    def test_values_roundtrip(self):
+        doc = FuzzyTree(
+            FuzzyNode("A", children=[FuzzyNode("B", value="héllo & <world>")]),
+            EventTable(),
+        )
+        parsed = fuzzy_from_string(fuzzy_to_string(doc))
+        assert parsed.root.children[0].value == "héllo & <world>"
+
+    def test_probability_precision_roundtrip(self):
+        doc = FuzzyTree(
+            FuzzyNode("A", children=[FuzzyNode("B", condition=Condition.of("e"))]),
+            EventTable({"e": 0.1 + 0.2}),  # 0.30000000000000004
+        )
+        parsed = fuzzy_from_string(fuzzy_to_string(doc))
+        assert parsed.events.probability("e") == doc.events.probability("e")
+
+
+class TestFuzzyDocumentErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(XMLFormatError, match="well-formed"):
+            fuzzy_from_string("<broken")
+
+    def test_wrong_root(self):
+        with pytest.raises(XMLFormatError, match="p:document"):
+            fuzzy_from_string("<A/>")
+
+    def test_missing_events_header(self):
+        text = '<p:document xmlns:p="urn:repro:probabilistic-xml"><A/></p:document>'
+        with pytest.raises(XMLFormatError, match="p:events"):
+            fuzzy_from_string(text)
+
+    def test_unknown_event_in_condition(self):
+        text = (
+            '<p:document xmlns:p="urn:repro:probabilistic-xml">'
+            "<p:events/>"
+            '<A><B p:cond="ghost"/></A>'
+            "</p:document>"
+        )
+        with pytest.raises(XMLFormatError, match="invalid fuzzy document"):
+            fuzzy_from_string(text)
+
+    def test_bad_probability(self):
+        text = (
+            '<p:document xmlns:p="urn:repro:probabilistic-xml">'
+            '<p:events><p:event name="w" prob="lots"/></p:events>'
+            "<A/></p:document>"
+        )
+        with pytest.raises(XMLFormatError, match="invalid probability"):
+            fuzzy_from_string(text)
+
+    def test_mixed_content_rejected(self):
+        text = (
+            '<p:document xmlns:p="urn:repro:probabilistic-xml">'
+            "<p:events/>"
+            "<A>text<B/></A>"
+            "</p:document>"
+        )
+        with pytest.raises(XMLFormatError, match="no mixed content|mixed content"):
+            fuzzy_from_string(text)
+
+    def test_stray_attribute_rejected(self):
+        text = (
+            '<p:document xmlns:p="urn:repro:probabilistic-xml">'
+            "<p:events/>"
+            '<A foo="bar"/>'
+            "</p:document>"
+        )
+        with pytest.raises(XMLFormatError, match="unexpected attribute"):
+            fuzzy_from_string(text)
+
+    def test_conditioned_root_rejected(self):
+        text = (
+            '<p:document xmlns:p="urn:repro:probabilistic-xml">'
+            '<p:events><p:event name="w" prob="0.5"/></p:events>'
+            '<A p:cond="w"/>'
+            "</p:document>"
+        )
+        with pytest.raises(XMLFormatError, match="invalid fuzzy document"):
+            fuzzy_from_string(text)
+
+
+class TestPlainTrees:
+    def test_roundtrip(self):
+        doc = tree("A", tree("B", "x"), tree("C", tree("D")))
+        parsed = plain_from_string(plain_to_string(doc))
+        assert parsed.equals(doc)
+
+    def test_attributes_rejected(self):
+        with pytest.raises(XMLFormatError, match="attributes"):
+            plain_from_string('<A x="1"/>')
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(XMLFormatError):
+            plain_from_string("<A>hi<B/></A>")
+
+    def test_trailing_text_rejected(self):
+        with pytest.raises(XMLFormatError, match="mixed content"):
+            plain_from_string("<A><B/>tail</A>")
+
+
+class TestXUpdateRoundtrip:
+    def slide15_tx(self) -> UpdateTransaction:
+        return UpdateTransaction(
+            parse_pattern("/A[$a] { B, C[$c] }"),
+            [DeleteOperation("c"), InsertOperation("a", tree("D"))],
+            0.9,
+        )
+
+    def test_roundtrip_preserves_everything(self):
+        tx = self.slide15_tx()
+        parsed = transaction_from_string(transaction_to_string(tx))
+        assert str(parsed.query) == str(tx.query)
+        assert parsed.confidence == tx.confidence
+        assert len(parsed.insertions) == 1 and len(parsed.deletions) == 1
+        assert parsed.insertions[0].subtree.equals(tx.insertions[0].subtree)
+        assert parsed.deletions[0].target == "c"
+
+    def test_insert_subtree_roundtrip(self):
+        tx = UpdateTransaction(
+            parse_pattern("A[$a]"),
+            [InsertOperation("a", tree("N", tree("M", "deep")))],
+            0.5,
+        )
+        parsed = transaction_from_string(transaction_to_string(tx))
+        assert parsed.insertions[0].subtree.canonical() == "N(M='deep')"
+
+    def test_default_confidence_is_one(self):
+        text = (
+            '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A[$a]">'
+            "<xu:delete target='a'/></xu:modifications>"
+        )
+        # 'a' names the root -> valid structure, confidence defaults to 1.
+        parsed = transaction_from_string(text)
+        assert parsed.confidence == 1.0
+
+    @pytest.mark.parametrize(
+        "text,message",
+        [
+            ("<wrong/>", "xu:modifications"),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" confidence="1"/>',
+                "query attribute",
+            ),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A[" />',
+                "invalid query",
+            ),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A" '
+                'confidence="much"/>',
+                "invalid confidence",
+            ),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A[$a]">'
+                "<xu:insert anchor='a'/></xu:modifications>",
+                "exactly one subtree",
+            ),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A[$a]">'
+                "<xu:delete/></xu:modifications>",
+                "target attribute",
+            ),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A[$a]">'
+                "<xu:rename target='a'/></xu:modifications>",
+                "unexpected element",
+            ),
+            (
+                '<xu:modifications xmlns:xu="urn:repro:xupdate" query="A">'
+                "<xu:delete target='zz'/></xu:modifications>",
+                "invalid transaction",
+            ),
+        ],
+    )
+    def test_errors(self, text, message):
+        with pytest.raises(XMLFormatError, match=message):
+            transaction_from_string(text)
