@@ -4,16 +4,33 @@ The matcher ships three optimizations (DESIGN.md §6.4): label-index
 candidate pre-filtering, bottom-up semi-join pruning and early join
 checking.  The bench toggles each on documents of growing size,
 verifying the result sets are identical and measuring the pruning wins.
+
+E9 revisited — the cost-based engine
+------------------------------------
+The five fixed configurations below are *manual* points in the strategy
+space: someone has to know which toggles pay off for a given document
+and query.  The :mod:`repro.engine` subsystem subsumes the ablation
+flags: it collects document statistics, prices candidate sets and axis
+steps, and emits a per-query plan choosing the visit order, the scan
+operator, the semi-join prune and the join-check placement — the same
+decisions the flags hard-code, now made from data.  ``test_planner_vs_
+fixed`` closes the loop: on this bench's workloads the auto-planned
+path must never be slower than the worst fixed configuration and must
+stay within 10% of the best one, with the plan served from the
+warehouse-style plan cache on repeat executions (steady state for the
+paper's polling consumers).
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
 import pytest
 
 from repro.analysis import counters
+from repro.engine import QueryEngine
 from repro.tpwj import MatchConfig, find_matches
 from repro.trees import RandomTreeConfig
 from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
@@ -84,6 +101,95 @@ def test_matcher_benchmark(benchmark, config_name):
     doc, pattern = instance(400, seed=41)
     config = CONFIGS[config_name]
     benchmark(find_matches, pattern, doc.root, config)
+
+
+def _best_of(callable_, repeats: int = 5) -> float:
+    """Minimum wall-clock over *repeats* calls (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+@pytest.mark.parametrize("n_nodes", [100, 300, 600, 1200])
+def test_planner_vs_fixed(report, benchmark, n_nodes):
+    """E9c — the cost-based engine against every fixed configuration.
+
+    The engine runs in warehouse steady state: statistics collected
+    once, the plan built on first execution and served from the plan
+    cache afterwards.  Asserts the acceptance envelope — never slower
+    than the worst fixed configuration, within 10% of the best.
+    """
+    doc, pattern = instance(n_nodes)
+    engine = QueryEngine(lambda: doc.root)
+    reference = len(find_matches(pattern, doc.root))
+
+    def run():
+        rows = []
+        fixed_times: dict[str, float] = {}
+        for name, config in CONFIGS.items():
+            elapsed = _best_of(lambda: find_matches(pattern, doc.root, config))
+            fixed_times[name] = elapsed
+            rows.append([name, reference, fmt(elapsed)])
+
+        matches = engine.find_matches(pattern)  # builds + caches the plan
+        assert len(matches) == reference
+        auto_time = _best_of(lambda: engine.find_matches(pattern))
+        rows.append(["auto-planned", len(matches), fmt(auto_time)])
+
+        best = min(fixed_times.values())
+        worst = max(fixed_times.values())
+        # Timer-noise guard for sub-millisecond workloads; CI runners
+        # are noisy shared machines, so they widen it via E9_TIMING_SLACK.
+        slack = float(os.environ.get("E9_TIMING_SLACK", "2.5e-4"))
+        assert auto_time <= worst + slack, (
+            f"auto-planned path ({auto_time:.6f}s) slower than the worst "
+            f"fixed configuration ({worst:.6f}s)"
+        )
+        assert auto_time <= best * 1.10 + slack, (
+            f"auto-planned path ({auto_time:.6f}s) more than 10% behind the "
+            f"best fixed configuration ({best:.6f}s)"
+        )
+        rows.append(["(best fixed)", reference, fmt(best)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        f"E9c  planner vs fixed strategies, {n_nodes}-node document, "
+        f"query {pattern}",
+        ["strategy", "matches", "seconds"],
+        rows,
+    )
+
+
+def test_plan_cache_serves_repeat_queries(report, benchmark):
+    """E9d — repeated queries hit the plan cache (no re-planning cost)."""
+
+    def run():
+        doc, pattern = instance(400, seed=43)
+        engine = QueryEngine(lambda: doc.root)
+        counters.reset()
+        engine.find_matches(pattern)
+        built_first = counters.get("engine.plans_built")
+        hits_first = counters.get("engine.plan_cache_hits")
+        engine.find_matches(pattern)
+        built_second = counters.get("engine.plans_built")
+        hits_second = counters.get("engine.plan_cache_hits")
+        counters.reset()
+        assert built_second == built_first == 1  # planned exactly once
+        assert hits_second == hits_first + 1  # second run: cache hit
+        return [[int(built_second), int(hits_second)]]
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        "E9d  plan cache on a repeated query",
+        ["plans built", "cache hits"],
+        rows,
+    )
 
 
 def test_pruning_wins_grow_with_document(report, benchmark):

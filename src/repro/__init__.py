@@ -49,6 +49,15 @@ from repro.core import (
     simplify,
     to_possible_worlds,
 )
+from repro.engine import (
+    Plan,
+    PlanCache,
+    QueryEngine,
+    TreeStats,
+    build_plan,
+    collect_stats,
+    execute_plan,
+)
 from repro.errors import (
     EventError,
     InconsistentConditionError,
@@ -154,4 +163,12 @@ __all__ = [
     "ALL_RULES",
     "AnswerEstimate",
     "estimate_query",
+    # engine
+    "QueryEngine",
+    "Plan",
+    "PlanCache",
+    "TreeStats",
+    "collect_stats",
+    "build_plan",
+    "execute_plan",
 ]

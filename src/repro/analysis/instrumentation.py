@@ -38,6 +38,23 @@ class Counters:
         """A point-in-time copy of all counters."""
         return dict(self._values)
 
+    def prefixed(self, prefix: str) -> dict[str, float]:
+        """All counters whose name starts with *prefix* (sorted by name).
+
+        The engine's planner counters live under ``engine.`` —
+        ``engine.stats_collected``, ``engine.plans_built``,
+        ``engine.plans_executed``, ``engine.plan_cache_hits`` /
+        ``..._misses`` / ``..._evictions``,
+        ``engine.estimated_candidates`` and
+        ``engine.actual_candidates`` — so ``prefixed("engine.")``
+        returns the planner's whole dashboard in one call.
+        """
+        return {
+            name: value
+            for name, value in sorted(self._values.items())
+            if name.startswith(prefix)
+        }
+
     @contextmanager
     def timed(self, name: str):
         """Accumulate wall-clock seconds spent in the body under *name*."""

@@ -7,6 +7,7 @@ architecture::
     python -m repro init WH --root directory          # create a store
     python -m repro init WH --document doc.xml        # ... or from XML
     python -m repro query WH '/directory { person { name, email } }'
+    python -m repro explain WH '//person { name[$n] }'  # show the query plan
     python -m repro update WH --xupdate tx.xml --confidence 0.85
     python -m repro simplify WH
     python -m repro stats WH
@@ -28,9 +29,10 @@ from pathlib import Path
 from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
 from repro.core.montecarlo import estimate_query
 from repro.core.semantics import to_possible_worlds
-from repro.errors import ReproError
+from repro.errors import QueryParseError, ReproError
 from repro.events.table import EventTable
 from repro.tpwj.parser import parse_pattern
+from repro.tpwj.pattern import Pattern
 from repro.warehouse.warehouse import Warehouse
 from repro.xmlio.parse import fuzzy_from_string
 from repro.xmlio.serialize import fuzzy_to_string, plain_to_string
@@ -60,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--xml", action="store_true", help="print answers as XML instead of canonical"
     )
+    query.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="bypass the cost-based engine (fixed-strategy matcher)",
+    )
+
+    explain = commands.add_parser(
+        "explain", help="show the engine's plan and cost estimates for a query"
+    )
+    explain.add_argument("path", type=Path)
+    explain.add_argument("pattern", help="TPWJ text syntax")
 
     update = commands.add_parser("update", help="apply an XUpdate transaction")
     update.add_argument("path", type=Path)
@@ -107,6 +120,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     handlers = {
         "init": _cmd_init,
         "query": _cmd_query,
+        "explain": _cmd_explain,
         "update": _cmd_update,
         "simplify": _cmd_simplify,
         "stats": _cmd_stats,
@@ -128,9 +142,22 @@ def _cmd_init(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pattern_arg(text: str) -> Pattern:
+    """Shared pattern parsing for query/explain/estimate.
+
+    Wraps parse failures with the offending text so the CLI error
+    message identifies the argument, not just the position.
+    """
+    try:
+        return parse_pattern(text)
+    except QueryParseError as exc:
+        raise QueryParseError(f"invalid pattern {text!r}: {exc}") from exc
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    pattern = _parse_pattern_arg(args.pattern)
     with Warehouse.open(args.path) as warehouse:
-        answers = warehouse.query(args.pattern)
+        answers = warehouse.query(pattern, planner=not args.no_planner)
     shown = answers if args.limit is None else answers[: args.limit]
     for answer in shown:
         if args.xml:
@@ -140,6 +167,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"{answer.probability:.6f}  {answer.tree.canonical()}")
     if not answers:
         print("(no answers)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    pattern = _parse_pattern_arg(args.pattern)
+    with Warehouse.open(args.path) as warehouse:
+        print(warehouse.explain_plan(pattern))
     return 0
 
 
@@ -206,7 +240,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     with Warehouse.open(args.path) as warehouse:
         estimates = estimate_query(
             warehouse.document,
-            parse_pattern(args.pattern),
+            _parse_pattern_arg(args.pattern),
             samples=args.samples,
             rng=random.Random(args.seed),
         )

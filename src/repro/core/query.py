@@ -140,6 +140,9 @@ def query_fuzzy_tree(
     fuzzy: FuzzyTree,
     pattern: Pattern,
     config: MatchConfig = DEFAULT_CONFIG,
+    *,
+    plan=None,
+    engine=None,
 ) -> list[FuzzyAnswer]:
     """Evaluate a TPWJ query on a fuzzy tree without enumerating worlds.
 
@@ -147,11 +150,21 @@ def query_fuzzy_tree(
     by canonical form), mirroring the normalized possible-worlds
     result.  Negated subpatterns are handled through conditions, not
     structure: their presence varies across worlds.
+
+    Matching can be routed through the cost-based engine: *engine* (a
+    :class:`~repro.engine.QueryEngine` bound to this document — the
+    warehouse passes its own, reusing cached plans and the document
+    walk) or *plan* (``"auto"`` / a prebuilt plan, forwarded to
+    :func:`~repro.tpwj.match.find_matches`).  The grouped-and-sorted
+    answers are identical on every path.
     """
     structural_config = (
         replace(config, honor_negation=False) if pattern.has_negation() else config
     )
-    matches = find_matches(pattern, fuzzy.root, structural_config)
+    if engine is not None:
+        matches = engine.find_matches(pattern, structural_config)
+    else:
+        matches = find_matches(pattern, fuzzy.root, structural_config, plan=plan)
     grouped: dict[str, tuple[Node, list[Condition]]] = {}
     for match in matches:
         counters.incr("core.query.matches")

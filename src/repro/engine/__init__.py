@@ -1,0 +1,151 @@
+"""Cost-based query engine for TPWJ evaluation.
+
+The fixed-strategy matcher (:mod:`repro.tpwj.match`) evaluates every
+query the same way, with hand-set ablation toggles.  This subsystem
+chooses the strategy *per query* from data statistics, the way a
+database optimizer does:
+
+* :mod:`repro.engine.stats` — one-pass document statistics with
+  versioned invalidation;
+* :mod:`repro.engine.cardinality` — selectivity and cardinality
+  estimates for pattern nodes, axes and value joins;
+* :mod:`repro.engine.planner` — cost-based choice of visit order and
+  physical operators, producing an explainable :class:`Plan`;
+* :mod:`repro.engine.executor` — the physical operators that run a
+  plan and return ordinary :class:`~repro.tpwj.match.Match` objects;
+* :mod:`repro.engine.cache` — an LRU plan cache keyed by
+  (pattern fingerprint, statistics version).
+
+:class:`QueryEngine` ties them together for a long-lived document (the
+warehouse holds one per open handle); the one-shot path is
+``find_matches(pattern, root, plan="auto")``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.engine.cache import PlanCache
+from repro.engine.cardinality import (
+    axis_selectivity,
+    estimate_candidates,
+    estimate_enumeration_cost,
+    join_selectivity,
+)
+from repro.engine.executor import _Intervals, execute_plan, rekey_matches
+from repro.engine.planner import Plan, PlanStep, build_plan, pattern_fingerprint
+from repro.engine.stats import DocumentStats, TreeStats, collect_stats
+from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig
+from repro.tpwj.pattern import Pattern
+from repro.trees.node import Node
+
+__all__ = [
+    "QueryEngine",
+    "Plan",
+    "PlanStep",
+    "PlanCache",
+    "TreeStats",
+    "DocumentStats",
+    "collect_stats",
+    "build_plan",
+    "execute_plan",
+    "rekey_matches",
+    "pattern_fingerprint",
+    "estimate_candidates",
+    "estimate_enumeration_cost",
+    "axis_selectivity",
+    "join_selectivity",
+]
+
+
+class QueryEngine:
+    """Planner + plan cache bound to one (mutable) document.
+
+    Parameters
+    ----------
+    root_provider:
+        Zero-argument callable returning the document's current root.
+    cache_capacity:
+        Maximum number of cached plans (LRU eviction beyond it).
+    """
+
+    def __init__(
+        self, root_provider: Callable[[], Node], cache_capacity: int = 128
+    ) -> None:
+        self.stats = DocumentStats(root_provider)
+        self.cache = PlanCache(cache_capacity)
+        self._root_provider = root_provider
+        # The executor's document walk (interval numbering + label
+        # index), reused across executions until the stats version or
+        # the root object changes.
+        self._walk: tuple[int, int, _Intervals] | None = None
+
+    def invalidate(self) -> None:
+        """Tell the engine the document changed (stats version bump).
+
+        Cached plans for older versions stop being served immediately
+        (the version is part of the cache key) and age out by LRU.
+        """
+        self.stats.invalidate()
+        self._walk = None
+
+    def plan_for(self, pattern: Pattern) -> Plan:
+        """The cached or freshly built plan for *pattern* on the current stats.
+
+        Note: a cached plan's :attr:`Plan.pattern` may be a different —
+        structurally identical — object than *pattern*; matches map the
+        *plan's* pattern nodes.
+        """
+        fingerprint = pattern_fingerprint(pattern)
+        version = self.stats.version
+        plan = self.cache.get(fingerprint, version)
+        if plan is None:
+            plan = build_plan(pattern, self.stats.current(), version)
+            self.cache.put(plan)
+        return plan
+
+    def _current_walk(self, root: Node) -> _Intervals:
+        version = self.stats.version
+        if (
+            self._walk is None
+            or self._walk[0] != version
+            or self._walk[1] != id(root)
+        ):
+            self._walk = (version, id(root), _Intervals(root))
+        return self._walk[2]
+
+    def find_matches(
+        self, pattern: Pattern, config: MatchConfig = DEFAULT_CONFIG
+    ) -> list[Match]:
+        """Plan (with caching) and execute *pattern* on the current document.
+
+        The returned matches are keyed by *pattern*'s own nodes even
+        when the plan was cached from an earlier, structurally
+        identical pattern object.
+        """
+        plan = self.plan_for(pattern)
+        root = self._root_provider()
+        matches = execute_plan(
+            plan, root, config, intervals=self._current_walk(root)
+        )
+        # plan_for keyed the cache by this pattern's fingerprint, so
+        # the shapes are identical; re-key onto the caller's nodes.
+        return rekey_matches(plan, pattern, matches)
+
+    def explain(self, pattern: Pattern) -> str:
+        """Human-readable plan plus the statistics that priced it."""
+        plan = self.plan_for(pattern)
+        stats = self.stats.current()
+        lines = ["statistics:"]
+        for key, value in stats.as_dict().items():
+            lines.append(f"  {key}: {value}")
+        lines.append(plan.explain())
+        cache = self.cache.stats()
+        lines.append(
+            f"plan cache: {cache['entries']}/{cache['capacity']} entries, "
+            f"{cache['hits']} hits, {cache['misses']} misses"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"QueryEngine(stats={self.stats!r}, cache={self.cache!r})"

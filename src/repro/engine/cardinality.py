@@ -1,0 +1,134 @@
+"""Cardinality and selectivity estimation for TPWJ pattern nodes.
+
+The estimates price the three decisions the planner makes:
+
+* **candidate cardinality** — how many data nodes pass a pattern
+  node's local test (label, value test, internal/valued requirements),
+  straight off the label histogram and distinct-value counts;
+* **axis selectivity** — given that a pattern node's parent is already
+  bound, what fraction of the candidates survive the structural check
+  (child edge: the parent's expected fan-out spread over the whole
+  document; descendant edge: the expected descendant count);
+* **join selectivity** — the chance a valued leaf agrees with an
+  already-bound join value, assuming values uniform over the label's
+  distinct values.
+
+All estimates follow the classical uniformity/independence assumptions
+of System-R style optimizers; they only need to *rank* alternatives,
+not be exact, and the E9 benchmark checks the ranking is good enough.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stats import TreeStats
+from repro.tpwj.pattern import Pattern, PatternNode
+
+__all__ = [
+    "estimate_candidates",
+    "axis_selectivity",
+    "join_selectivity",
+    "estimate_enumeration_cost",
+]
+
+
+def estimate_candidates(
+    pattern_node: PatternNode, stats: TreeStats, join_variables: set[str]
+) -> float:
+    """Expected number of data nodes passing *pattern_node*'s local test."""
+    label = pattern_node.label
+    base = float(stats.count_for_label(label))
+    if base == 0.0:
+        return 0.0
+
+    if pattern_node.value is not None:
+        # A value test keeps the valued nodes carrying one specific value:
+        # valued / distinct values, under the uniform-values assumption.
+        if label is None:
+            valued = float(stats.valued_count)
+            distinct = float(stats.distinct_values_total or 1)
+        else:
+            valued = float(stats.valued_counts.get(label, 0))
+            distinct = float(stats.distinct_values.get(label, 0) or 1)
+        return valued / distinct
+
+    estimate = base
+    if any(not child.negated for child in pattern_node.children):
+        # Positive pattern children force an internal image.
+        if label is None:
+            internal = float(stats.node_count - stats.leaf_count)
+            estimate *= internal / base if base else 0.0
+        else:
+            estimate *= stats.internal_counts.get(label, 0) / base
+    elif pattern_node.variable in join_variables:
+        # A join variable can only bind a valued leaf.
+        if label is None:
+            estimate *= stats.valued_count / base if base else 0.0
+        else:
+            estimate *= stats.valued_counts.get(label, 0) / base
+    return estimate
+
+
+def axis_selectivity(pattern_node: PatternNode, stats: TreeStats) -> float:
+    """Fraction of candidates expected to satisfy the edge to a bound parent.
+
+    Uniformity assumption: any specific data node is the parent
+    (respectively an ancestor) of ``avg_fanout`` (respectively
+    ``avg_descendants``) of the other nodes, so a random candidate sits
+    under the bound parent with that count over the document size.
+    """
+    if pattern_node.parent is None:
+        return 1.0
+    if stats.node_count <= 1:
+        return 1.0
+    if pattern_node.descendant:
+        related = stats.avg_descendants
+    else:
+        related = stats.avg_fanout
+    return min(1.0, max(related, 1e-6) / stats.node_count)
+
+
+def join_selectivity(pattern_node: PatternNode, stats: TreeStats) -> float:
+    """Chance the node's value equals an already-bound join value."""
+    label = pattern_node.label
+    if label is None:
+        distinct = stats.distinct_values_total
+    else:
+        distinct = stats.distinct_values.get(label, 0)
+    return 1.0 / float(distinct) if distinct else 1.0
+
+
+def estimate_enumeration_cost(
+    pattern: Pattern,
+    order: list[PatternNode],
+    stats: TreeStats,
+    anchored_root: bool,
+) -> float:
+    """Expected backtracking work for visiting pattern nodes in *order*.
+
+    Standard left-deep cost model: the work at position *i* is the
+    expected number of partial assignments alive after binding the
+    first *i* nodes, and the total is the sum over positions.  Expected
+    options per node = candidate cardinality x axis selectivity x (join
+    selectivity when the node's variable is already bound earlier in
+    the order).
+    """
+    join_vars = set(pattern.join_variables())
+    bound_vars: set[str] = set()
+    alive = 1.0
+    total = 0.0
+    for position, node in enumerate(order):
+        options = estimate_candidates(node, stats, join_vars)
+        if position == 0 and anchored_root:
+            options = min(options, 1.0)
+        options *= axis_selectivity(node, stats)
+        variable = node.variable
+        if variable in join_vars:
+            if variable in bound_vars:
+                options *= join_selectivity(node, stats)
+            else:
+                bound_vars.add(variable)
+        alive *= options
+        total += alive
+        if alive == 0.0:
+            break
+    return total

@@ -1,0 +1,332 @@
+"""Physical operators executing a :class:`~repro.engine.planner.Plan`.
+
+The fixed-strategy matcher in :mod:`repro.tpwj.match` fuses candidate
+computation, pruning and enumeration into one class with boolean
+toggles.  The engine splits the same work into explicit operators so a
+plan can pick and order them:
+
+* :class:`LabelIndexScan` / :class:`FullScan` — produce the per-pattern-
+  node candidate lists (one document pass builds the label index,
+  shared by every scan);
+* :class:`SemiJoinPrune` — the bottom-up structural semi-join: a
+  candidate survives only when every required pattern child still has a
+  candidate in the right axis relation;
+* :class:`BacktrackJoin` — enumerate homomorphisms over the plan's
+  visit order, checking join variables eagerly or at the end as the
+  plan decided.
+
+The operators reproduce the matcher's semantics exactly — the
+equivalence property test (``tests/test_engine_equivalence.py``) checks
+the match *set* is identical to the naive matcher on random instances —
+but the *order* of matches follows the plan's visit order, so callers
+needing a canonical order must sort (the fuzzy query path already
+does).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.instrumentation import counters
+from repro.engine.planner import Plan
+from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig, find_embeddings
+from repro.tpwj.pattern import PatternNode
+from repro.trees.node import Node
+
+__all__ = [
+    "execute_plan",
+    "rekey_matches",
+    "LabelIndexScan",
+    "FullScan",
+    "SemiJoinPrune",
+    "BacktrackJoin",
+]
+
+
+def rekey_matches(plan: Plan, pattern, matches: list[Match]) -> list[Match]:
+    """Re-key *matches* from the plan's pattern nodes onto *pattern*'s.
+
+    A cached plan may carry a different — structurally identical —
+    pattern object than the caller's; after this, ``match[caller_node]``
+    works.  No-op when the plan was built for *pattern* itself.  The
+    caller must have established structural identity (equal
+    fingerprints); positive nodes then correspond position by position.
+    """
+    if plan.pattern is pattern:
+        return matches
+    pairs = list(zip(plan.pattern.positive_nodes(), pattern.positive_nodes()))
+    return [
+        Match(pattern, {mine: match[theirs] for theirs, mine in pairs})
+        for match in matches
+    ]
+
+
+class _Intervals:
+    """Pre-order interval numbering for O(1) ancestor/descendant tests.
+
+    The constructor makes the engine's **single** document pass: it
+    numbers the tree *and* collects the node list and the label index
+    the scan operators draw from, so executing a plan walks the
+    document exactly once (the fixed matcher walks it twice).
+    """
+
+    __slots__ = ("enter", "exit", "all_nodes", "label_index")
+
+    def __init__(self, root: Node) -> None:
+        self.enter: dict[int, int] = {}
+        self.exit: dict[int, int] = {}
+        self.all_nodes: list[Node] = []
+        self.label_index: dict[str, list[Node]] = {}
+        enter, exit_, all_nodes, index = (
+            self.enter,
+            self.exit,
+            self.all_nodes,
+            self.label_index,
+        )
+        clock = 0
+
+        def visit(node: Node) -> None:
+            nonlocal clock
+            enter[id(node)] = clock
+            clock += 1
+            all_nodes.append(node)
+            bucket = index.get(node.label)
+            if bucket is None:
+                index[node.label] = [node]
+            else:
+                bucket.append(node)
+            for child in node.children:
+                visit(child)
+            exit_[id(node)] = clock
+
+        visit(root)
+
+    def is_descendant(self, node: Node, ancestor: Node) -> bool:
+        return (
+            self.enter[id(ancestor)] < self.enter[id(node)]
+            and self.enter[id(node)] < self.exit[id(ancestor)]
+        )
+
+
+def _local_ok(
+    pattern_node: PatternNode, data_node: Node, join_vars: dict
+) -> bool:
+    """The matcher's local test, shared by both scan operators."""
+    if pattern_node.label is not None and pattern_node.label != data_node.label:
+        return False
+    if pattern_node.value is not None and data_node.value != pattern_node.value:
+        return False
+    if data_node.is_leaf and any(not c.negated for c in pattern_node.children):
+        return False
+    variable = pattern_node.variable
+    if variable is not None and variable in join_vars and data_node.value is None:
+        return False
+    return True
+
+
+class LabelIndexScan:
+    """Candidate production off the label -> nodes index of the walk."""
+
+    def __init__(self, intervals: _Intervals) -> None:
+        self._index = intervals.label_index
+        self._all = intervals.all_nodes
+
+    def scan(self, pattern_node: PatternNode, join_vars: dict) -> list[Node]:
+        if pattern_node.label is not None:
+            base = self._index.get(pattern_node.label, [])
+        else:
+            base = self._all
+        kept = [n for n in base if _local_ok(pattern_node, n, join_vars)]
+        counters.incr("engine.actual_candidates", len(kept))
+        counters.incr("match.candidates", len(kept))
+        return kept
+
+
+class FullScan:
+    """Candidate production by filtering the whole document per node."""
+
+    def __init__(self, intervals: _Intervals) -> None:
+        self._all = intervals.all_nodes
+
+    def scan(self, pattern_node: PatternNode, join_vars: dict) -> list[Node]:
+        kept = [n for n in self._all if _local_ok(pattern_node, n, join_vars)]
+        counters.incr("engine.actual_candidates", len(kept))
+        counters.incr("match.candidates", len(kept))
+        return kept
+
+
+class SemiJoinPrune:
+    """Bottom-up structural pruning of the candidate lists."""
+
+    def __init__(self, intervals: _Intervals) -> None:
+        self._intervals = intervals
+
+    def prune(
+        self,
+        positive_nodes: list[PatternNode],
+        candidates: dict[PatternNode, list[Node]],
+    ) -> bool:
+        """Prune in place; False when a candidate list empties."""
+        for pattern_node in reversed(positive_nodes):
+            required = [c for c in pattern_node.children if not c.negated]
+            if not required:
+                continue
+            survivors = [
+                data_node
+                for data_node in candidates[pattern_node]
+                if all(
+                    self._has_axis_candidate(child, data_node, candidates)
+                    for child in required
+                )
+            ]
+            counters.incr(
+                "match.semijoin_pruned",
+                len(candidates[pattern_node]) - len(survivors),
+            )
+            if not survivors:
+                return False
+            candidates[pattern_node] = survivors
+        return True
+
+    def _has_axis_candidate(
+        self,
+        pattern_child: PatternNode,
+        data_node: Node,
+        candidates: dict[PatternNode, list[Node]],
+    ) -> bool:
+        child_candidates = candidates[pattern_child]
+        if pattern_child.descendant:
+            return any(
+                self._intervals.is_descendant(c, data_node)
+                for c in child_candidates
+            )
+        return any(c.parent is data_node for c in child_candidates)
+
+
+class BacktrackJoin:
+    """Backtracking enumeration over the plan's visit order."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        intervals: _Intervals,
+        candidates: dict[PatternNode, list[Node]],
+        runtime: MatchConfig,
+    ) -> None:
+        self._plan = plan
+        self._intervals = intervals
+        self._candidates = candidates
+        self._runtime = runtime
+        self._join_groups = plan.pattern.join_variables()
+
+    def run(self) -> list[Match]:
+        matches: list[Match] = []
+        mapping: dict[PatternNode, Node] = {}
+        bindings: dict[str, str] = {}
+        order = self._plan.order
+        runtime = self._runtime
+        early = self._plan.early_join_check
+
+        def assign(position: int) -> bool:
+            if position == len(order):
+                if not early and not self._joins_ok(mapping):
+                    return False
+                matches.append(Match(self._plan.pattern, dict(mapping)))
+                counters.incr("match.found")
+                return (
+                    runtime.max_matches is not None
+                    and len(matches) >= runtime.max_matches
+                )
+            pattern_node = order[position]
+            for data_node in self._options(pattern_node, mapping):
+                counters.incr("match.assignments")
+                if runtime.honor_negation and any(
+                    child.negated and find_embeddings(child, data_node)
+                    for child in pattern_node.children
+                ):
+                    counters.incr("match.negation_pruned")
+                    continue
+                variable = pattern_node.variable
+                joined = early and variable is not None and variable in self._join_groups
+                if joined:
+                    bound = bindings.get(variable)
+                    if bound is not None and bound != data_node.value:
+                        continue
+                    fresh_binding = bound is None
+                    if fresh_binding:
+                        bindings[variable] = data_node.value
+                mapping[pattern_node] = data_node
+                stop = assign(position + 1)
+                del mapping[pattern_node]
+                if joined and fresh_binding:
+                    del bindings[variable]
+                if stop:
+                    return True
+            return False
+
+        assign(0)
+        return matches
+
+    def _options(
+        self, pattern_node: PatternNode, mapping: dict[PatternNode, Node]
+    ) -> list[Node]:
+        candidates = self._candidates[pattern_node]
+        parent = pattern_node.parent
+        if parent is None:
+            return candidates
+        anchor = mapping[parent]
+        if pattern_node.descendant:
+            return [
+                c for c in candidates if self._intervals.is_descendant(c, anchor)
+            ]
+        return [c for c in candidates if c.parent is anchor]
+
+    def _joins_ok(self, mapping: dict[PatternNode, Node]) -> bool:
+        for nodes in self._join_groups.values():
+            values = {mapping[p].value for p in nodes}
+            if len(values) != 1 or None in values:
+                return False
+        return True
+
+
+def execute_plan(
+    plan: Plan,
+    root: Node,
+    runtime: MatchConfig = DEFAULT_CONFIG,
+    *,
+    intervals: _Intervals | None = None,
+) -> list[Match]:
+    """Run *plan* against the tree at *root*, returning all matches.
+
+    *runtime* supplies the semantic knobs (``max_matches``,
+    ``honor_negation``); the strategy toggles come from the plan.
+    *intervals* lets a long-lived caller (:class:`~repro.engine.
+    QueryEngine`) reuse the document walk across executions; it must
+    have been built for *root* in its current state.
+    """
+    counters.incr("engine.plans_executed")
+    pattern = plan.pattern
+    join_vars = pattern.join_variables()
+    if intervals is None:
+        intervals = _Intervals(root)
+
+    scan = (
+        LabelIndexScan(intervals) if plan.use_label_index else FullScan(intervals)
+    )
+    candidates: dict[PatternNode, list[Node]] = {}
+    positive = pattern.positive_nodes()
+    for pattern_node in positive:
+        kept = scan.scan(pattern_node, join_vars)
+        if not kept:
+            return []
+        candidates[pattern_node] = kept
+
+    if pattern.anchored:
+        anchored = [n for n in candidates[pattern.root] if n is root]
+        if not anchored:
+            return []
+        candidates[pattern.root] = anchored
+
+    if plan.use_semijoin_pruning:
+        if not SemiJoinPrune(intervals).prune(positive, candidates):
+            return []
+
+    return BacktrackJoin(plan, intervals, candidates, runtime).run()

@@ -1,0 +1,178 @@
+"""Per-document statistics feeding the cost-based planner.
+
+The planner needs cheap, already-aggregated facts about the document to
+price candidate sets and axis steps without touching the tree again:
+how many nodes carry each label, how many of those are valued leaves,
+how many distinct values each label carries, and the shape of the tree
+(depth and fan-out distributions).  :func:`collect_stats` gathers all
+of it in **one pre-order pass**.
+
+Documents mutate (updates attach and detach subtrees), so statistics
+carry a *version*.  :class:`DocumentStats` wraps a root provider with
+lazy recomputation: writers call :meth:`DocumentStats.invalidate` after
+each mutation, which bumps the version and drops the snapshot; the next
+reader recomputes.  The version also keys the plan cache
+(:mod:`repro.engine.cache`), so a stale plan can never be served for a
+changed document.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.analysis.instrumentation import counters
+from repro.trees.node import Node
+
+__all__ = ["TreeStats", "collect_stats", "DocumentStats"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """A one-pass statistical summary of a data tree.
+
+    All per-label maps are keyed by node label.  ``sum_depth`` doubles
+    as the number of (proper ancestor, descendant) pairs in the tree —
+    each node at depth *d* is a descendant of exactly *d* ancestors —
+    which is what the descendant-axis selectivity estimate needs.
+    """
+
+    node_count: int
+    leaf_count: int
+    valued_count: int
+    max_depth: int
+    sum_depth: int
+    max_fanout: int
+    label_counts: dict[str, int] = field(default_factory=dict)
+    valued_counts: dict[str, int] = field(default_factory=dict)
+    internal_counts: dict[str, int] = field(default_factory=dict)
+    distinct_values: dict[str, int] = field(default_factory=dict)
+    distinct_values_total: int = 0
+
+    @property
+    def avg_depth(self) -> float:
+        return self.sum_depth / self.node_count if self.node_count else 0.0
+
+    @property
+    def avg_fanout(self) -> float:
+        internal = self.node_count - self.leaf_count
+        return (self.node_count - 1) / internal if internal else 0.0
+
+    @property
+    def avg_descendants(self) -> float:
+        """Expected number of proper descendants of a uniformly drawn node."""
+        return self.sum_depth / self.node_count if self.node_count else 0.0
+
+    def count_for_label(self, label: str | None) -> int:
+        """Nodes carrying *label* (all nodes for the wildcard)."""
+        if label is None:
+            return self.node_count
+        return self.label_counts.get(label, 0)
+
+    def as_dict(self) -> dict:
+        """Flat summary for CLI display and logs."""
+        return {
+            "nodes": self.node_count,
+            "leaves": self.leaf_count,
+            "valued_leaves": self.valued_count,
+            "labels": len(self.label_counts),
+            "distinct_values": self.distinct_values_total,
+            "max_depth": self.max_depth,
+            "avg_depth": round(self.avg_depth, 3),
+            "max_fanout": self.max_fanout,
+            "avg_fanout": round(self.avg_fanout, 3),
+        }
+
+
+def collect_stats(root: Node) -> TreeStats:
+    """Collect :class:`TreeStats` for the tree rooted at *root* in one pass."""
+    counters.incr("engine.stats_collected")
+    node_count = 0
+    leaf_count = 0
+    valued_count = 0
+    max_depth = 0
+    sum_depth = 0
+    max_fanout = 0
+    label_counts: dict[str, int] = {}
+    valued_counts: dict[str, int] = {}
+    internal_counts: dict[str, int] = {}
+    values_by_label: dict[str, set[str]] = {}
+    all_values: set[str] = set()
+
+    stack: list[tuple[Node, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        node_count += 1
+        sum_depth += depth
+        if depth > max_depth:
+            max_depth = depth
+        label = node.label
+        label_counts[label] = label_counts.get(label, 0) + 1
+        children = node.children
+        if children:
+            internal_counts[label] = internal_counts.get(label, 0) + 1
+            if len(children) > max_fanout:
+                max_fanout = len(children)
+            for child in children:
+                stack.append((child, depth + 1))
+        else:
+            leaf_count += 1
+        if node.value is not None:
+            valued_count += 1
+            valued_counts[label] = valued_counts.get(label, 0) + 1
+            values_by_label.setdefault(label, set()).add(node.value)
+            all_values.add(node.value)
+
+    return TreeStats(
+        node_count=node_count,
+        leaf_count=leaf_count,
+        valued_count=valued_count,
+        max_depth=max_depth,
+        sum_depth=sum_depth,
+        max_fanout=max_fanout,
+        label_counts=label_counts,
+        valued_counts=valued_counts,
+        internal_counts=internal_counts,
+        distinct_values={k: len(v) for k, v in values_by_label.items()},
+        distinct_values_total=len(all_values),
+    )
+
+
+class DocumentStats:
+    """Versioned, lazily recomputed statistics for a mutable document.
+
+    Parameters
+    ----------
+    root_provider:
+        Zero-argument callable returning the document's *current* root.
+        A callable (rather than a node) because some stores replace the
+        root object wholesale on load/rollback.
+    """
+
+    __slots__ = ("_root_provider", "_version", "_snapshot")
+
+    def __init__(self, root_provider: Callable[[], Node]) -> None:
+        self._root_provider = root_provider
+        self._version = 0
+        self._snapshot: TreeStats | None = None
+
+    @property
+    def version(self) -> int:
+        """Monotone counter; bumped by every :meth:`invalidate`."""
+        return self._version
+
+    def invalidate(self) -> None:
+        """Mark the document as changed; the next read recomputes."""
+        self._version += 1
+        self._snapshot = None
+        counters.incr("engine.stats_invalidated")
+
+    def current(self) -> TreeStats:
+        """The statistics for the current document state (recomputing lazily)."""
+        if self._snapshot is None:
+            self._snapshot = collect_stats(self._root_provider())
+        return self._snapshot
+
+    def __repr__(self) -> str:
+        state = "fresh" if self._snapshot is not None else "stale"
+        return f"DocumentStats(version={self._version}, {state})"

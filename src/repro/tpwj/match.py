@@ -155,18 +155,55 @@ class Match:
 
 
 def find_matches(
-    pattern: Pattern, root: Node, config: MatchConfig = DEFAULT_CONFIG
+    pattern: Pattern,
+    root: Node,
+    config: MatchConfig = DEFAULT_CONFIG,
+    *,
+    plan=None,
 ) -> list[Match]:
     """All matches of *pattern* in the tree rooted at *root*.
 
-    The result order is deterministic (pre-order of candidate data
-    nodes, pattern children in declaration order).
+    With the default ``plan=None`` the fixed-strategy matcher runs with
+    the toggles in *config* and the result order is deterministic
+    (pre-order of candidate data nodes, pattern children in declaration
+    order).  ``plan="auto"`` delegates to the cost-based engine
+    (:mod:`repro.engine`): statistics are collected, a plan is built
+    and executed; *config* then only supplies the runtime semantics
+    (``max_matches``, ``honor_negation``) while the engine chooses the
+    strategy.  Passing a prebuilt :class:`~repro.engine.planner.Plan`
+    executes it directly (the warehouse does this through its plan
+    cache); match order then follows the plan's visit order.
     """
+    if plan is not None:
+        # Imported here: the engine builds on this module.
+        from repro.engine.executor import execute_plan, rekey_matches
+        from repro.engine.planner import Plan, build_plan, pattern_fingerprint
+        from repro.engine.stats import collect_stats
+
+        if plan == "auto":
+            plan = build_plan(pattern, collect_stats(root))
+        elif not isinstance(plan, Plan):
+            raise QueryError(
+                f"plan must be None, 'auto' or a Plan, got {plan!r}"
+            )
+        if plan.pattern is not pattern and plan.fingerprint != pattern_fingerprint(
+            pattern
+        ):
+            raise QueryError(
+                f"plan was built for {plan.fingerprint!r}, not for {pattern!s}"
+            )
+        matches = execute_plan(plan, root, config)
+        return rekey_matches(plan, pattern, matches)
     matcher = _Matcher(pattern, root, config)
     return matcher.run()
 
 
 class _Matcher:
+    # NOTE: the engine's physical operators (repro.engine.executor)
+    # implement the same matching semantics as separate operators.  Any
+    # change to the local test, the join rules or the negation check
+    # here must be mirrored there; tests/test_engine_equivalence.py
+    # guards the two against drifting apart.
     def __init__(self, pattern: Pattern, root: Node, config: MatchConfig) -> None:
         self.pattern = pattern
         self.root = root

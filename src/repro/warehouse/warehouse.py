@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.analysis.metrics import fuzzy_stats
 from repro.core.fuzzy_tree import FuzzyTree
+from repro.engine import QueryEngine
 from repro.core.query import FuzzyAnswer, query_fuzzy_tree
 from repro.core.simplify import SimplifyReport, simplify
 from repro.core.update import UpdateReport, apply_update
@@ -63,6 +64,10 @@ class Warehouse:
         self._auto_simplify_factor = auto_simplify_factor
         self._baseline_size = document.size()
         self._closed = False
+        # Cost-based query engine: plans are cached per (pattern
+        # fingerprint, stats version); every commit invalidates the
+        # stats, so repeated queries between commits reuse their plan.
+        self._engine = QueryEngine(lambda: self._document.root)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -156,12 +161,41 @@ class Warehouse:
         """Commit sequence number (increments on every commit)."""
         return self._sequence
 
-    def query(self, pattern: str | Pattern) -> list[FuzzyAnswer]:
-        """Evaluate a TPWJ query; answers ranked by probability."""
+    @property
+    def engine(self) -> QueryEngine:
+        """The warehouse's cost-based query engine (stats + plan cache)."""
+        self._check_open()
+        return self._engine
+
+    def query(
+        self, pattern: str | Pattern, planner: bool = True
+    ) -> list[FuzzyAnswer]:
+        """Evaluate a TPWJ query; answers ranked by probability.
+
+        By default matching runs through the cost-based engine with the
+        warehouse's plan cache; ``planner=False`` falls back to the
+        fixed-strategy matcher with the handle's :class:`MatchConfig`.
+        A handle opened with ``max_matches`` set always uses the fixed
+        matcher: a truncated enumeration must return the documented
+        deterministic pre-order subset, not a plan-order-dependent one.
+        """
         self._check_open()
         if isinstance(pattern, str):
             pattern = parse_pattern(pattern)
-        return query_fuzzy_tree(self._document, pattern, self._match_config)
+        use_planner = planner and self._match_config.max_matches is None
+        return query_fuzzy_tree(
+            self._document,
+            pattern,
+            self._match_config,
+            engine=self._engine if use_planner else None,
+        )
+
+    def explain_plan(self, pattern: str | Pattern) -> str:
+        """The engine's statistics and chosen plan for *pattern*, rendered."""
+        self._check_open()
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        return self._engine.explain(pattern)
 
     def stats(self) -> dict:
         """Document measurements plus commit/log counters."""
@@ -278,6 +312,9 @@ class Warehouse:
             fuzzy_to_string(self._document), self._sequence
         )
         self._log.append(kind, self._sequence, payload)
+        # Every commit may have changed the document: age out the
+        # statistics (and with them any cached plans priced on them).
+        self._engine.invalidate()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"seq={self._sequence}"

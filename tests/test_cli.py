@@ -60,6 +60,32 @@ class TestQuery:
 
     def test_bad_pattern_is_an_error(self, store, capsys):
         assert main(["query", str(store), "A {"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        # The shared parser helper names the offending argument.
+        assert "invalid pattern 'A {'" in err
+
+    def test_query_without_planner(self, store, capsys):
+        assert main(["query", str(store), "//D", "--no-planner"]) == 0
+        out = capsys.readouterr().out
+        assert "0.700000" in out and "A(C(D))" in out
+
+
+class TestExplain:
+    def test_explain_prints_plan_and_stats(self, store, capsys):
+        assert main(["explain", str(store), "/A { //D }"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics:" in out
+        assert "visit order:" in out
+        assert "plan cache:" in out
+
+    def test_explain_shares_parse_errors_with_query(self, store, capsys):
+        assert main(["explain", str(store), "A {"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "invalid pattern 'A {'" in err
+
+    def test_explain_missing_warehouse_is_an_error(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "nope"), "//D"]) == 2
         assert "error:" in capsys.readouterr().err
 
 

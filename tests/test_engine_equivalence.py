@@ -1,0 +1,153 @@
+"""Property test: the planner-chosen execution is exactly equivalent to
+the naive matcher.
+
+For random documents and random patterns, the match set produced by the
+cost-based engine (statistics -> plan -> physical operators) must equal
+the match set of the fixed-strategy matcher with **every** optimization
+disabled — the ground-truth enumeration.  This is the engine's
+load-bearing correctness test: plans may reorder the visit sequence and
+pick different operators, but never change the answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MatchConfig,
+    build_plan,
+    collect_stats,
+    execute_plan,
+    find_matches,
+    parse_pattern,
+)
+from repro.errors import QueryError
+from repro.tpwj.pattern import Pattern, PatternNode
+from repro.trees import Node, RandomTreeConfig
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+relaxed = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The ground truth: plain backtracking, no index, no pruning, late joins.
+NAIVE = MatchConfig(
+    use_label_index=False, use_semijoin_pruning=False, early_join_check=False
+)
+
+DOCS = FuzzyWorkloadConfig(
+    tree=RandomTreeConfig(max_nodes=40, max_children=4, max_depth=5),
+    n_events=3,
+)
+
+
+def match_keys(matches, pattern) -> set[tuple[int, ...]]:
+    """Identity-based canonical keys for a match set.
+
+    A match is the function pattern node -> data node; two matches are
+    the same iff they agree on every positive pattern node.
+    """
+    order = pattern.positive_nodes()
+    return {tuple(id(match[p]) for p in order) for match in matches}
+
+
+def make_instance(seed: int):
+    rng = random.Random(seed)
+    doc = random_fuzzy_tree(rng, DOCS)
+    pattern = random_query_for(
+        rng,
+        doc.root,
+        max_nodes=6,
+        descendant_probability=0.4,
+        wildcard_probability=0.2,
+        value_test_probability=0.4,
+        join_probability=0.6,
+    )
+    return doc, pattern
+
+
+@relaxed
+@given(seeds)
+def test_auto_plan_equals_naive_matcher(seed):
+    doc, pattern = make_instance(seed)
+    naive = find_matches(pattern, doc.root, NAIVE)
+    planned = find_matches(pattern, doc.root, plan="auto")
+    assert match_keys(planned, pattern) == match_keys(naive, pattern)
+
+
+@relaxed
+@given(seeds)
+def test_explicit_plan_equals_naive_matcher(seed):
+    doc, pattern = make_instance(seed)
+    plan = build_plan(pattern, collect_stats(doc.root))
+    # The plan's visit order must be topological: parents before children.
+    positions = {id(node): i for i, node in enumerate(plan.order)}
+    for node in plan.order:
+        if node.parent is not None:
+            assert positions[id(node.parent)] < positions[id(node)]
+    naive = find_matches(pattern, doc.root, NAIVE)
+    planned = execute_plan(plan, doc.root)
+    assert match_keys(planned, pattern) == match_keys(naive, pattern)
+
+
+@relaxed
+@given(seeds, st.integers(min_value=1, max_value=4))
+def test_max_matches_is_honored(seed, limit):
+    doc, pattern = make_instance(seed)
+    total = len(find_matches(pattern, doc.root, NAIVE))
+    capped = find_matches(
+        pattern, doc.root, MatchConfig(max_matches=limit), plan="auto"
+    )
+    assert len(capped) == min(limit, total)
+    # Every capped match is a genuine match.
+    assert match_keys(capped, pattern) <= match_keys(
+        find_matches(pattern, doc.root, NAIVE), pattern
+    )
+
+
+def test_mismatched_plan_is_rejected():
+    """A plan for one query cannot silently run a different query."""
+    doc, _ = make_instance(0)
+    other = build_plan(parse_pattern("A { B }"), collect_stats(doc.root))
+    with pytest.raises(QueryError):
+        find_matches(parse_pattern("A { C }"), doc.root, plan=other)
+
+
+def test_negation_equivalence():
+    """Negated subpatterns prune identically through plans.
+
+    The generator never emits negation, so this instance is hand-built:
+    "an A with a B child and no C child" over a document where some A
+    nodes have both.
+    """
+    root = Node("R")
+    a1 = root.add_child(Node("A"))
+    a1.add_child(Node("B"))
+    a2 = root.add_child(Node("A"))
+    a2.add_child(Node("B"))
+    a2.add_child(Node("C"))
+    a3 = root.add_child(Node("A"))
+    a3.add_child(Node("D"))
+
+    pattern = Pattern(
+        PatternNode(
+            "A",
+            children=[
+                PatternNode("B"),
+                PatternNode("C", negated=True),
+            ],
+        )
+    )
+    naive = find_matches(pattern, root, NAIVE)
+    planned = find_matches(pattern, root, plan="auto")
+    assert match_keys(planned, pattern) == match_keys(naive, pattern)
+    assert len(planned) == 1
+    assert planned[0][pattern.root] is a1
