@@ -53,6 +53,7 @@ from repro.engine import (
     Plan,
     PlanCache,
     QueryEngine,
+    StatsDelta,
     TreeStats,
     build_plan,
     collect_stats,
@@ -99,6 +100,7 @@ from repro.trees import Node, tree
 from repro.updates import (
     DeleteOperation,
     InsertOperation,
+    TransactionBatch,
     UpdateTransaction,
     apply_deterministic,
 )
@@ -147,6 +149,7 @@ __all__ = [
     "InsertOperation",
     "DeleteOperation",
     "UpdateTransaction",
+    "TransactionBatch",
     "apply_deterministic",
     # core
     "FuzzyNode",
@@ -168,6 +171,7 @@ __all__ = [
     "Plan",
     "PlanCache",
     "TreeStats",
+    "StatsDelta",
     "collect_stats",
     "build_plan",
     "execute_plan",

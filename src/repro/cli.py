@@ -10,7 +10,8 @@ architecture::
     python -m repro explain WH '//person { name[$n] }'  # show the query plan
     python -m repro update WH --xupdate tx.xml --confidence 0.85
     python -m repro simplify WH
-    python -m repro stats WH
+    python -m repro compact WH                        # fold the WAL into a snapshot
+    python -m repro stats WH                          # includes WAL depth/bytes
     python -m repro history WH --tail 10
     python -m repro worlds WH                         # enumerate (small docs)
     python -m repro estimate WH '//email' --samples 2000
@@ -33,9 +34,11 @@ from repro.errors import QueryParseError, ReproError
 from repro.events.table import EventTable
 from repro.tpwj.parser import parse_pattern
 from repro.tpwj.pattern import Pattern
+from repro.updates.transaction import TransactionBatch
 from repro.warehouse.warehouse import Warehouse
 from repro.xmlio.parse import fuzzy_from_string
 from repro.xmlio.serialize import fuzzy_to_string, plain_to_string
+from repro.xmlio.xupdate import updates_from_string
 
 __all__ = ["main", "build_parser"]
 
@@ -74,15 +77,27 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("path", type=Path)
     explain.add_argument("pattern", help="TPWJ text syntax")
 
-    update = commands.add_parser("update", help="apply an XUpdate transaction")
+    update = commands.add_parser(
+        "update", help="apply an XUpdate transaction (or an xu:batch of them)"
+    )
     update.add_argument("path", type=Path)
-    update.add_argument("--xupdate", type=Path, required=True, help="transaction XML")
+    update.add_argument(
+        "--xupdate",
+        type=Path,
+        required=True,
+        help="transaction XML (xu:modifications or xu:batch)",
+    )
     update.add_argument(
         "--confidence", type=float, default=None, help="override the confidence"
     )
 
     simplify = commands.add_parser("simplify", help="run fuzzy data simplification")
     simplify.add_argument("path", type=Path)
+
+    compact = commands.add_parser(
+        "compact", help="fold pending WAL records into a fresh snapshot"
+    )
+    compact.add_argument("path", type=Path)
 
     stats = commands.add_parser("stats", help="document and log statistics")
     stats.add_argument("path", type=Path)
@@ -123,6 +138,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "explain": _cmd_explain,
         "update": _cmd_update,
         "simplify": _cmd_simplify,
+        "compact": _cmd_compact,
         "stats": _cmd_stats,
         "history": _cmd_history,
         "worlds": _cmd_worlds,
@@ -179,8 +195,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_update(args: argparse.Namespace) -> int:
     text = args.xupdate.read_text(encoding="utf-8")
+    parsed = updates_from_string(text)
     with Warehouse.open(args.path) as warehouse:
-        report = warehouse.update(text, confidence=args.confidence)
+        if isinstance(parsed, TransactionBatch):
+            reports = warehouse.update_many(parsed, confidence=args.confidence)
+            print(
+                f"batch of {len(reports)}: "
+                f"applied: {sum(1 for r in reports if r.applied)}  "
+                f"matches: {sum(r.matches for r in reports)}  "
+                f"inserted nodes: {sum(r.inserted_nodes for r in reports)}  "
+                f"survivor copies: {sum(r.survivor_copies for r in reports)}"
+            )
+            return 0
+        report = warehouse.update(parsed, confidence=args.confidence)
         print(
             f"matches: {report.matches}  applied: {report.applied}  "
             f"inserted nodes: {report.inserted_nodes}  "
@@ -197,6 +224,16 @@ def _cmd_simplify(args: argparse.Namespace) -> int:
             f"nodes: {report.nodes_before} -> {report.nodes_after}  "
             f"literals: {report.literals_before} -> {report.literals_after}  "
             f"events collected: {report.collected_events}"
+        )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    with Warehouse.open(args.path) as warehouse:
+        summary = warehouse.compact()
+        print(
+            f"compacted: folded {summary['folded_records']} WAL records  "
+            f"snapshot sequence: {summary['sequence']}"
         )
     return 0
 

@@ -68,6 +68,7 @@ def apply_update(
     fuzzy: FuzzyTree,
     transaction,
     config: MatchConfig = DEFAULT_CONFIG,
+    delta=None,
 ) -> UpdateReport:
     """Apply a probabilistic update transaction to *fuzzy*, in place.
 
@@ -75,6 +76,12 @@ def apply_update(
     match, or the confidence is 0, the document is left untouched —
     mirroring the possible-worlds semantics where unselected worlds keep
     their probability and a 0-confidence update never applies.
+
+    *delta*, when given, is a recorder with the
+    :class:`~repro.engine.stats.StatsDelta` interface; every structural
+    mutation (subtree attached/detached, child-count transition) is
+    reported to it so callers can maintain document statistics without
+    re-walking the tree.
     """
     from repro.updates.transaction import UpdateTransaction
 
@@ -121,8 +128,8 @@ def apply_update(
         confidence_literal = Literal(name, True)
         report.confidence_event = name
 
-    _apply_insertions(fuzzy, transaction, match_infos, confidence_literal, report)
-    _apply_deletions(fuzzy, transaction, match_infos, confidence_literal, report)
+    _apply_insertions(fuzzy, transaction, match_infos, confidence_literal, report, delta)
+    _apply_deletions(fuzzy, transaction, match_infos, confidence_literal, report, delta)
     report.applied = True
     return report
 
@@ -137,6 +144,7 @@ def _apply_insertions(
     match_infos: list[tuple],
     confidence_literal: Literal | None,
     report: UpdateReport,
+    delta=None,
 ) -> None:
     for match, gamma in match_infos:
         for op in transaction.insertions:
@@ -149,7 +157,14 @@ def _apply_insertions(
                 continue
             condition = _with_confidence(gamma, confidence_literal)
             subtree = FuzzyNode.from_plain(op.subtree, condition=condition)
+            children_before = len(anchor.children)
             anchor.add_child(subtree)
+            if delta is not None:
+                anchor_depth = anchor.depth()
+                delta.record_subtree_added(subtree, anchor_depth + 1)
+                delta.record_child_count_change(
+                    anchor.label, children_before, children_before + 1
+                )
             report.inserted_subtrees += 1
             report.inserted_nodes += subtree.size()
             counters.incr("core.update.inserted_nodes", subtree.size())
@@ -161,6 +176,7 @@ def _apply_deletions(
     match_infos: list[tuple],
     confidence_literal: Literal | None,
     report: UpdateReport,
+    delta=None,
 ) -> None:
     # Group full deletion conditions (γm ∧ w) per target node.
     grouped: dict[int, tuple[FuzzyNode, list[Condition]]] = {}
@@ -189,7 +205,11 @@ def _apply_deletions(
         parent = target.parent
         assert parent is not None  # root deletions rejected above
         pieces = complement_as_disjoint_conditions(deletion_conditions)
+        target_depth = target.depth()
+        children_before = len(parent.children)
         target.detach()
+        if delta is not None:
+            delta.record_subtree_removed(target, target_depth)
         for piece in pieces:
             combined = Condition(
                 target.condition.literals | piece.literals, allow_inconsistent=True
@@ -199,6 +219,12 @@ def _apply_deletions(
             copy = target.clone()
             copy.condition = combined
             parent.add_child(copy)
+            if delta is not None:
+                delta.record_subtree_added(copy, target_depth)
             report.survivor_copies += 1
             report.survivor_nodes += copy.size()
             counters.incr("core.update.survivor_copies")
+        if delta is not None:
+            delta.record_child_count_change(
+                parent.label, children_before, len(parent.children)
+            )

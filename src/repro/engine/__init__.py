@@ -34,7 +34,7 @@ from repro.engine.cardinality import (
 )
 from repro.engine.executor import _Intervals, execute_plan, rekey_matches
 from repro.engine.planner import Plan, PlanStep, build_plan, pattern_fingerprint
-from repro.engine.stats import DocumentStats, TreeStats, collect_stats
+from repro.engine.stats import DocumentStats, StatsDelta, TreeStats, collect_stats
 from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig
 from repro.tpwj.pattern import Pattern
 from repro.trees.node import Node
@@ -45,6 +45,7 @@ __all__ = [
     "PlanStep",
     "PlanCache",
     "TreeStats",
+    "StatsDelta",
     "DocumentStats",
     "collect_stats",
     "build_plan",
@@ -88,6 +89,21 @@ class QueryEngine:
         """
         self.stats.invalidate()
         self._walk = None
+
+    def apply_delta(self, delta: StatsDelta | None) -> None:
+        """Fold a commit's structural delta into the engine state.
+
+        The statistics adjust in place (no full re-walk) and the
+        version bumps only when the document actually changed, so plans
+        cached for an untouched document keep being served.  ``None``
+        degrades to a full :meth:`invalidate`.
+        """
+        if delta is None:
+            self.invalidate()
+            return
+        self.stats.apply_delta(delta)
+        if not delta.is_empty:
+            self._walk = None
 
     def plan_for(self, pattern: Pattern) -> Plan:
         """The cached or freshly built plan for *pattern* on the current stats.

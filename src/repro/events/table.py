@@ -80,6 +80,25 @@ class EventTable:
             raise UnknownEventError(name)
         del self._probabilities[name]
 
+    @property
+    def fresh_counter(self) -> int:
+        """The state of the fresh-name allocator (persisted by the warehouse).
+
+        Removing an event (simplification GC) does not rewind the
+        counter, so the set of declared names alone does not determine
+        the next :meth:`fresh` name.  Durable stores record the counter
+        alongside the document so that replaying logged updates mints
+        exactly the names the original session minted.
+        """
+        return self._fresh_counter
+
+    def advance_fresh_counter(self, value: int) -> None:
+        """Fast-forward the fresh-name allocator to at least *value*."""
+        if not isinstance(value, int) or value < 0:
+            raise EventError(f"fresh counter must be a non-negative int, got {value!r}")
+        if value > self._fresh_counter:
+            self._fresh_counter = value
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -209,24 +209,49 @@ class _Matcher:
         self.root = root
         self.config = config
         self.join_groups = pattern.join_variables()
-        # Pre-order interval numbering for O(1) ancestor/descendant tests.
+        # Pre-order interval numbering for O(1) ancestor/descendant
+        # tests, plus the node list / label index for the candidate
+        # scan — all gathered in one walk of the document (the walk is
+        # the dominant cost of matching on small patterns, so it is
+        # paid once, not per concern).
         self.enter: dict[int, int] = {}
         self.exit: dict[int, int] = {}
-        self._number_tree()
+        self.all_nodes: list[Node] = []
+        self.label_index: dict[str, list[Node]] = {}
+        # An anchored single-node pattern can only map to the document
+        # root: matching is a constant-time root probe, so the walk is
+        # skipped entirely (the shape of root-targeted updates).
+        self._root_probe = pattern.anchored and len(pattern.nodes()) == 1
+        if not self._root_probe:
+            self._walk_document()
         self.candidates: dict[PatternNode, list[Node]] = {}
 
-    def _number_tree(self) -> None:
+    def _walk_document(self) -> None:
+        enter = self.enter
+        exit_ = self.exit
+        all_nodes = self.all_nodes
+        index = self.label_index
+        build_index = self.config.use_label_index
         clock = 0
-
-        def visit(node: Node) -> None:
-            nonlocal clock
-            self.enter[id(node)] = clock
+        stack: list[tuple[Node, bool]] = [(self.root, False)]
+        while stack:
+            node, closing = stack.pop()
+            if closing:
+                exit_[id(node)] = clock
+                continue
+            enter[id(node)] = clock
             clock += 1
-            for child in node.children:
-                visit(child)
-            self.exit[id(node)] = clock
-
-        visit(self.root)
+            all_nodes.append(node)
+            if build_index:
+                bucket = index.get(node.label)
+                if bucket is None:
+                    index[node.label] = [node]
+                else:
+                    bucket.append(node)
+            stack.append((node, True))
+            children = node.children
+            for child in reversed(children):
+                stack.append((child, False))
 
     def _is_descendant(self, node: Node, ancestor: Node) -> bool:
         return (
@@ -256,15 +281,15 @@ class _Matcher:
 
     def _compute_candidates(self) -> bool:
         """Fill per-pattern-node candidate lists; False when one is empty."""
-        if self.config.use_label_index:
-            index: dict[str, list[Node]] = {}
-            all_nodes: list[Node] = []
-            for node in self.root.iter():
-                all_nodes.append(node)
-                index.setdefault(node.label, []).append(node)
-        else:
-            index = {}
-            all_nodes = list(self.root.iter())
+        if self._root_probe:
+            pattern_root = self.pattern.root
+            if not self._local_ok(pattern_root, self.root):
+                return False
+            counters.incr("match.candidates")
+            self.candidates[pattern_root] = [self.root]
+            return True
+        all_nodes = self.all_nodes
+        index = self.label_index
 
         for pattern_node in self.pattern.positive_nodes():
             if self.config.use_label_index and pattern_node.label is not None:

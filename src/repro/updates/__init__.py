@@ -7,12 +7,17 @@
 """
 
 from repro.updates.operations import DeleteOperation, InsertOperation, UpdateOperation
-from repro.updates.transaction import UpdateTransaction, apply_deterministic
+from repro.updates.transaction import (
+    TransactionBatch,
+    UpdateTransaction,
+    apply_deterministic,
+)
 
 __all__ = [
     "InsertOperation",
     "DeleteOperation",
     "UpdateOperation",
     "UpdateTransaction",
+    "TransactionBatch",
     "apply_deterministic",
 ]

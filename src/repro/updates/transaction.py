@@ -26,7 +26,7 @@ from repro.tpwj.pattern import Pattern
 from repro.updates.operations import DeleteOperation, InsertOperation, UpdateOperation
 from repro.trees.node import Node
 
-__all__ = ["UpdateTransaction", "apply_deterministic"]
+__all__ = ["UpdateTransaction", "TransactionBatch", "apply_deterministic"]
 
 
 class UpdateTransaction:
@@ -81,6 +81,51 @@ class UpdateTransaction:
             f"UpdateTransaction(query={str(self.query)!r}, "
             f"{len(self.operations)} ops, confidence={self.confidence})"
         )
+
+
+class TransactionBatch:
+    """An ordered batch of update transactions committed as one unit.
+
+    The warehouse's batched write path
+    (:meth:`~repro.warehouse.warehouse.Warehouse.update_many`) applies
+    the member transactions in order against the live document but
+    persists them as a single commit — one log append, one fsync —
+    which is where batched ingestion gets its throughput.  Semantically
+    a batch is exactly the sequential application of its members: a
+    later transaction sees (and may match) what an earlier one
+    inserted.
+    """
+
+    __slots__ = ("transactions",)
+
+    def __init__(self, transactions: Iterable[UpdateTransaction]) -> None:
+        members = tuple(transactions)
+        if not members:
+            raise UpdateError("transaction batch is empty")
+        for member in members:
+            if not isinstance(member, UpdateTransaction):
+                raise UpdateError(
+                    f"batch members must be UpdateTransaction, got {type(member).__name__}"
+                )
+        self.transactions = members
+
+    def __iter__(self):
+        return iter(self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __getitem__(self, index: int) -> UpdateTransaction:
+        return self.transactions[index]
+
+    def with_confidence(self, confidence: float) -> "TransactionBatch":
+        """A copy with every member carrying *confidence*."""
+        return TransactionBatch(
+            member.with_confidence(confidence) for member in self.transactions
+        )
+
+    def __repr__(self) -> str:
+        return f"TransactionBatch({len(self.transactions)} transactions)"
 
 
 def apply_deterministic(

@@ -1,12 +1,21 @@
 """Probabilistic XML warehouse — substrate S8 (paper, slides 3 and 16).
 
 * :class:`Warehouse` — the query/update interface over a durable store;
-* :class:`Storage` — atomic commits, checksums, single-writer locking;
+* :class:`CommitPolicy` — when the WAL folds into a fresh snapshot;
+* :class:`Storage` — atomic snapshots, checksums, single-writer locking;
+* :class:`WriteAheadLog` — checksummed redo log for incremental commits;
 * :class:`TransactionLog` — append-only audit log.
 """
 
-from repro.warehouse.log import TransactionLog
+from repro.warehouse.log import TransactionLog, WriteAheadLog
 from repro.warehouse.storage import Storage
-from repro.warehouse.warehouse import Warehouse
+from repro.warehouse.warehouse import CommitPolicy, Warehouse, WarehouseBatch
 
-__all__ = ["Warehouse", "Storage", "TransactionLog"]
+__all__ = [
+    "Warehouse",
+    "WarehouseBatch",
+    "CommitPolicy",
+    "Storage",
+    "TransactionLog",
+    "WriteAheadLog",
+]

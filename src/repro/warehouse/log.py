@@ -1,15 +1,27 @@
-"""Append-only transaction log for the warehouse.
+"""Append-only logs for the warehouse: the audit log and the WAL.
 
-Every committed operation (update, simplification) appends one JSON
-line recording what happened: the serialized transaction, the
-confidence, the report counters, and the resulting document sequence
-number.  The log supports the E8 benchmark's throughput accounting and
-makes warehouse history auditable; it is *not* a redo log — commits are
-atomic at the storage layer, so recovery never needs replay.
+Two logs live next to the document, with different jobs:
+
+* :class:`TransactionLog` (``log.jsonl``) — the human-facing audit
+  trail: one JSON line per committed operation recording what happened
+  (the serialized transaction, the confidence, the report counters).
+  It supports the E8 benchmark's throughput accounting, ``history`` and
+  ``provenance``; it is **not** required for recovery.
+
+* :class:`WriteAheadLog` (``wal.jsonl``) — the redo log of the
+  incremental commit pipeline.  Each record carries a replayable
+  payload (the XUpdate document of the commit), its sequence number and
+  a SHA-256 over the record body, and is fsynced on append.  Recovery
+  replays the records past the snapshot's sequence; a torn record at
+  the tail (the classic crash-mid-append) is discarded, while a bad
+  record *before* the tail raises
+  :class:`~repro.errors.WarehouseCorruptError` — data that was
+  acknowledged durable must never be silently dropped.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -17,9 +29,10 @@ from pathlib import Path
 
 from repro.errors import WarehouseCorruptError
 
-__all__ = ["TransactionLog"]
+__all__ = ["TransactionLog", "WriteAheadLog"]
 
 _LOG_FILE = "log.jsonl"
+_WAL_FILE = "wal.jsonl"
 
 
 class TransactionLog:
@@ -28,8 +41,16 @@ class TransactionLog:
     def __init__(self, directory: str | Path) -> None:
         self.path = Path(directory) / _LOG_FILE
 
-    def append(self, kind: str, sequence: int, payload: dict) -> dict:
-        """Append one entry; returns the full record written."""
+    def append(
+        self, kind: str, sequence: int, payload: dict, fsync: bool = True
+    ) -> dict:
+        """Append one entry; returns the full record written.
+
+        *fsync* is on by default; the warehouse turns it off when the
+        WAL already made the commit durable (the audit log is then a
+        best-effort convenience, reconstructed from the WAL on
+        recovery).
+        """
         record = {
             "kind": kind,
             "sequence": sequence,
@@ -40,7 +61,8 @@ class TransactionLog:
         fd = os.open(self.path, os.O_CREAT | os.O_APPEND | os.O_WRONLY, 0o644)
         try:
             os.write(fd, line.encode("utf-8") + b"\n")
-            os.fsync(fd)
+            if fsync:
+                os.fsync(fd)
         finally:
             os.close(fd)
         return record
@@ -66,3 +88,183 @@ class TransactionLog:
     def last_sequence(self) -> int:
         entries = self.entries()
         return max((entry.get("sequence", 0) for entry in entries), default=0)
+
+    def discard_torn_tail(self) -> bool:
+        """Drop a partial final line left by a crash mid-append.
+
+        Under the WAL pipeline audit appends are not fsynced, so after a
+        crash the file commonly ends in a torn line.  The audit log is
+        best-effort (recovery reconstructs its missing entries from the
+        WAL), so the torn tail is simply truncated away; damage anywhere
+        before the tail is left for :meth:`entries` to report.  Returns
+        True when a tail was discarded.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return False
+        if not raw:
+            return False
+        lines = raw.split(b"\n")
+        trailing_newline = lines[-1] == b""
+        if trailing_newline:
+            lines.pop()
+        if not lines:
+            return False
+        tail = lines[-1]
+        torn = not trailing_newline
+        if not torn and tail.strip():
+            try:
+                json.loads(tail.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                torn = True
+        if not torn:
+            return False
+        keep = b"".join(line + b"\n" for line in lines[:-1])
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp_path.write_bytes(keep)
+        os.replace(tmp_path, self.path)
+        return True
+
+
+class WriteAheadLog:
+    """Checksummed, fsynced redo log of committed update transactions."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.path = Path(directory) / _WAL_FILE
+
+    def append(self, kind: str, sequence: int, payload: dict) -> dict:
+        """Durably append one replayable record; returns it."""
+        record = {"kind": kind, "sequence": sequence, "payload": payload}
+        record["sha256"] = _record_digest(record)
+        line = json.dumps(record, sort_keys=True)
+        created = not self.path.exists()
+        fd = os.open(self.path, os.O_CREAT | os.O_APPEND | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8") + b"\n")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if created:
+            # A new directory entry is not durable until the directory
+            # itself is synced; without this a power loss could forget
+            # the whole file despite the fsynced append.
+            _fsync_directory(self.path.parent)
+        return record
+
+    def records(self) -> tuple[list[dict], str | None]:
+        """All intact records plus a note when a torn tail was discarded.
+
+        The last line of the file may be a partial write from a crash
+        mid-append; it is dropped (the commit never finished, so it was
+        never acknowledged).  Any malformed record *before* the last
+        line means acknowledged data was damaged and raises
+        :class:`WarehouseCorruptError`.
+        """
+        if not self.path.exists():
+            return [], None
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.split(b"\n")
+        # A record's newline is its last byte, written with the record
+        # in one append: a partial (torn) write can therefore never end
+        # in a newline.  A newline-terminated final record that fails
+        # below is *complete but rotten* — acknowledged data — and
+        # raises like any mid-file damage.
+        ended_complete = raw.endswith(b"\n")
+        torn: str | None = None
+        if lines and lines[-1] == b"":
+            lines.pop()
+        records: list[dict] = []
+        last_index = len(lines) - 1
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            problem = None
+            record = None
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                problem = f"unparseable record: {exc}"
+            if record is not None:
+                if not isinstance(record, dict) or not {
+                    "kind",
+                    "sequence",
+                    "payload",
+                    "sha256",
+                }.issubset(record):
+                    problem = "record missing required fields"
+                elif record["sha256"] != _record_digest(
+                    {k: v for k, v in record.items() if k != "sha256"}
+                ):
+                    problem = "record checksum mismatch"
+            if problem is not None:
+                if index == last_index and not ended_complete:
+                    torn = f"discarded torn WAL tail (line {index + 1}): {problem}"
+                    break
+                raise WarehouseCorruptError(
+                    f"corrupt WAL record at line {index + 1} in {self.path}: {problem}"
+                )
+            records.append(record)
+        return records, torn
+
+    def replayable(self, after_sequence: int) -> tuple[list[dict], str | None]:
+        """Records to replay on top of a snapshot at *after_sequence*.
+
+        Records at or before the snapshot's sequence are skipped (they
+        were already folded in — the compaction-crash case).  The
+        remainder must be the contiguous run ``after_sequence + 1,
+        after_sequence + 2, ...``; a gap means a durable commit went
+        missing and raises :class:`WarehouseCorruptError`.
+        """
+        records, torn = self.records()
+        keep = [r for r in records if r["sequence"] > after_sequence]
+        for offset, record in enumerate(keep):
+            expected = after_sequence + 1 + offset
+            if record["sequence"] != expected:
+                raise WarehouseCorruptError(
+                    f"WAL sequence gap in {self.path}: expected {expected}, "
+                    f"found {record['sequence']}"
+                )
+        return keep, torn
+
+    def depth(self, after_sequence: int) -> int:
+        """Number of records replay would apply past *after_sequence*."""
+        records, _torn = self.records()
+        return sum(1 for r in records if r["sequence"] > after_sequence)
+
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def reset(self) -> None:
+        """Atomically empty the log (after its records were folded into
+        a snapshot)."""
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        fd = os.open(tmp_path, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp_path, self.path)
+        _fsync_directory(self.path.parent)
+
+
+def _record_digest(body: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _fsync_directory(path: Path) -> None:
+    """Make directory-entry changes (creations, renames) durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds: best effort
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -4,15 +4,28 @@ The paper's system stores fuzzy documents on the file system
 (slide 16).  This layer provides the durability primitives the
 warehouse needs:
 
-* **atomic commits** — the document is written to a temporary file,
+* **atomic snapshots** — the document is written to a temporary file,
   fsynced, then renamed over the live copy, so a crash can never leave
   a half-written document;
 * **integrity checking** — a sidecar metadata file records the SHA-256
   of the committed document; a mismatch on read raises
   :class:`~repro.errors.WarehouseCorruptError`;
-* **single-writer locking** — an ``O_EXCL`` lock file holding the owner
-  pid; a held lock raises :class:`~repro.errors.WarehouseLockedError`
-  (stale locks from dead processes are broken automatically).
+* **single-writer locking** — a lock file holding the owner pid plus a
+  process-identity token, created atomically with its payload via a
+  hard link; a held lock raises
+  :class:`~repro.errors.WarehouseLockedError`.
+
+The stale-lock breaking rule is explicit: a lock is broken iff
+
+1. its owner pid is dead, **or**
+2. its owner pid is alive but its recorded process-start token differs
+   from the live process's — the pid was recycled by an unrelated
+   process (on Linux the token is the kernel's per-process start time
+   from ``/proc/<pid>/stat``).
+
+A live pid whose token matches — or cannot be compared (legacy integer
+lock files, platforms without ``/proc``) — keeps the lock: when in
+doubt, refuse to steal.
 """
 
 from __future__ import annotations
@@ -23,6 +36,7 @@ import os
 from pathlib import Path
 
 from repro.errors import WarehouseCorruptError, WarehouseError, WarehouseLockedError
+from repro.warehouse.log import _fsync_directory
 
 __all__ = ["Storage"]
 
@@ -66,30 +80,71 @@ class Storage:
     # ------------------------------------------------------------------
 
     def acquire_lock(self) -> None:
-        """Take the single-writer lock, breaking stale locks of dead pids."""
+        """Take the single-writer lock, breaking stale locks (see module
+        docstring for the explicit breaking rule).
+
+        The lock file appears atomically *with* its pid/token payload
+        (written to a staging file, then hard-linked into place): a
+        concurrent acquirer can never observe a half-written lock and
+        mistake a live owner for a stale one.  Breaking a stale lock is
+        not atomic with re-acquiring it, so after linking the acquirer
+        verifies the directory entry is still its own and backs off
+        (``WarehouseLockedError``) when a concurrent breaker won the
+        race; the unavoidable residue is the window between a breaker
+        reading stale content and unlinking, which the verification
+        narrows but plain files cannot fully close.
+        """
         if self._lock_fd is not None:
             return
         self.initialize()
-        for _attempt in range(2):
-            try:
-                fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                owner = self._lock_owner()
-                if owner is not None and _pid_alive(owner):
-                    raise WarehouseLockedError(
-                        f"warehouse {self.path} is locked by pid {owner}"
-                    ) from None
-                # Stale lock: the owner is gone; break it and retry once.
-                try:
-                    self.lock_path.unlink()
-                except FileNotFoundError:
-                    pass
-                continue
-            os.write(fd, str(os.getpid()).encode("ascii"))
+        payload = json.dumps(
+            {"pid": os.getpid(), "token": _process_token(os.getpid())}
+        ).encode("ascii")
+        staging = self.path / f"{_LOCK_FILE}.{os.getpid()}.tmp"
+        fd = os.open(staging, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, payload)
             os.fsync(fd)
-            self._lock_fd = fd
-            return
-        raise WarehouseLockedError(f"could not acquire lock on {self.path}")
+        finally:
+            os.close(fd)
+        try:
+            for _attempt in range(2):
+                try:
+                    os.link(staging, self.lock_path)
+                except FileExistsError:
+                    owner = self._lock_owner()
+                    if owner is not None:
+                        pid, token = owner
+                        if _pid_alive(pid) and not _pid_was_recycled(pid, token):
+                            raise WarehouseLockedError(
+                                f"warehouse {self.path} is locked by pid {pid}"
+                            ) from None
+                    # Stale lock: the owner is gone (or the pid was
+                    # reused by an unrelated process); break it and
+                    # retry once.
+                    try:
+                        self.lock_path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                fd = os.open(self.lock_path, os.O_RDONLY)
+                # Verify the directory entry is still *our* link: a
+                # concurrent acquirer that observed the same stale lock
+                # may have unlinked ours in the break window.  Losing
+                # the race here means backing off, not stealing.
+                if os.fstat(fd).st_ino != os.stat(staging).st_ino:
+                    os.close(fd)
+                    raise WarehouseLockedError(
+                        f"lost the lock race on {self.path}"
+                    )
+                self._lock_fd = fd
+                return
+            raise WarehouseLockedError(f"could not acquire lock on {self.path}")
+        finally:
+            try:
+                staging.unlink()
+            except FileNotFoundError:
+                pass
 
     def release_lock(self) -> None:
         if self._lock_fd is None:
@@ -101,19 +156,44 @@ class Storage:
         except FileNotFoundError:
             pass
 
-    def _lock_owner(self) -> int | None:
+    def _lock_owner(self) -> tuple[int, str | None] | None:
+        """The recorded (pid, process token); None when unreadable.
+
+        Accepts both the JSON layout and legacy plain-integer lock
+        files (which carry no token — their live owners are always
+        respected).
+        """
         try:
             text = self.lock_path.read_text(encoding="ascii").strip()
-            return int(text) if text else None
-        except (FileNotFoundError, ValueError):
+        except (FileNotFoundError, UnicodeDecodeError):
+            return None
+        if not text:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and isinstance(payload.get("pid"), int):
+            token = payload.get("token")
+            return payload["pid"], token if isinstance(token, str) else None
+        try:
+            return int(text), None
+        except ValueError:
             return None
 
     # ------------------------------------------------------------------
     # Document I/O
     # ------------------------------------------------------------------
 
-    def write_document(self, xml_text: str, sequence: int) -> None:
-        """Atomically commit the document and its metadata."""
+    def write_document(
+        self, xml_text: str, sequence: int, extra_meta: dict | None = None
+    ) -> None:
+        """Atomically commit the document snapshot and its metadata.
+
+        *extra_meta* entries (e.g. the event table's fresh-name counter,
+        which WAL replay needs to re-mint identical event names) are
+        merged into the metadata file.
+        """
         self.initialize()
         payload = xml_text.encode("utf-8")
         digest = hashlib.sha256(payload).hexdigest()
@@ -124,6 +204,8 @@ class Storage:
             "bytes": len(payload),
             "format": "repro-probabilistic-xml-v1",
         }
+        if extra_meta:
+            meta.update(extra_meta)
         _atomic_write(
             self.meta_path, json.dumps(meta, indent=2, sort_keys=True).encode("utf-8")
         )
@@ -133,14 +215,7 @@ class Storage:
         if not self.document_path.exists():
             raise WarehouseError(f"no document at {self.document_path}")
         payload = self.document_path.read_bytes()
-        try:
-            meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            raise WarehouseCorruptError(
-                f"missing metadata file {self.meta_path}"
-            ) from None
-        except json.JSONDecodeError as exc:
-            raise WarehouseCorruptError(f"corrupt metadata file: {exc}") from exc
+        meta = self.read_meta()
         digest = hashlib.sha256(payload).hexdigest()
         if meta.get("sha256") != digest:
             raise WarehouseCorruptError(
@@ -148,6 +223,17 @@ class Storage:
                 f"(expected {meta.get('sha256')}, found {digest})"
             )
         return payload.decode("utf-8"), int(meta.get("sequence", 0))
+
+    def read_meta(self) -> dict:
+        """The snapshot's metadata record."""
+        try:
+            return json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise WarehouseCorruptError(
+                f"missing metadata file {self.meta_path}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise WarehouseCorruptError(f"corrupt metadata file: {exc}") from exc
 
 
 def _atomic_write(path: Path, payload: bytes) -> None:
@@ -159,6 +245,8 @@ def _atomic_write(path: Path, payload: bytes) -> None:
     finally:
         os.close(fd)
     os.replace(tmp_path, path)
+    # The rename is not durable until the directory entry is synced.
+    _fsync_directory(path.parent)
 
 
 def _pid_alive(pid: int) -> bool:
@@ -169,3 +257,35 @@ def _pid_alive(pid: int) -> bool:
     except PermissionError:
         return True
     return True
+
+
+def _process_token(pid: int) -> str | None:
+    """A stable identity token for a live process (None when unavailable).
+
+    On Linux this is the process start time (clock ticks since boot,
+    field 22 of ``/proc/<pid>/stat``): two processes sharing a pid
+    across a recycle necessarily differ in it.
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text(encoding="ascii", errors="replace")
+    except OSError:
+        return None
+    # The comm field (2) may contain spaces/parens; fields resume after
+    # the last ')'.  starttime is overall field 22 → index 19 there.
+    _, _, tail = stat.rpartition(")")
+    fields = tail.split()
+    if len(fields) <= 19:
+        return None
+    return fields[19]
+
+
+def _pid_was_recycled(pid: int, token: str | None) -> bool:
+    """True when the live *pid* is provably a different process than the
+    lock's recorder (recorded token present and differing from the live
+    one); False when in doubt."""
+    if token is None:
+        return False
+    live = _process_token(pid)
+    if live is None:
+        return False
+    return live != token

@@ -11,11 +11,23 @@ storage substrate:
   probability-ranked answers out;
 * :meth:`update` — an :class:`~repro.updates.transaction.UpdateTransaction`
   or an XUpdate document string in; the update is applied to the fuzzy
-  document, committed atomically and logged;
+  document and committed durably;
+* :meth:`update_many` / :meth:`begin_batch` — batched ingestion: many
+  transactions applied in order, persisted as **one** commit (one WAL
+  append, one fsync);
 * :meth:`simplify` — on-demand fuzzy-data simplification (also
   triggered automatically when the document grows past
   ``auto_simplify_factor`` times its size at open);
-* :meth:`stats` — document and log statistics.
+* :meth:`stats` — document, log and WAL statistics.
+
+Commits are incremental (the :class:`CommitPolicy`): instead of
+serializing and fsyncing the whole document on every update, a commit
+appends one checksummed record to the write-ahead log; the on-disk
+``document.xml`` is a periodic *snapshot*, refreshed when the WAL grows
+past the policy's thresholds (or on :meth:`compact` / :meth:`close`).
+:meth:`open` recovers by replaying WAL records past the snapshot's
+sequence.  ``CommitPolicy(snapshot_every=1)`` restores the historical
+full-rewrite behaviour (every commit is its own snapshot).
 
 A warehouse handle owns the single-writer lock from open to close; use
 it as a context manager.
@@ -23,26 +35,86 @@ it as a context manager.
 
 from __future__ import annotations
 
+import dataclasses
 from pathlib import Path
 
 from repro.analysis.metrics import fuzzy_stats
 from repro.core.fuzzy_tree import FuzzyTree
-from repro.engine import QueryEngine
+from repro.engine import QueryEngine, StatsDelta
 from repro.core.query import FuzzyAnswer, query_fuzzy_tree
 from repro.core.simplify import SimplifyReport, simplify
 from repro.core.update import UpdateReport, apply_update
-from repro.errors import WarehouseError
+from repro.errors import ReproError, WarehouseCorruptError, WarehouseError
 from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
 from repro.tpwj.parser import parse_pattern
 from repro.tpwj.pattern import Pattern
-from repro.updates.transaction import UpdateTransaction
-from repro.warehouse.log import TransactionLog
+from repro.updates.transaction import TransactionBatch, UpdateTransaction
+from repro.warehouse.log import TransactionLog, WriteAheadLog
 from repro.warehouse.storage import Storage
 from repro.xmlio.parse import fuzzy_from_string
 from repro.xmlio.serialize import fuzzy_to_string
-from repro.xmlio.xupdate import transaction_from_string, transaction_to_string
+from repro.xmlio.xupdate import (
+    batch_from_string,
+    batch_to_string,
+    transaction_from_string,
+    transaction_to_string,
+)
 
-__all__ = ["Warehouse"]
+__all__ = ["CommitPolicy", "Warehouse", "WarehouseBatch"]
+
+
+class CommitPolicy:
+    """When the incremental commit pipeline folds the WAL into a snapshot.
+
+    Parameters
+    ----------
+    snapshot_every:
+        Take a fresh snapshot every N commits.  ``1`` disables the
+        pipeline entirely: every commit rewrites the full document (the
+        historical behaviour) and the WAL stays empty.
+    wal_bytes_limit:
+        Also snapshot whenever the WAL file grows past this many bytes,
+        so a burst of large transactions cannot make recovery replay
+        unboundedly expensive.
+    compact_on_close:
+        Fold any pending WAL records into a final snapshot when the
+        handle closes, so a cleanly closed warehouse reopens without
+        replay.
+    """
+
+    __slots__ = ("snapshot_every", "wal_bytes_limit", "compact_on_close")
+
+    def __init__(
+        self,
+        snapshot_every: int = 64,
+        wal_bytes_limit: int = 4 * 1024 * 1024,
+        compact_on_close: bool = True,
+    ) -> None:
+        if not isinstance(snapshot_every, int) or snapshot_every < 1:
+            raise WarehouseError(
+                f"snapshot_every must be an int >= 1, got {snapshot_every!r}"
+            )
+        if not isinstance(wal_bytes_limit, int) or wal_bytes_limit < 1:
+            raise WarehouseError(
+                f"wal_bytes_limit must be an int >= 1, got {wal_bytes_limit!r}"
+            )
+        self.snapshot_every = snapshot_every
+        self.wal_bytes_limit = wal_bytes_limit
+        self.compact_on_close = compact_on_close
+
+    @property
+    def full_rewrite(self) -> bool:
+        """True when every commit is its own snapshot (no WAL)."""
+        return self.snapshot_every == 1
+
+    def __repr__(self) -> str:
+        if self.full_rewrite:
+            return "CommitPolicy(full-rewrite)"
+        return (
+            f"CommitPolicy(snapshot_every={self.snapshot_every}, "
+            f"wal_bytes_limit={self.wal_bytes_limit}, "
+            f"compact_on_close={self.compact_on_close})"
+        )
 
 
 class Warehouse:
@@ -55,18 +127,29 @@ class Warehouse:
         sequence: int,
         match_config: MatchConfig = DEFAULT_CONFIG,
         auto_simplify_factor: float | None = None,
+        policy: CommitPolicy | None = None,
     ) -> None:
         self._storage = storage
         self._document = document
         self._sequence = sequence
         self._log = TransactionLog(storage.path)
+        self._wal = WriteAheadLog(storage.path)
+        self._policy = policy or CommitPolicy()
+        self._snapshot_sequence = sequence
+        self._commits_since_snapshot = 0
+        # Set when a failed WAL append may have left in-memory mutations
+        # with no durable trace: the next commit must snapshot so the
+        # on-disk state heals (the seed full-rewrite behaviour).
+        self._snapshot_due = False
         self._match_config = match_config
         self._auto_simplify_factor = auto_simplify_factor
         self._baseline_size = document.size()
         self._closed = False
         # Cost-based query engine: plans are cached per (pattern
-        # fingerprint, stats version); every commit invalidates the
-        # stats, so repeated queries between commits reuse their plan.
+        # fingerprint, stats version); commits feed their structural
+        # delta to the engine, which maintains the statistics in place
+        # and bumps the version only when the document really changed —
+        # so queries between (and across no-op) commits reuse plans.
         self._engine = QueryEngine(lambda: self._document.root)
 
     # ------------------------------------------------------------------
@@ -80,6 +163,7 @@ class Warehouse:
         document: FuzzyTree,
         match_config: MatchConfig = DEFAULT_CONFIG,
         auto_simplify_factor: float | None = None,
+        policy: CommitPolicy | None = None,
     ) -> "Warehouse":
         """Create a new warehouse at *path* holding *document*.
 
@@ -97,6 +181,7 @@ class Warehouse:
                 sequence=0,
                 match_config=match_config,
                 auto_simplify_factor=auto_simplify_factor,
+                policy=policy,
             )
             warehouse._commit("create", {})
         except BaseException:
@@ -110,29 +195,64 @@ class Warehouse:
         path: str | Path,
         match_config: MatchConfig = DEFAULT_CONFIG,
         auto_simplify_factor: float | None = None,
+        policy: CommitPolicy | None = None,
     ) -> "Warehouse":
-        """Open an existing warehouse, taking the writer lock."""
+        """Open an existing warehouse, taking the writer lock.
+
+        Recovery: the snapshot is loaded, then every intact WAL record
+        past the snapshot's sequence is replayed against it (a torn
+        tail record — a crash mid-append — is discarded; corruption
+        anywhere else raises
+        :class:`~repro.errors.WarehouseCorruptError`).  Audit-log
+        entries missing for replayed commits are reconstructed.
+        """
         storage = Storage(path)
         if not storage.exists():
             raise WarehouseError(f"no warehouse at {path}")
         storage.acquire_lock()
         try:
-            xml_text, sequence = storage.read_document()
+            xml_text, snapshot_sequence = storage.read_document()
             document = fuzzy_from_string(xml_text)
+            meta = storage.read_meta()
+            fresh_counter = meta.get("fresh_counter")
+            if isinstance(fresh_counter, int):
+                document.events.advance_fresh_counter(fresh_counter)
+            wal = WriteAheadLog(storage.path)
+            records, _torn = wal.replayable(snapshot_sequence)
+            replayed = [
+                (record, _replay_record(document, record, match_config))
+                for record in records
+            ]
+            sequence = records[-1]["sequence"] if records else snapshot_sequence
+            warehouse = cls(
+                storage,
+                document,
+                sequence,
+                match_config=match_config,
+                auto_simplify_factor=auto_simplify_factor,
+                policy=policy,
+            )
+            warehouse._snapshot_sequence = snapshot_sequence
+            warehouse._commits_since_snapshot = len(records)
+            warehouse._reconcile_audit_log(replayed)
         except BaseException:
             storage.release_lock()
             raise
-        return cls(
-            storage,
-            document,
-            sequence,
-            match_config=match_config,
-            auto_simplify_factor=auto_simplify_factor,
-        )
+        return warehouse
 
     def close(self) -> None:
-        """Release the lock; the handle becomes unusable."""
-        if not self._closed:
+        """Fold pending WAL records into a final snapshot (per policy),
+        release the lock; the handle becomes unusable."""
+        if self._closed:
+            return
+        try:
+            if (
+                self._policy.compact_on_close
+                and not self._policy.full_rewrite
+                and (self._commits_since_snapshot > 0 or self._snapshot_due)
+            ):
+                self._write_snapshot()
+        finally:
             self._storage.release_lock()
             self._closed = True
 
@@ -160,6 +280,16 @@ class Warehouse:
     def sequence(self) -> int:
         """Commit sequence number (increments on every commit)."""
         return self._sequence
+
+    @property
+    def snapshot_sequence(self) -> int:
+        """Sequence of the on-disk snapshot (commits past it live in the WAL)."""
+        return self._snapshot_sequence
+
+    @property
+    def policy(self) -> CommitPolicy:
+        """The commit pipeline's snapshot/compaction policy."""
+        return self._policy
 
     @property
     def engine(self) -> QueryEngine:
@@ -198,11 +328,14 @@ class Warehouse:
         return self._engine.explain(pattern)
 
     def stats(self) -> dict:
-        """Document measurements plus commit/log counters."""
+        """Document measurements plus commit/log/WAL counters."""
         self._check_open()
         info = fuzzy_stats(self._document).as_dict()
         info["sequence"] = self._sequence
         info["log_entries"] = len(self._log.entries())
+        info["snapshot_sequence"] = self._snapshot_sequence
+        info["wal_depth"] = self._commits_since_snapshot
+        info["wal_bytes"] = self._wal.size_bytes()
         return info
 
     def history(self) -> list[dict]:
@@ -218,12 +351,24 @@ class Warehouse:
         """The log entry of the update whose confidence created *event*.
 
         Returns None for events that predate the warehouse (part of the
-        initial document) or were not created by an update here.
+        initial document) or were not created by an update here.  For
+        batched commits the matching per-transaction sub-record is
+        returned, augmented with the batch entry's sequence and
+        timestamp.
         """
         self._check_open()
         for entry in self._log.entries():
-            if entry.get("kind") == "update" and entry.get("confidence_event") == event:
+            kind = entry.get("kind")
+            if kind == "update" and entry.get("confidence_event") == event:
                 return entry
+            if kind == "batch":
+                for sub in entry.get("reports", ()):
+                    if sub.get("confidence_event") == event:
+                        merged = dict(sub)
+                        merged.setdefault("kind", "batch")
+                        merged.setdefault("sequence", entry.get("sequence"))
+                        merged.setdefault("timestamp", entry.get("timestamp"))
+                        return merged
         return None
 
     def explain(self, answer) -> list[dict]:
@@ -264,15 +409,18 @@ class Warehouse:
         confidence at submission time).
         """
         self._check_open()
-        if isinstance(transaction, str):
-            transaction = transaction_from_string(transaction)
-        if confidence is not None:
-            transaction = transaction.with_confidence(confidence)
-        report = apply_update(self._document, transaction, self._match_config)
+        transaction = self._normalize_transaction(transaction, confidence)
+        delta = StatsDelta()
+        report = self._apply_in_place(
+            lambda: apply_update(
+                self._document, transaction, self._match_config, delta=delta
+            )
+        )
+        serialized = transaction_to_string(transaction, indent=False)
         self._commit(
             "update",
             {
-                "transaction": transaction_to_string(transaction, indent=False),
+                "transaction": serialized,
                 "confidence": transaction.confidence,
                 "confidence_event": report.confidence_event,
                 "matches": report.matches,
@@ -280,14 +428,93 @@ class Warehouse:
                 "inserted_nodes": report.inserted_nodes,
                 "survivor_copies": report.survivor_copies,
             },
+            wal_payload={
+                "transaction": serialized,
+                "confidence_event": report.confidence_event,
+                **self._match_semantics(),
+            },
+            delta=delta,
         )
         self._maybe_auto_simplify()
         return report
 
-    def simplify(self) -> SimplifyReport:
-        """Run fuzzy-data simplification and commit the smaller document."""
+    def update_many(
+        self,
+        transactions,
+        confidence: float | None = None,
+    ) -> list[UpdateReport]:
+        """Apply a batch of transactions in order as **one** commit.
+
+        Accepts an iterable of :class:`UpdateTransaction` / XUpdate
+        strings or a :class:`TransactionBatch`.  Every member is
+        applied against the live document (a later transaction sees
+        what an earlier one inserted), but the whole batch is persisted
+        with a single WAL append and fsync — the amortization that
+        makes high-rate ingestion affordable.  An empty iterable is a
+        no-op.
+        """
         self._check_open()
-        report = simplify(self._document)
+        members = [
+            self._normalize_transaction(transaction, confidence)
+            for transaction in transactions
+        ]
+        if not members:
+            return []
+        batch = TransactionBatch(members)
+        delta = StatsDelta()
+        reports = self._apply_in_place(
+            lambda: [
+                apply_update(
+                    self._document, transaction, self._match_config, delta=delta
+                )
+                for transaction in batch
+            ]
+        )
+        self._commit(
+            "batch",
+            {
+                "transactions": len(batch),
+                "applied": sum(1 for r in reports if r.applied),
+                "matches": sum(r.matches for r in reports),
+                "inserted_nodes": sum(r.inserted_nodes for r in reports),
+                "survivor_copies": sum(r.survivor_copies for r in reports),
+                "reports": [
+                    _batch_subrecord(transaction, report)
+                    for transaction, report in zip(batch, reports)
+                ],
+            },
+            wal_payload={
+                "batch": batch_to_string(batch, indent=False),
+                "confidence_events": [r.confidence_event for r in reports],
+                **self._match_semantics(),
+            },
+            delta=delta,
+        )
+        self._maybe_auto_simplify()
+        return reports
+
+    def begin_batch(self) -> "WarehouseBatch":
+        """A context manager buffering updates into one batched commit.
+
+        ::
+
+            with warehouse.begin_batch() as batch:
+                batch.update(tx1)
+                batch.update(tx2, confidence=0.8)
+            # exiting commits both as a single WAL append
+            reports = batch.reports
+        """
+        self._check_open()
+        return WarehouseBatch(self)
+
+    def simplify(self) -> SimplifyReport:
+        """Run fuzzy-data simplification and commit the smaller document.
+
+        Simplification rewrites the document wholesale, so its commit is
+        always a fresh snapshot — a natural compaction point.
+        """
+        self._check_open()
+        report = self._apply_in_place(lambda: simplify(self._document))
         self._commit(
             "simplify",
             {
@@ -300,22 +527,311 @@ class Warehouse:
         self._baseline_size = max(1, self._document.size())
         return report
 
+    def compact(self) -> dict:
+        """Fold the WAL into a fresh snapshot now; returns a summary."""
+        self._check_open()
+        folded = self._commits_since_snapshot
+        if folded > 0 or self._snapshot_due or self._snapshot_sequence != self._sequence:
+            self._write_snapshot()
+        return {
+            "sequence": self._sequence,
+            "folded_records": folded,
+            "wal_bytes": self._wal.size_bytes(),
+        }
+
+    def _apply_in_place(self, mutate):
+        """Run an in-place document mutation, healing on failure.
+
+        When the mutation raises partway (e.g. a batch member rejected
+        after earlier members applied), the in-memory document may hold
+        changes with no durable trace.  Later WAL records would then
+        replay against a different base than they were written on —
+        bricking recovery — so the next commit is forced to snapshot
+        (folding whatever state the document is in, exactly as the seed
+        full-rewrite path did) and the engine drops possibly-stale
+        statistics.
+        """
+        try:
+            return mutate()
+        except BaseException:
+            self._snapshot_due = True
+            self._engine.invalidate()
+            raise
+
+    def _match_semantics(self) -> dict:
+        """The config fields that change *which* matches an update sees.
+
+        Recorded in every WAL record: replay must apply the transaction
+        under the semantics of the session that wrote it, whatever
+        config the recovering handle opened with.
+        """
+        return {
+            "max_matches": self._match_config.max_matches,
+            "honor_negation": self._match_config.honor_negation,
+        }
+
+    def _normalize_transaction(
+        self, transaction: UpdateTransaction | str, confidence: float | None
+    ) -> UpdateTransaction:
+        if isinstance(transaction, str):
+            transaction = transaction_from_string(transaction)
+        if confidence is not None:
+            transaction = transaction.with_confidence(confidence)
+        return transaction
+
     def _maybe_auto_simplify(self) -> None:
         if self._auto_simplify_factor is None:
             return
         if self._document.size() > self._auto_simplify_factor * self._baseline_size:
             self.simplify()
 
-    def _commit(self, kind: str, payload: dict) -> None:
+    def _commit(
+        self,
+        kind: str,
+        payload: dict,
+        wal_payload: dict | None = None,
+        delta: StatsDelta | None = None,
+    ) -> None:
         self._sequence += 1
+        try:
+            if wal_payload is None or self._policy.full_rewrite or self._snapshot_due:
+                # Non-replayable commits (create, simplify), the
+                # full-rewrite policy, and healing after a failed append
+                # snapshot directly.  The audit log needs its own fsync
+                # here: the snapshot carries no replayable trace to
+                # rebuild the entry from.
+                try:
+                    self._write_snapshot()
+                except BaseException:
+                    if self._snapshot_sequence != self._sequence:
+                        # The snapshot never became durable: roll the
+                        # sequence back (a later WAL append must not
+                        # leave a gap) and keep the heal flag — the
+                        # in-memory document still has mutations with
+                        # no durable trace.  (A failure *after* the
+                        # snapshot write — the WAL reset — leaves the
+                        # commit durable; the sequence stands.)
+                        self._sequence -= 1
+                        self._snapshot_due = True
+                    raise
+                self._log.append(kind, self._sequence, payload, fsync=True)
+            else:
+                try:
+                    self._wal.append(kind, self._sequence, wal_payload)
+                except BaseException:
+                    # The commit was not acknowledged: roll the sequence
+                    # back (no WAL gap), but the in-memory document
+                    # already mutated with no durable trace — force the
+                    # next commit to snapshot.
+                    self._sequence -= 1
+                    self._snapshot_due = True
+                    raise
+                self._commits_since_snapshot += 1
+                compacting = (
+                    self._commits_since_snapshot >= self._policy.snapshot_every
+                    or self._wal.size_bytes() >= self._policy.wal_bytes_limit
+                )
+                # Audit before any compaction: a threshold snapshot
+                # resets the WAL, and a crash after that reset could
+                # never rebuild a not-yet-written audit entry.  While
+                # the record is still in the WAL the append can stay
+                # un-fsynced (recovery reconstructs it); when this
+                # commit folds the WAL away, the entry must hit disk
+                # first.  Failures past this point leave the commit
+                # durable in the WAL, so the sequence stands.
+                self._log.append(kind, self._sequence, payload, fsync=compacting)
+                if compacting:
+                    self._write_snapshot()
+        finally:
+            # Feed the commit's structural delta to the engine even on
+            # failure paths: the delta describes the in-memory mutation,
+            # which happened whether or not persistence succeeded, and a
+            # stale cached walk would serve wrong query results.
+            self._engine.apply_delta(delta)
+
+    def _write_snapshot(self) -> None:
         self._storage.write_document(
-            fuzzy_to_string(self._document), self._sequence
+            fuzzy_to_string(self._document),
+            self._sequence,
+            extra_meta={"fresh_counter": self._document.events.fresh_counter},
         )
-        self._log.append(kind, self._sequence, payload)
-        # Every commit may have changed the document: age out the
-        # statistics (and with them any cached plans priced on them).
-        self._engine.invalidate()
+        # The snapshot is durable from here: update the bookkeeping
+        # before resetting the WAL, so a reset failure cannot make a
+        # caller believe nothing durable happened for this sequence
+        # (stale WAL records at or below the snapshot sequence are
+        # skipped by recovery anyway).
+        self._snapshot_sequence = self._sequence
+        self._commits_since_snapshot = 0
+        self._snapshot_due = False
+        self._wal.reset()
+
+    def _reconcile_audit_log(self, replayed: list[tuple[dict, list]]) -> None:
+        """Reconstruct audit entries lost with the un-fsynced tail.
+
+        Under the WAL pipeline the audit log is best-effort; after a
+        crash its tail may lag the WAL.  Replay knows everything the
+        audit entry records, so recovery appends the missing entries
+        (marked ``"replayed": true``).
+        """
+        # The audit log is not fsynced under the WAL pipeline, so a
+        # crash commonly tears its last line; drop it before reading
+        # (the entry is rebuilt below if its commit survived in the WAL).
+        self._log.discard_torn_tail()
+        if not replayed:
+            return
+        last_logged = self._log.last_sequence()
+        for record, outcomes in replayed:
+            if record["sequence"] <= last_logged:
+                continue
+            if record["kind"] == "update":
+                serialized, confidence, report = outcomes[0]
+                entry = {
+                    "transaction": serialized,
+                    "confidence": confidence,
+                    "confidence_event": report.confidence_event,
+                    "matches": report.matches,
+                    "applied": report.applied,
+                    "inserted_nodes": report.inserted_nodes,
+                    "survivor_copies": report.survivor_copies,
+                    "replayed": True,
+                }
+            else:  # batch
+                entry = {
+                    "transactions": len(outcomes),
+                    "applied": sum(1 for _, _, r in outcomes if r.applied),
+                    "matches": sum(r.matches for _, _, r in outcomes),
+                    "inserted_nodes": sum(r.inserted_nodes for _, _, r in outcomes),
+                    "survivor_copies": sum(r.survivor_copies for _, _, r in outcomes),
+                    "reports": [
+                        _batch_subrecord_serialized(serialized, confidence, report)
+                        for serialized, confidence, report in outcomes
+                    ],
+                    "replayed": True,
+                }
+            self._log.append(record["kind"], record["sequence"], entry, fsync=False)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"seq={self._sequence}"
         return f"Warehouse({self._storage.path}, {state})"
+
+
+class WarehouseBatch:
+    """Buffers update transactions for one batched commit (see
+    :meth:`Warehouse.begin_batch`)."""
+
+    def __init__(self, warehouse: Warehouse) -> None:
+        self._warehouse = warehouse
+        self._pending: list[UpdateTransaction] = []
+        #: The per-transaction reports, populated when the batch commits.
+        self.reports: list[UpdateReport] | None = None
+
+    def update(
+        self,
+        transaction: UpdateTransaction | str,
+        confidence: float | None = None,
+    ) -> None:
+        """Buffer a transaction (validated now, applied at commit)."""
+        self._pending.append(
+            self._warehouse._normalize_transaction(transaction, confidence)
+        )
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __enter__(self) -> "WarehouseBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self._pending:
+            self.reports = self._warehouse.update_many(self._pending)
+            self._pending = []
+
+
+def _batch_subrecord(transaction: UpdateTransaction, report: UpdateReport) -> dict:
+    return _batch_subrecord_serialized(
+        transaction_to_string(transaction, indent=False),
+        transaction.confidence,
+        report,
+    )
+
+
+def _batch_subrecord_serialized(
+    serialized: str, confidence: float, report: UpdateReport
+) -> dict:
+    return {
+        "transaction": serialized,
+        "confidence": confidence,
+        "confidence_event": report.confidence_event,
+        "matches": report.matches,
+        "applied": report.applied,
+        "inserted_nodes": report.inserted_nodes,
+        "survivor_copies": report.survivor_copies,
+    }
+
+
+def _replay_record(
+    document: FuzzyTree, record: dict, match_config: MatchConfig
+) -> list[tuple]:
+    """Re-apply one WAL record to *document*; returns (serialized tx,
+    report) pairs.
+
+    Replay must reproduce the original commit bit for bit; in
+    particular the confidence events it mints must carry the names the
+    original session recorded (downstream conditions reference them).
+    A divergence means the snapshot/WAL pair does not describe the same
+    history and raises :class:`WarehouseCorruptError` rather than
+    silently building a different document.
+    """
+    sequence = record["sequence"]
+    payload = record.get("payload") or {}
+    kind = record["kind"]
+    # Replay under the match semantics of the session that wrote the
+    # record, not the recovering handle's (a different max_matches or
+    # negation setting would silently rebuild a different document).
+    if "max_matches" in payload or "honor_negation" in payload:
+        match_config = dataclasses.replace(
+            match_config,
+            max_matches=payload.get("max_matches"),
+            honor_negation=payload.get("honor_negation", True),
+        )
+    try:
+        if kind == "update":
+            serialized = payload["transaction"]
+            expected = [payload.get("confidence_event")]
+            transactions = [transaction_from_string(serialized)]
+            serializeds = [serialized]
+        elif kind == "batch":
+            batch = batch_from_string(payload["batch"])
+            transactions = list(batch)
+            serializeds = [
+                transaction_to_string(transaction, indent=False)
+                for transaction in batch
+            ]
+            expected = list(payload.get("confidence_events") or [None] * len(batch))
+            if len(expected) != len(transactions):
+                raise WarehouseCorruptError(
+                    f"WAL record {sequence} confidence_events/batch length mismatch"
+                )
+        else:
+            raise WarehouseCorruptError(
+                f"unreplayable WAL record kind {kind!r} at sequence {sequence}"
+            )
+        outcomes: list[tuple] = []
+        for serialized, transaction, expected_event in zip(
+            serializeds, transactions, expected
+        ):
+            report = apply_update(document, transaction, match_config)
+            if report.confidence_event != expected_event:
+                raise WarehouseCorruptError(
+                    f"WAL replay diverged at sequence {sequence}: minted "
+                    f"confidence event {report.confidence_event!r}, the "
+                    f"original commit recorded {expected_event!r}"
+                )
+            outcomes.append((serialized, transaction.confidence, report))
+        return outcomes
+    except WarehouseCorruptError:
+        raise
+    except (ReproError, KeyError, TypeError) as exc:
+        raise WarehouseCorruptError(
+            f"WAL replay failed at sequence {sequence}: {exc}"
+        ) from exc

@@ -20,8 +20,11 @@ from repro.xmlio.serialize import (
 )
 from repro.xmlio.xupdate import (
     XUPDATE_NAMESPACE,
+    batch_from_string,
+    batch_to_string,
     transaction_from_string,
     transaction_to_string,
+    updates_from_string,
 )
 
 __all__ = [
@@ -37,4 +40,7 @@ __all__ = [
     "plain_from_string",
     "transaction_to_string",
     "transaction_from_string",
+    "batch_to_string",
+    "batch_from_string",
+    "updates_from_string",
 ]

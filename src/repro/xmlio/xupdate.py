@@ -15,6 +15,14 @@ and the transaction confidence::
 * ``anchor`` / ``target`` name query variables (without the ``$``);
 * the body of ``xu:insert`` is the subtree to insert, in the plain
   data dialect.
+
+A *batch* groups several transactions committed as one unit (the
+warehouse applies them in document order with a single log append)::
+
+    <xu:batch xmlns:xu="urn:repro:xupdate">
+      <xu:modifications .../>
+      <xu:modifications .../>
+    </xu:batch>
 """
 
 from __future__ import annotations
@@ -24,16 +32,24 @@ from xml.etree import ElementTree as ET
 from repro.errors import QueryError, QueryParseError, UpdateError, XMLFormatError
 from repro.tpwj.parser import format_pattern, parse_pattern
 from repro.updates.operations import DeleteOperation, InsertOperation
-from repro.updates.transaction import UpdateTransaction
+from repro.updates.transaction import TransactionBatch, UpdateTransaction
 from repro.xmlio.parse import plain_from_element
 from repro.xmlio.serialize import plain_to_element
 
-__all__ = ["XUPDATE_NAMESPACE", "transaction_to_string", "transaction_from_string"]
+__all__ = [
+    "XUPDATE_NAMESPACE",
+    "transaction_to_string",
+    "transaction_from_string",
+    "batch_to_string",
+    "batch_from_string",
+    "updates_from_string",
+]
 
 XUPDATE_NAMESPACE = "urn:repro:xupdate"
 _MODIFICATIONS = f"{{{XUPDATE_NAMESPACE}}}modifications"
 _INSERT = f"{{{XUPDATE_NAMESPACE}}}insert"
 _DELETE = f"{{{XUPDATE_NAMESPACE}}}delete"
+_BATCH = f"{{{XUPDATE_NAMESPACE}}}batch"
 
 ET.register_namespace("xu", XUPDATE_NAMESPACE)
 
@@ -112,3 +128,47 @@ def transaction_from_element(element: ET.Element) -> UpdateTransaction:
         return UpdateTransaction(query, operations, confidence)
     except (UpdateError, QueryError) as exc:
         raise XMLFormatError(f"invalid transaction: {exc}") from exc
+
+
+def batch_to_element(batch: TransactionBatch) -> ET.Element:
+    """Serialize a transaction batch into an ``xu:batch`` element."""
+    element = ET.Element(_BATCH)
+    for transaction in batch:
+        element.append(transaction_to_element(transaction))
+    return element
+
+
+def batch_to_string(batch: TransactionBatch, indent: bool = True) -> str:
+    element = batch_to_element(batch)
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def batch_from_string(text: str) -> TransactionBatch:
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"not well-formed XML: {exc}") from exc
+    return batch_from_element(element)
+
+
+def batch_from_element(element: ET.Element) -> TransactionBatch:
+    if element.tag != _BATCH:
+        raise XMLFormatError(f"expected root element xu:batch, got {element.tag!r}")
+    transactions = [transaction_from_element(child) for child in element]
+    try:
+        return TransactionBatch(transactions)
+    except UpdateError as exc:
+        raise XMLFormatError(f"invalid batch: {exc}") from exc
+
+
+def updates_from_string(text: str) -> UpdateTransaction | TransactionBatch:
+    """Parse either a single ``xu:modifications`` or an ``xu:batch`` document."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"not well-formed XML: {exc}") from exc
+    if element.tag == _BATCH:
+        return batch_from_element(element)
+    return transaction_from_element(element)

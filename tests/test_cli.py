@@ -161,3 +161,48 @@ class TestModuleEntry:
         )
         assert result.returncode == 0
         assert "nodes: 4" in result.stdout
+
+
+class TestBatchUpdate:
+    def test_batch_file_commits_once(self, store, tmp_path, capsys):
+        from repro import TransactionBatch
+        from repro.xmlio import batch_to_string
+
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 0.5
+        )
+        batch_file = tmp_path / "batch.xml"
+        batch_file.write_text(batch_to_string(TransactionBatch([tx, tx])))
+        assert main(["update", str(store), "--xupdate", str(batch_file)]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 2" in out and "applied: 2" in out
+        main(["history", str(store)])
+        history = capsys.readouterr().out
+        assert "#2  batch" in history
+        assert "#3" not in history  # one commit, not two
+
+
+class TestCompact:
+    def test_compact_folds_wal(self, store, capsys):
+        # The CLI update commits via the WAL and compacts on close, so
+        # drive a pending WAL through the library with a no-compact
+        # policy first.
+        from repro.warehouse import CommitPolicy, Warehouse
+
+        tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
+        )
+        policy = CommitPolicy(snapshot_every=100, compact_on_close=False)
+        with Warehouse.open(store, policy=policy) as wh:
+            wh.update(tx)
+        assert main(["compact", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "folded 1 WAL records" in out
+        main(["stats", str(store)])
+        stats_out = capsys.readouterr().out
+        assert "wal_depth: 0" in stats_out
+
+    def test_stats_show_wal_depth(self, store, capsys):
+        assert main(["stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "wal_depth:" in out and "snapshot_sequence:" in out

@@ -354,3 +354,98 @@ class TestWarehousePlans:
             pass
         with Warehouse.open(path) as warehouse:
             assert len(warehouse.query("//D")) == 1
+
+
+# ----------------------------------------------------------------------
+# Incremental statistics maintenance
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalStats:
+    def _insert_tx(self, label="N"):
+        from repro import InsertOperation, UpdateTransaction
+
+        return UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree(label))], 1.0
+        )
+
+    def test_update_adjusts_stats_without_recollection(self, tmp_path, slide12_doc):
+        counters.reset()
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
+            warehouse.engine.stats.current()  # one full collection
+            collected_before = counters.prefixed("engine.")["engine.stats_collected"]
+            warehouse.update(self._insert_tx())
+            stats = warehouse.engine.stats.current()
+            seen = counters.prefixed("engine.")
+            assert seen["engine.stats_collected"] == collected_before
+            assert seen["engine.stats_delta_applied"] >= 1
+            assert stats == collect_stats(warehouse.document.root)
+        counters.reset()
+
+    def test_no_op_commit_keeps_version_and_cached_plan(self, tmp_path, slide12_doc):
+        from repro import DeleteOperation, UpdateTransaction
+
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
+            pattern = parse_pattern("//D")
+            plan_before = warehouse.engine.plan_for(pattern)
+            version = warehouse.engine.stats.version
+            # No Z anywhere: the update matches nothing, changes nothing.
+            report = warehouse.update(
+                UpdateTransaction(parse_pattern("Z[$z]"), [DeleteOperation("z")], 1.0)
+            )
+            assert not report.applied
+            assert warehouse.sequence == 2  # the commit still happened
+            assert warehouse.engine.stats.version == version
+            assert warehouse.engine.plan_for(pattern) is plan_before
+
+    def test_plan_never_stale_after_label_frequency_change(
+        self, tmp_path, slide12_doc
+    ):
+        """Regression: a commit that changes label frequencies must bump
+        the stats version, so a plan priced on the old frequencies can
+        never be served for the changed document."""
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
+            pattern = parse_pattern("//B")
+            plan_before = warehouse.engine.plan_for(pattern)
+            version_before = warehouse.engine.stats.version
+            frequency_before = warehouse.engine.stats.current().label_counts["B"]
+            warehouse.update(self._insert_tx(label="B"))  # B: 1 -> 2
+            assert warehouse.engine.stats.version > version_before
+            plan_after = warehouse.engine.plan_for(pattern)
+            assert plan_after is not plan_before
+            assert plan_after.stats_version == warehouse.engine.stats.version
+            # The maintained statistics reflect the live document.
+            current = warehouse.engine.stats.current()
+            assert current.label_counts["B"] == frequency_before + 1
+            assert current == collect_stats(warehouse.document.root)
+            # The query path serves the fresh plan, not the stale one.
+            assert warehouse.engine.plan_for(pattern).stats_version != version_before
+
+    def test_deletion_at_max_depth_falls_back_to_recollection(
+        self, tmp_path, slide12_doc
+    ):
+        from repro import DeleteOperation, UpdateTransaction
+
+        counters.reset()
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
+            warehouse.engine.stats.current()
+            # D is the unique deepest node: its removal may lower
+            # max_depth, which aggregates cannot decide — recollect.
+            warehouse.update(
+                UpdateTransaction(parse_pattern("D[$d]"), [DeleteOperation("d")], 1.0)
+            )
+            stats = warehouse.engine.stats.current()
+            assert stats == collect_stats(warehouse.document.root)
+            seen = counters.prefixed("engine.")
+            assert seen.get("engine.stats_delta_recollected", 0) >= 1
+        counters.reset()
+
+    def test_batch_commit_feeds_one_delta(self, tmp_path, slide12_doc):
+        with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
+            warehouse.engine.stats.current()
+            version = warehouse.engine.stats.version
+            warehouse.update_many([self._insert_tx(), self._insert_tx("M")])
+            assert warehouse.engine.stats.version == version + 1
+            assert warehouse.engine.stats.current() == collect_stats(
+                warehouse.document.root
+            )

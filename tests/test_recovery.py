@@ -1,0 +1,580 @@
+"""Crash-recovery tests for the incremental commit pipeline.
+
+Extends the failure-injection approach of ``test_failure_injection.py``
+to the WAL/snapshot pipeline: the process model is killed at every
+fsync/rename boundary (mid-WAL-append, post-WAL pre-snapshot,
+mid-compaction, pre-audit-append) and ``Warehouse.open`` must always
+recover a consistent document or raise ``WarehouseCorruptError`` —
+never a silent half-state.  Property tests check that
+replay(snapshot + WAL) is node-for-node identical to the in-memory
+application, and that incrementally maintained statistics equal freshly
+collected ones after every commit.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    InsertOperation,
+    UpdateTransaction,
+    collect_stats,
+    parse_pattern,
+)
+from repro.errors import WarehouseCorruptError, WarehouseLockedError
+from repro.trees import tree
+from repro.trees.random import RandomTreeConfig
+from repro.warehouse import CommitPolicy, Storage, Warehouse, WriteAheadLog
+from repro.warehouse.log import TransactionLog, _record_digest
+from repro.warehouse import storage as storage_module
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_update_for
+
+
+class _Crash(Exception):
+    """The injected fault: the process dies here."""
+
+
+def _no_compact_policy(snapshot_every: int = 1000) -> CommitPolicy:
+    return CommitPolicy(snapshot_every=snapshot_every, compact_on_close=False)
+
+
+def _kill(warehouse: Warehouse) -> None:
+    """Simulate process death: the lock evaporates, nothing is flushed."""
+    warehouse._storage.release_lock()
+    warehouse._closed = True
+
+
+def _insert_tx(confidence: float = 0.5) -> UpdateTransaction:
+    return UpdateTransaction(
+        parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], confidence
+    )
+
+
+class TestCrashMidWalAppend:
+    def test_torn_tail_record_discarded(self, tmp_path, slide12_doc):
+        """A crash mid-append leaves a partial last line; recovery drops
+        it and serves the previous commit's state."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        durable_state = wh.document.root.canonical()
+        durable_sequence = wh.sequence
+        wh.update(_insert_tx())
+        _kill(wh)
+        # Tear the last WAL record: the crash happened mid-write.
+        wal_path = path / "wal.jsonl"
+        raw = wal_path.read_bytes()
+        wal_path.write_bytes(raw[: len(raw) - 25])
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == durable_state
+            assert recovered.sequence == durable_sequence
+
+    def test_crash_raised_inside_append(self, tmp_path, slide12_doc, monkeypatch):
+        """The append itself dies after partial bytes hit the file."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        durable_state = wh.document.root.canonical()
+        durable_sequence = wh.sequence
+
+        def torn_append(self, kind, sequence, payload):
+            with open(self.path, "ab") as handle:
+                handle.write(b'{"kind": "update", "seq')
+            raise _Crash()
+
+        monkeypatch.setattr(WriteAheadLog, "append", torn_append)
+        with pytest.raises(_Crash):
+            wh.update(_insert_tx())
+        monkeypatch.undo()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == durable_state
+            assert recovered.sequence == durable_sequence
+
+    def test_corrupt_record_before_tail_detected(self, tmp_path, slide12_doc):
+        """Acknowledged (non-tail) WAL damage must raise, not skip."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        wh.update(_insert_tx())
+        _kill(wh)
+        wal_path = path / "wal.jsonl"
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        lines[0] = lines[0][:40] + b"X" + lines[0][41:]
+        wal_path.write_bytes(b"".join(lines))
+        with pytest.raises(WarehouseCorruptError, match="checksum|unparseable"):
+            Warehouse.open(path)
+
+    def test_wal_sequence_gap_detected(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        for _ in range(3):
+            wh.update(_insert_tx())
+        _kill(wh)
+        wal_path = path / "wal.jsonl"
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        del lines[1]  # a durable commit vanished
+        wal_path.write_bytes(b"".join(lines))
+        with pytest.raises(WarehouseCorruptError, match="sequence gap"):
+            Warehouse.open(path)
+
+
+class TestCrashDuringCompaction:
+    def test_crash_post_wal_pre_snapshot(self, tmp_path, slide12_doc, monkeypatch):
+        """Snapshot write dies after the WAL append: the commit is
+        durable in the WAL and replays on open."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(
+            path, slide12_doc, policy=CommitPolicy(snapshot_every=2, compact_on_close=False)
+        )
+        wh.update(_insert_tx())  # seq 2: WAL only
+
+        def dying_write(self, xml_text, sequence, extra_meta=None):
+            raise _Crash()
+
+        monkeypatch.setattr(Storage, "write_document", dying_write)
+        with pytest.raises(_Crash):
+            wh.update(_insert_tx())  # seq 3: WAL append ok, compaction dies
+        monkeypatch.undo()
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+            assert recovered.sequence == 3
+            assert recovered.stats()["wal_depth"] == 2  # both replayed
+
+    def test_crash_between_snapshot_and_wal_reset(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """Snapshot written, WAL reset dies: stale records are skipped."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        wh.update(_insert_tx())
+
+        def dying_reset(self):
+            raise _Crash()
+
+        monkeypatch.setattr(WriteAheadLog, "reset", dying_reset)
+        with pytest.raises(_Crash):
+            wh.compact()
+        monkeypatch.undo()
+        expected = wh.document.root.canonical()
+        sequence = wh.sequence
+        _kill(wh)
+        # The WAL still holds records <= the fresh snapshot's sequence.
+        assert WriteAheadLog(path).size_bytes() > 0
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+            assert recovered.sequence == sequence
+            assert recovered.stats()["wal_depth"] == 0
+
+    def test_crash_between_document_and_meta_rename(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """Dying between the two snapshot renames leaves document/meta
+        inconsistent — open must raise corrupt, never serve the mix."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        real_atomic_write = storage_module._atomic_write
+        calls = {"n": 0}
+
+        def dying_atomic_write(target, payload):
+            calls["n"] += 1
+            if calls["n"] == 2:  # document.xml written, meta.json pending
+                raise _Crash()
+            real_atomic_write(target, payload)
+
+        monkeypatch.setattr(storage_module, "_atomic_write", dying_atomic_write)
+        with pytest.raises(_Crash):
+            wh.compact()
+        monkeypatch.undo()
+        _kill(wh)
+        with pytest.raises(WarehouseCorruptError, match="checksum"):
+            Warehouse.open(path)
+
+
+class TestCrashBeforeAuditAppend:
+    def test_audit_entry_reconstructed_from_wal(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """The WAL made the commit durable; a crash before the audit
+        append must not lose history — recovery rebuilds the entry."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+
+        def dying_append(self, kind, sequence, payload, fsync=True):
+            raise _Crash()
+
+        monkeypatch.setattr(TransactionLog, "append", dying_append)
+        with pytest.raises(_Crash):
+            wh.update(_insert_tx())
+        monkeypatch.undo()
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+            last = recovered.history()[-1]
+            assert last["sequence"] == 3
+            assert last["replayed"] is True
+            assert last["kind"] == "update"
+
+
+class TestReplayDivergenceGuard:
+    def test_foreign_confidence_event_detected(self, tmp_path, slide12_doc):
+        """A WAL record whose recorded confidence event cannot be
+        re-minted means snapshot and WAL describe different histories."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx(confidence=0.5))
+        _kill(wh)
+        wal_path = path / "wal.jsonl"
+        record = json.loads(wal_path.read_text().splitlines()[0])
+        record["payload"]["confidence_event"] = "w999"
+        record["sha256"] = _record_digest(
+            {k: v for k, v in record.items() if k != "sha256"}
+        )
+        wal_path.write_text(json.dumps(record, sort_keys=True) + "\n")
+        with pytest.raises(WarehouseCorruptError, match="diverged"):
+            Warehouse.open(path)
+
+
+# ----------------------------------------------------------------------
+# Property tests: replay fidelity and incremental statistics
+# ----------------------------------------------------------------------
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+SMALL_DOCS = FuzzyWorkloadConfig(
+    tree=RandomTreeConfig(max_nodes=16, min_nodes=4, max_children=3, max_depth=4),
+    n_events=3,
+)
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_session(rng: random.Random, warehouse: Warehouse) -> None:
+    """Drive a short random mix of single and batched commits."""
+    for _ in range(rng.randint(1, 4)):
+        if rng.random() < 0.3:
+            members = [
+                random_update_for(
+                    rng, warehouse.document, confidence=rng.choice([0.5, 0.9, 1.0])
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            warehouse.update_many(members)
+        else:
+            warehouse.update(
+                random_update_for(
+                    rng, warehouse.document, confidence=rng.choice([0.5, 0.9, 1.0])
+                )
+            )
+
+
+@relaxed
+@given(seeds)
+def test_replay_is_identical_to_in_memory_application(seed):
+    """replay(snapshot + WAL deltas) == the document the live session
+    held, node for node, event for event, sequence for sequence."""
+    rng = random.Random(seed)
+    doc = random_fuzzy_tree(rng, SMALL_DOCS)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wh"
+        wh = Warehouse.create(path, doc, policy=_no_compact_policy())
+        _random_session(rng, wh)
+        expected = wh.document.root.canonical()
+        expected_events = wh.document.events.as_dict()
+        expected_sequence = wh.sequence
+        assert wh.stats()["wal_depth"] >= 1
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+            assert recovered.document.events.as_dict() == expected_events
+            assert recovered.sequence == expected_sequence
+
+
+@relaxed
+@given(seeds)
+def test_incremental_stats_equal_fresh_stats_after_every_commit(seed):
+    """The delta-maintained DocumentStats snapshot equals a fresh
+    one-pass collection after every commit (single and batched)."""
+    rng = random.Random(seed)
+    doc = random_fuzzy_tree(rng, SMALL_DOCS)
+    with tempfile.TemporaryDirectory() as tmp:
+        wh = Warehouse.create(Path(tmp) / "wh", doc)
+        wh.engine.stats.current()  # prime the maintained accumulator
+        for _ in range(rng.randint(2, 6)):
+            wh.update(
+                random_update_for(
+                    rng, wh.document, confidence=rng.choice([0.5, 0.9, 1.0])
+                )
+            )
+            assert wh.engine.stats.current() == collect_stats(wh.document.root)
+        members = [
+            random_update_for(rng, wh.document, confidence=1.0)
+            for _ in range(rng.randint(1, 3))
+        ]
+        wh.update_many(members)
+        assert wh.engine.stats.current() == collect_stats(wh.document.root)
+        wh.close()
+
+
+class TestReviewRegressions:
+    """Failure modes found in review: each must stay fixed."""
+
+    def test_torn_audit_tail_does_not_block_recovery(self, tmp_path, slide12_doc):
+        """log.jsonl is best-effort: a torn last line (un-fsynced crash
+        debris) must not prevent open — the entry is rebuilt from the WAL."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        wh.update(_insert_tx())
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        log_path = path / "log.jsonl"
+        raw = log_path.read_bytes()
+        log_path.write_bytes(raw[: len(raw) - 20])  # tear the tail
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+            last = recovered.history()[-1]
+            assert last["sequence"] == 3
+            assert last.get("replayed") is True
+
+    def test_failed_wal_append_rolls_back_sequence(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """A failed append must not leave a sequence gap; the next
+        commit snapshots so the orphaned in-memory mutation heals."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+
+        def dying_append(self, kind, sequence, payload):
+            raise _Crash()
+
+        monkeypatch.setattr(WriteAheadLog, "append", dying_append)
+        with pytest.raises(_Crash):
+            wh.update(_insert_tx())
+        monkeypatch.undo()
+        assert wh.sequence == 2  # rolled back: no gap
+        wh.update(_insert_tx())  # heals via snapshot
+        assert wh.stats()["snapshot_sequence"] == wh.sequence == 3
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+
+    def test_open_releases_lock_when_reconciliation_fails(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        _kill(wh)
+
+        def dying_append(self, kind, sequence, payload, fsync=True):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(TransactionLog, "append", dying_append)
+        # Force reconciliation to run by removing the audit entry.
+        (path / "log.jsonl").write_text("")
+        with pytest.raises(OSError):
+            Warehouse.open(path)
+        monkeypatch.undo()
+        assert not (path / "lock").exists()
+        Warehouse.open(path).close()  # lock was not leaked
+
+    def test_replay_uses_writing_sessions_match_semantics(
+        self, tmp_path, slide12_doc
+    ):
+        """Recovery under a different MatchConfig must rebuild the
+        document the writing session acknowledged, not a reinterpretation."""
+        from repro.tpwj.match import MatchConfig
+
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx(confidence=1.0))  # first N under C
+        wh.update(_insert_tx(confidence=1.0))  # second N under C
+        # Two N nodes: this transaction applies at BOTH matches.
+        wh.update(
+            UpdateTransaction(
+                parse_pattern("N[$n]"), [InsertOperation("n", tree("M"))], 1.0
+            )
+        )
+        assert sum(1 for n in wh.document.iter_nodes() if n.label == "M") == 2
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        # A truncating handle would see only one match per transaction;
+        # replay must use the recorded (untruncated) semantics instead.
+        with Warehouse.open(path, match_config=MatchConfig(max_matches=1)) as recovered:
+            assert recovered.document.root.canonical() == expected
+
+    def test_threshold_snapshot_cannot_lose_audit_entry(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """The audit entry is written (and fsynced) before a threshold
+        snapshot resets the WAL: a crash anywhere in that commit leaves
+        history either complete or rebuildable."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(
+            path,
+            slide12_doc,
+            policy=CommitPolicy(snapshot_every=2, compact_on_close=False),
+        )
+        wh.update(_insert_tx())  # seq 2: WAL only
+        # Crash during the threshold commit's snapshot: the WAL record
+        # and audit entry are already down, the fold never happened.
+        def dying_write(self, xml_text, sequence, extra_meta=None):
+            raise _Crash()
+
+        monkeypatch.setattr(Storage, "write_document", dying_write)
+        with pytest.raises(_Crash):
+            wh.update(_insert_tx())  # seq 3 crosses snapshot_every=2
+        monkeypatch.undo()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.sequence == 3
+            assert [e["sequence"] for e in recovered.history()] == [1, 2, 3]
+            # The entries were the live ones, not reconstructions.
+            assert all("replayed" not in e for e in recovered.history())
+
+    def test_lock_file_appears_atomically_with_payload(self, tmp_path, slide12_doc):
+        """A concurrent acquirer must never observe a lock without its
+        pid/token payload (the mid-acquire steal race)."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc)
+        content = (path / "lock").read_bytes()
+        record = json.loads(content)
+        assert record["pid"] > 0
+        # No staging debris left behind.
+        assert not list(path.glob("lock.*.tmp"))
+        wh.close()
+
+    def test_partial_batch_failure_heals_via_snapshot(self, tmp_path, slide12_doc):
+        """A batch member rejected after earlier members mutated the
+        document must not leave later WAL commits replaying against a
+        different base (recovery would brick)."""
+        from repro import DeleteOperation
+        from repro.errors import UpdateError
+
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        orphan_insert = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("Orphan"))], 1.0
+        )
+        root_delete = UpdateTransaction(
+            parse_pattern("/A[$a]"), [DeleteOperation("a")], 1.0
+        )
+        with pytest.raises(UpdateError):
+            wh.update_many([orphan_insert, root_delete])
+        # The orphan insert mutated the document in memory; the next
+        # commit must snapshot so durable state matches it again.
+        report = wh.update(_insert_tx(confidence=0.5))
+        assert report.applied
+        assert wh.stats()["snapshot_sequence"] == wh.sequence
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+
+    def test_rotten_complete_final_wal_record_raises(self, tmp_path, slide12_doc):
+        """A newline-terminated final record that fails its checksum is
+        acknowledged data gone bad — it must raise, not be dropped as a
+        torn tail."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        _kill(wh)
+        wal_path = path / "wal.jsonl"
+        raw = wal_path.read_bytes()
+        assert raw.endswith(b"\n")
+        # Flip a byte inside the (complete) record, newline preserved.
+        wal_path.write_bytes(raw[:40] + b"X" + raw[41:])
+        with pytest.raises(WarehouseCorruptError, match="checksum|unparseable"):
+            Warehouse.open(path)
+
+    def test_failed_simplify_snapshot_rolls_back_sequence(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """A snapshot-path commit (simplify) whose write fails must not
+        leave a bumped sequence: the next WAL append would create a gap
+        that bricks recovery."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.update(_insert_tx())
+        sequence = wh.sequence
+
+        def dying_write(self, xml_text, sequence, extra_meta=None):
+            raise _Crash()
+
+        monkeypatch.setattr(Storage, "write_document", dying_write)
+        with pytest.raises(_Crash):
+            wh.simplify()
+        monkeypatch.undo()
+        assert wh.sequence == sequence  # rolled back: no gap
+        wh.update(_insert_tx())  # heals via snapshot (snapshot_due)
+        assert wh.stats()["snapshot_sequence"] == wh.sequence
+        expected = wh.document.root.canonical()
+        _kill(wh)
+        with Warehouse.open(path) as recovered:
+            assert recovered.document.root.canonical() == expected
+
+    def test_engine_sees_mutation_even_when_audit_append_fails(
+        self, tmp_path, slide12_doc, monkeypatch
+    ):
+        """The commit is durable in the WAL but the audit append dies:
+        the handle stays usable and queries must see the new nodes (a
+        stale cached walk would hide them)."""
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
+        wh.query("//N")  # warm the engine's walk on the pre-update tree
+        fresh_tx = UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree("Fresh"))], 1.0
+        )
+
+        def dying_append(self, kind, sequence, payload, fsync=True):
+            raise _Crash()
+
+        monkeypatch.setattr(TransactionLog, "append", dying_append)
+        with pytest.raises(_Crash):
+            wh.update(fresh_tx)
+        monkeypatch.undo()
+        assert len(wh.query("//Fresh")) == 1  # no stale walk served
+        wh.close()
+
+    def test_lost_lock_race_backs_off(self, tmp_path, monkeypatch):
+        """If a concurrent breaker replaced our freshly linked lock, the
+        acquirer must back off rather than hold a phantom lock."""
+        import os
+
+        storage = Storage(tmp_path / "s")
+        storage.initialize()
+        real_link = os.link
+
+        def racing_link(src, dst, **kwargs):
+            real_link(src, dst, **kwargs)
+            # Simulate the concurrent breaker: unlink our fresh lock
+            # and install its own, in the break window.
+            os.unlink(dst)
+            (tmp_path / "s" / "other").write_text('{"pid": 1, "token": "x"}')
+            real_link(tmp_path / "s" / "other", dst)
+
+        monkeypatch.setattr(os, "link", racing_link)
+        with pytest.raises(WarehouseLockedError, match="lost the lock race"):
+            storage.acquire_lock()
+        monkeypatch.undo()
+        assert storage._lock_fd is None

@@ -225,3 +225,343 @@ class TestWarehouseOperations:
         log_path = warehouse.history()
         for entry in log_path:
             json.dumps(entry)  # re-serializable
+
+
+class TestWriteAheadLog:
+    def _wal(self, tmp_path):
+        from repro.warehouse import WriteAheadLog
+
+        return WriteAheadLog(tmp_path)
+
+    def test_append_and_replayable(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append("update", 2, {"transaction": "<xu/>"})
+        wal.append("update", 3, {"transaction": "<xu/>"})
+        records, torn = wal.replayable(1)
+        assert torn is None
+        assert [r["sequence"] for r in records] == [2, 3]
+
+    def test_records_before_snapshot_skipped(self, tmp_path):
+        wal = self._wal(tmp_path)
+        for sequence in (2, 3, 4):
+            wal.append("update", sequence, {})
+        records, _ = wal.replayable(3)
+        assert [r["sequence"] for r in records] == [4]
+
+    def test_torn_tail_discarded_with_note(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append("update", 2, {})
+        with open(wal.path, "ab") as handle:
+            handle.write(b'{"kind": "upd')  # crash mid-append
+        records, torn = wal.replayable(1)
+        assert [r["sequence"] for r in records] == [2]
+        assert torn is not None and "torn" in torn
+
+    def test_checksum_mismatch_mid_file_raises(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append("update", 2, {"transaction": "aaaa"})
+        wal.append("update", 3, {})
+        lines = wal.path.read_bytes().splitlines(keepends=True)
+        lines[0] = lines[0].replace(b"aaaa", b"bbbb")
+        wal.path.write_bytes(b"".join(lines))
+        with pytest.raises(WarehouseCorruptError, match="checksum"):
+            wal.records()
+
+    def test_sequence_gap_raises(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append("update", 2, {})
+        wal.append("update", 4, {})
+        with pytest.raises(WarehouseCorruptError, match="gap"):
+            wal.replayable(1)
+
+    def test_reset_empties_atomically(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append("update", 2, {})
+        assert wal.size_bytes() > 0
+        wal.reset()
+        assert wal.size_bytes() == 0
+        assert wal.replayable(0) == ([], None)
+
+    def test_depth(self, tmp_path):
+        wal = self._wal(tmp_path)
+        assert wal.depth(0) == 0
+        wal.append("update", 2, {})
+        wal.append("update", 3, {})
+        assert wal.depth(1) == 2
+        assert wal.depth(2) == 1
+
+
+class TestLockPidReuse:
+    """The explicit stale-lock breaking rule (see storage docstring)."""
+
+    def _storage(self, tmp_path):
+        storage = Storage(tmp_path / "s")
+        storage.initialize()
+        return storage
+
+    def test_dead_pid_lock_broken(self, tmp_path):
+        storage = self._storage(tmp_path)
+        storage.lock_path.write_text('{"pid": 999999999, "token": "123"}')
+        storage.acquire_lock()
+        storage.release_lock()
+
+    def test_live_pid_with_matching_token_respected(self, tmp_path):
+        import os
+
+        from repro.warehouse.storage import _process_token
+
+        token = _process_token(os.getpid())
+        if token is None:
+            pytest.skip("no /proc process-start tokens on this platform")
+        storage = self._storage(tmp_path)
+        storage.lock_path.write_text(
+            json.dumps({"pid": os.getpid(), "token": token})
+        )
+        with pytest.raises(WarehouseLockedError):
+            storage.acquire_lock()
+
+    def test_pid_reuse_lock_broken(self, tmp_path):
+        """The recorded pid is alive but belongs to a different process
+        (start-time token differs): the lock is provably stale."""
+        import os
+
+        from repro.warehouse.storage import _process_token
+
+        if _process_token(os.getpid()) is None:
+            pytest.skip("no /proc process-start tokens on this platform")
+        storage = self._storage(tmp_path)
+        storage.lock_path.write_text(
+            json.dumps({"pid": os.getpid(), "token": "0"})
+        )
+        storage.acquire_lock()
+        storage.release_lock()
+
+    def test_legacy_integer_lock_with_live_pid_respected(self, tmp_path):
+        """A legacy lock has no token: a live owner can never be broken
+        (when in doubt, refuse to steal)."""
+        import os
+
+        storage = self._storage(tmp_path)
+        storage.lock_path.write_text(str(os.getpid()))
+        with pytest.raises(WarehouseLockedError):
+            storage.acquire_lock()
+
+    def test_unreadable_lock_broken(self, tmp_path):
+        storage = self._storage(tmp_path)
+        storage.lock_path.write_text("not a pid at all")
+        storage.acquire_lock()
+        storage.release_lock()
+
+
+class TestCommitPipeline:
+    def _insert_tx(self, label="N", confidence=1.0):
+        return UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree(label))], confidence
+        )
+
+    def test_policy_validation(self):
+        from repro.warehouse import CommitPolicy
+
+        with pytest.raises(WarehouseError):
+            CommitPolicy(snapshot_every=0)
+        with pytest.raises(WarehouseError):
+            CommitPolicy(wal_bytes_limit=0)
+        assert CommitPolicy(snapshot_every=1).full_rewrite
+
+    def test_updates_go_to_wal_not_snapshot(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        path = tmp_path / "wh"
+        with Warehouse.create(
+            path, slide12_doc, policy=CommitPolicy(snapshot_every=100)
+        ) as wh:
+            snapshot_bytes = (path / "document.xml").read_bytes()
+            wh.update(self._insert_tx())
+            assert (path / "document.xml").read_bytes() == snapshot_bytes
+            stats = wh.stats()
+            assert stats["wal_depth"] == 1
+            assert stats["wal_bytes"] > 0
+            assert stats["snapshot_sequence"] == 1
+            assert wh.sequence == 2
+
+    def test_snapshot_every_triggers_compaction(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        with Warehouse.create(
+            tmp_path / "wh", slide12_doc, policy=CommitPolicy(snapshot_every=3)
+        ) as wh:
+            wh.update(self._insert_tx())
+            wh.update(self._insert_tx())
+            assert wh.stats()["wal_depth"] == 2
+            wh.update(self._insert_tx())  # third commit folds the WAL
+            stats = wh.stats()
+            assert stats["wal_depth"] == 0
+            assert stats["snapshot_sequence"] == wh.sequence
+
+    def test_wal_bytes_limit_triggers_compaction(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        with Warehouse.create(
+            tmp_path / "wh",
+            slide12_doc,
+            policy=CommitPolicy(snapshot_every=1000, wal_bytes_limit=64),
+        ) as wh:
+            wh.update(self._insert_tx())  # record alone exceeds 64 bytes
+            assert wh.stats()["wal_depth"] == 0
+
+    def test_close_compacts_by_default(self, tmp_path, slide12_doc):
+        from repro.warehouse import WriteAheadLog
+
+        path = tmp_path / "wh"
+        wh = Warehouse.create(path, slide12_doc)
+        wh.update(self._insert_tx())
+        assert wh.stats()["wal_depth"] == 1
+        wh.close()
+        assert WriteAheadLog(path).size_bytes() == 0
+        with Warehouse.open(path) as reopened:
+            assert reopened.sequence == 2
+            assert reopened.document.size() == 5
+
+    def test_reopen_replays_without_close_compaction(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        path = tmp_path / "wh"
+        policy = CommitPolicy(snapshot_every=100, compact_on_close=False)
+        with Warehouse.create(path, slide12_doc, policy=policy) as wh:
+            wh.update(self._insert_tx(confidence=0.5))
+            expected = wh.document.root.canonical()
+            events = wh.document.events.as_dict()
+        with Warehouse.open(path) as reopened:
+            assert reopened.stats()["wal_depth"] == 1
+            assert reopened.document.root.canonical() == expected
+            assert reopened.document.events.as_dict() == events
+
+    def test_full_rewrite_policy_snapshots_every_commit(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        path = tmp_path / "wh"
+        with Warehouse.create(
+            path, slide12_doc, policy=CommitPolicy(snapshot_every=1)
+        ) as wh:
+            wh.update(self._insert_tx())
+            assert wh.stats()["wal_depth"] == 0
+            assert wh.stats()["snapshot_sequence"] == wh.sequence
+            assert (path / "wal.jsonl").read_bytes() == b""
+
+    def test_simplify_compacts(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        with Warehouse.create(
+            tmp_path / "wh", slide12_doc, policy=CommitPolicy(snapshot_every=100)
+        ) as wh:
+            wh.update(self._insert_tx())
+            wh.simplify()
+            assert wh.stats()["wal_depth"] == 0
+            assert wh.stats()["snapshot_sequence"] == wh.sequence
+
+    def test_compact_command(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        with Warehouse.create(
+            tmp_path / "wh", slide12_doc, policy=CommitPolicy(snapshot_every=100)
+        ) as wh:
+            wh.update(self._insert_tx())
+            wh.update(self._insert_tx())
+            summary = wh.compact()
+            assert summary["folded_records"] == 2
+            assert wh.stats()["wal_depth"] == 0
+
+    def test_fresh_counter_persisted_in_meta(self, tmp_path, slide12_doc):
+        path = tmp_path / "wh"
+        with Warehouse.create(path, slide12_doc) as wh:
+            wh.update(self._insert_tx(confidence=0.5))  # mints an event
+            counter = wh.document.events.fresh_counter
+            assert counter >= 1
+        meta = json.loads((path / "meta.json").read_text())
+        assert meta["fresh_counter"] == counter
+        with Warehouse.open(path) as reopened:
+            assert reopened.document.events.fresh_counter == counter
+
+
+class TestBatchedUpdates:
+    def _insert_tx(self, label="N", confidence=1.0):
+        return UpdateTransaction(
+            parse_pattern("C[$c]"), [InsertOperation("c", tree(label))], confidence
+        )
+
+    def test_update_many_is_one_commit(self, warehouse):
+        reports = warehouse.update_many(
+            [self._insert_tx(), self._insert_tx("M"), self._insert_tx("O")]
+        )
+        assert [r.applied for r in reports] == [True, True, True]
+        assert warehouse.sequence == 2  # one commit for the whole batch
+        assert warehouse.stats()["wal_depth"] == 1
+        entry = warehouse.history()[-1]
+        assert entry["kind"] == "batch"
+        assert entry["transactions"] == 3
+        assert len(entry["reports"]) == 3
+
+    def test_update_many_empty_is_noop(self, warehouse):
+        assert warehouse.update_many([]) == []
+        assert warehouse.sequence == 1
+
+    def test_update_many_accepts_strings_and_confidence(self, warehouse):
+        text = (
+            '<xu:modifications xmlns:xu="urn:repro:xupdate" '
+            'query="C[$c]" confidence="1.0">'
+            "<xu:insert anchor='c'><N/></xu:insert>"
+            "</xu:modifications>"
+        )
+        reports = warehouse.update_many([text], confidence=0.25)
+        assert reports[0].confidence_event is not None
+        assert warehouse.document.events.probability(
+            reports[0].confidence_event
+        ) == pytest.approx(0.25)
+
+    def test_later_member_sees_earlier_insertion(self, warehouse):
+        first = self._insert_tx("Fresh")
+        second = UpdateTransaction(
+            parse_pattern("Fresh[$f]"), [InsertOperation("f", tree("Nested"))], 1.0
+        )
+        reports = warehouse.update_many([first, second])
+        assert reports[1].applied  # Fresh existed by the time it ran
+        assert len(warehouse.query("//Nested")) == 1
+
+    def test_begin_batch_context_manager(self, warehouse):
+        with warehouse.begin_batch() as batch:
+            batch.update(self._insert_tx())
+            batch.update(self._insert_tx("M"), confidence=0.5)
+            assert len(batch) == 2
+            assert warehouse.sequence == 1  # nothing committed yet
+        assert warehouse.sequence == 2
+        assert len(batch.reports) == 2
+        assert batch.reports[1].confidence_event is not None
+
+    def test_begin_batch_aborts_on_exception(self, warehouse):
+        with pytest.raises(RuntimeError):
+            with warehouse.begin_batch() as batch:
+                batch.update(self._insert_tx())
+                raise RuntimeError("boom")
+        assert warehouse.sequence == 1
+        assert batch.reports is None
+
+    def test_provenance_through_batch(self, warehouse):
+        reports = warehouse.update_many([self._insert_tx(confidence=0.5)])
+        event = reports[0].confidence_event
+        origin = warehouse.provenance(event)
+        assert origin is not None
+        assert origin["kind"] == "batch"
+        assert origin["confidence_event"] == event
+
+    def test_batch_survives_reopen(self, tmp_path, slide12_doc):
+        from repro.warehouse import CommitPolicy
+
+        path = tmp_path / "wh"
+        policy = CommitPolicy(snapshot_every=100, compact_on_close=False)
+        with Warehouse.create(path, slide12_doc, policy=policy) as wh:
+            wh.update_many(
+                [self._insert_tx(confidence=0.5), self._insert_tx("M")]
+            )
+            expected = wh.document.root.canonical()
+        with Warehouse.open(path) as reopened:
+            assert reopened.document.root.canonical() == expected
