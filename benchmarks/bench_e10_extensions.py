@@ -19,7 +19,6 @@ from __future__ import annotations
 import random
 import time
 
-import pytest
 
 from repro.analysis import classify_growth, fit_exponential, fit_power_law
 from repro import (

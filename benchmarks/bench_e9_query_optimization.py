@@ -192,6 +192,60 @@ def test_plan_cache_serves_repeat_queries(report, benchmark):
     )
 
 
+@pytest.mark.parametrize("n_nodes", [600, 1200])
+def test_topk_streaming_vs_materialize(report, benchmark, tmp_path_factory, n_nodes):
+    """E9e — top-k through the session API: streaming vs materializing.
+
+    ``Session.query(...).limit(k)`` pushes the cap into the engine's
+    streaming protocol: the backtracking join stops after k emitted
+    rows, and per-row probability work is only paid for those k.  The
+    materializing path evaluates every match.  On documents of ≥600
+    nodes the streamed top-5 must beat full materialization.
+    """
+    from collections import Counter
+
+    from repro.api import connect
+
+    doc, _ = instance(n_nodes)
+    label, occurrences = Counter(
+        node.label for node in doc.root.iter()
+    ).most_common(1)[0]
+    query = f"//{label}"
+    path = tmp_path_factory.mktemp("e9e") / f"wh-{n_nodes}"
+    with connect(path, create=True, document=doc) as session:
+        # Warm-up: plan cached, document walk built — steady state.
+        assert len(session.query(query).limit(5).all()) == 5
+
+        def run():
+            streamed = _best_of(lambda: session.query(query).limit(5).all())
+            materialized = _best_of(lambda: session.query(query).all())
+            rows_total = session.query(query).count()
+            assert rows_total >= occurrences // 2
+            slack = float(os.environ.get("E9_TIMING_SLACK", "2.5e-4"))
+            assert streamed <= materialized + slack, (
+                f"top-5 streaming ({streamed:.6f}s) did not beat full "
+                f"materialization ({materialized:.6f}s) on {n_nodes} nodes"
+            )
+            speedup = materialized / streamed if streamed > 0 else float("inf")
+            return [
+                [
+                    doc.size(),
+                    rows_total,
+                    fmt(materialized),
+                    fmt(streamed),
+                    fmt(speedup, 3),
+                ]
+            ]
+
+        rows = benchmark.pedantic(run, rounds=1)
+    report.table(
+        f"E9e  top-k streaming vs materialize, {n_nodes}-node document, "
+        f"query {query} limit 5",
+        ["nodes", "total rows", "materialize s", "stream-5 s", "speedup"],
+        rows,
+    )
+
+
 def test_pruning_wins_grow_with_document(report, benchmark):
     def run():
         rows = []

@@ -2,61 +2,74 @@
 
 A catalog arrives with duplicate entries.  A deduplication module is
 *mostly* right — so instead of destructively deleting, it issues
-probabilistic deletions.  The document keeps both outcomes weighted by
-the module's confidence; simplification then compacts the survivor
-copies the deletions produced (the slide-14 growth, tamed by the
-slide-19 simplification perspective).
+probabilistic deletions through a session.  The document keeps both
+outcomes weighted by the module's confidence; simplification then
+compacts the survivor copies the deletions produced (the slide-14
+growth, tamed by the slide-19 simplification perspective).
 
 Run:  python examples/data_cleaning.py
 """
 
-from repro import apply_update, query_fuzzy_tree, simplify, to_possible_worlds
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.core import to_possible_worlds
 from repro.workloads import CleaningScenario
 
 
 def main() -> None:
     scenario = CleaningScenario(seed=7, n_products=4, duplicate_rate=1.0)
-    doc = scenario.initial_document()
 
-    print("Dirty catalog (every product duplicated):")
-    print(doc.root.pretty())
+    with tempfile.TemporaryDirectory() as tmp:
+        with repro.connect(
+            Path(tmp) / "catalog-wh",
+            create=True,
+            document=scenario.initial_document(),
+        ) as session:
+            print("Dirty catalog (every product duplicated):")
+            print(session.document.root.pretty())
 
-    # Small documents allow exact world counting.
-    print(f"\nWorlds before cleaning: {len(to_possible_worlds(doc))}")
+            # Small documents allow exact world counting.
+            worlds_before = len(to_possible_worlds(session.document))
+            print(f"\nWorlds before cleaning: {worlds_before}")
 
-    print("\nDeduplication stream:")
-    for tx in scenario.stream(5):
-        report = apply_update(doc, tx)
-        print(
-            f"  [{tx.confidence:4.2f}] {tx.query} "
-            f"-> {report.deletion_targets} targets, "
-            f"{report.survivor_copies} survivor copies"
-        )
+            print("\nDeduplication stream:")
+            for tx in scenario.stream(5):
+                report = session.update(tx)
+                print(
+                    f"  [{tx.confidence:4.2f}] {tx.query} "
+                    f"-> {report.deletion_targets} targets, "
+                    f"{report.survivor_copies} survivor copies"
+                )
 
-    print(
-        f"\nAfter cleaning: {doc.size()} nodes, "
-        f"{doc.condition_literal_count()} condition literals "
-        f"(deletions grow the tree — slide 14)"
-    )
+            stats = session.stats()
+            print(
+                f"\nAfter cleaning: {stats['nodes']} nodes, "
+                f"{stats['condition_literals']} condition literals "
+                f"(deletions grow the tree — slide 14)"
+            )
 
-    before = to_possible_worlds(doc)
-    report = simplify(doc)
-    after = to_possible_worlds(doc)
-    assert after.same_distribution(before, 1e-9)
-    print(
-        f"Simplified to {doc.size()} nodes / "
-        f"{doc.condition_literal_count()} literals "
-        f"(distribution unchanged — checked exactly)"
-    )
+            before = to_possible_worlds(session.document)
+            session.simplify()
+            after = to_possible_worlds(session.document)
+            assert after.same_distribution(before, 1e-9)
+            stats = session.stats()
+            print(
+                f"Simplified to {stats['nodes']} nodes / "
+                f"{stats['condition_literals']} literals "
+                f"(distribution unchanged — checked exactly)"
+            )
 
-    print("\nHow confident are we that each entry is still there?")
-    for answer in query_fuzzy_tree(doc, scenario.query_mix()[0]):
-        entry = answer.tree.children[0]
-        fields = {n.label: n.value for n in entry.iter() if n.value}
-        print(
-            f"  P = {answer.probability:5.3f}   sku={fields.get('sku', '?'):8s} "
-            f"price={fields.get('price', '?')}"
-        )
+            print("\nHow confident are we that each entry is still there?")
+            for answer in session.query(scenario.query_mix()[0]).answers():
+                entry = answer.tree.children[0]
+                fields = {n.label: n.value for n in entry.iter() if n.value}
+                print(
+                    f"  P = {answer.probability:5.3f}   "
+                    f"sku={fields.get('sku', '?'):8s} "
+                    f"price={fields.get('price', '?')}"
+                )
 
 
 if __name__ == "__main__":

@@ -2,9 +2,10 @@
 
 The paper's motivating pipeline: extraction modules emit facts with
 confidences; the warehouse keeps every uncertain fact side by side;
-queries return answers ranked by probability.  This example runs an
-IE module stream against a directory of people, shows conflicting
-facts coexisting, and queries the result.
+queries return answers ranked by probability.  This example connects a
+session, runs an IE module stream against a directory of people, shows
+conflicting facts coexisting, streams a top-k query lazily, and asks
+for an answer's provenance.
 
 Run:  python examples/information_extraction.py
 """
@@ -12,7 +13,7 @@ Run:  python examples/information_extraction.py
 import tempfile
 from pathlib import Path
 
-from repro.warehouse import Warehouse
+import repro
 from repro.workloads import ExtractionScenario
 
 
@@ -21,29 +22,36 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "people-warehouse"
-        with Warehouse.create(path, scenario.initial_document()) as wh:
-            print(f"Created warehouse at {path}")
-            print(f"Initial document: {wh.stats()['nodes']} nodes\n")
+        with repro.connect(
+            path, create=True, document=scenario.initial_document()
+        ) as session:
+            print(f"Connected session on {path}")
+            print(f"Initial document: {session.stats()['nodes']} nodes\n")
 
             # The module stream: every transaction carries a confidence.
+            # Batching persists all 40 as a handful of commits.
             print("Module stream (first 8 shown):")
-            for index, tx in enumerate(scenario.stream(40)):
-                if index < 8:
-                    ops = ", ".join(type(op).__name__ for op in tx.operations)
-                    print(f"  [{tx.confidence:4.2f}]  {tx.query}  ({ops})")
-                wh.update(tx)
+            with session.batch() as batch:
+                for index, tx in enumerate(scenario.stream(40)):
+                    if index < 8:
+                        ops = ", ".join(type(op).__name__ for op in tx.operations)
+                        print(f"  [{tx.confidence:4.2f}]  {tx.query}  ({ops})")
+                    batch.update(tx)
 
-            stats = wh.stats()
+            stats = session.stats()
             print(
-                f"\nAfter 40 probabilistic updates: {stats['nodes']} nodes, "
-                f"{stats['used_events']} live events, "
+                f"\nAfter 40 probabilistic updates (1 batched commit): "
+                f"{stats['nodes']} nodes, {stats['used_events']} live events, "
                 f"{stats['log_entries']} log entries\n"
             )
 
-            # Query: who has an email, and how sure are we?
-            print("Query: /directory { person { name, email } }")
-            answers = wh.query("/directory { person { name, email } }")
-            for answer in answers[:6]:
+            # Query: who has an email, and how sure are we?  Ranked
+            # aggregation, exactly the paper's answer semantics.
+            email_query = repro.pattern("directory", anchored=True).child(
+                repro.pattern("person").child("name").child("email")
+            )
+            print(f"Query {email_query}:")
+            for answer in session.query(email_query).answers()[:6]:
                 person = answer.tree.children[0]
                 fields = {n.label: n.value for n in person.iter() if n.value}
                 print(
@@ -51,19 +59,33 @@ def main() -> None:
                     f"{fields.get('name', '?'):8s} {fields.get('email', '')}"
                 )
 
-            # Conflicting facts coexist: several phones per person may
-            # be present, each under its own event.
-            print("\nQuery: /directory { person { name, phone } }")
-            for answer in wh.query("/directory { person { name, phone } }")[:6]:
-                person = answer.tree.children[0]
+            # Conflicting facts coexist: several phones per person may be
+            # present, each under its own event.  Stream just the first
+            # few rows — the engine stops matching once we have them.
+            print("\nFirst 6 phone rows (streamed, match order):")
+            for row in session.query("/directory { person { name, phone } }").limit(6):
+                person = row.tree.children[0]
                 fields = {n.label: n.value for n in person.iter() if n.value}
                 print(
-                    f"  P = {answer.probability:5.3f}   "
+                    f"  P = {row.probability:5.3f}   "
                     f"{fields.get('name', '?'):8s} {fields.get('phone', '')}"
                 )
 
+            # Provenance: which module utterance created this fact?
+            row = session.query("//email").first()
+            if row is not None:
+                origin = row.explain()[0]
+                entry = origin["origin"]
+                print(
+                    f"\nProvenance of the first email row: event "
+                    f"{origin['event']} (P={origin['probability']:.2f}) minted "
+                    f"by commit #{entry['sequence']}"
+                    if entry
+                    else "\nFirst email predates the warehouse"
+                )
+
             # Housekeeping: simplification keeps the store compact.
-            report = wh.simplify()
+            report = session.simplify()
             print(
                 f"\nSimplified: {report.nodes_before} -> {report.nodes_after} nodes, "
                 f"{report.collected_events} dead events collected"

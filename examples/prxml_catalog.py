@@ -9,11 +9,15 @@ and the full distribution of the number of matches.
 Run:  python examples/prxml_catalog.py
 """
 
-from repro import parse_pattern, query_fuzzy_tree, to_possible_worlds
+import tempfile
+from pathlib import Path
+
+import repro
 from repro.core import (
     expected_matches,
     match_count_distribution,
     probability_at_least,
+    to_possible_worlds,
 )
 from repro.prxml import PDocument, PInd, PMux, PRegular, compile_to_fuzzy
 
@@ -60,18 +64,27 @@ def main() -> None:
     for world in worlds.worlds[:3]:
         print(f"  P = {world.probability:.4f}  {world.tree.canonical()}")
 
-    pattern = parse_pattern("/catalog { entry { sku, price } }")
-    print(f"\nQuery {pattern}:")
-    for answer in query_fuzzy_tree(fuzzy, pattern):
-        entry = answer.tree.children[0]
-        fields = {n.label: n.value for n in entry.iter() if n.value}
-        print(
-            f"  P = {answer.probability:.4f}  sku={fields.get('sku'):8s}"
-            f" price={fields.get('price')}"
-        )
+    # The compiled document drops straight into the session API.
+    pattern = (
+        repro.pattern("catalog", anchored=True)
+        .child(repro.pattern("entry").child("sku").child("price"))
+        .build()
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        with repro.connect(
+            Path(tmp) / "catalog-wh", create=True, document=fuzzy
+        ) as session:
+            print(f"\nQuery {pattern}:")
+            for answer in session.query(pattern).answers():
+                entry = answer.tree.children[0]
+                fields = {n.label: n.value for n in entry.iter() if n.value}
+                print(
+                    f"  P = {answer.probability:.4f}  sku={fields.get('sku'):8s}"
+                    f" price={fields.get('price')}"
+                )
 
     # Aggregates: how many catalog entries do we believe in?
-    entries = parse_pattern("/catalog { entry }")
+    entries = repro.pattern("catalog", anchored=True).child("entry").build()
     print(f"\nExpected number of entries: {expected_matches(fuzzy, entries):.3f}")
     print("Distribution of the entry count:")
     for count, probability in match_count_distribution(fuzzy, entries).items():

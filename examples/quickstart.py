@@ -1,33 +1,25 @@
-"""Quickstart: the paper's worked examples in a dozen lines each.
+"""Quickstart: the paper's worked examples through the session API.
 
-Builds the slide-12 fuzzy tree, inspects its possible worlds, runs a
-TPWJ query both ways (direct fuzzy evaluation and via the worlds
-semantics), then replays the slide-15 conditional replacement.
+Builds the slide-12 fuzzy tree, connects a session on a warehouse
+holding it, runs a TPWJ query three ways (streamed rows, ranked
+answers, possible-worlds cross-check), replays the slide-15 conditional
+replacement with the fluent update builder, and shows a
+snapshot-isolated reader observing a consistent state across a commit.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Condition,
-    DeleteOperation,
-    EventTable,
-    FuzzyNode,
-    FuzzyTree,
-    InsertOperation,
-    UpdateTransaction,
-    apply_update,
-    parse_pattern,
-    query_fuzzy_tree,
-    query_possible_worlds,
-    to_possible_worlds,
-)
-from repro.trees import tree
+import tempfile
+from pathlib import Path
+
+import repro
+from repro import Condition, EventTable, FuzzyNode, FuzzyTree, tree
+from repro.pworlds import query_possible_worlds
+from repro.core import to_possible_worlds
 
 
-def main() -> None:
-    # ------------------------------------------------------------------
-    # 1. A fuzzy tree (slide 12): nodes guarded by event conditions.
-    # ------------------------------------------------------------------
+def slide12_document() -> FuzzyTree:
+    """The fuzzy tree of slide 12: A { B[w1,¬w2], C { D[w2] } }."""
     events = EventTable({"w1": 0.8, "w2": 0.7})
     root = FuzzyNode(
         "A",
@@ -36,63 +28,99 @@ def main() -> None:
             FuzzyNode("C", children=[FuzzyNode("D", condition=Condition.of("w2"))]),
         ],
     )
-    doc = FuzzyTree(root, events)
+    return FuzzyTree(root, events)
+
+
+def main() -> None:
+    doc = slide12_document()
     print("The fuzzy document:")
     print(doc.root.pretty())
     print("\nEvent table:", doc.events)
 
     # ------------------------------------------------------------------
-    # 2. Its possible-worlds semantics: three worlds, as on the slide.
+    # 1. Its possible-worlds semantics: three worlds, as on the slide.
     # ------------------------------------------------------------------
     worlds = to_possible_worlds(doc)
     print("\nPossible worlds:")
     for world in worlds:
         print(f"  P = {world.probability:.2f}   {world.tree.canonical()}")
 
-    # ------------------------------------------------------------------
-    # 3. A TPWJ query, evaluated directly on the fuzzy tree.
-    # ------------------------------------------------------------------
-    pattern = parse_pattern("//D")
-    print(f"\nQuery {pattern}:")
-    for answer in query_fuzzy_tree(doc, pattern):
-        print(f"  P = {answer.probability:.2f}   {answer.tree.canonical()}")
+    with tempfile.TemporaryDirectory() as tmp:
+        # --------------------------------------------------------------
+        # 2. Connect a session: one coherent handle for queries/updates.
+        # --------------------------------------------------------------
+        with repro.connect(Path(tmp) / "wh", create=True, document=doc) as session:
+            # A TPWJ query, built fluently (compiles to the same Pattern
+            # the text syntax "//D" parses to) and streamed lazily.
+            query = repro.pattern("D")
+            print(f"\nQuery //{query}:")
+            for row in session.query(query):
+                print(f"  P = {row.probability:.2f}   {row.tree.canonical()}")
 
-    # The same query through the possible-worlds semantics agrees
-    # (the slide-13 commutation theorem).
-    via_worlds = query_possible_worlds(worlds, pattern)
-    assert via_worlds.worlds[0].probability == next(
-        a.probability for a in query_fuzzy_tree(doc, pattern)
-    )
-    print("  (identical through the possible-worlds semantics)")
+            # The same query through the possible-worlds semantics agrees
+            # (the slide-13 commutation theorem).
+            pattern = query.build()
+            via_worlds = query_possible_worlds(worlds, pattern)
+            first = session.query(pattern).first()
+            assert via_worlds.worlds[0].probability == first.probability
+            print("  (identical through the possible-worlds semantics)")
 
-    # ------------------------------------------------------------------
-    # 4. A probabilistic update (slide 15): replace C by D if B is
-    #    present, with confidence 0.9.
-    # ------------------------------------------------------------------
-    events = EventTable({"w1": 0.8, "w2": 0.7})
-    doc = FuzzyTree(
-        FuzzyNode(
-            "A",
-            children=[
-                FuzzyNode("B", condition=Condition.of("w1")),
-                FuzzyNode("C", condition=Condition.of("w2")),
-            ],
-        ),
-        events,
-    )
-    transaction = UpdateTransaction(
-        parse_pattern("/A[$a] { B, C[$c] }"),
-        [DeleteOperation("c"), InsertOperation("a", tree("D"))],
-        confidence=0.9,
-    )
-    report = apply_update(doc, transaction)
-    print("\nAfter the slide-15 conditional replacement:")
-    print(doc.root.pretty())
-    print("Event table:", doc.events)
-    print(
-        f"(matches: {report.matches}, survivor copies: {report.survivor_copies}, "
-        f"confidence event: {report.confidence_event})"
-    )
+        # --------------------------------------------------------------
+        # 3. A probabilistic update (slide 15): replace C by D if B is
+        #    present, with confidence 0.9 — via the update builder.
+        # --------------------------------------------------------------
+        slide15_doc = FuzzyTree(
+            FuzzyNode(
+                "A",
+                children=[
+                    FuzzyNode("B", condition=Condition.of("w1")),
+                    FuzzyNode("C", condition=Condition.of("w2")),
+                ],
+            ),
+            EventTable({"w1": 0.8, "w2": 0.7}),
+        )
+        with repro.connect(
+            Path(tmp) / "wh15", create=True, document=slide15_doc
+        ) as session:
+            replacement = (
+                repro.update(
+                    repro.pattern("A", variable="a", anchored=True)
+                    .child("B")
+                    .child("C", variable="c")
+                )
+                .delete("c")
+                .insert("a", tree("D"))
+                .confidence(0.9)
+            )
+            report = session.update(replacement)
+            print("\nAfter the slide-15 conditional replacement:")
+            print(session.document.root.pretty())
+            print("Event table:", session.document.events)
+            print(
+                f"(matches: {report.matches}, survivor copies: "
+                f"{report.survivor_copies}, confidence event: "
+                f"{report.confidence_event})"
+            )
+
+            # --------------------------------------------------------------
+            # 4. Snapshot isolation: a pinned reader is unaffected by a
+            #    writer committing behind its back.
+            # --------------------------------------------------------------
+            with session.snapshot() as snapshot:
+                before = [r.tree.canonical() for r in snapshot.query("//D")]
+                session.update(
+                    repro.update(repro.pattern("A", variable="a", anchored=True))
+                    .insert("a", tree("D"))
+                    .confidence(0.5)
+                )
+                after = [r.tree.canonical() for r in snapshot.query("//D")]
+                live = len(session.query("//D").all())
+            assert before == after
+            print(
+                f"\nSnapshot pinned at seq {snapshot.sequence}: saw "
+                f"{len(before)} D-answers before and after the commit "
+                f"(live session sees {live})"
+            )
 
 
 if __name__ == "__main__":

@@ -2,57 +2,68 @@
 
 A matcher aligning a source categorisation with a target taxonomy
 produces correspondences with scores — classic imprecise output.  Each
-verdict becomes a probabilistic insertion into a correspondences
-section; the warehouse then answers "which alignments do we believe,
-and how much?", and exact evaluation is cross-checked against
-Monte-Carlo sampling.
+verdict becomes a probabilistic insertion committed through a session;
+the warehouse then answers "which alignments do we believe, and how
+much?", and exact evaluation is cross-checked against Monte-Carlo
+sampling.
 
 Run:  python examples/schema_matching.py
 """
 
 import random
+import tempfile
+from pathlib import Path
 
-from repro import apply_update, estimate_query, query_fuzzy_tree
+import repro
+from repro.core import estimate_query
 from repro.workloads import MatchingScenario
 
 
 def main() -> None:
     scenario = MatchingScenario(seed=13)
-    doc = scenario.initial_document()
 
-    print("Schema document:")
-    print(doc.root.pretty())
+    with tempfile.TemporaryDirectory() as tmp:
+        with repro.connect(
+            Path(tmp) / "schema-wh",
+            create=True,
+            document=scenario.initial_document(),
+        ) as session:
+            print("Schema document:")
+            print(session.document.root.pretty())
 
-    print("\nMatcher verdicts:")
-    for tx in scenario.stream(6):
-        apply_update(doc, tx)
-        insert = tx.insertions[0]
-        pair = {n.label: n.value for n in insert.subtree.iter() if n.value}
-        print(
-            f"  [{tx.confidence:4.2f}]  {pair.get('from', '?'):12s} -> "
-            f"{pair.get('to', '?')}"
-        )
+            print("\nMatcher verdicts (batched into one commit):")
+            with session.batch() as batch:
+                for tx in scenario.stream(6):
+                    batch.update(tx)
+                    insert = tx.insertions[0]
+                    pair = {n.label: n.value for n in insert.subtree.iter() if n.value}
+                    print(
+                        f"  [{tx.confidence:4.2f}]  {pair.get('from', '?'):12s} -> "
+                        f"{pair.get('to', '?')}"
+                    )
 
-    pattern = scenario.query_mix()[0]
-    print(f"\nExact evaluation of {pattern}:")
-    exact = query_fuzzy_tree(doc, pattern)
-    for answer in exact:
-        match = next(n for n in answer.tree.iter() if n.label == "match")
-        pair = {n.label: n.value for n in match.iter() if n.value}
-        print(
-            f"  P = {answer.probability:5.3f}   "
-            f"{pair.get('from', '?'):12s} -> {pair.get('to', '?')}"
-        )
+            pattern = scenario.query_mix()[0]
+            print(f"\nExact evaluation of {pattern}:")
+            exact = session.query(pattern).answers()
+            for answer in exact:
+                match = next(n for n in answer.tree.iter() if n.label == "match")
+                pair = {n.label: n.value for n in match.iter() if n.value}
+                print(
+                    f"  P = {answer.probability:5.3f}   "
+                    f"{pair.get('from', '?'):12s} -> {pair.get('to', '?')}"
+                )
 
-    print("\nMonte-Carlo cross-check (2000 samples):")
-    estimates = estimate_query(doc, pattern, samples=2000, rng=random.Random(0))
-    exact_by_tree = {a.tree.canonical(): a.probability for a in exact}
-    for estimate in estimates:
-        truth = exact_by_tree.get(estimate.tree.canonical(), 0.0)
-        print(
-            f"  est = {estimate.probability:5.3f} ± {estimate.stderr:5.3f}   "
-            f"exact = {truth:5.3f}"
-        )
+            print("\nMonte-Carlo cross-check (2000 samples):")
+            estimates = estimate_query(
+                session.document, pattern, samples=2000, rng=random.Random(0)
+            )
+            exact_by_tree = {a.tree.canonical(): a.probability for a in exact}
+            for estimate in estimates:
+                truth = exact_by_tree.get(estimate.tree.canonical(), 0.0)
+                print(
+                    f"  est = {estimate.probability:5.3f} ± {estimate.stderr:5.3f}   "
+                    f"exact = {truth:5.3f}"
+                )
 
 
 if __name__ == "__main__":

@@ -18,34 +18,52 @@ The library implements the paper end to end:
 * **workload generators** (:mod:`repro.workloads`) simulating the
   imprecise modules of the paper's introduction.
 
-Quickstart::
+Quickstart — the session API is the public surface::
 
-    from repro import (FuzzyNode, FuzzyTree, EventTable, Condition,
-                       parse_pattern, query_fuzzy_tree)
+    import repro
 
-    events = EventTable({"w1": 0.8, "w2": 0.7})
-    root = FuzzyNode("A", children=[
-        FuzzyNode("B", condition=Condition.of("w1", "!w2")),
-        FuzzyNode("C", children=[FuzzyNode("D", condition=Condition.of("w2"))]),
-    ])
-    doc = FuzzyTree(root, events)
-    for answer in query_fuzzy_tree(doc, parse_pattern("/A { //D }")):
-        print(answer.probability, answer.tree.canonical())
+    with repro.connect("people-wh", create=True, root="directory") as session:
+        session.update(
+            repro.update(repro.pattern("directory", variable="d", anchored=True))
+            .insert("d", repro.tree("person", repro.tree("name", "Alice")))
+            .confidence(0.9)
+        )
+        for row in session.query("//person { name }").limit(5):
+            print(row.probability, row.tree.canonical())
+
+The model layer (fuzzy trees, possible worlds, the event algebra) stays
+importable from its subpackages for direct experimentation; the old
+module-level conveniences ``repro.parse_pattern``,
+``repro.query_fuzzy_tree`` and ``repro.apply_update`` are deprecated
+shims for one release — see the README's migration table.
 """
 
+import warnings as _warnings
+
+from repro.api import (
+    PatternBuilder,
+    ResultSet,
+    Row,
+    Session,
+    Snapshot,
+    UpdateBuilder,
+    connect,
+    pattern,
+    update,
+)
 from repro.core import (
     ALL_RULES,
     AnswerEstimate,
     FuzzyAnswer,
     FuzzyNode,
     FuzzyTree,
+    QueryRow,
     SimplifyReport,
     UpdateReport,
-    apply_update,
     estimate_query,
     from_possible_worlds,
+    iter_query_rows,
     match_condition,
-    query_fuzzy_tree,
     simplify,
     to_possible_worlds,
 )
@@ -63,12 +81,15 @@ from repro.errors import (
     EventError,
     InconsistentConditionError,
     InvalidProbabilityError,
+    PatternSyntaxError,
     QueryError,
     QueryParseError,
     ReproError,
+    SessionClosedError,
     TreeError,
     UnknownEventError,
     UpdateError,
+    WarehouseCorruptError,
     WarehouseError,
     XMLFormatError,
 )
@@ -94,7 +115,6 @@ from repro.tpwj import (
     PatternNode,
     find_matches,
     format_pattern,
-    parse_pattern,
 )
 from repro.trees import Node, tree
 from repro.updates import (
@@ -105,10 +125,63 @@ from repro.updates import (
     apply_deterministic,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# ----------------------------------------------------------------------
+# Deprecated module-level entry points (one release).
+#
+# The grab-bag conveniences the session API replaces are served lazily
+# so importing them warns once per site; the canonical functions remain
+# available — without deprecation — at their defining modules for
+# model-level work (repro.tpwj.parser.parse_pattern,
+# repro.core.query.query_fuzzy_tree, repro.core.update.apply_update).
+# ----------------------------------------------------------------------
+
+_DEPRECATED_SHIMS = {
+    "parse_pattern": (
+        "repro.tpwj.parser",
+        "Session.query accepts pattern strings directly "
+        "(or build one with repro.pattern(...))",
+    ),
+    "query_fuzzy_tree": (
+        "repro.core.query",
+        "use repro.connect(...).query(...) — or "
+        "repro.core.query.query_fuzzy_tree for model-level evaluation",
+    ),
+    "apply_update": (
+        "repro.core.update",
+        "use repro.connect(...).update(...) — or "
+        "repro.core.update.apply_update for model-level application",
+    ),
+}
+
+
+def __getattr__(name: str):
+    shim = _DEPRECATED_SHIMS.get(name)
+    if shim is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, hint = shim
+    _warnings.warn(
+        f"repro.{name} is deprecated; {hint}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
     "__version__",
+    # session API
+    "connect",
+    "Session",
+    "Snapshot",
+    "ResultSet",
+    "Row",
+    "PatternBuilder",
+    "UpdateBuilder",
+    "pattern",
+    "update",
     # errors
     "ReproError",
     "TreeError",
@@ -117,10 +190,13 @@ __all__ = [
     "InvalidProbabilityError",
     "InconsistentConditionError",
     "QueryError",
+    "PatternSyntaxError",
     "QueryParseError",
     "UpdateError",
     "XMLFormatError",
     "WarehouseError",
+    "WarehouseCorruptError",
+    "SessionClosedError",
     # trees
     "Node",
     "tree",
@@ -137,10 +213,11 @@ __all__ = [
     "World",
     "query_possible_worlds",
     "update_possible_worlds",
-    # queries
+    # queries (the deprecated shims parse_pattern / query_fuzzy_tree /
+    # apply_update resolve via __getattr__ but are kept out of __all__
+    # so `from repro import *` stays warning-free)
     "Pattern",
     "PatternNode",
-    "parse_pattern",
     "format_pattern",
     "find_matches",
     "Match",
@@ -157,10 +234,10 @@ __all__ = [
     "to_possible_worlds",
     "from_possible_worlds",
     "FuzzyAnswer",
-    "query_fuzzy_tree",
+    "QueryRow",
+    "iter_query_rows",
     "match_condition",
     "UpdateReport",
-    "apply_update",
     "SimplifyReport",
     "simplify",
     "ALL_RULES",

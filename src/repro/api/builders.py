@@ -1,0 +1,328 @@
+"""Fluent builders compiling to the model's query/update objects.
+
+The paper's modules construct queries and updates *programmatically* —
+an extraction pipeline does not concatenate query strings.  The
+builders give that construction a fluent surface while compiling to the
+exact same :class:`~repro.tpwj.pattern.Pattern` and
+:class:`~repro.updates.transaction.UpdateTransaction` objects the text
+parsers produce, so everything downstream (planner, matcher, XUpdate
+serialization) is shared::
+
+    from repro.api import pattern, update
+
+    q = (
+        pattern("A", anchored=True)
+        .child("B", variable="v")
+        .child(pattern("C").descendant("D", variable="v"))
+    )
+    q.build()                  # the slide-6 query /A { B[$v], C { //D[$v] } }
+
+    tx = (
+        update(pattern("person").child("name", value="Alice", variable="p"))
+        .insert("p", tree("email", "alice@example.org"))
+        .confidence(0.85)
+        .build()               # -> UpdateTransaction
+    )
+
+Builders are plain mutable accumulators: every fluent call returns the
+builder itself, and :meth:`PatternBuilder.build` /
+:meth:`UpdateBuilder.build` compile a **fresh** object each time, so a
+builder can be tweaked and rebuilt.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError, UpdateError
+from repro.tpwj.pattern import Pattern, PatternNode
+from repro.trees.builder import tree
+from repro.trees.node import Node
+from repro.updates.operations import DeleteOperation, InsertOperation
+from repro.updates.transaction import UpdateTransaction
+
+__all__ = ["PatternBuilder", "UpdateBuilder", "pattern", "update"]
+
+
+def pattern(
+    label: str | None = "*",
+    *,
+    value: str | None = None,
+    variable: str | None = None,
+    anchored: bool = False,
+) -> "PatternBuilder":
+    """Start a fluent TPWJ pattern at a root node.
+
+    ``label`` may be ``"*"`` (or None) for the wildcard.  ``anchored``
+    pins the root node to the document root (text syntax ``/``).
+    """
+    builder = PatternBuilder(label, value=value, variable=variable)
+    if anchored:
+        builder.anchored()
+    return builder
+
+
+def update(query: "str | Pattern | PatternBuilder") -> "UpdateBuilder":
+    """Start a fluent update transaction against *query*."""
+    return UpdateBuilder(query)
+
+
+class PatternBuilder:
+    """Programmatic construction of one TPWJ pattern node (and, through
+    :meth:`child` / :meth:`descendant` / :meth:`without`, a whole
+    pattern tree).
+
+    The builder covers the full query language: labels and the ``*``
+    wildcard, value tests, variables (bindings and value joins), child
+    and descendant edges, negated subpatterns, and root anchoring.
+    :meth:`build` compiles to a validated :class:`Pattern`;
+    ``str(builder)`` renders the text syntax it is equivalent to.
+    """
+
+    __slots__ = (
+        "_label",
+        "_value",
+        "_variable",
+        "_descendant",
+        "_negated",
+        "_anchored",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        label: str | None = "*",
+        *,
+        value: str | None = None,
+        variable: str | None = None,
+    ) -> None:
+        if label == "*":
+            label = None
+        if label is not None and (not isinstance(label, str) or not label):
+            raise QueryError(
+                f"pattern label must be a non-empty string, '*' or None, got {label!r}"
+            )
+        self._label = label
+        self._value = value
+        self._variable = variable
+        self._descendant = False
+        self._negated = False
+        self._anchored = False
+        self._children: list[PatternBuilder] = []
+
+    # ------------------------------------------------------------------
+    # Node configuration (fluent)
+    # ------------------------------------------------------------------
+
+    def var(self, name: str) -> "PatternBuilder":
+        """Bind this node to ``$name`` (a repeated name is a value join)."""
+        self._variable = name
+        return self
+
+    def equals(self, value: str) -> "PatternBuilder":
+        """Require the image to be a leaf carrying exactly *value*."""
+        self._value = value
+        return self
+
+    def anchored(self, flag: bool = True) -> "PatternBuilder":
+        """Pin this (root) node to the document root (text syntax ``/``)."""
+        self._anchored = bool(flag)
+        return self
+
+    # ------------------------------------------------------------------
+    # Structure (fluent)
+    # ------------------------------------------------------------------
+
+    def child(
+        self,
+        node: "str | None | PatternBuilder",
+        *,
+        value: str | None = None,
+        variable: str | None = None,
+    ) -> "PatternBuilder":
+        """Attach a sub-pattern under a child edge; returns *this* builder.
+
+        *node* is a label (or ``"*"``/None) built in place, or a
+        nested :class:`PatternBuilder` for deeper shapes.
+        """
+        return self._attach(node, value, variable, descendant=False, negated=False)
+
+    def descendant(
+        self,
+        node: "str | None | PatternBuilder",
+        *,
+        value: str | None = None,
+        variable: str | None = None,
+    ) -> "PatternBuilder":
+        """Attach a sub-pattern under a descendant edge (``//``)."""
+        return self._attach(node, value, variable, descendant=True, negated=False)
+
+    def without(
+        self,
+        node: "str | None | PatternBuilder",
+        *,
+        value: str | None = None,
+        descendant: bool = False,
+    ) -> "PatternBuilder":
+        """Attach a *negated* sub-pattern: the image must have **no**
+        embedding of it (text syntax ``!``).  ``descendant=True`` checks
+        the descendant axis instead of the child axis."""
+        return self._attach(node, value, None, descendant=descendant, negated=True)
+
+    def _attach(
+        self,
+        node: "str | None | PatternBuilder",
+        value: str | None,
+        variable: str | None,
+        *,
+        descendant: bool,
+        negated: bool,
+    ) -> "PatternBuilder":
+        if isinstance(node, PatternBuilder):
+            if node._anchored:
+                raise QueryError("only the pattern root can be anchored")
+            # Snapshot the sub-builder: attaching must not mutate the
+            # caller's object (the same builder attached under two
+            # parents would otherwise carry the last attach's axis and
+            # negation into both patterns).
+            child = node._copy()
+            if value is not None:
+                child._value = value
+            if variable is not None:
+                child._variable = variable
+        else:
+            child = PatternBuilder(node, value=value, variable=variable)
+        child._descendant = descendant
+        child._negated = negated
+        self._children.append(child)
+        return self
+
+    def _copy(self) -> "PatternBuilder":
+        copy = PatternBuilder(
+            self._label if self._label is not None else "*",
+            value=self._value,
+            variable=self._variable,
+        )
+        copy._descendant = self._descendant
+        copy._negated = self._negated
+        copy._anchored = self._anchored
+        copy._children = [child._copy() for child in self._children]
+        return copy
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def build(self) -> Pattern:
+        """Compile to a validated :class:`Pattern` (fresh on every call)."""
+        if self._negated:
+            raise QueryError("the pattern root cannot be negated")
+        return Pattern(self._build_node(), anchored=self._anchored)
+
+    def _build_node(self) -> PatternNode:
+        node = PatternNode(
+            self._label,
+            value=self._value,
+            variable=self._variable,
+            descendant=self._descendant,
+            negated=self._negated,
+        )
+        for child in self._children:
+            node.add_child(child._build_node())
+        return node
+
+    def __str__(self) -> str:
+        return str(self.build())
+
+    def __repr__(self) -> str:
+        return f"PatternBuilder({str(self)!r})"
+
+
+def compile_pattern(query: "str | Pattern | PatternBuilder") -> Pattern:
+    """Normalize the three query spellings to a :class:`Pattern`."""
+    if isinstance(query, Pattern):
+        return query
+    if isinstance(query, PatternBuilder):
+        return query.build()
+    if isinstance(query, str):
+        from repro.tpwj.parser import parse_pattern
+
+        return parse_pattern(query)
+    raise QueryError(
+        f"expected a pattern string, Pattern or PatternBuilder, got "
+        f"{type(query).__name__}"
+    )
+
+
+class UpdateBuilder:
+    """Programmatic construction of a probabilistic update transaction.
+
+    Wraps a query (any spelling accepted by :func:`compile_pattern`)
+    and accumulates elementary operations anchored at the query's
+    variables; :meth:`build` compiles to the same
+    :class:`UpdateTransaction` the XUpdate parser produces.
+    """
+
+    __slots__ = ("_query", "_operations", "_confidence")
+
+    def __init__(self, query: "str | Pattern | PatternBuilder") -> None:
+        self._query = query
+        self._operations: list = []
+        self._confidence = 1.0
+
+    def insert(
+        self, anchor: str, subtree: "Node | str", value: str | None = None
+    ) -> "UpdateBuilder":
+        """Insert a copy of *subtree* under the node bound by ``$anchor``.
+
+        *subtree* is a :class:`~repro.trees.node.Node` or, for the
+        common single-node case, a label (with an optional *value*).
+        """
+        if isinstance(subtree, str):
+            subtree = tree(subtree, value) if value is not None else tree(subtree)
+        elif value is not None:
+            raise UpdateError("value= only applies when subtree is a label string")
+        self._operations.append(InsertOperation(anchor, subtree))
+        return self
+
+    def delete(self, target: str) -> "UpdateBuilder":
+        """Delete the subtree rooted at the node bound by ``$target``."""
+        self._operations.append(DeleteOperation(target))
+        return self
+
+    def confidence(self, confidence: float) -> "UpdateBuilder":
+        """Set the module's confidence that the update holds."""
+        self._confidence = confidence
+        return self
+
+    def build(self) -> UpdateTransaction:
+        """Compile to a validated :class:`UpdateTransaction`."""
+        return UpdateTransaction(
+            compile_pattern(self._query), self._operations, self._confidence
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateBuilder(query={self._query!r}, "
+            f"{len(self._operations)} ops, confidence={self._confidence})"
+        )
+
+
+def compile_transaction(
+    transaction: "UpdateTransaction | UpdateBuilder | str",
+) -> UpdateTransaction:
+    """Normalize the update spellings to an :class:`UpdateTransaction`.
+
+    Strings are parsed as XUpdate documents (the wire format modules
+    submit); builders are compiled; transactions pass through.
+    """
+    if isinstance(transaction, UpdateTransaction):
+        return transaction
+    if isinstance(transaction, UpdateBuilder):
+        return transaction.build()
+    if isinstance(transaction, str):
+        from repro.xmlio.xupdate import transaction_from_string
+
+        return transaction_from_string(transaction)
+    raise UpdateError(
+        f"expected an UpdateTransaction, UpdateBuilder or XUpdate string, "
+        f"got {type(transaction).__name__}"
+    )

@@ -1,0 +1,212 @@
+"""Lazy result sets for session queries.
+
+A :class:`ResultSet` is a *description* of a query against a session or
+snapshot — nothing runs until it is iterated.  Iteration streams
+:class:`Row` objects through the engine's streaming protocol
+(:meth:`~repro.engine.QueryEngine.iter_matches`): the cost-based plan
+comes from the source's plan cache, matches are pulled one at a time,
+and :meth:`limit` pushes early termination into the backtracking join —
+a top-k query stops the enumeration after k rows instead of
+materializing everything and slicing.
+
+Rows are per-match (exact probability that *that match* fires, its
+answer tree, variable bindings, and a provenance hook resolving the
+events involved).  :meth:`ResultSet.answers` folds the stream back into
+the classic probability-ranked, per-answer-tree aggregation of
+:func:`~repro.core.query.query_fuzzy_tree`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.query import (
+    FuzzyAnswer,
+    QueryRow,
+    group_rows,
+    iter_query_rows,
+    query_fuzzy_tree,
+)
+from repro.errors import QueryError
+
+__all__ = ["ResultSet", "Row"]
+
+
+class Row:
+    """One streamed result row: a match with its probability and context.
+
+    Attributes
+    ----------
+    probability:
+        Exact probability that this match fires (disjunction of its
+        disjoint existence conditions).
+    tree:
+        The answer tree (minimal subtree containing the mapped nodes).
+    match:
+        The underlying :class:`~repro.tpwj.match.Match`.
+    dnf:
+        The disjoint conditions under which the match holds.
+    """
+
+    __slots__ = ("_inner", "_source", "_events")
+
+    def __init__(self, inner: QueryRow, source, events) -> None:
+        self._inner = inner
+        self._source = source
+        # The event table of the document generation this row was
+        # computed on — stable even if the source commits (or
+        # simplifies events away) after the row was streamed.
+        self._events = events
+
+    @property
+    def probability(self) -> float:
+        return self._inner.probability
+
+    @property
+    def tree(self):
+        return self._inner.tree
+
+    @property
+    def match(self):
+        return self._inner.match
+
+    @property
+    def dnf(self):
+        return self._inner.dnf
+
+    def bindings(self) -> dict[str, str | None]:
+        """Variable name -> bound text value for this match."""
+        return self._inner.bindings()
+
+    def explain(self) -> list[dict]:
+        """Provenance: one record per event involved in this row.
+
+        Each record carries the event name, its probability, and — when
+        the event was minted by an update committed through the row's
+        warehouse — the originating transaction's audit-log entry.
+        """
+        return [
+            {
+                "event": event,
+                "probability": self._events.probability(event),
+                "origin": self._source._provenance(event),
+            }
+            for event in sorted(self._inner.dnf.events())
+        ]
+
+    def __repr__(self) -> str:
+        return f"Row(p={self.probability:.6g}, tree={self.tree.canonical()})"
+
+
+class ResultSet:
+    """A lazy, re-iterable stream of query rows.
+
+    Each ``iter()`` re-executes the query against the source's current
+    document (snapshots pin theirs, so re-iteration there is stable);
+    repeated executions hit the source's plan cache.  A result set is
+    immutable — :meth:`limit` returns a new one.
+    """
+
+    __slots__ = ("_source", "_pattern", "_limit", "_planner")
+
+    def __init__(
+        self, source, pattern, limit: int | None = None, planner: bool = True
+    ) -> None:
+        self._source = source
+        self._pattern = pattern
+        self._limit = limit
+        # planner=False falls back to the fixed-strategy matcher (the
+        # E9 ablation baseline); it materializes matches, so limits
+        # truncate but do not stream.
+        self._planner = planner
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+
+    def limit(self, n: int) -> "ResultSet":
+        """At most *n* rows, computed by early termination.
+
+        The cap is pushed into the engine's streaming protocol: the
+        backtracking enumeration stops as soon as *n* rows have been
+        emitted, so a small limit on a large document does a fraction
+        of the full query's work.  The limited stream is a prefix of
+        the unlimited one (same plan, same deterministic order).
+        """
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise QueryError(f"limit must be a non-negative int, got {n!r}")
+        capped = n if self._limit is None else min(self._limit, n)
+        return ResultSet(self._source, self._pattern, capped, self._planner)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        # Iteration over a *live* session pins the current document
+        # generation for its whole duration: a commit landing between
+        # two rows copies-on-write instead of mutating the tree this
+        # iterator is walking.  (Snapshots are already pinned; their
+        # release callback is None.)  The pin is taken inside this
+        # generator, so it happens at first next() — atomically with
+        # the engine reading the same document.
+        fuzzy, engine, config, release = self._source._iter_context()
+        try:
+            for inner in iter_query_rows(
+                fuzzy,
+                self._pattern,
+                config,
+                engine=engine if self._planner else None,
+                limit=self._limit,
+            ):
+                yield Row(inner, self._source, fuzzy.events)
+        finally:
+            if release is not None:
+                release()
+
+    def all(self) -> list[Row]:
+        """Materialize every row (honoring :meth:`limit`)."""
+        return list(self)
+
+    def first(self) -> Row | None:
+        """The first row, computed without enumerating the rest."""
+        stream = iter(self)
+        try:
+            return next(stream, None)
+        finally:
+            # Close explicitly so the iteration pin is released now,
+            # not whenever the abandoned generator is collected.
+            stream.close()
+
+    def count(self) -> int:
+        """Number of rows (honoring :meth:`limit`)."""
+        return sum(1 for _ in self)
+
+    def answers(self) -> list[FuzzyAnswer]:
+        """Classic aggregation: rows grouped per answer tree, ranked.
+
+        Matches inducing the same answer tree are merged (their
+        conditions disjoined) and the aggregates ranked by decreasing
+        probability — identical to the historical
+        ``Warehouse.query`` result when no limit is set; with a limit,
+        the aggregation covers the streamed prefix only.
+        """
+        fuzzy, engine, config, release = self._source._iter_context()
+        try:
+            engine = engine if self._planner else None
+            if self._limit is None:
+                # No cap: the classic aggregation prices each answer
+                # group once, skipping the per-row probability work the
+                # streaming path pays for early termination.
+                return query_fuzzy_tree(fuzzy, self._pattern, config, engine=engine)
+            rows = iter_query_rows(
+                fuzzy, self._pattern, config, engine=engine, limit=self._limit
+            )
+            return group_rows(rows, fuzzy.events)
+        finally:
+            if release is not None:
+                release()
+
+    def __repr__(self) -> str:
+        limit = "" if self._limit is None else f", limit={self._limit}"
+        return f"ResultSet({str(self._pattern)!r}{limit})"

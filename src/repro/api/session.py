@@ -1,0 +1,383 @@
+"""Session facade over the warehouse — the library's public surface.
+
+The paper's system is a *service*: imprecise modules continuously query
+and update a shared probabilistic XML warehouse.  A :class:`Session` is
+one module's handle on that service::
+
+    import repro
+
+    with repro.connect("people-wh", create=True, root="directory") as session:
+        session.update(
+            repro.update(repro.pattern("directory", variable="d", anchored=True))
+            .insert("d", tree("person", tree("name", "Alice")))
+            .confidence(0.9)
+        )
+        for row in session.query("//person { name }").limit(5):
+            print(row.probability, row.tree.canonical())
+
+* queries accept strings, :class:`~repro.tpwj.pattern.Pattern` objects
+  or :class:`~repro.api.builders.PatternBuilder` DSL chains, and return
+  lazy :class:`~repro.api.results.ResultSet` streams evaluated through
+  the warehouse's cost-based planner and plan cache;
+* updates accept :class:`UpdateTransaction`, XUpdate strings or
+  :class:`~repro.api.builders.UpdateBuilder` chains;
+* :meth:`Session.snapshot` opens a snapshot-isolated read view: the
+  document generation is pinned (O(1) — writers copy on first write),
+  so a long-running reader sees one consistent state while commits
+  continue.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.core.simplify import SimplifyReport
+from repro.core.update import UpdateReport
+from repro.engine import QueryEngine
+from repro.errors import SessionClosedError, WarehouseError
+from repro.events.table import EventTable
+from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
+from repro.api.builders import compile_pattern, compile_transaction
+from repro.api.results import ResultSet
+from repro.warehouse.warehouse import CommitPolicy, DocumentPin, Warehouse
+
+__all__ = ["Session", "Snapshot", "SessionBatch", "connect"]
+
+
+def connect(
+    path: str | Path,
+    *,
+    create: bool = False,
+    root: str | None = None,
+    document: FuzzyTree | None = None,
+    match_config: MatchConfig = DEFAULT_CONFIG,
+    auto_simplify_factor: float | None = None,
+    snapshot_every: int = 64,
+    wal_bytes_limit: int = 4 * 1024 * 1024,
+    compact_on_close: bool = True,
+) -> "Session":
+    """Open a session on the warehouse at *path*.
+
+    With ``create=True`` a new warehouse is initialised first, from
+    *document* (a :class:`FuzzyTree`) or an empty document rooted at
+    label *root*.  The remaining keywords are the commit policy (see
+    :class:`~repro.warehouse.warehouse.CommitPolicy`) and the handle's
+    match semantics.  Sessions are context managers; closing releases
+    open snapshots, folds the WAL per policy and frees the writer lock.
+    """
+    policy = CommitPolicy(
+        snapshot_every=snapshot_every,
+        wal_bytes_limit=wal_bytes_limit,
+        compact_on_close=compact_on_close,
+    )
+    if create:
+        if document is None:
+            if root is None:
+                raise WarehouseError(
+                    "create=True needs document= or root= to initialise from"
+                )
+            document = FuzzyTree(FuzzyNode(root), EventTable())
+        warehouse = Warehouse.create(
+            path,
+            document,
+            match_config=match_config,
+            auto_simplify_factor=auto_simplify_factor,
+            policy=policy,
+        )
+    else:
+        if document is not None or root is not None:
+            raise WarehouseError("document=/root= only apply with create=True")
+        warehouse = Warehouse.open(
+            path,
+            match_config=match_config,
+            auto_simplify_factor=auto_simplify_factor,
+            policy=policy,
+        )
+    return Session(warehouse)
+
+
+class Session:
+    """A connected module's handle: fluent queries, updates, snapshots."""
+
+    __slots__ = ("_warehouse", "_snapshots", "_closed")
+
+    def __init__(self, warehouse: Warehouse) -> None:
+        self._warehouse = warehouse
+        self._snapshots: list[Snapshot] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release snapshots and the warehouse handle; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for snapshot in list(self._snapshots):
+            snapshot.close()
+        self._warehouse.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("session is closed")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, query, *, planner: bool = True) -> ResultSet:
+        """A lazy result stream for *query* (string, Pattern or builder).
+
+        Nothing runs until the result set is iterated; iteration goes
+        through the warehouse's cost-based planner and plan cache, and
+        ``.limit(n)`` streams — see :class:`ResultSet`.
+        ``planner=False`` is the fixed-strategy ablation baseline.
+        """
+        self._check_open()
+        return ResultSet(self, compile_pattern(query), planner=planner)
+
+    def explain(self, query) -> str:
+        """The engine's statistics and chosen plan for *query*, rendered."""
+        self._check_open()
+        return self._warehouse.explain_plan(compile_pattern(query))
+
+    def _iter_context(self):
+        """(document, engine, config, release) for ResultSet iteration.
+
+        The document generation is pinned for the iteration's duration
+        so a commit landing between two streamed rows copies-on-write
+        instead of mutating the tree under the iterator; *release*
+        (called by the ResultSet when iteration ends) unpins it.
+        """
+        self._check_open()
+        warehouse = self._warehouse
+        pin = warehouse.pin()
+        return pin.document, warehouse.engine, warehouse._match_config, pin.release
+
+    def _provenance(self, event: str) -> dict | None:
+        self._check_open()
+        return self._warehouse.provenance(event)
+
+    # ------------------------------------------------------------------
+    # Snapshot-isolated reads
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "Snapshot":
+        """Pin the current document generation for consistent reads.
+
+        The returned :class:`Snapshot` keeps answering queries against
+        the state as of this commit sequence while this session (or the
+        underlying warehouse) keeps committing.  Use it as a context
+        manager; open snapshots count into ``stats()['read_sessions']``.
+        """
+        self._check_open()
+        snapshot = Snapshot(self, self._warehouse.pin())
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def _forget_snapshot(self, snapshot: "Snapshot") -> None:
+        try:
+            self._snapshots.remove(snapshot)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, transaction, confidence: float | None = None) -> UpdateReport:
+        """Apply one probabilistic update and commit it durably.
+
+        *transaction* is an :class:`UpdateTransaction`, an
+        :class:`~repro.api.builders.UpdateBuilder`, or an XUpdate
+        document string; *confidence*, when given, overrides the
+        transaction's own (the paper's modules attach their confidence
+        at submission time).
+        """
+        self._check_open()
+        return self._warehouse._commit_update(
+            compile_transaction(transaction), confidence
+        )
+
+    def update_many(self, transactions, confidence: float | None = None) -> list[UpdateReport]:
+        """Apply a batch of updates in order as **one** commit."""
+        self._check_open()
+        return self._warehouse.update_many(
+            [compile_transaction(transaction) for transaction in transactions],
+            confidence=confidence,
+        )
+
+    def batch(self) -> "SessionBatch":
+        """A context manager buffering updates into one batched commit."""
+        self._check_open()
+        return SessionBatch(self)
+
+    def simplify(self) -> SimplifyReport:
+        """Run fuzzy-data simplification and commit the smaller document."""
+        self._check_open()
+        return self._warehouse.simplify()
+
+    def compact(self) -> dict:
+        """Fold the WAL into a fresh snapshot now; returns a summary."""
+        self._check_open()
+        return self._warehouse.compact()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def document(self) -> FuzzyTree:
+        """The live fuzzy document (treat as read-only; use update())."""
+        self._check_open()
+        return self._warehouse.document
+
+    @property
+    def sequence(self) -> int:
+        """Commit sequence number (increments on every commit)."""
+        self._check_open()
+        return self._warehouse.sequence
+
+    @property
+    def warehouse(self) -> Warehouse:
+        """The underlying warehouse handle (storage-level surface)."""
+        return self._warehouse
+
+    def stats(self) -> dict:
+        """Document measurements plus commit/log/WAL/read-session counters."""
+        self._check_open()
+        return self._warehouse.stats()
+
+    def history(self) -> list[dict]:
+        """The audit log, oldest first."""
+        self._check_open()
+        return self._warehouse.history()
+
+    def provenance(self, event: str) -> dict | None:
+        """The audit entry of the update whose confidence minted *event*."""
+        self._check_open()
+        return self._warehouse.provenance(event)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else repr(self._warehouse)
+        return f"Session({state})"
+
+
+class Snapshot:
+    """A snapshot-isolated read view pinned at one commit sequence.
+
+    Queries stream lazily exactly like session queries, but against the
+    pinned document generation: commits made after the pin — by this
+    session or any writer on the same handle — are invisible here.  The
+    snapshot owns a small private plan cache (statistics of the pinned
+    tree), built lazily on first query.
+    """
+
+    __slots__ = ("_session", "_pin", "_config", "_engine", "_closed")
+
+    def __init__(self, session: Session, pin: DocumentPin) -> None:
+        self._session = session
+        self._pin = pin
+        # Captured at pin time: the snapshot keeps the handle's match
+        # semantics even if read after the session starts closing down.
+        self._config = session._warehouse._match_config
+        self._engine: QueryEngine | None = None
+        self._closed = False
+
+    @property
+    def sequence(self) -> int:
+        """The commit sequence this snapshot is pinned at."""
+        return self._pin.sequence
+
+    @property
+    def document(self) -> FuzzyTree:
+        """The pinned document (immutable: writers copy on write)."""
+        self._check_open()
+        return self._pin.document
+
+    def query(self, query) -> ResultSet:
+        """A lazy result stream evaluated against the pinned state."""
+        self._check_open()
+        return ResultSet(self, compile_pattern(query))
+
+    def _iter_context(self):
+        # Already pinned for the snapshot's whole lifetime — no
+        # per-iteration pin (release is None).
+        self._check_open()
+        if self._engine is None:
+            document = self._pin.document
+            self._engine = QueryEngine(lambda: document.root)
+        return self._pin.document, self._engine, self._config, None
+
+    def _provenance(self, event: str) -> dict | None:
+        self._check_open()
+        return self._session._warehouse.provenance(event)
+
+    def close(self) -> None:
+        """Release the pin; idempotent.  Queries afterwards raise."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pin.release()
+        self._session._forget_snapshot(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("snapshot is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"seq={self._pin.sequence}"
+        return f"Snapshot({state})"
+
+
+class SessionBatch:
+    """Buffers updates for one batched commit (one WAL append + fsync)."""
+
+    __slots__ = ("_session", "_pending", "reports")
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._pending: list = []
+        #: Per-transaction reports, populated when the batch commits.
+        self.reports: list[UpdateReport] | None = None
+
+    def update(self, transaction, confidence: float | None = None) -> None:
+        """Buffer a transaction (validated now, applied at commit)."""
+        transaction = compile_transaction(transaction)
+        if confidence is not None:
+            transaction = transaction.with_confidence(confidence)
+        self._pending.append(transaction)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __enter__(self) -> "SessionBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self._pending:
+            self.reports = self._session.update_many(self._pending)
+            self._pending = []

@@ -7,6 +7,7 @@ architecture::
     python -m repro init WH --root directory          # create a store
     python -m repro init WH --document doc.xml        # ... or from XML
     python -m repro query WH '/directory { person { name, email } }'
+    python -m repro query WH '//person' --stream --limit 5   # lazy top-k rows
     python -m repro explain WH '//person { name[$n] }'  # show the query plan
     python -m repro update WH --xupdate tx.xml --confidence 0.85
     python -m repro simplify WH
@@ -16,8 +17,15 @@ architecture::
     python -m repro worlds WH                         # enumerate (small docs)
     python -m repro estimate WH '//email' --samples 2000
 
-Every command exits 0 on success and 2 on a usage/model error with the
-message on stderr.
+Every command exits 0 on success; errors print a clean one-line message
+on stderr (no traceback) with a distinct exit code per family:
+
+* 2 — generic model/usage error (:class:`~repro.errors.ReproError`);
+* 3 — pattern syntax error (:class:`~repro.errors.PatternSyntaxError`);
+* 4 — corrupt on-disk state (:class:`~repro.errors.WarehouseCorruptError`);
+* 5 — warehouse locked by another process
+  (:class:`~repro.errors.WarehouseLockedError`);
+* 6 — use of a closed session (:class:`~repro.errors.SessionClosedError`).
 """
 
 from __future__ import annotations
@@ -27,20 +35,38 @@ import random
 import sys
 from pathlib import Path
 
-from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.api import connect
 from repro.core.montecarlo import estimate_query
 from repro.core.semantics import to_possible_worlds
-from repro.errors import QueryParseError, ReproError
-from repro.events.table import EventTable
+from repro.errors import (
+    PatternSyntaxError,
+    ReproError,
+    SessionClosedError,
+    WarehouseCorruptError,
+    WarehouseLockedError,
+)
 from repro.tpwj.parser import parse_pattern
 from repro.tpwj.pattern import Pattern
-from repro.updates.transaction import TransactionBatch
-from repro.warehouse.warehouse import Warehouse
 from repro.xmlio.parse import fuzzy_from_string
 from repro.xmlio.serialize import fuzzy_to_string, plain_to_string
-from repro.xmlio.xupdate import updates_from_string
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for"]
+
+#: Most-derived first: the first matching family decides the exit code.
+_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (PatternSyntaxError, 3),
+    (WarehouseCorruptError, 4),
+    (WarehouseLockedError, 5),
+    (SessionClosedError, 6),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The CLI exit code for a library error (2 for the generic family)."""
+    for family, code in _EXIT_CODES:
+        if isinstance(exc, family):
+            return code
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=None, help="max answers shown")
     query.add_argument(
         "--xml", action="store_true", help="print answers as XML instead of canonical"
+    )
+    query.add_argument(
+        "--stream",
+        action="store_true",
+        help="print match rows lazily in match order (with --limit pushed "
+        "into the engine's streaming protocol) instead of ranked answers",
     )
     query.add_argument(
         "--no-planner",
@@ -127,8 +159,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(args)
     except ReproError as exc:
+        # User/model errors get one clean line, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -151,10 +184,11 @@ def _dispatch(args: argparse.Namespace) -> int:
 def _cmd_init(args: argparse.Namespace) -> int:
     if args.document is not None:
         document = fuzzy_from_string(args.document.read_text(encoding="utf-8"))
+        session_kwargs = {"document": document}
     else:
-        document = FuzzyTree(FuzzyNode(args.root), EventTable())
-    with Warehouse.create(args.path, document) as warehouse:
-        print(f"created warehouse at {args.path} ({warehouse.stats()['nodes']} nodes)")
+        session_kwargs = {"root": args.root}
+    with connect(args.path, create=True, **session_kwargs) as session:
+        print(f"created warehouse at {args.path} ({session.stats()['nodes']} nodes)")
     return 0
 
 
@@ -166,39 +200,59 @@ def _parse_pattern_arg(text: str) -> Pattern:
     """
     try:
         return parse_pattern(text)
-    except QueryParseError as exc:
-        raise QueryParseError(f"invalid pattern {text!r}: {exc}") from exc
+    except PatternSyntaxError as exc:
+        raise PatternSyntaxError(f"invalid pattern {text!r}: {exc}") from exc
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     pattern = _parse_pattern_arg(args.pattern)
-    with Warehouse.open(args.path) as warehouse:
-        answers = warehouse.query(pattern, planner=not args.no_planner)
-    shown = answers if args.limit is None else answers[: args.limit]
-    for answer in shown:
-        if args.xml:
-            print(f"<!-- P = {answer.probability:.6f} -->")
-            print(plain_to_string(answer.tree))
+    empty = True
+    with connect(args.path) as session:
+        results = session.query(pattern, planner=not args.no_planner)
+        if args.stream:
+            # Row mode: lazy, match order, limit pushed into the engine.
+            if args.limit is not None:
+                results = results.limit(args.limit)
+            for row in results:
+                empty = False
+                if args.xml:
+                    print(f"<!-- P = {row.probability:.6f} -->")
+                    print(plain_to_string(row.tree))
+                else:
+                    print(f"{row.probability:.6f}  {row.tree.canonical()}")
         else:
-            print(f"{answer.probability:.6f}  {answer.tree.canonical()}")
-    if not answers:
+            # Answer mode: full evaluation, ranked by probability.
+            answers = results.answers()
+            shown = answers if args.limit is None else answers[: args.limit]
+            for answer in shown:
+                empty = False
+                if args.xml:
+                    print(f"<!-- P = {answer.probability:.6f} -->")
+                    print(plain_to_string(answer.tree))
+                else:
+                    print(f"{answer.probability:.6f}  {answer.tree.canonical()}")
+            empty = not answers
+    if empty:
         print("(no answers)")
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     pattern = _parse_pattern_arg(args.pattern)
-    with Warehouse.open(args.path) as warehouse:
-        print(warehouse.explain_plan(pattern))
+    with connect(args.path) as session:
+        print(session.explain(pattern))
     return 0
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.updates.transaction import TransactionBatch
+    from repro.xmlio.xupdate import updates_from_string
+
     text = args.xupdate.read_text(encoding="utf-8")
     parsed = updates_from_string(text)
-    with Warehouse.open(args.path) as warehouse:
+    with connect(args.path) as session:
         if isinstance(parsed, TransactionBatch):
-            reports = warehouse.update_many(parsed, confidence=args.confidence)
+            reports = session.update_many(parsed, confidence=args.confidence)
             print(
                 f"batch of {len(reports)}: "
                 f"applied: {sum(1 for r in reports if r.applied)}  "
@@ -207,7 +261,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
                 f"survivor copies: {sum(r.survivor_copies for r in reports)}"
             )
             return 0
-        report = warehouse.update(parsed, confidence=args.confidence)
+        report = session.update(parsed, confidence=args.confidence)
         print(
             f"matches: {report.matches}  applied: {report.applied}  "
             f"inserted nodes: {report.inserted_nodes}  "
@@ -218,8 +272,8 @@ def _cmd_update(args: argparse.Namespace) -> int:
 
 
 def _cmd_simplify(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
-        report = warehouse.simplify()
+    with connect(args.path) as session:
+        report = session.simplify()
         print(
             f"nodes: {report.nodes_before} -> {report.nodes_after}  "
             f"literals: {report.literals_before} -> {report.literals_after}  "
@@ -229,8 +283,8 @@ def _cmd_simplify(args: argparse.Namespace) -> int:
 
 
 def _cmd_compact(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
-        summary = warehouse.compact()
+    with connect(args.path) as session:
+        summary = session.compact()
         print(
             f"compacted: folded {summary['folded_records']} WAL records  "
             f"snapshot sequence: {summary['sequence']}"
@@ -239,15 +293,15 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
-        for key, value in warehouse.stats().items():
+    with connect(args.path) as session:
+        for key, value in session.stats().items():
             print(f"{key}: {value}")
     return 0
 
 
 def _cmd_history(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
-        entries = warehouse.history()
+    with connect(args.path) as session:
+        entries = session.history()
     if args.tail is not None:
         entries = entries[-args.tail :]
     for entry in entries:
@@ -266,17 +320,17 @@ def _cmd_history(args: argparse.Namespace) -> int:
 
 
 def _cmd_worlds(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
-        worlds = to_possible_worlds(warehouse.document)
+    with connect(args.path) as session:
+        worlds = to_possible_worlds(session.document)
     for world in worlds:
         print(f"{world.probability:.6f}  {world.tree.canonical()}")
     return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
+    with connect(args.path) as session:
         estimates = estimate_query(
-            warehouse.document,
+            session.document,
             _parse_pattern_arg(args.pattern),
             samples=args.samples,
             rng=random.Random(args.seed),
@@ -292,8 +346,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    with Warehouse.open(args.path) as warehouse:
-        print(fuzzy_to_string(warehouse.document))
+    with connect(args.path) as session:
+        print(fuzzy_to_string(session.document))
     return 0
 
 

@@ -19,6 +19,9 @@ from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
 from repro.core.montecarlo import AnswerEstimate, estimate_query
 from repro.core.query import (
     FuzzyAnswer,
+    QueryRow,
+    group_rows,
+    iter_query_rows,
     match_condition,
     match_conditions,
     query_fuzzy_tree,
@@ -33,7 +36,10 @@ __all__ = [
     "to_possible_worlds",
     "from_possible_worlds",
     "FuzzyAnswer",
+    "QueryRow",
     "query_fuzzy_tree",
+    "iter_query_rows",
+    "group_rows",
     "match_condition",
     "UpdateReport",
     "apply_update",

@@ -35,7 +35,15 @@ from repro.tpwj.pattern import Pattern
 from repro.tpwj.result import answer_tree
 from repro.trees.node import Node
 
-__all__ = ["FuzzyAnswer", "query_fuzzy_tree", "match_condition", "match_conditions"]
+__all__ = [
+    "FuzzyAnswer",
+    "QueryRow",
+    "query_fuzzy_tree",
+    "iter_query_rows",
+    "group_rows",
+    "match_condition",
+    "match_conditions",
+]
 
 
 class FuzzyAnswer:
@@ -134,6 +142,107 @@ def match_conditions(match: Match) -> list[Condition]:
         if combined.is_consistent:
             results.append(Condition(combined.literals))
     return results
+
+
+class QueryRow:
+    """One *match* of a query over a fuzzy tree, streamed lazily.
+
+    Where :class:`FuzzyAnswer` aggregates every match inducing the same
+    answer tree (exact disjunction semantics), a row is the unit the
+    streaming protocol can afford to emit without seeing the rest of
+    the enumeration: the match itself, its answer tree, the disjoint
+    conditions under which the match holds, and the exact probability
+    of *this match* firing.  Rows arrive in the engine's deterministic
+    match order, so a limited stream is a prefix of the unlimited one.
+    """
+
+    __slots__ = ("match", "tree", "dnf", "probability")
+
+    def __init__(self, match: Match, tree: Node, dnf: Dnf, probability: float) -> None:
+        self.match = match
+        self.tree = tree
+        self.dnf = dnf
+        self.probability = probability
+
+    def bindings(self) -> dict[str, str | None]:
+        """Variable name -> bound text value for this match."""
+        return self.match.bindings()
+
+    def __repr__(self) -> str:
+        return f"QueryRow(p={self.probability:.6g}, tree={self.tree.canonical()})"
+
+
+def iter_query_rows(
+    fuzzy: FuzzyTree,
+    pattern: Pattern,
+    config: MatchConfig = DEFAULT_CONFIG,
+    *,
+    engine=None,
+    limit: int | None = None,
+):
+    """Lazily evaluate a TPWJ query, yielding one :class:`QueryRow` per
+    consistent, possible match.
+
+    The streaming counterpart of :func:`query_fuzzy_tree`: matching is
+    pulled one match at a time (through *engine*'s streaming protocol
+    when given, the fixed matcher otherwise), each match's condition
+    and probability are computed immediately, and iteration stops after
+    *limit* emitted rows — aborting the remaining backtracking, which
+    is what makes top-k queries cheaper than full materialization.
+    Matches that can fire in no world (inconsistent conditions or zero
+    probability) are skipped and do not count against *limit*.
+    """
+    if limit is not None and limit <= 0:
+        return
+    structural_config = (
+        replace(config, honor_negation=False) if pattern.has_negation() else config
+    )
+    if engine is not None:
+        matches = engine.iter_matches(pattern, structural_config)
+    else:
+        matches = iter(find_matches(pattern, fuzzy.root, structural_config))
+    emitted = 0
+    for match in matches:
+        counters.incr("core.query.matches")
+        conditions = match_conditions(match)
+        if not conditions:
+            counters.incr("core.query.inconsistent_matches")
+            continue
+        dnf = Dnf(conditions)
+        probability = dnf_probability(dnf, fuzzy.events)
+        if probability == 0.0:
+            continue
+        yield QueryRow(match, answer_tree(fuzzy.root, match), dnf, probability)
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def group_rows(rows, events) -> list[FuzzyAnswer]:
+    """Fold streamed rows into ranked :class:`FuzzyAnswer` aggregates.
+
+    Rows inducing the same answer tree are merged (their conditions
+    disjoined) exactly as :func:`query_fuzzy_tree` merges matches, then
+    ranked by decreasing probability.  On an unlimited stream this
+    reproduces :func:`query_fuzzy_tree`'s result; on a limited one it
+    aggregates just the streamed prefix.
+    """
+    grouped: dict[str, tuple[Node, list[Condition]]] = {}
+    for row in rows:
+        key = row.tree.canonical()
+        if key in grouped:
+            grouped[key][1].extend(row.dnf.terms)
+        else:
+            grouped[key] = (row.tree, list(row.dnf.terms))
+    answers: list[FuzzyAnswer] = []
+    for tree, conditions in grouped.values():
+        dnf = Dnf(conditions)
+        probability = dnf_probability(dnf, events)
+        if probability == 0.0:
+            continue
+        answers.append(FuzzyAnswer(tree, dnf, probability))
+    answers.sort(key=lambda a: (-a.probability, a.tree.canonical()))
+    return answers
 
 
 def query_fuzzy_tree(

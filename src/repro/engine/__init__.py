@@ -23,7 +23,7 @@ warehouse holds one per open handle); the one-shot path is
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 
 from repro.engine.cache import PlanCache
 from repro.engine.cardinality import (
@@ -32,7 +32,13 @@ from repro.engine.cardinality import (
     estimate_enumeration_cost,
     join_selectivity,
 )
-from repro.engine.executor import _Intervals, execute_plan, rekey_matches
+from repro.engine.executor import (
+    _Intervals,
+    execute_plan,
+    iter_plan,
+    iter_rekeyed,
+    rekey_matches,
+)
 from repro.engine.planner import Plan, PlanStep, build_plan, pattern_fingerprint
 from repro.engine.stats import DocumentStats, StatsDelta, TreeStats, collect_stats
 from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig
@@ -50,6 +56,8 @@ __all__ = [
     "collect_stats",
     "build_plan",
     "execute_plan",
+    "iter_plan",
+    "iter_rekeyed",
     "rekey_matches",
     "pattern_fingerprint",
     "estimate_candidates",
@@ -130,6 +138,30 @@ class QueryEngine:
             self._walk = (version, id(root), _Intervals(root))
         return self._walk[2]
 
+    def iter_matches(
+        self,
+        pattern: Pattern,
+        config: MatchConfig = DEFAULT_CONFIG,
+    ) -> "Iterator[Match]":
+        """Plan (with caching) and stream matches for *pattern* lazily.
+
+        The streaming protocol end to end: the plan comes from the
+        cache (or is built and cached), execution yields matches one at
+        a time (a consumer that stops pulling — top-k — aborts the
+        backtracking; the config's ``max_matches`` additionally caps
+        it).  Yielded matches are keyed by *pattern*'s own nodes even
+        when the plan was cached from an earlier, structurally
+        identical pattern object.
+        """
+        plan = self.plan_for(pattern)
+        root = self._root_provider()
+        matches = iter_plan(
+            plan, root, config, intervals=self._current_walk(root)
+        )
+        # plan_for keyed the cache by this pattern's fingerprint, so
+        # the shapes are identical; re-key onto the caller's nodes.
+        yield from iter_rekeyed(plan, pattern, matches)
+
     def find_matches(
         self, pattern: Pattern, config: MatchConfig = DEFAULT_CONFIG
     ) -> list[Match]:
@@ -139,14 +171,7 @@ class QueryEngine:
         when the plan was cached from an earlier, structurally
         identical pattern object.
         """
-        plan = self.plan_for(pattern)
-        root = self._root_provider()
-        matches = execute_plan(
-            plan, root, config, intervals=self._current_walk(root)
-        )
-        # plan_for keyed the cache by this pattern's fingerprint, so
-        # the shapes are identical; re-key onto the caller's nodes.
-        return rekey_matches(plan, pattern, matches)
+        return list(self.iter_matches(pattern, config))
 
     def explain(self, pattern: Pattern) -> str:
         """Human-readable plan plus the statistics that priced it."""

@@ -25,6 +25,9 @@ does).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from itertools import islice
+
 from repro.analysis.instrumentation import counters
 from repro.engine.planner import Plan
 from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig, find_embeddings
@@ -33,6 +36,8 @@ from repro.trees.node import Node
 
 __all__ = [
     "execute_plan",
+    "iter_plan",
+    "iter_rekeyed",
     "rekey_matches",
     "LabelIndexScan",
     "FullScan",
@@ -41,22 +46,29 @@ __all__ = [
 ]
 
 
-def rekey_matches(plan: Plan, pattern, matches: list[Match]) -> list[Match]:
-    """Re-key *matches* from the plan's pattern nodes onto *pattern*'s.
+def iter_rekeyed(plan: Plan, pattern, matches) -> Iterator[Match]:
+    """Re-key *matches* from the plan's pattern nodes onto *pattern*'s,
+    lazily.
 
     A cached plan may carry a different — structurally identical —
     pattern object than the caller's; after this, ``match[caller_node]``
-    works.  No-op when the plan was built for *pattern* itself.  The
-    caller must have established structural identity (equal
+    works.  Pass-through when the plan was built for *pattern* itself.
+    The caller must have established structural identity (equal
     fingerprints); positive nodes then correspond position by position.
     """
     if plan.pattern is pattern:
-        return matches
+        yield from matches
+        return
     pairs = list(zip(plan.pattern.positive_nodes(), pattern.positive_nodes()))
-    return [
-        Match(pattern, {mine: match[theirs] for theirs, mine in pairs})
-        for match in matches
-    ]
+    for match in matches:
+        yield Match(pattern, {mine: match[theirs] for theirs, mine in pairs})
+
+
+def rekey_matches(plan: Plan, pattern, matches: list[Match]) -> list[Match]:
+    """Materializing wrapper around :func:`iter_rekeyed`."""
+    if plan.pattern is pattern:
+        return matches
+    return list(iter_rekeyed(plan, pattern, matches))
 
 
 class _Intervals:
@@ -202,7 +214,13 @@ class SemiJoinPrune:
 
 
 class BacktrackJoin:
-    """Backtracking enumeration over the plan's visit order."""
+    """Backtracking enumeration over the plan's visit order.
+
+    :meth:`iter_matches` is the streaming protocol: matches are yielded
+    as the backtracking discovers them, so a consumer that stops early
+    (``ResultSet.limit``, a handle's ``max_matches``) aborts the rest of
+    the search instead of paying for a full enumeration.
+    """
 
     def __init__(
         self,
@@ -217,24 +235,20 @@ class BacktrackJoin:
         self._runtime = runtime
         self._join_groups = plan.pattern.join_variables()
 
-    def run(self) -> list[Match]:
-        matches: list[Match] = []
+    def iter_matches(self) -> Iterator[Match]:
+        """Lazily yield matches in the plan's deterministic visit order."""
         mapping: dict[PatternNode, Node] = {}
         bindings: dict[str, str] = {}
         order = self._plan.order
         runtime = self._runtime
         early = self._plan.early_join_check
 
-        def assign(position: int) -> bool:
+        def assign(position: int) -> Iterator[Match]:
             if position == len(order):
-                if not early and not self._joins_ok(mapping):
-                    return False
-                matches.append(Match(self._plan.pattern, dict(mapping)))
-                counters.incr("match.found")
-                return (
-                    runtime.max_matches is not None
-                    and len(matches) >= runtime.max_matches
-                )
+                if early or self._joins_ok(mapping):
+                    counters.incr("match.found")
+                    yield Match(self._plan.pattern, dict(mapping))
+                return
             pattern_node = order[position]
             for data_node in self._options(pattern_node, mapping):
                 counters.incr("match.assignments")
@@ -254,16 +268,18 @@ class BacktrackJoin:
                     if fresh_binding:
                         bindings[variable] = data_node.value
                 mapping[pattern_node] = data_node
-                stop = assign(position + 1)
+                yield from assign(position + 1)
                 del mapping[pattern_node]
                 if joined and fresh_binding:
                     del bindings[variable]
-                if stop:
-                    return True
-            return False
 
-        assign(0)
-        return matches
+        yield from assign(0)
+
+    def run(self) -> list[Match]:
+        matches = self.iter_matches()
+        if self._runtime.max_matches is not None:
+            return list(islice(matches, self._runtime.max_matches))
+        return list(matches)
 
     def _options(
         self, pattern_node: PatternNode, mapping: dict[PatternNode, Node]
@@ -287,20 +303,26 @@ class BacktrackJoin:
         return True
 
 
-def execute_plan(
+def iter_plan(
     plan: Plan,
     root: Node,
     runtime: MatchConfig = DEFAULT_CONFIG,
     *,
     intervals: _Intervals | None = None,
-) -> list[Match]:
-    """Run *plan* against the tree at *root*, returning all matches.
+) -> Iterator[Match]:
+    """Run *plan* against the tree at *root*, streaming matches lazily.
 
-    *runtime* supplies the semantic knobs (``max_matches``,
-    ``honor_negation``); the strategy toggles come from the plan.
-    *intervals* lets a long-lived caller (:class:`~repro.engine.
-    QueryEngine`) reuse the document walk across executions; it must
-    have been built for *root* in its current state.
+    This is the engine's streaming protocol: the candidate scans and the
+    optional semi-join prepass run when iteration starts, then matches
+    are yielded one at a time from the backtracking join.  A consumer
+    that stops pulling (top-k queries) aborts the enumeration early —
+    no wasted backtracking below the last match it asked for.
+
+    *runtime* supplies the semantic knobs (``max_matches`` — applied
+    here as a hard cap — and ``honor_negation``); the strategy toggles
+    come from the plan.  *intervals* lets a long-lived caller
+    (:class:`~repro.engine.QueryEngine`) reuse the document walk across
+    executions; it must have been built for *root* in its current state.
     """
     counters.incr("engine.plans_executed")
     pattern = plan.pattern
@@ -316,17 +338,35 @@ def execute_plan(
     for pattern_node in positive:
         kept = scan.scan(pattern_node, join_vars)
         if not kept:
-            return []
+            return
         candidates[pattern_node] = kept
 
     if pattern.anchored:
         anchored = [n for n in candidates[pattern.root] if n is root]
         if not anchored:
-            return []
+            return
         candidates[pattern.root] = anchored
 
     if plan.use_semijoin_pruning:
         if not SemiJoinPrune(intervals).prune(positive, candidates):
-            return []
+            return
 
-    return BacktrackJoin(plan, intervals, candidates, runtime).run()
+    matches = BacktrackJoin(plan, intervals, candidates, runtime).iter_matches()
+    if runtime.max_matches is not None:
+        matches = islice(matches, runtime.max_matches)
+    yield from matches
+
+
+def execute_plan(
+    plan: Plan,
+    root: Node,
+    runtime: MatchConfig = DEFAULT_CONFIG,
+    *,
+    intervals: _Intervals | None = None,
+) -> list[Match]:
+    """Run *plan* against the tree at *root*, returning all matches.
+
+    Materializing wrapper around :func:`iter_plan` for callers that
+    need the full match list (updates, the equivalence tests).
+    """
+    return list(iter_plan(plan, root, runtime, intervals=intervals))

@@ -17,12 +17,14 @@ __all__ = [
     "InvalidProbabilityError",
     "InconsistentConditionError",
     "QueryError",
+    "PatternSyntaxError",
     "QueryParseError",
     "UpdateError",
     "XMLFormatError",
     "WarehouseError",
     "WarehouseLockedError",
     "WarehouseCorruptError",
+    "SessionClosedError",
 ]
 
 
@@ -62,7 +64,7 @@ class QueryError(ReproError):
     """Invalid query structure or evaluation failure."""
 
 
-class QueryParseError(QueryError):
+class PatternSyntaxError(QueryError):
     """The TPWJ text syntax could not be parsed."""
 
     def __init__(self, message: str, position: int | None = None) -> None:
@@ -70,6 +72,11 @@ class QueryParseError(QueryError):
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+
+
+#: Backwards-compatible alias; the canonical name is
+#: :class:`PatternSyntaxError` since the session API unification.
+QueryParseError = PatternSyntaxError
 
 
 class UpdateError(ReproError):
@@ -90,3 +97,12 @@ class WarehouseLockedError(WarehouseError):
 
 class WarehouseCorruptError(WarehouseError):
     """The on-disk state failed an integrity check."""
+
+
+class SessionClosedError(WarehouseError):
+    """A session, snapshot or warehouse handle was used after close().
+
+    Subclasses :class:`WarehouseError` so code that treated the old
+    ``WarehouseError("warehouse handle is closed")`` as a warehouse
+    failure keeps catching it.
+    """

@@ -7,11 +7,11 @@ with confidences.  This class wires the fuzzy-tree engine to the
 storage substrate:
 
 * ``Warehouse.create(path, document)`` / ``Warehouse.open(path)``;
-* :meth:`query` — text or :class:`~repro.tpwj.pattern.Pattern` in,
-  probability-ranked answers out;
-* :meth:`update` — an :class:`~repro.updates.transaction.UpdateTransaction`
-  or an XUpdate document string in; the update is applied to the fuzzy
-  document and committed durably;
+* :meth:`query` / :meth:`update` — deprecated shims over the shared
+  query/commit paths; the public surface is the session facade
+  (:func:`repro.connect` → :class:`~repro.api.session.Session`), which
+  layers fluent builders, lazy streaming result sets and
+  snapshot-isolated reads (:meth:`pin`) over this class;
 * :meth:`update_many` / :meth:`begin_batch` — batched ingestion: many
   transactions applied in order, persisted as **one** commit (one WAL
   append, one fsync);
@@ -36,6 +36,7 @@ it as a context manager.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from pathlib import Path
 
 from repro.analysis.metrics import fuzzy_stats
@@ -44,7 +45,12 @@ from repro.engine import QueryEngine, StatsDelta
 from repro.core.query import FuzzyAnswer, query_fuzzy_tree
 from repro.core.simplify import SimplifyReport, simplify
 from repro.core.update import UpdateReport, apply_update
-from repro.errors import ReproError, WarehouseCorruptError, WarehouseError
+from repro.errors import (
+    ReproError,
+    SessionClosedError,
+    WarehouseCorruptError,
+    WarehouseError,
+)
 from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
 from repro.tpwj.parser import parse_pattern
 from repro.tpwj.pattern import Pattern
@@ -60,7 +66,7 @@ from repro.xmlio.xupdate import (
     transaction_to_string,
 )
 
-__all__ = ["CommitPolicy", "Warehouse", "WarehouseBatch"]
+__all__ = ["CommitPolicy", "DocumentPin", "Warehouse", "WarehouseBatch"]
 
 
 class CommitPolicy:
@@ -117,6 +123,43 @@ class CommitPolicy:
         )
 
 
+class DocumentPin:
+    """A pinned, immutable view of the document at one commit sequence.
+
+    Snapshot isolation for readers: :meth:`Warehouse.pin` hands out the
+    *current* document object; the first commit that would mutate a
+    pinned document swaps the live document for a clone first
+    (copy-on-write), so the pinned object — tree and event table — is
+    never touched again.  Pinning is therefore O(1); writers pay one
+    clone per pinned generation, and only when they actually write.
+
+    Release pins promptly (:meth:`release` or the session layer's
+    snapshot context manager): every pinned generation a writer
+    invalidates keeps a full document copy alive.
+    """
+
+    __slots__ = ("document", "sequence", "_warehouse")
+
+    def __init__(self, warehouse: "Warehouse", document: FuzzyTree, sequence: int) -> None:
+        self.document = document
+        self.sequence = sequence
+        self._warehouse = warehouse
+
+    @property
+    def released(self) -> bool:
+        return self._warehouse is None
+
+    def release(self) -> None:
+        """Unpin; idempotent.  The warehouse stops copy-on-write for it."""
+        warehouse, self._warehouse = self._warehouse, None
+        if warehouse is not None:
+            warehouse._release_pin(self)
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else f"seq={self.sequence}"
+        return f"DocumentPin({state})"
+
+
 class Warehouse:
     """A durable, lockable store for one fuzzy document."""
 
@@ -145,6 +188,10 @@ class Warehouse:
         self._auto_simplify_factor = auto_simplify_factor
         self._baseline_size = document.size()
         self._closed = False
+        # Active snapshot pins (see DocumentPin): the first mutation of
+        # a pinned document generation clones it out from under the
+        # readers (copy-on-write).
+        self._pins: list[DocumentPin] = []
         # Cost-based query engine: plans are cached per (pattern
         # fingerprint, stats version); commits feed their structural
         # delta to the engine, which maintains the statistics in place
@@ -264,7 +311,7 @@ class Warehouse:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise WarehouseError("warehouse handle is closed")
+            raise SessionClosedError("warehouse handle is closed")
 
     # ------------------------------------------------------------------
     # Reads
@@ -302,23 +349,44 @@ class Warehouse:
     ) -> list[FuzzyAnswer]:
         """Evaluate a TPWJ query; answers ranked by probability.
 
-        By default matching runs through the cost-based engine with the
-        warehouse's plan cache; ``planner=False`` falls back to the
+        .. deprecated::
+            Open a :class:`~repro.api.Session` with
+            :func:`repro.connect` and use ``session.query(...)``; this
+            shim delegates to the same code path and will be removed
+            one release after the session API.
+        """
+        warnings.warn(
+            "Warehouse.query is deprecated; use repro.connect(path) and "
+            "Session.query instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._query_answers(pattern, planner=planner)
+
+    def _query_answers(
+        self, pattern: str | Pattern, *, planner: bool = True
+    ) -> list[FuzzyAnswer]:
+        """Evaluate a TPWJ query; answers ranked by probability.
+
+        Matching runs through the cost-based engine with the
+        warehouse's plan cache (a handle's ``max_matches`` is pushed
+        into the engine's streaming protocol, which stops the
+        enumeration at the cap); ``planner=False`` falls back to the
         fixed-strategy matcher with the handle's :class:`MatchConfig`.
-        A handle opened with ``max_matches`` set always uses the fixed
-        matcher: a truncated enumeration must return the documented
-        deterministic pre-order subset, not a plan-order-dependent one.
         """
         self._check_open()
-        if isinstance(pattern, str):
-            pattern = parse_pattern(pattern)
-        use_planner = planner and self._match_config.max_matches is None
+        pattern = self._normalize_pattern(pattern)
         return query_fuzzy_tree(
             self._document,
             pattern,
             self._match_config,
-            engine=self._engine if use_planner else None,
+            engine=self._engine if planner else None,
         )
+
+    def _normalize_pattern(self, pattern: str | Pattern) -> Pattern:
+        if isinstance(pattern, str):
+            return parse_pattern(pattern)
+        return pattern
 
     def explain_plan(self, pattern: str | Pattern) -> str:
         """The engine's statistics and chosen plan for *pattern*, rendered."""
@@ -326,6 +394,31 @@ class Warehouse:
         if isinstance(pattern, str):
             pattern = parse_pattern(pattern)
         return self._engine.explain(pattern)
+
+    def pin(self) -> DocumentPin:
+        """Pin the current document generation for a snapshot reader.
+
+        O(1): no copy happens here.  The first later commit that would
+        mutate the pinned document clones the live document first, so
+        the pin's view stays frozen at its commit sequence.  Callers
+        must :meth:`DocumentPin.release` when done (the session API's
+        ``snapshot()`` context manager does).
+        """
+        self._check_open()
+        pin = DocumentPin(self, self._document, self._sequence)
+        self._pins.append(pin)
+        return pin
+
+    def _release_pin(self, pin: DocumentPin) -> None:
+        try:
+            self._pins.remove(pin)
+        except ValueError:
+            pass
+
+    @property
+    def read_sessions(self) -> int:
+        """Number of snapshot pins currently open against this handle."""
+        return len(self._pins)
 
     def stats(self) -> dict:
         """Document measurements plus commit/log/WAL counters."""
@@ -336,6 +429,7 @@ class Warehouse:
         info["snapshot_sequence"] = self._snapshot_sequence
         info["wal_depth"] = self._commits_since_snapshot
         info["wal_bytes"] = self._wal.size_bytes()
+        info["read_sessions"] = len(self._pins)
         return info
 
     def history(self) -> list[dict]:
@@ -397,6 +491,27 @@ class Warehouse:
     # ------------------------------------------------------------------
 
     def update(
+        self,
+        transaction: UpdateTransaction | str,
+        confidence: float | None = None,
+    ) -> UpdateReport:
+        """Apply a probabilistic update transaction and commit.
+
+        .. deprecated::
+            Open a :class:`~repro.api.Session` with
+            :func:`repro.connect` and use ``session.update(...)``; this
+            shim delegates to the same code path and will be removed
+            one release after the session API.
+        """
+        warnings.warn(
+            "Warehouse.update is deprecated; use repro.connect(path) and "
+            "Session.update instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._commit_update(transaction, confidence)
+
+    def _commit_update(
         self,
         transaction: UpdateTransaction | str,
         confidence: float | None = None,
@@ -551,12 +666,28 @@ class Warehouse:
         full-rewrite path did) and the engine drops possibly-stale
         statistics.
         """
+        self._detach_pinned_readers()
         try:
             return mutate()
         except BaseException:
             self._snapshot_due = True
             self._engine.invalidate()
             raise
+
+    def _detach_pinned_readers(self) -> None:
+        """Copy-on-write: clone the live document if snapshot pins hold it.
+
+        Mutations edit the document in place, so a pinned reader would
+        otherwise observe writes mid-iteration.  Swapping the live
+        document for a clone *before* mutating leaves every pin's tree
+        and event table frozen.  The clone is structurally identical,
+        so the engine's statistics (and cached plans) stay valid; the
+        executor's document walk re-keys itself off the new root
+        identity on the next query.  Pins taken after the swap see the
+        new generation — one clone per pinned generation, not per write.
+        """
+        if any(pin.document is self._document for pin in self._pins):
+            self._document = self._document.clone()
 
     def _match_semantics(self) -> dict:
         """The config fields that change *which* matches an update sees.

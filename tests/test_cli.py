@@ -8,8 +8,8 @@ from repro import (
     DeleteOperation,
     InsertOperation,
     UpdateTransaction,
-    parse_pattern,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 
 
@@ -59,11 +59,24 @@ class TestQuery:
         assert len(lines) == 2
 
     def test_bad_pattern_is_an_error(self, store, capsys):
-        assert main(["query", str(store), "A {"]) == 2
+        # Pattern syntax has its own exit code (3), distinct from the
+        # generic model-error code (2).
+        assert main(["query", str(store), "A {"]) == 3
         err = capsys.readouterr().err
         assert "error:" in err
         # The shared parser helper names the offending argument.
         assert "invalid pattern 'A {'" in err
+
+    def test_query_stream_mode(self, store, capsys):
+        # Row mode: lazy match order, --limit pushed into the engine.
+        assert main(["query", str(store), "//D", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "0.700000" in out and "A(C(D))" in out
+        assert main(["query", str(store), "*", "--stream", "--limit", "2"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert main(["query", str(store), "//Z", "--stream"]) == 0
+        assert "(no answers)" in capsys.readouterr().out
 
     def test_query_without_planner(self, store, capsys):
         assert main(["query", str(store), "//D", "--no-planner"]) == 0
@@ -80,7 +93,7 @@ class TestExplain:
         assert "plan cache:" in out
 
     def test_explain_shares_parse_errors_with_query(self, store, capsys):
-        assert main(["explain", str(store), "A {"]) == 2
+        assert main(["explain", str(store), "A {"]) == 3
         err = capsys.readouterr().err
         assert "error:" in err and "invalid pattern 'A {'" in err
 
@@ -187,14 +200,13 @@ class TestCompact:
         # The CLI update commits via the WAL and compacts on close, so
         # drive a pending WAL through the library with a no-compact
         # policy first.
-        from repro.warehouse import CommitPolicy, Warehouse
+        from repro.api import connect
 
         tx = UpdateTransaction(
             parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
         )
-        policy = CommitPolicy(snapshot_every=100, compact_on_close=False)
-        with Warehouse.open(store, policy=policy) as wh:
-            wh.update(tx)
+        with connect(store, snapshot_every=100, compact_on_close=False) as session:
+            session.update(tx)
         assert main(["compact", str(store)]) == 0
         out = capsys.readouterr().out
         assert "folded 1 WAL records" in out

@@ -23,7 +23,6 @@ from repro.engine.cardinality import (
 )
 from repro.tpwj.pattern import PatternNode
 from repro.trees import Node, tree
-from repro.xmlio import fuzzy_to_string
 
 
 @pytest.fixture
@@ -334,7 +333,7 @@ class TestWarehousePlans:
             assert "visit order" in text
             assert "statistics:" in text
 
-    def test_max_matches_handle_bypasses_planner(self, tmp_path, slide12_doc):
+    def test_max_matches_handle_uses_planner(self, tmp_path, slide12_doc):
         from repro.tpwj.match import MatchConfig
 
         path = tmp_path / "wh"
@@ -342,11 +341,13 @@ class TestWarehousePlans:
             pass
         config = MatchConfig(max_matches=1)
         with Warehouse.open(path, match_config=config) as warehouse:
-            # Truncated enumeration must stay on the deterministic
-            # fixed matcher: the plan cache is never consulted.
-            warehouse.query("//D")
-            assert warehouse.engine.cache.misses == 0
-            assert warehouse.engine.cache.hits == 0
+            # Truncated enumeration goes through the cost-based engine
+            # too: the cap is pushed into the streaming protocol, and
+            # the plan cache serves repeats.
+            assert len(warehouse._query_answers("//D")) == 1
+            assert warehouse.engine.cache.misses == 1
+            warehouse._query_answers("//D")
+            assert warehouse.engine.cache.hits == 1
 
     def test_engine_survives_reopen(self, tmp_path, slide12_doc):
         path = tmp_path / "wh"
