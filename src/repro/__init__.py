@@ -68,9 +68,11 @@ from repro.core import (
     to_possible_worlds,
 )
 from repro.engine import (
+    AncestorConditionIndex,
     Plan,
     PlanCache,
     QueryEngine,
+    ShannonCache,
     StatsDelta,
     TreeStats,
     build_plan,
@@ -245,6 +247,8 @@ __all__ = [
     "estimate_query",
     # engine
     "QueryEngine",
+    "AncestorConditionIndex",
+    "ShannonCache",
     "Plan",
     "PlanCache",
     "TreeStats",

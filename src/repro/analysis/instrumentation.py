@@ -9,6 +9,14 @@ reset these counters around measured sections (E5, E9).
 A single process-global :data:`counters` instance keeps the hot-path
 cost to one dictionary increment; everything is explicit — no decorators
 or import-time magic.
+
+Instrumentation can be switched off entirely (:meth:`Counters.disable`
+or the :meth:`Counters.disabled` context manager): :meth:`Counters.incr`
+then returns before touching the dictionary, and the hottest loops
+(matching, the per-match probability pipeline) read the
+:attr:`Counters.enabled` flag **once per query** and skip the calls
+altogether — timing-sensitive benchmarks measure the algorithms, not
+the bookkeeping.
 """
 
 from __future__ import annotations
@@ -22,11 +30,37 @@ __all__ = ["Counters", "counters"]
 class Counters:
     """A named-counter registry with stopwatch support."""
 
+    __slots__ = ("_values", "enabled")
+
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        #: When False, :meth:`incr` is a no-op.  Hot loops may hoist
+        #: this flag into a local at the top of a query instead of
+        #: paying an attribute read plus a call per iteration.
+        self.enabled = True
 
     def incr(self, name: str, amount: float = 1) -> None:
+        if not self.enabled:
+            return
         self._values[name] = self._values.get(name, 0) + amount
+
+    def enable(self) -> None:
+        """Turn instrumentation on (the default)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn instrumentation off; :meth:`incr` becomes a no-op."""
+        self.enabled = False
+
+    @contextmanager
+    def disabled(self):
+        """Context manager: instrumentation off inside the body."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = previous
 
     def get(self, name: str) -> float:
         return self._values.get(name, 0)

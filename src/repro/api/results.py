@@ -196,13 +196,17 @@ class ResultSet:
             engine = engine if self._planner else None
             if self._limit is None:
                 # No cap: the classic aggregation prices each answer
-                # group once, skipping the per-row probability work the
-                # streaming path pays for early termination.
+                # group once; rows never compute their own probability
+                # (it is lazy), so nothing is paid twice.
                 return query_fuzzy_tree(fuzzy, self._pattern, config, engine=engine)
             rows = iter_query_rows(
                 fuzzy, self._pattern, config, engine=engine, limit=self._limit
             )
-            return group_rows(rows, fuzzy.events)
+            return group_rows(
+                rows,
+                fuzzy.events,
+                cache=engine.shannon if engine is not None else None,
+            )
         finally:
             if release is not None:
                 release()

@@ -14,15 +14,27 @@ conditions, computed exactly by Shannon expansion
 makes the fuzzy evaluation commute with the possible-worlds semantics
 (the theorem of slide 13, validated by benchmark E2 and the property
 tests).
+
+The probability fast path (E12): when matching runs through a
+:class:`~repro.engine.QueryEngine`, per-match conditions come from the
+engine's precomputed ancestor-condition index (a small union of
+interned frozensets instead of an O(depth) ancestor walk per mapped
+node) and Shannon expansions share the engine's
+:class:`~repro.events.dnf.ShannonCache` memo.  Streamed rows compute
+their probability lazily on first access; whether a match is *possible*
+(nonzero probability) is decided by the cheap per-literal test of
+:func:`~repro.events.dnf` instead of a full expansion.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from sys import intern as _intern_str
 
 from repro.analysis.instrumentation import counters
 from repro.events.condition import Condition
 from repro.events.dnf import Dnf, complement_as_disjoint_conditions, dnf_probability
+from repro.events.table import EventTable
 from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
 from repro.tpwj.match import (
     DEFAULT_CONFIG,
@@ -72,13 +84,19 @@ class FuzzyAnswer:
         return f"FuzzyAnswer(p={self.probability:.6g}, tree={self.tree.canonical()})"
 
 
-def match_condition(match: Match) -> Condition | None:
+def match_condition(match: Match, *, index=None) -> Condition | None:
     """Existence condition of a match: the conjunction over the mapped
     nodes *and their ancestors* of the node conditions.
 
     Returns None when the conjunction is inconsistent (the match can
-    fire in no world).
+    fire in no world).  *index*, when given, is the engine's
+    :class:`~repro.engine.conditions.AncestorConditionIndex`: the
+    per-node closures are precomputed, so the conjunction is a union of
+    a handful of frozensets instead of a walk over every ancestor
+    chain.
     """
+    if index is not None:
+        return _closed_union(index, match.iter_images())
     literals: set = set()
     seen: set[int] = set()
     for node in match.nodes():
@@ -88,12 +106,43 @@ def match_condition(match: Match) -> Condition | None:
             seen.add(id(walk))
             assert isinstance(walk, FuzzyNode), "match must be over a fuzzy tree"
             literals |= walk.condition.literals
-    combined = Condition(literals, allow_inconsistent=True)
+    combined = Condition(frozenset(literals), allow_inconsistent=True)
     return combined if combined.is_consistent else None
 
 
-def _embedding_condition(embedding: dict) -> Condition | None:
+def _closed_union(index, nodes) -> Condition | None:
+    """Union the precomputed closures of *nodes*; None when inconsistent.
+
+    *nodes* may repeat (raw match images): closures are deduplicated by
+    identity/equality before any set union, and the single-closure case
+    — the typical one, since mapped nodes share ancestor chains whose
+    closures are shared objects — returns the interned closure as-is.
+    """
+    lookup = index.closed_condition
+    first = None
+    extras = None
+    for node in nodes:
+        closed = lookup(node)
+        if first is None:
+            first = closed
+        elif closed is not first:
+            if extras is None:
+                extras = [closed]
+            elif closed not in extras:
+                extras.append(closed)
+    if extras is not None:
+        literals = first.literals
+        for closed in extras:
+            literals |= closed.literals
+        first = Condition(literals, allow_inconsistent=True)
+    return first if first.is_consistent else None
+
+
+def _embedding_condition(embedding: dict, index=None) -> Condition | None:
     """Existence condition of a negated-subpattern embedding."""
+    if index is not None:
+        nodes = list(embedding.values())
+        return _closed_union(index, nodes)
     literals: set = set()
     seen: set[int] = set()
     for node in embedding.values():
@@ -103,11 +152,11 @@ def _embedding_condition(embedding: dict) -> Condition | None:
             seen.add(id(walk))
             assert isinstance(walk, FuzzyNode)
             literals |= walk.condition.literals
-    combined = Condition(literals, allow_inconsistent=True)
+    combined = Condition(frozenset(literals), allow_inconsistent=True)
     return combined if combined.is_consistent else None
 
 
-def match_conditions(match: Match) -> list[Condition]:
+def match_conditions(match: Match, *, index=None) -> list[Condition]:
     """Disjoint conjunctive conditions under which *match* holds.
 
     For a pattern without negation this is the singleton
@@ -118,7 +167,7 @@ def match_conditions(match: Match) -> list[Condition]:
     into disjoint conjunctions, each conjoined with the positive
     condition.
     """
-    gamma = match_condition(match)
+    gamma = match_condition(match, index=index)
     if gamma is None:
         return []
     constraints = match.pattern.negated_constraints()
@@ -129,7 +178,7 @@ def match_conditions(match: Match) -> list[Condition]:
     for constraint in constraints:
         parent_image = match[constraint.parent]
         for embedding in find_embeddings(constraint, parent_image):
-            delta = _embedding_condition(embedding)
+            delta = _embedding_condition(embedding, index)
             if delta is not None:
                 violations.append(delta)
 
@@ -144,6 +193,25 @@ def match_conditions(match: Match) -> list[Condition]:
     return results
 
 
+def _possibly_nonzero(terms, events) -> bool:
+    """True iff the disjunction of *terms* has nonzero probability.
+
+    ``P(∨ terms) = 0`` exactly when every term contains a literal of
+    probability zero (a positive literal over a 0-probability event or
+    a negative one over a 1-probability event) — a per-literal scan, no
+    Shannon expansion.
+    """
+    probability = events.probability
+    for term in terms:
+        for literal in term.literals:
+            p = probability(literal.event)
+            if (p == 0.0) if literal.positive else (p == 1.0):
+                break
+        else:
+            return True
+    return False
+
+
 class QueryRow:
     """One *match* of a query over a fuzzy tree, streamed lazily.
 
@@ -154,15 +222,70 @@ class QueryRow:
     conditions under which the match holds, and the exact probability
     of *this match* firing.  Rows arrive in the engine's deterministic
     match order, so a limited stream is a prefix of the unlimited one.
+
+    The probability is computed on **first access** (every emitted row
+    is already known to be possible): consumers that only group, count
+    or render trees never pay the Shannon expansion, and those that do
+    read it hit the engine's shared memo.  The row captures its events'
+    probabilities at emission time, so the lazy value equals what eager
+    computation would have produced even when the live table changes
+    after the stream's pin is released (a later commit's simplify can
+    GC an event this row references).
     """
 
-    __slots__ = ("match", "tree", "dnf", "probability")
+    __slots__ = (
+        "match",
+        "tree",
+        "dnf",
+        "_events",
+        "_cache",
+        "_generation",
+        "_captured",
+        "_probability",
+    )
 
-    def __init__(self, match: Match, tree: Node, dnf: Dnf, probability: float) -> None:
+    def __init__(
+        self,
+        match: Match,
+        tree: Node,
+        dnf: Dnf,
+        events,
+        *,
+        cache=None,
+        probability: float | None = None,
+    ) -> None:
         self.match = match
         self.tree = tree
         self.dnf = dnf
-        self.probability = probability
+        self._events = events
+        self._cache = cache
+        self._generation = events.generation
+        # Emission-time snapshot of the mentioned events' probabilities
+        # (a per-literal read, no expansion) — the fallback pricing
+        # basis if the live table's assignment moves on before the
+        # probability is first read.
+        self._captured = (
+            None
+            if probability is not None
+            else {event: events.probability(event) for event in dnf.events()}
+        )
+        self._probability = probability
+
+    @property
+    def probability(self) -> float:
+        """Exact probability that this match fires (lazily computed)."""
+        p = self._probability
+        if p is None:
+            events = self._events
+            if events.generation == self._generation:
+                p = dnf_probability(self.dnf, events, cache=self._cache)
+            else:
+                # An event was removed or redeclared since this row was
+                # streamed; price against the captured probabilities
+                # (no shared cache — its keys belong to live tables).
+                p = dnf_probability(self.dnf, EventTable(self._captured))
+            self._probability = p
+        return p
 
     def bindings(self) -> dict[str, str | None]:
         """Variable name -> bound text value for this match."""
@@ -185,12 +308,13 @@ def iter_query_rows(
 
     The streaming counterpart of :func:`query_fuzzy_tree`: matching is
     pulled one match at a time (through *engine*'s streaming protocol
-    when given, the fixed matcher otherwise), each match's condition
-    and probability are computed immediately, and iteration stops after
-    *limit* emitted rows — aborting the remaining backtracking, which
-    is what makes top-k queries cheaper than full materialization.
-    Matches that can fire in no world (inconsistent conditions or zero
-    probability) are skipped and do not count against *limit*.
+    when given, the fixed matcher otherwise), each match's condition is
+    computed immediately — through the engine's ancestor-condition
+    index when available — and iteration stops after *limit* emitted
+    rows, aborting the remaining backtracking.  Matches that can fire
+    in no world (inconsistent conditions or zero probability) are
+    skipped and do not count against *limit*; row probabilities are
+    computed lazily on first access.
     """
     if limit is not None and limit <= 0:
         return
@@ -199,45 +323,55 @@ def iter_query_rows(
     )
     if engine is not None:
         matches = engine.iter_matches(pattern, structural_config)
+        index = engine.condition_index()
+        cache = engine.shannon
     else:
         matches = iter(find_matches(pattern, fuzzy.root, structural_config))
+        index = cache = None
+    events = fuzzy.events
+    track = counters.enabled
     emitted = 0
     for match in matches:
-        counters.incr("core.query.matches")
-        conditions = match_conditions(match)
+        if track:
+            counters.incr("core.query.matches")
+        conditions = match_conditions(match, index=index)
         if not conditions:
-            counters.incr("core.query.inconsistent_matches")
+            if track:
+                counters.incr("core.query.inconsistent_matches")
+            continue
+        if not _possibly_nonzero(conditions, events):
             continue
         dnf = Dnf(conditions)
-        probability = dnf_probability(dnf, fuzzy.events)
-        if probability == 0.0:
-            continue
-        yield QueryRow(match, answer_tree(fuzzy.root, match), dnf, probability)
+        yield QueryRow(match, answer_tree(fuzzy.root, match), dnf, events, cache=cache)
         emitted += 1
         if limit is not None and emitted >= limit:
             return
 
 
-def group_rows(rows, events) -> list[FuzzyAnswer]:
+def group_rows(rows, events, *, cache=None) -> list[FuzzyAnswer]:
     """Fold streamed rows into ranked :class:`FuzzyAnswer` aggregates.
 
     Rows inducing the same answer tree are merged (their conditions
     disjoined) exactly as :func:`query_fuzzy_tree` merges matches, then
     ranked by decreasing probability.  On an unlimited stream this
     reproduces :func:`query_fuzzy_tree`'s result; on a limited one it
-    aggregates just the streamed prefix.
+    aggregates just the streamed prefix.  *cache* is a shared
+    :class:`~repro.events.dnf.ShannonCache` for the per-group
+    expansions (rows carry one from their engine already; this applies
+    to the group-level disjunctions).
     """
     grouped: dict[str, tuple[Node, list[Condition]]] = {}
     for row in rows:
-        key = row.tree.canonical()
-        if key in grouped:
-            grouped[key][1].extend(row.dnf.terms)
+        key = _intern_str(row.tree.canonical())
+        entry = grouped.get(key)
+        if entry is not None:
+            entry[1].extend(row.dnf.terms)
         else:
             grouped[key] = (row.tree, list(row.dnf.terms))
     answers: list[FuzzyAnswer] = []
     for tree, conditions in grouped.values():
         dnf = Dnf(conditions)
-        probability = dnf_probability(dnf, events)
+        probability = dnf_probability(dnf, events, cache=cache)
         if probability == 0.0:
             continue
         answers.append(FuzzyAnswer(tree, dnf, probability))
@@ -265,33 +399,41 @@ def query_fuzzy_tree(
     warehouse passes its own, reusing cached plans and the document
     walk) or *plan* (``"auto"`` / a prebuilt plan, forwarded to
     :func:`~repro.tpwj.match.find_matches`).  The grouped-and-sorted
-    answers are identical on every path.
+    answers are identical on every path; the engine path additionally
+    reuses the ancestor-condition index and the shared Shannon memo.
     """
     structural_config = (
         replace(config, honor_negation=False) if pattern.has_negation() else config
     )
     if engine is not None:
-        matches = engine.find_matches(pattern, structural_config)
+        matches = engine.iter_matches(pattern, structural_config)
+        index = engine.condition_index()
+        cache = engine.shannon
     else:
         matches = find_matches(pattern, fuzzy.root, structural_config, plan=plan)
+        index = cache = None
+    track = counters.enabled
     grouped: dict[str, tuple[Node, list[Condition]]] = {}
     for match in matches:
-        counters.incr("core.query.matches")
-        conditions = match_conditions(match)
+        if track:
+            counters.incr("core.query.matches")
+        conditions = match_conditions(match, index=index)
         if not conditions:
-            counters.incr("core.query.inconsistent_matches")
+            if track:
+                counters.incr("core.query.inconsistent_matches")
             continue
         answer = answer_tree(fuzzy.root, match)
-        key = answer.canonical()
-        if key in grouped:
-            grouped[key][1].extend(conditions)
+        key = _intern_str(answer.canonical())
+        entry = grouped.get(key)
+        if entry is not None:
+            entry[1].extend(conditions)
         else:
             grouped[key] = (answer, list(conditions))
 
     answers: list[FuzzyAnswer] = []
     for tree, conditions in grouped.values():
         dnf = Dnf(conditions)
-        probability = dnf_probability(dnf, fuzzy.events)
+        probability = dnf_probability(dnf, fuzzy.events, cache=cache)
         if probability == 0.0:
             continue
         answers.append(FuzzyAnswer(tree, dnf, probability))

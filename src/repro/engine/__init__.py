@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 
+from repro.core.fuzzy_tree import FuzzyNode
 from repro.engine.cache import PlanCache
 from repro.engine.cardinality import (
     axis_selectivity,
@@ -32,6 +33,7 @@ from repro.engine.cardinality import (
     estimate_enumeration_cost,
     join_selectivity,
 )
+from repro.engine.conditions import AncestorConditionIndex
 from repro.engine.executor import (
     _Intervals,
     execute_plan,
@@ -41,15 +43,18 @@ from repro.engine.executor import (
 )
 from repro.engine.planner import Plan, PlanStep, build_plan, pattern_fingerprint
 from repro.engine.stats import DocumentStats, StatsDelta, TreeStats, collect_stats
+from repro.events.dnf import ShannonCache
 from repro.tpwj.match import DEFAULT_CONFIG, Match, MatchConfig
 from repro.tpwj.pattern import Pattern
 from repro.trees.node import Node
 
 __all__ = [
     "QueryEngine",
+    "AncestorConditionIndex",
     "Plan",
     "PlanStep",
     "PlanCache",
+    "ShannonCache",
     "TreeStats",
     "StatsDelta",
     "DocumentStats",
@@ -83,28 +88,47 @@ class QueryEngine:
     ) -> None:
         self.stats = DocumentStats(root_provider)
         self.cache = PlanCache(cache_capacity)
+        # Shared Shannon-expansion memo for every probability this
+        # engine's queries compute.  Entries are keyed by the event
+        # table's probability generation, so structural commits need
+        # not flush it — overlapping answers keep sharing subproblems
+        # across queries until a probability actually changes.
+        self.shannon = ShannonCache()
         self._root_provider = root_provider
         # The executor's document walk (interval numbering + label
         # index), reused across executions until the stats version or
         # the root object changes.
         self._walk: tuple[int, int, _Intervals] | None = None
+        # Per-node closed conditions (self ∧ ancestors), built during
+        # the same walk and patched incrementally by commit deltas.
+        self._conditions: AncestorConditionIndex | None = None
 
     def invalidate(self) -> None:
         """Tell the engine the document changed (stats version bump).
 
         Cached plans for older versions stop being served immediately
-        (the version is part of the cache key) and age out by LRU.
+        (the version is part of the cache key) and age out by LRU.  The
+        ancestor-condition index and the Shannon memo are dropped too:
+        an untracked mutation may have rewritten conditions or event
+        probabilities behind the engine's back.
         """
         self.stats.invalidate()
         self._walk = None
+        self._conditions = None
+        self.shannon.clear()
 
     def apply_delta(self, delta: StatsDelta | None) -> None:
         """Fold a commit's structural delta into the engine state.
 
         The statistics adjust in place (no full re-walk) and the
         version bumps only when the document actually changed, so plans
-        cached for an untouched document keep being served.  ``None``
-        degrades to a full :meth:`invalidate`.
+        cached for an untouched document keep being served.  The
+        ancestor-condition index is *patched* from the delta's subtree
+        records rather than rebuilt (updates only attach/detach
+        subtrees — kept nodes keep their conditions).  The Shannon memo
+        survives as-is: its entries are keyed by the event table's
+        probability generation, which structural deltas cannot change.
+        ``None`` degrades to a full :meth:`invalidate`.
         """
         if delta is None:
             self.invalidate()
@@ -112,6 +136,8 @@ class QueryEngine:
         self.stats.apply_delta(delta)
         if not delta.is_empty:
             self._walk = None
+            if self._conditions is not None:
+                self._conditions.apply_changes(delta.subtree_changes)
 
     def plan_for(self, pattern: Pattern) -> Plan:
         """The cached or freshly built plan for *pattern* on the current stats.
@@ -135,8 +161,44 @@ class QueryEngine:
             or self._walk[0] != version
             or self._walk[1] != id(root)
         ):
-            self._walk = (version, id(root), _Intervals(root))
+            observer = None
+            if isinstance(root, FuzzyNode) and (
+                self._conditions is None or self._conditions.root_id != id(root)
+            ):
+                # Build the ancestor-condition index inside the same
+                # single pass the interval numbering makes.
+                index = AncestorConditionIndex(id(root))
+                observer = index.observe
+            self._walk = (version, id(root), _Intervals(root, observer))
+            if observer is not None:
+                self._conditions = index
         return self._walk[2]
+
+    def condition_index(self) -> AncestorConditionIndex | None:
+        """The ancestor-condition index for the current document.
+
+        Returns None for plain (non-fuzzy) documents.  The index is
+        built inside the engine's single document walk when possible
+        and patched by commit deltas afterwards, so between commits the
+        lookup is a per-node dict hit.  A copy-on-write root swap (a
+        writer detaching pinned readers) is detected by root identity
+        and triggers a rebuild.
+        """
+        root = self._root_provider()
+        index = self._conditions
+        if index is not None and index.root_id == id(root):
+            return index
+        if not isinstance(root, FuzzyNode):
+            return None
+        # Fuse the build into the document walk when that is stale too;
+        # otherwise (fresh walk, stale index) build standalone.
+        self._current_walk(root)
+        index = self._conditions
+        if index is not None and index.root_id == id(root):
+            return index
+        index = AncestorConditionIndex.build(root)
+        self._conditions = index
+        return index
 
     def iter_matches(
         self,
@@ -185,6 +247,11 @@ class QueryEngine:
         lines.append(
             f"plan cache: {cache['entries']}/{cache['capacity']} entries, "
             f"{cache['hits']} hits, {cache['misses']} misses"
+        )
+        shannon = self.shannon.stats()
+        lines.append(
+            f"shannon cache: {shannon['entries']}/{shannon['capacity']} entries, "
+            f"{shannon['hits']} hits, {shannon['misses']} misses"
         )
         return "\n".join(lines)
 

@@ -82,7 +82,7 @@ class _Intervals:
 
     __slots__ = ("enter", "exit", "all_nodes", "label_index")
 
-    def __init__(self, root: Node) -> None:
+    def __init__(self, root: Node, observer=None) -> None:
         self.enter: dict[int, int] = {}
         self.exit: dict[int, int] = {}
         self.all_nodes: list[Node] = []
@@ -95,11 +95,18 @@ class _Intervals:
         )
         clock = 0
 
+        # *observer* piggybacks on the single pass: the engine passes
+        # its ancestor-condition index's ``observe`` so per-node closed
+        # conditions are gathered in the same walk (pre-order — a
+        # node's parent is always observed first).
+
         def visit(node: Node) -> None:
             nonlocal clock
             enter[id(node)] = clock
             clock += 1
             all_nodes.append(node)
+            if observer is not None:
+                observer(node)
             bucket = index.get(node.label)
             if bucket is None:
                 index[node.label] = [node]
@@ -242,21 +249,26 @@ class BacktrackJoin:
         order = self._plan.order
         runtime = self._runtime
         early = self._plan.early_join_check
+        # One flag read per execution, not one per partial assignment.
+        track = counters.enabled
 
         def assign(position: int) -> Iterator[Match]:
             if position == len(order):
                 if early or self._joins_ok(mapping):
-                    counters.incr("match.found")
+                    if track:
+                        counters.incr("match.found")
                     yield Match(self._plan.pattern, dict(mapping))
                 return
             pattern_node = order[position]
             for data_node in self._options(pattern_node, mapping):
-                counters.incr("match.assignments")
+                if track:
+                    counters.incr("match.assignments")
                 if runtime.honor_negation and any(
                     child.negated and find_embeddings(child, data_node)
                     for child in pattern_node.children
                 ):
-                    counters.incr("match.negation_pruned")
+                    if track:
+                        counters.incr("match.negation_pruned")
                     continue
                 variable = pattern_node.variable
                 joined = early and variable is not None and variable in self._join_groups

@@ -120,6 +120,7 @@ class StatsDelta:
         "added_max_fanout",
         "removed_max_fanout",
         "recorded",
+        "subtree_changes",
     )
 
     def __init__(self) -> None:
@@ -136,6 +137,13 @@ class StatsDelta:
         self.added_max_fanout = 0
         self.removed_max_fanout = 0
         self.recorded = False
+        #: Ordered ("add"/"remove", subtree root) records.  Beyond the
+        #: aggregated counts, consumers that maintain per-node state
+        #: (the engine's ancestor-condition index) need the actual
+        #: subtrees a commit touched; holding the detached roots here
+        #: also keeps their node identities alive until the delta is
+        #: consumed, so removal patches can never race an id reuse.
+        self.subtree_changes: list[tuple[str, Node]] = []
 
     @property
     def is_empty(self) -> bool:
@@ -144,10 +152,12 @@ class StatsDelta:
 
     def record_subtree_added(self, root: Node, depth: int) -> None:
         """A subtree was attached with its root at absolute *depth*."""
+        self.subtree_changes.append(("add", root))
         self._record(root, depth, 1)
 
     def record_subtree_removed(self, root: Node, depth: int) -> None:
         """A subtree rooted at absolute *depth* was detached."""
+        self.subtree_changes.append(("remove", root))
         self._record(root, depth, -1)
 
     def record_child_count_change(self, label: str, before: int, after: int) -> None:

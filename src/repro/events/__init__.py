@@ -13,7 +13,12 @@ from repro.events.assignment import (
     sample_assignment,
 )
 from repro.events.condition import TRUE, Condition
-from repro.events.dnf import Dnf, complement_as_disjoint_conditions, dnf_probability
+from repro.events.dnf import (
+    Dnf,
+    ShannonCache,
+    complement_as_disjoint_conditions,
+    dnf_probability,
+)
 from repro.events.literal import Literal, parse_literal
 from repro.events.table import EventTable
 
@@ -27,6 +32,7 @@ __all__ = [
     "assignment_weight",
     "sample_assignment",
     "Dnf",
+    "ShannonCache",
     "dnf_probability",
     "complement_as_disjoint_conditions",
 ]

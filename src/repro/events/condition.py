@@ -11,6 +11,13 @@ contains both ``w`` and ``¬w`` is *inconsistent*; constructing one
 raises :class:`~repro.errors.InconsistentConditionError` unless
 ``allow_inconsistent=True`` is passed (the update engine builds and then
 discards inconsistent survivor candidates).
+
+Conditions are **interned** on their literal set: constructing the same
+conjunction twice returns the same object, with the hash and the
+consistency verdict computed once.  The probability pipeline builds the
+same conditions over and over (per-match ancestor closures, DNF
+absorption, Shannon cofactors), so pointer-identity equality and cached
+hashing are what keep those set operations and memo lookups cheap.
 """
 
 from __future__ import annotations
@@ -22,27 +29,58 @@ from repro.events.literal import Literal, parse_literal
 
 __all__ = ["Condition", "TRUE"]
 
+#: Interned conditions, keyed by their literal frozenset.  Dropped
+#: wholesale past the limit: equality falls back to set comparison when
+#: identities differ, so clearing is always safe.
+_INTERNED: dict[frozenset, "Condition"] = {}
+_INTERN_LIMIT = 1 << 16
+
+
+def _inconsistency_message(literals: frozenset) -> str:
+    by_event: dict[str, bool] = {}
+    for literal in literals:
+        if by_event.setdefault(literal.event, literal.positive) != literal.positive:
+            return f"condition requires both {literal.event} and its negation"
+    return "condition requires an event and its negation"
+
 
 class Condition:
-    """An immutable conjunction of event literals."""
+    """An immutable, interned conjunction of event literals."""
 
-    __slots__ = ("_literals",)
+    __slots__ = ("_literals", "_hash", "_consistent")
 
-    def __init__(
-        self, literals: Iterable[Literal] = (), *, allow_inconsistent: bool = False
-    ) -> None:
-        frozen = frozenset(literals)
+    def __new__(
+        cls, literals: Iterable[Literal] = (), *, allow_inconsistent: bool = False
+    ) -> "Condition":
+        frozen = (
+            literals if type(literals) is frozenset else frozenset(literals)
+        )
+        cached = _INTERNED.get(frozen)
+        if cached is not None:
+            if not (allow_inconsistent or cached._consistent):
+                raise InconsistentConditionError(
+                    _inconsistency_message(frozen)
+                )
+            return cached
         for literal in frozen:
             if not isinstance(literal, Literal):
                 raise EventError(f"expected Literal, got {type(literal).__name__}")
-        if not allow_inconsistent:
-            by_event: dict[str, bool] = {}
-            for literal in frozen:
-                if by_event.setdefault(literal.event, literal.positive) != literal.positive:
-                    raise InconsistentConditionError(
-                        f"condition requires both {literal.event} and its negation"
-                    )
+        by_event: dict[str, bool] = {}
+        consistent = True
+        for literal in frozen:
+            if by_event.setdefault(literal.event, literal.positive) != literal.positive:
+                consistent = False
+                break
+        if not (consistent or allow_inconsistent):
+            raise InconsistentConditionError(_inconsistency_message(frozen))
+        self = super().__new__(cls)
         self._literals = frozen
+        self._hash = hash(frozen)
+        self._consistent = consistent
+        if len(_INTERNED) >= _INTERN_LIMIT:
+            _INTERNED.clear()
+        _INTERNED[frozen] = self
+        return self
 
     # ------------------------------------------------------------------
     # Constructors
@@ -80,11 +118,7 @@ class Condition:
 
     @property
     def is_consistent(self) -> bool:
-        by_event: dict[str, bool] = {}
-        for literal in self._literals:
-            if by_event.setdefault(literal.event, literal.positive) != literal.positive:
-                return False
-        return True
+        return self._consistent
 
     def events(self) -> frozenset[str]:
         """Names of the events mentioned by this condition."""
@@ -115,11 +149,15 @@ class Condition:
     def without_events(self, events: Iterable[str]) -> "Condition":
         """Drop every literal over the given events (simplification)."""
         drop = set(events)
-        return Condition(lit for lit in self._literals if lit.event not in drop)
+        return Condition(
+            frozenset(lit for lit in self._literals if lit.event not in drop)
+        )
 
     def without_literals(self, literals: Iterable[Literal]) -> "Condition":
         drop = set(literals)
-        return Condition(lit for lit in self._literals if lit not in drop)
+        return Condition(
+            frozenset(lit for lit in self._literals if lit not in drop)
+        )
 
     def restrict(self, event: str, truth: bool) -> "Condition | None":
         """Condition after fixing *event* to *truth* (Shannon cofactor).
@@ -137,7 +175,7 @@ class Condition:
 
     def implies(self, other: "Condition") -> bool:
         """Conjunction implication: self ⇒ other iff other's literals ⊆ self's."""
-        return other._literals <= self._literals
+        return other is self or other._literals <= self._literals
 
     def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
         """Evaluate under a (total, for the mentioned events) assignment."""
@@ -157,12 +195,20 @@ class Condition:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Condition):
             return NotImplemented
         return self._literals == other._literals
 
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
     def __hash__(self) -> int:
-        return hash(self._literals)
+        return self._hash
 
     def __len__(self) -> int:
         return len(self._literals)

@@ -17,7 +17,23 @@ Two places in the model need more than a single conjunction:
 
 Both computations use Shannon expansion over the events mentioned by the
 DNF, with memoisation, so the cost is exponential only in the number of
-*distinct events involved*, never in the document size.
+*distinct events involved*, never in the document size.  Three
+optimizations keep the expansion off the per-answer critical path (the
+probability fast path of E12):
+
+* the DNF is first split into **event-disjoint connected components**
+  and the per-component probabilities are combined directly
+  (``P(¬(A ∨ B)) = P(¬A) · P(¬B)`` when A and B share no event), so the
+  expansion depth follows the largest component, not the whole DNF;
+* the event-frequency counts that drive branch selection are maintained
+  **incrementally** across cofactor steps instead of being recounted
+  from every term at every recursion level;
+* the memo table can be an engine-owned :class:`ShannonCache` shared
+  across calls — repeated and overlapping answers within a query, and
+  across queries in a session, stop re-expanding shared subproblems.
+  Entries are keyed by (event-table generation, interned term set), so
+  a probability change (see :attr:`EventTable.generation`) retires
+  stale entries without an explicit flush.
 """
 
 from __future__ import annotations
@@ -28,7 +44,12 @@ from repro.events.condition import TRUE, Condition
 from repro.events.literal import Literal
 from repro.events.table import EventTable
 
-__all__ = ["Dnf", "dnf_probability", "complement_as_disjoint_conditions"]
+__all__ = [
+    "Dnf",
+    "ShannonCache",
+    "dnf_probability",
+    "complement_as_disjoint_conditions",
+]
 
 
 class Dnf:
@@ -38,22 +59,54 @@ class Dnf:
     condition is *true*.  Terms subsumed by weaker terms are pruned
     (``w1 ∧ w2`` is absorbed by ``w1``), keeping the structure minimal
     without changing its semantics.
+
+    Absorption processes the candidate terms **sorted by literal
+    count**: a term can only be absorbed by a strictly smaller one (an
+    equal-size absorber would be an equal set, removed by
+    deduplication), so each candidate is checked only against already
+    kept terms — and only against those sharing one of its literals,
+    via a per-literal bucket index — never rescanned afterwards.  The
+    quadratic full-set scans the naive two-way subsumption pays on the
+    large disjunctions deletion complements build are gone; the kept
+    term *set* (the unique minimal antichain) is unchanged.
     """
 
     __slots__ = ("_terms",)
 
     def __init__(self, terms: Iterable[Condition] = ()) -> None:
-        kept: list[Condition] = []
+        candidates: list[Condition] = []
+        seen: set[Condition] = set()
         for term in terms:
             if not isinstance(term, Condition):
                 raise TypeError(f"expected Condition, got {type(term).__name__}")
-            if not term.is_consistent:
+            if not term.is_consistent or term in seen:
                 continue
-            if any(term.implies(existing) for existing in kept):
-                continue  # absorbed by a weaker existing term
-            kept = [existing for existing in kept if not existing.implies(term)]
-            kept.append(term)
-        self._terms = tuple(kept)
+            if term.is_true:
+                self._terms = (TRUE,)
+                return
+            seen.add(term)
+            candidates.append(term)
+        if len(candidates) > 1:
+            candidates.sort(key=len)
+            kept: list[Condition] = []
+            # Each kept term is registered under one of its literals, so
+            # any absorber of a later term is found through one of that
+            # term's own literal buckets.
+            buckets: dict[Literal, list[Condition]] = {}
+            for term in candidates:
+                literals = term.literals
+                for literal in literals:
+                    bucket = buckets.get(literal)
+                    if bucket is not None and any(
+                        kept_term.literals <= literals for kept_term in bucket
+                    ):
+                        break  # absorbed by a smaller kept term
+                else:
+                    kept.append(term)
+                    anchor = min(literals, key=_literal_key)
+                    buckets.setdefault(anchor, []).append(term)
+            candidates = kept
+        self._terms = tuple(candidates)
 
     @property
     def terms(self) -> tuple[Condition, ...]:
@@ -98,46 +151,250 @@ class Dnf:
         return f"Dnf([{', '.join(repr(t) for t in self._terms)}])"
 
 
-def dnf_probability(dnf: Dnf | Sequence[Condition], table: EventTable) -> float:
+def _literal_key(literal: Literal) -> tuple[str, bool]:
+    return (literal.event, literal.positive)
+
+
+class ShannonCache:
+    """A bounded, shareable memo table for Shannon expansions.
+
+    Entries map (event-table generation, frozenset of interned
+    :class:`Condition` terms) to the exact probability of the
+    disjunction of those terms.  Such an entry can never go stale: the
+    probability of a fixed term set under a fixed probability
+    assignment is a constant, and any change to the assignment retires
+    the generation (see :attr:`EventTable.generation`).  Bounding is
+    therefore purely a memory policy — eviction is oldest-first.
+
+    :class:`~repro.engine.QueryEngine` owns one per document and hands
+    it to every probability computation it routes, so overlapping
+    answers within a query — and repeated queries in a session — share
+    their subexpansions.  ``capacity=0`` means unbounded (used for the
+    per-call ephemeral memo when no shared cache is supplied).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple, float] = {}
+
+    def get(self, key: tuple) -> float | None:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: float) -> None:
+        entries = self._entries
+        if self.capacity and len(entries) >= self.capacity:
+            entries.pop(next(iter(entries)))
+        entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShannonCache({len(self._entries)} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+def dnf_probability(
+    dnf: Dnf | Sequence[Condition],
+    table: EventTable,
+    *,
+    cache: ShannonCache | None = None,
+) -> float:
     """Exact probability of a DNF under the independent-event table.
 
-    Shannon expansion: pick an event mentioned by the DNF, condition on
-    it being true/false, recurse, and combine with the event's
-    probability.  Memoised on the conditioned term set.
+    The DNF is split into event-disjoint connected components whose
+    complement probabilities multiply; each component is solved by
+    Shannon expansion — condition on an event being true/false, recurse,
+    combine with the event's probability — branching on the event
+    mentioned by the most terms.  *cache*, when given, is a shared
+    :class:`ShannonCache` memo; otherwise a per-call memo is used.
     """
     if not isinstance(dnf, Dnf):
         dnf = Dnf(dnf)
-    cache: dict[frozenset[Condition], float] = {}
+    terms = dnf.terms
+    if not terms:
+        return 0.0
+    if terms[0].is_true:  # Dnf collapses a true disjunction to (TRUE,)
+        return 1.0
+    if cache is None:
+        cache = ShannonCache(capacity=0)
+    generation = table.generation
 
-    def solve(terms: frozenset[Condition]) -> float:
-        if not terms:
-            return 0.0
-        if any(term.is_true for term in terms):
-            return 1.0
-        cached = cache.get(terms)
-        if cached is not None:
-            return cached
-        # Branch on the most frequent event for better sharing.
-        counts: dict[str, int] = {}
-        for term in terms:
-            for event in term.events():
-                counts[event] = counts.get(event, 0) + 1
-        event = max(sorted(counts), key=lambda name: counts[name])
-        p = table.probability(event)
-        result = 0.0
-        for truth, weight in ((True, p), (False, 1.0 - p)):
-            if weight == 0.0:
-                continue
-            branch = frozenset(
-                restricted
-                for term in terms
-                if (restricted := term.restrict(event, truth)) is not None
-            )
-            result += weight * solve(branch)
-        cache[terms] = result
+    # Whole-set memo first: a repeated answer (the common case under a
+    # shared engine cache) skips factorization and recounting entirely.
+    key = (generation, frozenset(terms))
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    if len(terms) == 1:
+        result = _solve(key[1], _event_counts(terms), table, cache, generation)
         return result
+    missing_all = 1.0
+    for component in _split_components(terms):
+        p = _solve(
+            frozenset(component), _event_counts(component), table, cache, generation
+        )
+        missing_all *= 1.0 - p
+    result = 1.0 - missing_all
+    cache.put(key, result)
+    return result
 
-    return solve(frozenset(dnf.terms))
+
+def _event_counts(terms: Iterable[Condition]) -> dict[str, int]:
+    """How many terms mention each event (the branch-selection counts)."""
+    counts: dict[str, int] = {}
+    for term in terms:
+        for literal in term.literals:
+            event = literal.event
+            counts[event] = counts.get(event, 0) + 1
+    return counts
+
+
+def _split_components(terms: Sequence[Condition]) -> list[list[Condition]]:
+    """Partition terms into event-disjoint connected components.
+
+    Two terms are connected when they share an event (transitively).
+    Terms in different components are independent — they are functions
+    of disjoint sets of independent events — so their disjunction
+    probabilities combine multiplicatively on the complement side.
+    """
+    parent: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:  # path compression
+            parent[name], name = root, parent[name]
+        return root
+
+    for term in terms:
+        first: str | None = None
+        for literal in term.literals:
+            event = literal.event
+            if event not in parent:
+                parent[event] = event
+            if first is None:
+                first = event
+            else:
+                parent[find(event)] = find(first)
+
+    groups: dict[str, list[Condition]] = {}
+    for term in terms:
+        # Consistent non-true terms always mention at least one event.
+        anchor = find(next(iter(term.literals)).event)
+        groups.setdefault(anchor, []).append(term)
+    return list(groups.values())
+
+
+def _solve(
+    terms: frozenset[Condition],
+    counts: dict[str, int],
+    table: EventTable,
+    cache: ShannonCache,
+    generation: int,
+) -> float:
+    """Shannon expansion of one (connected) term set.
+
+    *counts* maps each live event to the number of terms mentioning it
+    and is maintained incrementally: every cofactor step adjusts a copy
+    for exactly the terms it touches instead of recounting the whole
+    set per recursion level.  The invariant (counts describe *terms*)
+    only feeds branch selection — dedup collapses after restriction
+    decrement the collapsed term's remaining literals too.
+    """
+    if not terms:
+        return 0.0
+    key = (generation, terms)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    # Branch on the most frequent event; ties go to the smallest name
+    # (the historical deterministic order).
+    event = ""
+    best = 0
+    for name in sorted(counts):
+        count = counts[name]
+        if count > best:
+            event, best = name, count
+    p = table.probability(event)
+
+    result = 0.0
+    for truth, weight in ((True, p), (False, 1.0 - p)):
+        if weight == 0.0:
+            continue
+        branch: set[Condition] = set()
+        branch_counts = dict(counts)
+        certain = False
+        for term in terms:
+            polarity = term.polarity(event)
+            if polarity is None:
+                survivor = term
+            elif polarity != truth:
+                _drop_counts(branch_counts, term)
+                continue
+            else:
+                survivor = term.without_events((event,))
+                if survivor.is_true:
+                    certain = True
+                    break
+            if survivor in branch:
+                # Collapsed duplicate: the surviving copy's literals are
+                # already counted once; retire this term's contribution.
+                _drop_counts(branch_counts, term)
+            else:
+                branch.add(survivor)
+                if survivor is not term:
+                    count = branch_counts[event] - 1
+                    if count:
+                        branch_counts[event] = count
+                    else:
+                        del branch_counts[event]
+        if certain:
+            result += weight
+        elif branch:
+            result += weight * _solve(
+                frozenset(branch), branch_counts, table, cache, generation
+            )
+    cache.put(key, result)
+    return result
+
+
+def _drop_counts(counts: dict[str, int], term: Condition) -> None:
+    """Retire a dropped term's contribution to the event counts."""
+    for literal in term.literals:
+        event = literal.event
+        count = counts[event] - 1
+        if count:
+            counts[event] = count
+        else:
+            del counts[event]
 
 
 def complement_as_disjoint_conditions(

@@ -5,11 +5,16 @@ A *probabilistic event* is a named boolean random variable (``w1``,
 being true is recorded in an :class:`~repro.events.table.EventTable`.
 A :class:`Literal` is an event or its negation; fuzzy-tree node
 conditions are conjunctions of literals.
+
+Literals are **interned**: constructing ``Literal("w1")`` twice returns
+the same object, the hash is computed once, and equality checks compare
+by pointer first.  Conditions, DNF absorption and Shannon-expansion
+memo tables do frozenset algebra over literals in their hot loops, so
+pointer-fast hashing and equality is what makes those set operations
+cheap (the probability fast path of E12).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.errors import EventError
 
@@ -32,19 +37,61 @@ def check_event_name(name: str) -> str:
     return name
 
 
-@dataclass(frozen=True, slots=True)
+#: Interned literals, keyed by (event, positive).  Distinct event names
+#: are bounded by the documents a process touches, but long-running
+#: processes (and the randomized test suites) can mint many: past the
+#: limit the table is dropped wholesale.  Clearing is always safe —
+#: equality falls back to field comparison when identities differ.
+_INTERNED: dict[tuple[str, bool], "Literal"] = {}
+_INTERN_LIMIT = 1 << 16
+
+
 class Literal:
-    """An event occurrence ``w`` or its negation ``¬w``."""
+    """An event occurrence ``w`` or its negation ``¬w`` (interned)."""
 
-    event: str
-    positive: bool = True
+    __slots__ = ("event", "positive", "_hash")
 
-    def __post_init__(self) -> None:
-        check_event_name(self.event)
+    def __new__(cls, event: str, positive: bool = True) -> "Literal":
+        positive = bool(positive)
+        key = (event, positive)
+        cached = _INTERNED.get(key)
+        if cached is not None:
+            return cached
+        check_event_name(event)
+        self = super().__new__(cls)
+        object.__setattr__(self, "event", event)
+        object.__setattr__(self, "positive", positive)
+        object.__setattr__(self, "_hash", hash(key))
+        if len(_INTERNED) >= _INTERN_LIMIT:
+            _INTERNED.clear()
+        _INTERNED[key] = self
+        return self
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"Literal is immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Literal is immutable (cannot delete {name!r})")
 
     def negate(self) -> "Literal":
         """The complementary literal."""
         return Literal(self.event, not self.positive)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return self.event == other.event and self.positive == other.positive
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return self.event if self.positive else f"!{self.event}"
@@ -52,6 +99,9 @@ class Literal:
     def pretty(self) -> str:
         """Unicode rendering matching the paper's notation (``¬w``)."""
         return self.event if self.positive else f"¬{self.event}"
+
+    def __repr__(self) -> str:
+        return f"Literal(event={self.event!r}, positive={self.positive})"
 
 
 def parse_literal(text: str) -> Literal:

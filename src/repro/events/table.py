@@ -9,6 +9,7 @@ the probability computations for conjunctive conditions.
 
 from __future__ import annotations
 
+import itertools
 import math
 from collections.abc import Iterable, Iterator, Mapping
 
@@ -18,6 +19,15 @@ from repro.events.literal import Literal, check_event_name
 
 __all__ = ["EventTable"]
 
+#: Process-global allocator of probability-assignment generations.
+#: Every :class:`EventTable` instance draws a unique stamp at creation
+#: and draws a fresh one whenever an *existing* event's probability can
+#: change (removal — the only mutation that can invalidate a previously
+#: computed probability; re-declaring after a removal changes the value
+#: behind the same name).  Probability caches key their entries by this
+#: stamp, so a stale entry can never be served after such a change.
+_GENERATIONS = itertools.count(1)
+
 
 class EventTable:
     """A registry of independent probabilistic events.
@@ -26,11 +36,12 @@ class EventTable:
     benchmarks and serialized documents stable across runs).
     """
 
-    __slots__ = ("_probabilities", "_fresh_counter")
+    __slots__ = ("_probabilities", "_fresh_counter", "_generation")
 
     def __init__(self, probabilities: Mapping[str, float] | None = None) -> None:
         self._probabilities: dict[str, float] = {}
         self._fresh_counter = 0
+        self._generation = next(_GENERATIONS)
         if probabilities:
             for name, probability in probabilities.items():
                 self.declare(name, probability)
@@ -75,10 +86,30 @@ class EventTable:
                 return name
 
     def remove(self, name: str) -> None:
-        """Drop an event (used by simplification's unused-event GC)."""
+        """Drop an event (used by simplification's unused-event GC).
+
+        Bumps :attr:`generation`: once a name is free it can be
+        re-declared with a *different* probability, so every cached
+        probability computed against this table must stop being served.
+        """
         if name not in self._probabilities:
             raise UnknownEventError(name)
         del self._probabilities[name]
+        self._generation = next(_GENERATIONS)
+
+    @property
+    def generation(self) -> int:
+        """Version stamp of the probability assignment.
+
+        Unique per table instance and refreshed whenever an existing
+        event's probability may have changed (see :meth:`remove`).
+        Declaring a *new* event keeps the stamp: it cannot alter the
+        probability of any condition previously computable against this
+        table (such a condition could not have mentioned the event).
+        Probability caches (:class:`~repro.events.dnf.ShannonCache`)
+        key entries by this stamp.
+        """
+        return self._generation
 
     @property
     def fresh_counter(self) -> int:

@@ -133,6 +133,15 @@ class Match:
                 result.append(node)
         return result
 
+    def iter_images(self):
+        """The image data nodes, raw (possibly with duplicates).
+
+        The zero-copy counterpart of :meth:`nodes` for consumers whose
+        aggregation is idempotent anyway (the probability pipeline's
+        closed-condition unions).
+        """
+        return self._mapping.values()
+
     def node_for(self, variable: str) -> Node:
         """The data node mapped by the pattern node carrying *variable*."""
         return self._mapping[self.pattern.node_for_variable(variable)]
@@ -352,6 +361,8 @@ class _Matcher:
         matches: list[Match] = []
         mapping: dict[PatternNode, Node] = {}
         bindings: dict[str, str] = {}
+        # One flag read per query, not one per partial assignment.
+        track = counters.enabled
 
         def assign(pending: list[PatternNode]) -> bool:
             """Backtracking over pattern nodes; True to stop (limit hit)."""
@@ -359,7 +370,8 @@ class _Matcher:
                 if not self.config.early_join_check and not self._joins_ok(mapping):
                     return False
                 matches.append(Match(self.pattern, dict(mapping)))
-                counters.incr("match.found")
+                if track:
+                    counters.incr("match.found")
                 return (
                     self.config.max_matches is not None
                     and len(matches) >= self.config.max_matches
@@ -367,12 +379,14 @@ class _Matcher:
             pattern_node = pending[0]
             rest = pending[1:]
             for data_node in self._options(pattern_node, mapping):
-                counters.incr("match.assignments")
+                if track:
+                    counters.incr("match.assignments")
                 if self.config.honor_negation and any(
                     child.negated and find_embeddings(child, data_node)
                     for child in pattern_node.children
                 ):
-                    counters.incr("match.negation_pruned")
+                    if track:
+                        counters.incr("match.negation_pruned")
                     continue
                 variable = pattern_node.variable
                 joined = (

@@ -430,6 +430,10 @@ class Warehouse:
         info["wal_depth"] = self._commits_since_snapshot
         info["wal_bytes"] = self._wal.size_bytes()
         info["read_sessions"] = len(self._pins)
+        shannon = self._engine.shannon.stats()
+        info["shannon_cache_entries"] = shannon["entries"]
+        info["shannon_cache_hits"] = shannon["hits"]
+        info["shannon_cache_misses"] = shannon["misses"]
         return info
 
     def history(self) -> list[dict]:
