@@ -19,12 +19,16 @@ Runs both ways::
         -x -q -o python_files="bench_*.py"
     PYTHONPATH=src python benchmarks/bench_e11_commit_pipeline.py [--quick]
 
-The script form needs no pytest plugins (CI smoke uses ``--quick``).
+The script form needs no pytest plugins (CI smoke uses ``--quick``)
+and always writes machine-readable medians — including the
+``trajectory`` entries the CI benchmark-trajectory gate compares — to
+``benchmarks/out/BENCH_E11.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import shutil
@@ -45,6 +49,9 @@ from repro.trees import tree
 from repro.trees.random import RandomTreeConfig
 from repro.warehouse import CommitPolicy, Warehouse
 from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree
+
+OUT_DIR = Path(__file__).parent / "out"
+JSON_PATH = OUT_DIR / "BENCH_E11.json"
 
 SIZES = (150, 400, 1200)
 QUICK_SIZES = (150,)
@@ -164,6 +171,7 @@ def _measure_recovery(
 
 def run_commit_latency(base: Path, sizes, n_tx: int):
     rows = []
+    results = []
     for n_nodes in sizes:
         rewrite = _measure_commit_latency(base, n_nodes, _REWRITE_POLICY(), n_tx)
         wal = _measure_commit_latency(base, n_nodes, _WAL_POLICY(), n_tx)
@@ -175,7 +183,20 @@ def run_commit_latency(base: Path, sizes, n_tx: int):
                 fmt(rewrite / wal, 3),
             ]
         )
-    return rows
+        results.append(
+            {
+                "nodes": n_nodes,
+                "rewrite_us_per_commit": rewrite * 1e6,
+                "wal_us_per_commit": wal * 1e6,
+                "speedup": rewrite / wal,
+            }
+        )
+    return rows, results
+
+
+def write_json(payload: dict) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def run_batch_latency(base: Path, sizes, n_tx: int):
@@ -232,7 +253,7 @@ def _min_speedup() -> float:
 
 
 def test_commit_latency(report, tmp_path, benchmark):
-    rows = benchmark.pedantic(
+    rows, results = benchmark.pedantic(
         lambda: run_commit_latency(tmp_path, SIZES, n_tx=40), rounds=1
     )
     report.table("E11a  single-update commit latency", _COMMIT_HEADERS, rows)
@@ -292,10 +313,11 @@ def main(argv=None) -> int:
     n_tx = 10 if args.quick else 40
     with tempfile.TemporaryDirectory() as tmp:
         base = Path(tmp)
+        commit_rows, commit_results = run_commit_latency(base, sizes, n_tx)
         _print_table(
             "E11a  single-update commit latency",
             _COMMIT_HEADERS,
-            run_commit_latency(base, sizes, n_tx),
+            commit_rows,
         )
         _print_table(
             "E11b  batched commit latency (update_many)",
@@ -307,6 +329,23 @@ def main(argv=None) -> int:
             _RECOVERY_HEADERS,
             run_recovery(base, sizes, n_records=10 if args.quick else 30),
         )
+    write_json(
+        {
+            "experiment": "E11",
+            "metric": "commit_us",
+            "quick": args.quick,
+            "commit_latency": commit_results,
+            "trajectory": [
+                {
+                    "id": f"e11.wal_us_per_commit.nodes={record['nodes']}",
+                    "value": record["wal_us_per_commit"],
+                    "direction": "lower",
+                }
+                for record in commit_results
+            ],
+        }
+    )
+    print(f"machine-readable medians written to {JSON_PATH}")
     return 0
 
 

@@ -70,7 +70,10 @@ JSON_PATH = OUT_DIR / "BENCH_E12.json"
 SIZES = (150, 400, 1200)
 QUICK_SIZES = (150,)
 CHURN = 20
-QUICK_CHURN = 8
+# Quick mode trims sizes and repeats but keeps the per-point workload
+# identical (same churn), so the CI trajectory gate can compare a
+# quick-mode datapoint against the committed full-mode baseline.
+QUICK_CHURN = CHURN
 GUARD_WIDTH = 6
 REPEATS = 5
 QUICK_REPEATS = 2
@@ -356,8 +359,25 @@ def run_cache_scope(sizes, churn: int, repeats: int):
     return table_rows, results
 
 
+def _trajectory(pipeline_results) -> list[dict]:
+    """The medians the CI trajectory gate compares across commits."""
+    return [
+        {
+            "id": (
+                f"e12.fast_us_per_row.nodes={record['nodes']}"
+                f".churn={record['churn']}"
+            ),
+            "value": record["fast_us_per_row"],
+            "direction": "lower",
+        }
+        for record in pipeline_results
+    ]
+
+
 def write_json(payload: dict) -> None:
     OUT_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload["trajectory"] = _trajectory(payload.get("pipeline", ()))
     JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 

@@ -19,13 +19,26 @@ path must never be slower than the worst fixed configuration and must
 stay within 10% of the best one, with the plan served from the
 warehouse-style plan cache on repeat executions (steady state for the
 paper's polling consumers).
+
+Script mode (no pytest plugins needed)::
+
+    PYTHONPATH=src python benchmarks/bench_e9_query_optimization.py [--quick]
+
+measures the steady-state auto-planned path against the fixed
+configurations across sizes and writes machine-readable medians —
+including the ``trajectory`` entries the CI benchmark-trajectory gate
+compares — to ``benchmarks/out/BENCH_E9.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import random
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
@@ -35,7 +48,17 @@ from repro.tpwj import MatchConfig, find_matches
 from repro.trees import RandomTreeConfig
 from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
 
-from conftest import fmt
+try:
+    from conftest import fmt
+except ImportError:  # script mode: run outside pytest's rootdir sys.path
+    def fmt(value: float, digits: int = 4) -> str:
+        return f"{value:.{digits}g}"
+
+OUT_DIR = Path(__file__).parent / "out"
+JSON_PATH = OUT_DIR / "BENCH_E9.json"
+
+SIZES = (100, 300, 600, 1200)
+QUICK_SIZES = (100, 300)
 
 CONFIGS = {
     "all-on": MatchConfig(),
@@ -192,6 +215,65 @@ def test_plan_cache_serves_repeat_queries(report, benchmark):
     )
 
 
+def run_planner_medians(sizes, repeats: int = 5):
+    """Steady-state engine timings per size, for the script/JSON mode.
+
+    Per size: the best fixed configuration (the strongest manual
+    baseline), the warm auto-planned path (plan cached, document walk
+    reused — warehouse steady state), and the match count as a sanity
+    anchor.
+    """
+    table_rows = []
+    results = []
+    for n_nodes in sizes:
+        doc, pattern = instance(n_nodes)
+        engine = QueryEngine(lambda: doc.root)
+        reference = len(find_matches(pattern, doc.root))
+        fixed_times = {
+            name: _best_of(
+                lambda config=config: find_matches(pattern, doc.root, config),
+                repeats,
+            )
+            for name, config in CONFIGS.items()
+        }
+        matches = engine.find_matches(pattern)  # builds + caches the plan
+        assert len(matches) == reference
+        auto = _best_of(lambda: engine.find_matches(pattern), repeats)
+        best_fixed = min(fixed_times.values())
+        table_rows.append(
+            [
+                n_nodes,
+                reference,
+                fmt(best_fixed * 1e6),
+                fmt(auto * 1e6),
+                fmt(best_fixed / auto if auto else float("inf"), 3),
+            ]
+        )
+        results.append(
+            {
+                "nodes": n_nodes,
+                "matches": reference,
+                "best_fixed_us": best_fixed * 1e6,
+                "auto_planned_us": auto * 1e6,
+            }
+        )
+    return table_rows, results
+
+
+_E9_SCRIPT_HEADERS = [
+    "nodes",
+    "matches",
+    "best fixed us",
+    "auto-planned us",
+    "best fixed / auto",
+]
+
+
+def write_json(payload: dict) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.mark.parametrize("n_nodes", [600, 1200])
 def test_topk_streaming_vs_materialize(report, benchmark, tmp_path_factory, n_nodes):
     """E9e — top-k through the session API: streaming vs materializing.
@@ -270,3 +352,63 @@ def test_pruning_wins_grow_with_document(report, benchmark):
         ["nodes", "optimized", "naive", "naive/optimized"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# script entry point (machine-readable medians for the trajectory gate)
+# ----------------------------------------------------------------------
+
+
+def _print_table(title: str, headers, rows) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(title)
+    print("-" * len(title))
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="E9 steady-state planner medians (script mode)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, fewer repeats (CI smoke; no timing assertions)",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else SIZES
+    repeats = 3 if args.quick else 5
+    rows, results = run_planner_medians(sizes, repeats)
+    _print_table(
+        "E9   steady-state engine vs best fixed configuration",
+        _E9_SCRIPT_HEADERS,
+        rows,
+    )
+    write_json(
+        {
+            "experiment": "E9",
+            "metric": "query_us",
+            "quick": args.quick,
+            "planner": results,
+            "trajectory": [
+                {
+                    "id": f"e9.auto_planned_us.nodes={record['nodes']}",
+                    "value": record["auto_planned_us"],
+                    "direction": "lower",
+                }
+                for record in results
+            ],
+        }
+    )
+    print(f"machine-readable medians written to {JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""CI benchmark-trajectory gate.
+
+Every benchmark that writes ``benchmarks/out/BENCH_*.json`` embeds a
+``trajectory`` list — the headline medians of that experiment, each a
+record ``{"id", "value", "direction"}`` where *direction* says which
+way is better (``"lower"`` for latencies, ``"higher"`` for
+throughputs).  The repository commits full-mode baselines; CI runs the
+quick modes (same per-point workload, fewer sizes/repeats) and this
+script compares every id present in **both** files:
+
+* ``direction: lower`` regresses when ``current > baseline * slack``;
+* ``direction: higher`` regresses when ``current < baseline / slack``.
+
+The default slack is wide (2.5×) because shared CI runners are noisy
+and quick modes use fewer repeats of the best-of-N estimator — the
+gate is a tripwire for order-of-magnitude regressions, not a
+microbenchmark diff.  Ids only in the baseline (full-mode-only sizes)
+are skipped; ids only in the current run (new metrics) pass with a
+note.
+
+Usage::
+
+    python benchmarks/check_trajectory.py \
+        --baseline-dir <dir with committed BENCH_*.json> \
+        --current-dir benchmarks/out [--slack 2.5]
+
+Exits 1 when any compared id regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["compare_payloads", "main"]
+
+
+def _load_trajectories(path: Path) -> dict[str, dict]:
+    """id -> record for one BENCH_*.json file ({} when absent/legacy)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    records = payload.get("trajectory")
+    if not isinstance(records, list):
+        return {}
+    out = {}
+    for record in records:
+        if (
+            isinstance(record, dict)
+            and isinstance(record.get("id"), str)
+            and isinstance(record.get("value"), (int, float))
+            and record.get("direction") in ("lower", "higher")
+        ):
+            out[record["id"]] = record
+    return out
+
+
+def compare_payloads(
+    baseline: dict[str, dict], current: dict[str, dict], slack: float
+) -> tuple[list[str], list[str]]:
+    """(report lines, regression lines) for one experiment's records."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    for id_, record in sorted(current.items()):
+        base = baseline.get(id_)
+        if base is None:
+            lines.append(f"  NEW      {id_}: {record['value']:.4g} (no baseline)")
+            continue
+        value, reference = record["value"], base["value"]
+        if record["direction"] == "lower":
+            bad = value > reference * slack
+            headroom = value / reference if reference else float("inf")
+        else:
+            bad = value < reference / slack
+            headroom = reference / value if value else float("inf")
+        verdict = "REGRESSED" if bad else "ok"
+        lines.append(
+            f"  {verdict:9s}{id_}: {value:.4g} vs baseline {reference:.4g} "
+            f"({record['direction']} is better, x{headroom:.2f} of it, "
+            f"slack {slack}x)"
+        )
+        if bad:
+            regressions.append(lines[-1].strip())
+    for id_ in sorted(set(baseline) - set(current)):
+        lines.append(f"  skipped  {id_} (not measured in this run)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        required=True,
+        help="directory holding this run's BENCH_*.json outputs",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=2.5,
+        help="tolerated regression factor (default 2.5: wide, for shared runners)",
+    )
+    args = parser.parse_args(argv)
+
+    current_files = sorted(args.current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"error: no BENCH_*.json under {args.current_dir}", file=sys.stderr)
+        return 1
+    all_regressions: list[str] = []
+    compared_any = False
+    for current_path in current_files:
+        baseline_path = args.baseline_dir / current_path.name
+        baseline = _load_trajectories(baseline_path)
+        current = _load_trajectories(current_path)
+        if not current:
+            print(f"{current_path.name}: no trajectory entries (skipped)")
+            continue
+        print(f"{current_path.name}:")
+        lines, regressions = compare_payloads(baseline, current, args.slack)
+        compared_any = compared_any or any(
+            " ok" in line or "REGRESSED" in line for line in lines
+        )
+        for line in lines:
+            print(line)
+        all_regressions.extend(regressions)
+    if not compared_any:
+        print(
+            "error: nothing compared — baselines missing trajectory entries?",
+            file=sys.stderr,
+        )
+        return 1
+    if all_regressions:
+        print(f"\n{len(all_regressions)} benchmark regression(s):", file=sys.stderr)
+        for line in all_regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nbenchmark trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

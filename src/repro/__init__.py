@@ -110,6 +110,13 @@ from repro.pworlds import (
     query_possible_worlds,
     update_possible_worlds,
 )
+from repro.serve import (
+    Collection,
+    CollectionResultSet,
+    SessionPool,
+    ShardRow,
+    connect_collection,
+)
 from repro.tpwj import (
     Match,
     MatchConfig,
@@ -184,6 +191,12 @@ __all__ = [
     "UpdateBuilder",
     "pattern",
     "update",
+    # serving layer (collections)
+    "connect_collection",
+    "Collection",
+    "CollectionResultSet",
+    "SessionPool",
+    "ShardRow",
     # errors
     "ReproError",
     "TreeError",

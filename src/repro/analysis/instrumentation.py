@@ -17,10 +17,17 @@ then returns before touching the dictionary, and the hottest loops
 :attr:`Counters.enabled` flag **once per query** and skip the calls
 altogether — timing-sensitive benchmarks measure the algorithms, not
 the bookkeeping.
+
+Counter updates are serialized by an internal lock: the serving layer
+increments them from concurrent reader threads (plan-cache hits, match
+counts), and an unlocked read-modify-write would silently lose
+increments.  The lock is uncontended in single-threaded benchmarking
+and skipped entirely when instrumentation is disabled.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -30,10 +37,11 @@ __all__ = ["Counters", "counters"]
 class Counters:
     """A named-counter registry with stopwatch support."""
 
-    __slots__ = ("_values", "enabled")
+    __slots__ = ("_values", "_lock", "enabled")
 
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
         #: When False, :meth:`incr` is a no-op.  Hot loops may hoist
         #: this flag into a local at the top of a query instead of
         #: paying an attribute read plus a call per iteration.
@@ -42,7 +50,8 @@ class Counters:
     def incr(self, name: str, amount: float = 1) -> None:
         if not self.enabled:
             return
-        self._values[name] = self._values.get(name, 0) + amount
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
 
     def enable(self) -> None:
         """Turn instrumentation on (the default)."""
@@ -66,11 +75,13 @@ class Counters:
         return self._values.get(name, 0)
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
     def snapshot(self) -> dict[str, float]:
         """A point-in-time copy of all counters."""
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
     def prefixed(self, prefix: str) -> dict[str, float]:
         """All counters whose name starts with *prefix* (sorted by name).

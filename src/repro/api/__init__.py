@@ -23,7 +23,7 @@ from repro.api.builders import (
     pattern,
     update,
 )
-from repro.api.results import ResultSet, Row
+from repro.api.results import ResultSet, Row, RowStream
 from repro.api.session import Session, SessionBatch, Snapshot, connect
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "Snapshot",
     "ResultSet",
     "Row",
+    "RowStream",
     "PatternBuilder",
     "UpdateBuilder",
     "pattern",

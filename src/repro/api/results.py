@@ -18,7 +18,7 @@ the classic probability-ranked, per-answer-tree aggregation of
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import weakref
 
 from repro.core.query import (
     FuzzyAnswer,
@@ -29,7 +29,7 @@ from repro.core.query import (
 )
 from repro.errors import QueryError
 
-__all__ = ["ResultSet", "Row"]
+__all__ = ["ResultSet", "Row", "RowStream"]
 
 
 class Row:
@@ -142,27 +142,16 @@ class ResultSet:
     # Consumption
     # ------------------------------------------------------------------
 
-    def __iter__(self) -> Iterator[Row]:
+    def __iter__(self) -> "RowStream":
         # Iteration over a *live* session pins the current document
         # generation for its whole duration: a commit landing between
         # two rows copies-on-write instead of mutating the tree this
         # iterator is walking.  (Snapshots are already pinned; their
-        # release callback is None.)  The pin is taken inside this
-        # generator, so it happens at first next() — atomically with
-        # the engine reading the same document.
-        fuzzy, engine, config, release = self._source._iter_context()
-        try:
-            for inner in iter_query_rows(
-                fuzzy,
-                self._pattern,
-                config,
-                engine=engine if self._planner else None,
-                limit=self._limit,
-            ):
-                yield Row(inner, self._source, fuzzy.events)
-        finally:
-            if release is not None:
-                release()
+        # release callback is None.)  The pin is taken here — the
+        # RowStream owns it and guarantees release on exhaustion,
+        # close(), context-manager exit, or garbage collection of an
+        # abandoned iterator (weakref finalizer).
+        return RowStream(self._source, self._pattern, self._limit, self._planner)
 
     def all(self) -> list[Row]:
         """Materialize every row (honoring :meth:`limit`)."""
@@ -214,3 +203,87 @@ class ResultSet:
     def __repr__(self) -> str:
         limit = "" if self._limit is None else f", limit={self._limit}"
         return f"ResultSet({str(self._pattern)!r}{limit})"
+
+
+def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner):
+    """The row generator behind a :class:`RowStream`.
+
+    A module-level function (not a method) so the generator holds no
+    reference to the stream object — the stream's weakref finalizer
+    must be able to fire while the generator is still referenced by it.
+    """
+    for inner in iter_query_rows(
+        fuzzy,
+        pattern,
+        config,
+        engine=engine if planner else None,
+        limit=limit,
+    ):
+        yield Row(inner, source, fuzzy.events)
+
+
+class RowStream:
+    """One execution of a :class:`ResultSet`: an iterator of :class:`Row`.
+
+    On a live session the stream owns the iteration pin; it is released
+    exactly once, on whichever comes first:
+
+    * exhaustion (the query ran to completion or hit its limit);
+    * :meth:`close`, explicit or via the stream's own context manager
+      (``with iter(result_set) as stream: ...``);
+    * garbage collection of an abandoned stream (a ``weakref``
+      finalizer, so breaking out of a loop and dropping the iterator
+      can never pin the generation forever).
+
+    Snapshot streams carry no pin (their source holds one for the
+    snapshot's whole lifetime) and close() is a plain generator close.
+    """
+
+    __slots__ = ("_inner", "_finalizer", "__weakref__")
+
+    def __init__(self, source, pattern, limit, planner) -> None:
+        fuzzy, engine, config, release = source._iter_context()
+        # The finalizer calls the pin's release directly — it must not
+        # reference self, or the stream could never become unreachable.
+        self._finalizer = (
+            weakref.finalize(self, release) if release is not None else None
+        )
+        self._inner = _stream_rows(
+            source, fuzzy, engine, config, pattern, limit, planner
+        )
+
+    def __iter__(self) -> "RowStream":
+        return self
+
+    def __next__(self) -> Row:
+        try:
+            return next(self._inner)
+        except BaseException:
+            # StopIteration (exhaustion) and real errors both release
+            # the pin deterministically, then propagate.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release the iteration pin and abort the enumeration; idempotent."""
+        finalizer = self._finalizer
+        if finalizer is not None:
+            finalizer()  # idempotent: detaches itself on first call
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once the stream's pin has been released (live sessions) —
+        snapshot streams, which carry no pin, report False until GC."""
+        finalizer = self._finalizer
+        return finalizer is not None and not finalizer.alive
+
+    def __enter__(self) -> "RowStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"RowStream({state})"

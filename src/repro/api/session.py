@@ -25,16 +25,28 @@ one module's handle on that service::
   document generation is pinned (O(1) — writers copy on first write),
   so a long-running reader sees one consistent state while commits
   continue.
+
+Thread safety
+-------------
+A session may be shared across threads in the single-writer /
+multi-reader shape the serving layer (:mod:`repro.serve`) builds on:
+any number of threads may query (each iteration pins a generation on
+entry and releases it on exit, then runs lock-free on the frozen
+tree), while update/batch/simplify/compact calls serialize on the
+warehouse's write lock.  Snapshots are safe to open, query and close
+from any thread.  The one mutable surface *not* meant for concurrent
+use is the raw :attr:`Session.document` tree — use queries or
+snapshots instead.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
 from repro.core.simplify import SimplifyReport
 from repro.core.update import UpdateReport
-from repro.engine import QueryEngine
 from repro.errors import SessionClosedError, WarehouseError
 from repro.events.table import EventTable
 from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
@@ -100,23 +112,30 @@ def connect(
 class Session:
     """A connected module's handle: fluent queries, updates, snapshots."""
 
-    __slots__ = ("_warehouse", "_snapshots", "_closed")
+    __slots__ = ("_warehouse", "_snapshots", "_closed", "_lock")
 
     def __init__(self, warehouse: Warehouse) -> None:
         self._warehouse = warehouse
         self._snapshots: list[Snapshot] = []
         self._closed = False
+        # Guards the snapshot registry and the closed flag (queries and
+        # updates synchronize on the warehouse's own locks instead).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release snapshots and the warehouse handle; idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        for snapshot in list(self._snapshots):
+        """Release snapshots and the warehouse handle; idempotent.
+
+        Safe to race: exactly one thread performs the shutdown."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            snapshots = list(self._snapshots)
+        for snapshot in snapshots:
             snapshot.close()
         self._warehouse.close()
 
@@ -185,14 +204,24 @@ class Session:
         """
         self._check_open()
         snapshot = Snapshot(self, self._warehouse.pin())
-        self._snapshots.append(snapshot)
+        with self._lock:
+            doomed = self._closed
+            if not doomed:
+                self._snapshots.append(snapshot)
+        if doomed:
+            # Lost a race with close(): do not leak the pin.  Closing
+            # happens outside the session lock — Snapshot.close()
+            # re-enters it via _forget_snapshot.
+            snapshot.close()
+            raise SessionClosedError("session is closed")
         return snapshot
 
     def _forget_snapshot(self, snapshot: "Snapshot") -> None:
-        try:
-            self._snapshots.remove(snapshot)
-        except ValueError:
-            pass
+        with self._lock:
+            try:
+                self._snapshots.remove(snapshot)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # Updates
@@ -281,12 +310,13 @@ class Snapshot:
 
     Queries stream lazily exactly like session queries, but against the
     pinned document generation: commits made after the pin — by this
-    session or any writer on the same handle — are invisible here.  The
-    snapshot owns a small private plan cache (statistics of the pinned
-    tree), built lazily on first query.
+    session or any writer on the same handle — are invisible here.
+    Evaluation shares the warehouse engine (plan cache, Shannon memo);
+    the engine keeps a frozen per-root walk and condition index for the
+    pinned generation, dropped when the last pin on it is released.
     """
 
-    __slots__ = ("_session", "_pin", "_config", "_engine", "_closed")
+    __slots__ = ("_session", "_pin", "_config", "_closed")
 
     def __init__(self, session: Session, pin: DocumentPin) -> None:
         self._session = session
@@ -294,7 +324,6 @@ class Snapshot:
         # Captured at pin time: the snapshot keeps the handle's match
         # semantics even if read after the session starts closing down.
         self._config = session._warehouse._match_config
-        self._engine: QueryEngine | None = None
         self._closed = False
 
     @property
@@ -315,23 +344,26 @@ class Snapshot:
 
     def _iter_context(self):
         # Already pinned for the snapshot's whole lifetime — no
-        # per-iteration pin (release is None).
+        # per-iteration pin (release is None).  The warehouse engine is
+        # shared: its per-root view of the pinned generation is frozen
+        # (copy-on-write), and its caches are thread-safe.
         self._check_open()
-        if self._engine is None:
-            document = self._pin.document
-            self._engine = QueryEngine(lambda: document.root)
-        return self._pin.document, self._engine, self._config, None
+        return (
+            self._pin.document,
+            self._session._warehouse._engine,
+            self._config,
+            None,
+        )
 
     def _provenance(self, event: str) -> dict | None:
         self._check_open()
         return self._session._warehouse.provenance(event)
 
     def close(self) -> None:
-        """Release the pin; idempotent.  Queries afterwards raise."""
-        if self._closed:
-            return
+        """Release the pin; idempotent and race-safe.  Queries raise
+        afterwards."""
         self._closed = True
-        self._pin.release()
+        self._pin.release()  # pin release is itself idempotent
         self._session._forget_snapshot(self)
 
     @property

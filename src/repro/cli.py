@@ -13,9 +13,17 @@ architecture::
     python -m repro simplify WH
     python -m repro compact WH                        # fold the WAL into a snapshot
     python -m repro stats WH                          # includes WAL depth/bytes
+    python -m repro serve-stats WH                    # serving-side counters
     python -m repro history WH --tail 10
     python -m repro worlds WH                         # enumerate (small docs)
     python -m repro estimate WH '//email' --samples 2000
+
+``query``, ``update`` and ``serve-stats`` are collection-aware: when
+the path holds a collection (``repro.connect_collection``), queries fan
+out across every document (rows prefixed with their document key, a
+``--limit`` short-circuiting the fan-out), updates route to the
+document named by ``--doc``, and serve-stats aggregates per-shard
+serving counters.
 
 Every command exits 0 on success; errors print a clean one-line message
 on stderr (no traceback) with a distinct exit code per family:
@@ -36,6 +44,7 @@ import sys
 from pathlib import Path
 
 from repro.api import connect
+from repro.serve import Collection, connect_collection
 from repro.core.montecarlo import estimate_query
 from repro.core.semantics import to_possible_worlds
 from repro.errors import (
@@ -122,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument(
         "--confidence", type=float, default=None, help="override the confidence"
     )
+    update.add_argument(
+        "--doc",
+        default=None,
+        help="document key to route to (required when PATH is a collection)",
+    )
 
     simplify = commands.add_parser("simplify", help="run fuzzy data simplification")
     simplify.add_argument("path", type=Path)
@@ -133,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser("stats", help="document and log statistics")
     stats.add_argument("path", type=Path)
+
+    serve_stats = commands.add_parser(
+        "serve-stats",
+        help="serving-side counters (read sessions, caches, WAL; "
+        "per-document for collections)",
+    )
+    serve_stats.add_argument("path", type=Path)
 
     history = commands.add_parser("history", help="show the transaction log")
     history.add_argument("path", type=Path)
@@ -173,6 +194,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "simplify": _cmd_simplify,
         "compact": _cmd_compact,
         "stats": _cmd_stats,
+        "serve-stats": _cmd_serve_stats,
         "history": _cmd_history,
         "worlds": _cmd_worlds,
         "estimate": _cmd_estimate,
@@ -206,6 +228,8 @@ def _parse_pattern_arg(text: str) -> Pattern:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     pattern = _parse_pattern_arg(args.pattern)
+    if Collection.is_collection(args.path):
+        return _cmd_query_collection(args, pattern)
     empty = True
     with connect(args.path) as session:
         results = session.query(pattern, planner=not args.no_planner)
@@ -237,6 +261,50 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_collection(args: argparse.Namespace, pattern: Pattern) -> int:
+    """Fan a query out across every document of a collection.
+
+    Rows arrive in deterministic (document, row) order, prefixed with
+    their document key; ``--limit`` is pushed into every shard and
+    short-circuits the fan-out.  ``--stream`` is implied (cross-shard
+    answer aggregation is meaningless: independent event tables), and
+    without it ranked per-document answers are printed instead.
+    """
+    empty = True
+    with connect_collection(args.path) as collection:
+        results = collection.query(pattern)
+        if args.limit is not None:
+            results = results.limit(args.limit)
+        if args.stream:
+            for row in results:
+                empty = False
+                if args.xml:
+                    print(f"<!-- {row.document}: P = {row.probability:.6f} -->")
+                    print(plain_to_string(row.tree))
+                else:
+                    print(
+                        f"{row.document}  {row.probability:.6f}  "
+                        f"{row.tree.canonical()}"
+                    )
+        else:
+            merged = results.answers()
+            if args.limit is not None:
+                merged = merged[: args.limit]
+            for key, answer in merged:
+                empty = False
+                if args.xml:
+                    print(f"<!-- {key}: P = {answer.probability:.6f} -->")
+                    print(plain_to_string(answer.tree))
+                else:
+                    print(
+                        f"{key}  {answer.probability:.6f}  "
+                        f"{answer.tree.canonical()}"
+                    )
+    if empty:
+        print("(no answers)")
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     pattern = _parse_pattern_arg(args.pattern)
     with connect(args.path) as session:
@@ -245,12 +313,26 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.updates.transaction import TransactionBatch
     from repro.xmlio.xupdate import updates_from_string
 
     text = args.xupdate.read_text(encoding="utf-8")
     parsed = updates_from_string(text)
-    with connect(args.path) as session:
+    with ExitStack() as stack:
+        if Collection.is_collection(args.path):
+            if args.doc is None:
+                raise ReproError(
+                    f"{args.path} is a collection: route the update with "
+                    "--doc KEY"
+                )
+            collection = stack.enter_context(connect_collection(args.path))
+            session = collection.document(args.doc)
+        else:
+            if args.doc is not None:
+                raise ReproError("--doc only applies to collections")
+            session = stack.enter_context(connect(args.path))
         if isinstance(parsed, TransactionBatch):
             reports = session.update_many(parsed, confidence=args.confidence)
             print(
@@ -296,6 +378,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     with connect(args.path) as session:
         for key, value in session.stats().items():
             print(f"{key}: {value}")
+    return 0
+
+
+#: The serving-side counters serve-stats surfaces, in display order.
+_SERVE_KEYS = (
+    "sequence",
+    "nodes",
+    "declared_events",
+    "read_sessions",
+    "wal_depth",
+    "wal_bytes",
+    "shannon_cache_entries",
+    "shannon_cache_hits",
+    "shannon_cache_misses",
+)
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    if Collection.is_collection(args.path):
+        with connect_collection(args.path) as collection:
+            info = collection.stats()
+        print(f"collection: {args.path}  documents: {info['document_count']}")
+        pool = info["pool"]
+        print(
+            f"pool: {pool['workers']} workers  "
+            f"active: {pool['active_tasks']}  "
+            f"submitted: {pool['submitted_tasks']}"
+        )
+        totals = info["totals"]
+        print(
+            f"totals: nodes: {totals['nodes']}  "
+            f"events: {totals['declared_events']}  "
+            f"commits: {totals['sequence']}  "
+            f"read sessions: {totals['read_sessions']}"
+        )
+        for key, document in info["documents"].items():
+            values = "  ".join(f"{name}: {document[name]}" for name in _SERVE_KEYS)
+            print(f"  {key}: {values}")
+        return 0
+    with connect(args.path) as session:
+        info = session.stats()
+    print(f"warehouse: {args.path}")
+    for name in _SERVE_KEYS:
+        print(f"{name}: {info[name]}")
     return 0
 
 

@@ -322,8 +322,14 @@ def iter_query_rows(
         replace(config, honor_negation=False) if pattern.has_negation() else config
     )
     if engine is not None:
-        matches = engine.iter_matches(pattern, structural_config)
-        index = engine.condition_index()
+        # The engine is told which root to evaluate — *fuzzy*'s own —
+        # rather than whatever its provider currently points at: a
+        # concurrent commit may swap the live document (copy-on-write)
+        # between the caller pinning this generation and the first row
+        # being pulled, and evaluating the new root against the pinned
+        # tree would tear the read.
+        matches = engine.iter_matches(pattern, structural_config, root=fuzzy.root)
+        index = engine.condition_index(fuzzy.root)
         cache = engine.shannon
     else:
         matches = iter(find_matches(pattern, fuzzy.root, structural_config))
@@ -406,8 +412,10 @@ def query_fuzzy_tree(
         replace(config, honor_negation=False) if pattern.has_negation() else config
     )
     if engine is not None:
-        matches = engine.iter_matches(pattern, structural_config)
-        index = engine.condition_index()
+        # Evaluate against *fuzzy*'s root explicitly (see
+        # iter_query_rows: the provider's live root may have moved on).
+        matches = engine.iter_matches(pattern, structural_config, root=fuzzy.root)
+        index = engine.condition_index(fuzzy.root)
         cache = engine.shannon
     else:
         matches = find_matches(pattern, fuzzy.root, structural_config, plan=plan)

@@ -19,11 +19,37 @@ database optimizer does:
 :class:`QueryEngine` ties them together for a long-lived document (the
 warehouse holds one per open handle); the one-shot path is
 ``find_matches(pattern, root, plan="auto")``.
+
+Thread safety (the serving layer's contract)
+--------------------------------------------
+A :class:`QueryEngine` may be shared by many reader threads and one
+writer thread (the single-writer / multi-reader shape of the
+warehouse).  Every mutable structure is protected:
+
+* planning, statistics maintenance and walk/index construction happen
+  under the engine's internal re-entrant lock;
+* the :class:`~repro.engine.cache.PlanCache` and the
+  :class:`~repro.events.dnf.ShannonCache` carry their own internal
+  locks (they are hit from outside the engine lock);
+* the document walk (interval numbering + label index) and the
+  ancestor-condition index are **per-root views**: immutable once
+  built for a pinned (frozen) generation, so match enumeration and
+  condition lookups run lock-free after the initial, locked
+  construction.  Only the *live* root's view is ever patched (by
+  commit deltas, under the lock).
+
+Pinned generations are frozen by the warehouse's copy-on-write
+contract, so their views can never go stale; the warehouse calls
+:meth:`QueryEngine.forget_root` when the last pin on a generation is
+released, and a small LRU bound caps the registry for other callers.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 
 from repro.core.fuzzy_tree import FuzzyNode
 from repro.engine.cache import PlanCache
@@ -72,6 +98,27 @@ __all__ = [
 ]
 
 
+class _RootView:
+    """Executor state bound to one root object (one document generation).
+
+    Holds a strong reference to the root: the registry key is
+    ``id(root)``, and the reference guarantees the id can never be
+    recycled by an unrelated object while the view is registered (a
+    recycled id served a stale walk or — worse — a stale closed
+    condition).
+    """
+
+    __slots__ = ("root", "version", "intervals", "conditions")
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        #: Statistics version the walk was built at — only meaningful
+        #: for the *live* root (frozen roots never change again).
+        self.version: int | None = None
+        self.intervals: _Intervals | None = None
+        self.conditions: AncestorConditionIndex | None = None
+
+
 class QueryEngine:
     """Planner + plan cache bound to one (mutable) document.
 
@@ -81,10 +128,19 @@ class QueryEngine:
         Zero-argument callable returning the document's current root.
     cache_capacity:
         Maximum number of cached plans (LRU eviction beyond it).
+    max_root_views:
+        Maximum number of per-root walk/index views kept at once (the
+        live root plus recently used pinned generations).  Views for
+        released generations are dropped eagerly by
+        :meth:`forget_root`; the bound is a backstop for callers that
+        never release.
     """
 
     def __init__(
-        self, root_provider: Callable[[], Node], cache_capacity: int = 128
+        self,
+        root_provider: Callable[[], Node],
+        cache_capacity: int = 128,
+        max_root_views: int = 8,
     ) -> None:
         self.stats = DocumentStats(root_provider)
         self.cache = PlanCache(cache_capacity)
@@ -95,49 +151,101 @@ class QueryEngine:
         # across queries until a probability actually changes.
         self.shannon = ShannonCache()
         self._root_provider = root_provider
-        # The executor's document walk (interval numbering + label
-        # index), reused across executions until the stats version or
-        # the root object changes.
-        self._walk: tuple[int, int, _Intervals] | None = None
-        # Per-node closed conditions (self ∧ ancestors), built during
-        # the same walk and patched incrementally by commit deltas.
-        self._conditions: AncestorConditionIndex | None = None
+        # Serializes planning, statistics maintenance and per-root view
+        # construction.  Match enumeration itself runs outside the lock
+        # on the immutable Plan/_Intervals objects it captured.
+        self._lock = threading.RLock()
+        # Per-root executor views, keyed by root identity (see
+        # _RootView for why entries hold the root strongly).  Insertion
+        # order doubles as LRU order.
+        self._views: OrderedDict[int, _RootView] = OrderedDict()
+        self._max_root_views = max(1, max_root_views)
+
+    # ------------------------------------------------------------------
+    # Invalidation / incremental maintenance
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def mutating(self):
+        """Hold the engine lock across an in-place document mutation.
+
+        The warehouse wraps every mutation of the live tree in this
+        guard: a concurrent reader whose statistics snapshot was
+        dropped (``invalidate`` or a non-maintainable delta) recollects
+        by walking the provider's *live* root under the engine lock,
+        and without the guard that walk would race the mutation and
+        cache torn statistics.  Lock ordering stays acyclic: writers
+        take write lock → engine lock; readers take the engine lock
+        alone (their snapshot pins are acquired before any engine
+        work).
+        """
+        with self._lock:
+            yield
 
     def invalidate(self) -> None:
         """Tell the engine the document changed (stats version bump).
 
         Cached plans for older versions stop being served immediately
         (the version is part of the cache key) and age out by LRU.  The
-        ancestor-condition index and the Shannon memo are dropped too:
-        an untracked mutation may have rewritten conditions or event
+        per-root views and the Shannon memo are dropped too: an
+        untracked mutation may have rewritten conditions or event
         probabilities behind the engine's back.
         """
-        self.stats.invalidate()
-        self._walk = None
-        self._conditions = None
-        self.shannon.clear()
+        with self._lock:
+            self.stats.invalidate()
+            self._views.clear()
+            self.shannon.clear()
 
     def apply_delta(self, delta: StatsDelta | None) -> None:
         """Fold a commit's structural delta into the engine state.
 
         The statistics adjust in place (no full re-walk) and the
         version bumps only when the document actually changed, so plans
-        cached for an untouched document keep being served.  The
-        ancestor-condition index is *patched* from the delta's subtree
-        records rather than rebuilt (updates only attach/detach
-        subtrees — kept nodes keep their conditions).  The Shannon memo
-        survives as-is: its entries are keyed by the event table's
+        cached for an untouched document keep being served.  Only the
+        **live** root's view is touched: its walk is dropped (interval
+        numbering is positional) and its ancestor-condition index is
+        *patched* from the delta's subtree records rather than rebuilt
+        (updates only attach/detach subtrees — kept nodes keep their
+        conditions).  Views of pinned generations are frozen by the
+        copy-on-write contract and stay valid as they are.  The Shannon
+        memo survives as-is: its entries are keyed by the event table's
         probability generation, which structural deltas cannot change.
         ``None`` degrades to a full :meth:`invalidate`.
         """
         if delta is None:
             self.invalidate()
             return
-        self.stats.apply_delta(delta)
-        if not delta.is_empty:
-            self._walk = None
-            if self._conditions is not None:
-                self._conditions.apply_changes(delta.subtree_changes)
+        with self._lock:
+            self.stats.apply_delta(delta)
+            if delta.is_empty:
+                return
+            live = self._root_provider()
+            view = self._views.get(id(live))
+            if view is not None and view.root is live:
+                view.intervals = None
+                view.version = None
+                if view.conditions is not None:
+                    view.conditions.apply_changes(delta.subtree_changes)
+
+    def forget_root(self, root: Node) -> None:
+        """Drop the per-root view for *root* (a released pinned generation).
+
+        Called by the warehouse when the last snapshot pin on a
+        document generation is released; idempotent, and a no-op for
+        the live root.
+        """
+        with self._lock:
+            view = self._views.get(id(root))
+            if (
+                view is not None
+                and view.root is root
+                and root is not self._root_provider()
+            ):
+                del self._views[id(root)]
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
 
     def plan_for(self, pattern: Pattern) -> Plan:
         """The cached or freshly built plan for *pattern* on the current stats.
@@ -146,64 +254,124 @@ class QueryEngine:
         structurally identical — object than *pattern*; matches map the
         *plan's* pattern nodes.
         """
-        fingerprint = pattern_fingerprint(pattern)
-        version = self.stats.version
-        plan = self.cache.get(fingerprint, version)
-        if plan is None:
-            plan = build_plan(pattern, self.stats.current(), version)
-            self.cache.put(plan)
-        return plan
+        with self._lock:
+            fingerprint = pattern_fingerprint(pattern)
+            version = self.stats.version
+            plan = self.cache.get(fingerprint, version)
+            if plan is None:
+                plan = build_plan(pattern, self.stats.current(), version)
+                self.cache.put(plan)
+            return plan
 
-    def _current_walk(self, root: Node) -> _Intervals:
-        version = self.stats.version
-        if (
-            self._walk is None
-            or self._walk[0] != version
-            or self._walk[1] != id(root)
-        ):
-            observer = None
-            if isinstance(root, FuzzyNode) and (
-                self._conditions is None or self._conditions.root_id != id(root)
-            ):
-                # Build the ancestor-condition index inside the same
-                # single pass the interval numbering makes.
-                index = AncestorConditionIndex(id(root))
-                observer = index.observe
-            self._walk = (version, id(root), _Intervals(root, observer))
-            if observer is not None:
-                self._conditions = index
-        return self._walk[2]
+    # ------------------------------------------------------------------
+    # Per-root views
+    # ------------------------------------------------------------------
 
-    def condition_index(self) -> AncestorConditionIndex | None:
-        """The ancestor-condition index for the current document.
+    def _view(self, root: Node) -> _RootView:
+        """The (LRU-refreshed) view for *root*; caller holds the lock."""
+        key = id(root)
+        view = self._views.get(key)
+        if view is None or view.root is not root:
+            view = _RootView(root)
+            self._views[key] = view
+        self._views.move_to_end(key)
+        live = self._root_provider()
+        while len(self._views) > self._max_root_views:
+            for old_key, old_view in self._views.items():
+                if old_view.root is not live:
+                    del self._views[old_key]
+                    break
+            else:
+                break  # only the live root is registered; keep it
+        return view
+
+    def _intervals_for(self, root: Node) -> _Intervals:
+        """The document walk for *root* (building it unlocked if stale).
+
+        The walk of the live root is version-checked (in-place commits
+        renumber it); walks of pinned generations are frozen and valid
+        forever.  Building the walk for a fuzzy root whose condition
+        index is also missing fuses the index construction into the
+        same single pass.
+
+        The O(n) construction runs **outside** the engine lock so a
+        writer's ``apply_delta`` never queues behind a reader's
+        rebuild — the tail-latency killer of the serving shape.  This
+        is safe because the engine's callers always evaluate a root
+        they hold a snapshot pin on (or run single-threaded): the tree
+        being walked is frozen by the warehouse's copy-on-write
+        contract for as long as the pin lives.  Two racing builders do
+        duplicate work; installation under the lock is idempotent.
+        """
+        with self._lock:
+            view = self._view(root)
+            live = root is self._root_provider()
+            version = self.stats.version
+            if view.intervals is not None and (not live or view.version == version):
+                return view.intervals
+            need_index = isinstance(root, FuzzyNode) and view.conditions is None
+        index = AncestorConditionIndex(id(root)) if need_index else None
+        # Chunked construction: yield the GIL periodically so a
+        # committing writer never waits out a full O(n) rebuild burst.
+        intervals = _Intervals(
+            root,
+            index.observe if index is not None else None,
+            yield_every=256,
+        )
+        with self._lock:
+            view = self._view(root)  # may have been evicted meanwhile
+            view.intervals = intervals
+            # If the root was live when we sampled the version and a
+            # commit landed during the build, copy-on-write made it a
+            # frozen generation (roots never become live again), so the
+            # sampled version is only consulted while it is still
+            # accurate.
+            view.version = version
+            if index is not None and view.conditions is None:
+                view.conditions = index
+            return intervals
+
+    def condition_index(self, root: Node | None = None) -> AncestorConditionIndex | None:
+        """The ancestor-condition index for *root* (default: the live root).
 
         Returns None for plain (non-fuzzy) documents.  The index is
         built inside the engine's single document walk when possible
-        and patched by commit deltas afterwards, so between commits the
-        lookup is a per-node dict hit.  A copy-on-write root swap (a
-        writer detaching pinned readers) is detected by root identity
-        and triggers a rebuild.
+        and patched by commit deltas afterwards (live root) or frozen
+        by copy-on-write (pinned roots), so between commits the lookup
+        is a per-node dict hit.  Like the walk, a stale index is
+        rebuilt outside the engine lock (the caller pins the root).
         """
-        root = self._root_provider()
-        index = self._conditions
-        if index is not None and index.root_id == id(root):
-            return index
-        if not isinstance(root, FuzzyNode):
-            return None
+        with self._lock:
+            if root is None:
+                root = self._root_provider()
+            if not isinstance(root, FuzzyNode):
+                return None
+            view = self._view(root)
+            if view.conditions is not None:
+                return view.conditions
         # Fuse the build into the document walk when that is stale too;
         # otherwise (fresh walk, stale index) build standalone.
-        self._current_walk(root)
-        index = self._conditions
-        if index is not None and index.root_id == id(root):
-            return index
+        self._intervals_for(root)
+        with self._lock:
+            view = self._view(root)
+            if view.conditions is not None:
+                return view.conditions
         index = AncestorConditionIndex.build(root)
-        self._conditions = index
-        return index
+        with self._lock:
+            view = self._view(root)
+            if view.conditions is None:
+                view.conditions = index
+            return view.conditions
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def iter_matches(
         self,
         pattern: Pattern,
         config: MatchConfig = DEFAULT_CONFIG,
+        root: Node | None = None,
     ) -> "Iterator[Match]":
         """Plan (with caching) and stream matches for *pattern* lazily.
 
@@ -214,18 +382,29 @@ class QueryEngine:
         it).  Yielded matches are keyed by *pattern*'s own nodes even
         when the plan was cached from an earlier, structurally
         identical pattern object.
+
+        *root*, when given, evaluates against that root object instead
+        of the provider's current one — this is how pinned snapshot
+        readers stay on their frozen generation while the live document
+        moves on.  Planning and walk construction happen under the
+        engine lock; the enumeration itself runs lock-free on the
+        captured immutable plan and walk.
         """
-        plan = self.plan_for(pattern)
-        root = self._root_provider()
-        matches = iter_plan(
-            plan, root, config, intervals=self._current_walk(root)
-        )
+        with self._lock:
+            plan = self.plan_for(pattern)
+            if root is None:
+                root = self._root_provider()
+        intervals = self._intervals_for(root)
+        matches = iter_plan(plan, root, config, intervals=intervals)
         # plan_for keyed the cache by this pattern's fingerprint, so
         # the shapes are identical; re-key onto the caller's nodes.
         yield from iter_rekeyed(plan, pattern, matches)
 
     def find_matches(
-        self, pattern: Pattern, config: MatchConfig = DEFAULT_CONFIG
+        self,
+        pattern: Pattern,
+        config: MatchConfig = DEFAULT_CONFIG,
+        root: Node | None = None,
     ) -> list[Match]:
         """Plan (with caching) and execute *pattern* on the current document.
 
@@ -233,12 +412,13 @@ class QueryEngine:
         when the plan was cached from an earlier, structurally
         identical pattern object.
         """
-        return list(self.iter_matches(pattern, config))
+        return list(self.iter_matches(pattern, config, root=root))
 
     def explain(self, pattern: Pattern) -> str:
         """Human-readable plan plus the statistics that priced it."""
-        plan = self.plan_for(pattern)
-        stats = self.stats.current()
+        with self._lock:
+            plan = self.plan_for(pattern)
+            stats = self.stats.current()
         lines = ["statistics:"]
         for key, value in stats.as_dict().items():
             lines.append(f"  {key}: {value}")

@@ -9,10 +9,16 @@ stale statistics age out naturally instead of being served wrong.
 
 Mirrors the ``TreePatternCache`` idea from the treematcher exemplar in
 SNIPPETS.md, specialised to plans and bounded by LRU eviction.
+
+Thread safety: all operations are serialized by an internal lock (the
+LRU reordering of :class:`~collections.OrderedDict` is not safe under
+concurrent access), so the cache may be shared by the serving layer's
+reader threads; cached :class:`Plan` objects are immutable.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.analysis.instrumentation import counters
@@ -24,19 +30,21 @@ __all__ = ["PlanCache"]
 class PlanCache:
     """A bounded LRU map from (fingerprint, stats version) to :class:`Plan`."""
 
-    __slots__ = ("_capacity", "_entries", "hits", "misses", "evictions")
+    __slots__ = ("_capacity", "_entries", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: OrderedDict[tuple[str, int], Plan] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def capacity(self) -> int:
@@ -45,37 +53,44 @@ class PlanCache:
     def get(self, fingerprint: str, stats_version: int) -> Plan | None:
         """The cached plan for the key, refreshing its LRU position."""
         key = (fingerprint, stats_version)
-        plan = self._entries.get(key)
-        if plan is None:
-            self.misses += 1
-            counters.incr("engine.plan_cache_misses")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                counters.incr("engine.plan_cache_misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
         counters.incr("engine.plan_cache_hits")
         return plan
 
     def put(self, plan: Plan) -> None:
         """Insert *plan* under its own (fingerprint, stats version) key."""
         key = (plan.fingerprint, plan.stats_version)
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        evictions = 0
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evictions += 1
+        for _ in range(evictions):
             counters.incr("engine.plan_cache_evictions")
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "capacity": self._capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from itertools import islice
+from time import sleep as _sleep
 
 from repro.analysis.instrumentation import counters
 from repro.engine.planner import Plan
@@ -78,11 +79,19 @@ class _Intervals:
     numbers the tree *and* collects the node list and the label index
     the scan operators draw from, so executing a plan walks the
     document exactly once (the fixed matcher walks it twice).
+
+    *yield_every*, when set, cooperatively yields the GIL every that
+    many visited nodes (``time.sleep(0)``): the serving layer rebuilds
+    walks on reader threads after commits, and an uninterruptible O(n)
+    pass would otherwise hold the GIL for milliseconds at a time —
+    exactly the burst that lands in a concurrent writer's p99 commit
+    latency.  The cost is one no-op syscall per chunk; leave it None
+    for single-threaded callers.
     """
 
     __slots__ = ("enter", "exit", "all_nodes", "label_index")
 
-    def __init__(self, root: Node, observer=None) -> None:
+    def __init__(self, root: Node, observer=None, yield_every: int | None = None) -> None:
         self.enter: dict[int, int] = {}
         self.exit: dict[int, int] = {}
         self.all_nodes: list[Node] = []
@@ -104,6 +113,8 @@ class _Intervals:
             nonlocal clock
             enter[id(node)] = clock
             clock += 1
+            if yield_every is not None and clock % yield_every == 0:
+                _sleep(0)  # let a waiting writer slip in
             all_nodes.append(node)
             if observer is not None:
                 observer(node)

@@ -38,6 +38,7 @@ probability fast path of E12):
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 
 from repro.events.condition import TRUE, Condition
@@ -171,9 +172,15 @@ class ShannonCache:
     answers within a query — and repeated queries in a session — share
     their subexpansions.  ``capacity=0`` means unbounded (used for the
     per-call ephemeral memo when no shared cache is supplied).
+
+    Thread safety: every operation is serialized by an internal lock,
+    so one cache can back concurrent reader threads (the serving
+    layer's shape).  Values are plain floats keyed by immutable
+    tuples; two threads racing to fill the same key compute the same
+    constant, so last-write-wins is harmless.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "_entries", "_lock")
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         if capacity < 0:
@@ -182,34 +189,40 @@ class ShannonCache:
         self.hits = 0
         self.misses = 0
         self._entries: dict[tuple, float] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: tuple) -> float | None:
-        value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
     def put(self, key: tuple, value: float) -> None:
-        entries = self._entries
-        if self.capacity and len(entries) >= self.capacity:
-            entries.pop(next(iter(entries)))
-        entries[key] = value
+        with self._lock:
+            entries = self._entries
+            if self.capacity and len(entries) >= self.capacity:
+                entries.pop(next(iter(entries)))
+            entries[key] = value
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self) -> str:
         return (

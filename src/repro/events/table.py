@@ -183,9 +183,20 @@ class EventTable:
     # ------------------------------------------------------------------
 
     def copy(self) -> "EventTable":
+        """An independent copy carrying the *same* generation stamp.
+
+        The copy assigns every event the same probability, so any
+        cached probability keyed by this table's generation is equally
+        valid against the copy — preserving the stamp keeps shared
+        probability memos warm across the warehouse's copy-on-write
+        document clones.  A later :meth:`remove` on either table draws
+        a fresh stamp from the process-global allocator, so the two
+        tables can never alias after diverging.
+        """
         clone = EventTable()
         clone._probabilities = dict(self._probabilities)
         clone._fresh_counter = self._fresh_counter
+        clone._generation = self._generation
         return clone
 
     def as_dict(self) -> dict[str, float]:

@@ -1,0 +1,442 @@
+"""Multi-document collections: N warehouses served as one store.
+
+The paper's warehouse holds *one* probabilistic document; a real
+deployment holds many (one per entity being tracked — a person, a
+product, a sensor).  A :class:`Collection` is a directory of
+independent warehouses ("shards", one subdirectory per document key)
+served through a shared :class:`~repro.serve.pool.SessionPool`:
+
+* **updates route by document key** — each lands on exactly one shard,
+  serialized by that shard's write lock, so writers on different
+  documents never contend;
+* **queries fan out** — every shard evaluates the pattern on a pool
+  worker, and the merged result streams in deterministic
+  ``(shard, row)`` order (shards in sorted key order, rows in each
+  shard's deterministic match order), with ``limit(n)`` pushed into
+  every shard's streaming protocol *and* short-circuiting the fan-out:
+  once n rows have been emitted, shards that have not started are
+  cancelled.
+
+On disk a collection is::
+
+    my-collection/
+        collection.json      # format marker
+        alice/               # one warehouse per document key
+            document.xml
+            meta.json
+            ...
+        bob/
+            ...
+
+Document keys are directory names and restricted to
+``[A-Za-z0-9._-]`` (no leading dot).  Within one shard every
+guarantee of :class:`~repro.api.session.Session` holds — including
+snapshot-pinned concurrent readers; across shards the documents are
+independent (separate event tables), which is why query results carry
+their shard key and are never merged across documents.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+
+from repro.api.session import Session, connect
+from repro.core.fuzzy_tree import FuzzyTree
+from repro.core.update import UpdateReport
+from repro.errors import QueryError, WarehouseError
+from repro.serve.pool import SessionPool
+from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
+
+__all__ = ["Collection", "CollectionResultSet", "ShardRow", "connect_collection"]
+
+_MANIFEST = "collection.json"
+_FORMAT = "repro-collection-v1"
+_KEY_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9._-]*$")
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not _KEY_RE.match(key):
+        raise WarehouseError(
+            f"invalid document key {key!r}: keys are directory names "
+            "([A-Za-z0-9._-], no leading dot)"
+        )
+    return key
+
+
+def connect_collection(
+    path: str | Path,
+    *,
+    create: bool = False,
+    workers: int | None = None,
+    match_config: MatchConfig = DEFAULT_CONFIG,
+    auto_simplify_factor: float | None = None,
+    snapshot_every: int = 64,
+    wal_bytes_limit: int = 4 * 1024 * 1024,
+    compact_on_close: bool = True,
+) -> "Collection":
+    """Open (or with ``create=True`` initialise) the collection at *path*.
+
+    Every existing shard is opened eagerly — the collection owns each
+    shard's single-writer lock from here to :meth:`Collection.close`.
+    The session keywords apply to every shard it opens or creates.
+    """
+    path = Path(path)
+    manifest = path / _MANIFEST
+    if create:
+        if manifest.exists():
+            raise WarehouseError(f"a collection already exists at {path}")
+        path.mkdir(parents=True, exist_ok=True)
+        manifest.write_text(
+            json.dumps({"format": _FORMAT, "version": 1}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    elif not Collection.is_collection(path):
+        raise WarehouseError(f"no collection at {path} (missing {_MANIFEST})")
+    session_options = {
+        "match_config": match_config,
+        "auto_simplify_factor": auto_simplify_factor,
+        "snapshot_every": snapshot_every,
+        "wal_bytes_limit": wal_bytes_limit,
+        "compact_on_close": compact_on_close,
+    }
+    collection = Collection(path, SessionPool(workers), session_options)
+    try:
+        collection._open_existing()
+    except BaseException:
+        collection.close()
+        raise
+    return collection
+
+
+class ShardRow:
+    """One merged query row: a shard's :class:`~repro.api.results.Row`
+    plus the document key it came from."""
+
+    __slots__ = ("document", "row")
+
+    def __init__(self, document: str, row) -> None:
+        #: The document key of the shard this row matched in.
+        self.document = document
+        #: The underlying per-shard row (probability, tree, bindings…).
+        self.row = row
+
+    @property
+    def probability(self) -> float:
+        return self.row.probability
+
+    @property
+    def tree(self):
+        return self.row.tree
+
+    def bindings(self) -> dict[str, str | None]:
+        return self.row.bindings()
+
+    def explain(self) -> list[dict]:
+        return self.row.explain()
+
+    def __repr__(self) -> str:
+        return f"ShardRow({self.document!r}, {self.row!r})"
+
+
+class CollectionResultSet:
+    """A lazy, re-iterable fan-out query over a collection's shards.
+
+    Immutable like :class:`~repro.api.results.ResultSet`
+    (:meth:`limit` returns a new one).  Iteration submits one task per
+    shard to the collection's pool (bounded concurrency), then yields
+    :class:`ShardRow` objects in deterministic (shard, row) order:
+    shards in sorted key order, each shard's rows in its engine's
+    deterministic match order.  The global limit is pushed into every
+    shard (a shard can contribute at most n of the first n rows) and
+    short-circuits the fan-out: once n rows have been emitted, shard
+    tasks that have not started are cancelled.
+    """
+
+    __slots__ = ("_collection", "_pattern", "_keys", "_limit")
+
+    def __init__(self, collection: "Collection", pattern, keys, limit=None) -> None:
+        self._collection = collection
+        self._pattern = pattern
+        self._keys = keys
+        self._limit = limit
+
+    def limit(self, n: int) -> "CollectionResultSet":
+        """At most *n* merged rows (early termination in every shard)."""
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise QueryError(f"limit must be a non-negative int, got {n!r}")
+        capped = n if self._limit is None else min(self._limit, n)
+        return CollectionResultSet(
+            self._collection, self._pattern, self._keys, capped
+        )
+
+    def __iter__(self):
+        collection = self._collection
+        limit = self._limit
+        if limit == 0:
+            return
+        sessions = [
+            (key, collection.document(key)) for key in self._keys
+        ]
+
+        def run_shard(session: Session):
+            results = session.query(self._pattern)
+            if limit is not None:
+                results = results.limit(limit)
+            return results.all()
+
+        futures = [
+            (key, collection._pool.submit(run_shard, session))
+            for key, session in sessions
+        ]
+        emitted = 0
+        try:
+            for key, future in futures:
+                for row in future.result():
+                    yield ShardRow(key, row)
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+        finally:
+            # Short-circuited (or the consumer stopped pulling): shard
+            # tasks that have not started yet need not run at all.
+            for _key, future in futures:
+                future.cancel()
+
+    def all(self) -> list[ShardRow]:
+        """Materialize every merged row (honoring :meth:`limit`)."""
+        return list(self)
+
+    def first(self) -> ShardRow | None:
+        """The first merged row, short-circuiting the rest."""
+        for row in self.limit(1):
+            return row
+        return None
+
+    def count(self) -> int:
+        """Number of merged rows (honoring :meth:`limit`)."""
+        return sum(1 for _ in self)
+
+    def answers(self) -> list[tuple[str, object]]:
+        """Per-shard ranked answers as ``(document key, FuzzyAnswer)``.
+
+        Aggregation never crosses shards: each document has its own
+        independent event table, so only rows *within* one shard can be
+        disjoined.  Shards are fanned out on the pool exactly like row
+        iteration; results come back in sorted key order, ranked within
+        each shard.  A set limit bounds each shard's streamed prefix.
+        """
+        collection = self._collection
+
+        def run_shard(session: Session):
+            results = session.query(self._pattern)
+            if self._limit is not None:
+                results = results.limit(self._limit)
+            return results.answers()
+
+        futures = [
+            (key, collection._pool.submit(run_shard, collection.document(key)))
+            for key in self._keys
+        ]
+        merged: list[tuple[str, object]] = []
+        for key, future in futures:
+            merged.extend((key, answer) for answer in future.result())
+        return merged
+
+    def __repr__(self) -> str:
+        limit = "" if self._limit is None else f", limit={self._limit}"
+        return (
+            f"CollectionResultSet({str(self._pattern)!r}, "
+            f"{len(self._keys)} shards{limit})"
+        )
+
+
+class Collection:
+    """N independent warehouses served as one store (see module docs)."""
+
+    def __init__(
+        self, path: Path, pool: SessionPool, session_options: dict
+    ) -> None:
+        self._path = Path(path)
+        self._pool = pool
+        self._session_options = dict(session_options)
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def is_collection(path: str | Path) -> bool:
+        """True when *path* holds a collection manifest."""
+        manifest = Path(path) / _MANIFEST
+        try:
+            payload = json.loads(manifest.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return False
+        return isinstance(payload, dict) and payload.get("format") == _FORMAT
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _open_existing(self) -> None:
+        """Open a session on every shard directory found on disk."""
+        for entry in sorted(self._path.iterdir()):
+            if entry.is_dir() and (entry / "document.xml").exists():
+                key = _check_key(entry.name)
+                self._sessions[key] = connect(entry, **self._session_options)
+        self._sessions = dict(sorted(self._sessions.items()))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every shard session and the pool; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+            self._sessions = {}
+        self._pool.shutdown()
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "Collection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WarehouseError("collection is closed")
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """The document keys, sorted (the shard order queries merge in)."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._sessions
+
+    def document(self, key: str) -> Session:
+        """The session serving document *key* (raises on unknown keys)."""
+        self._check_open()
+        with self._lock:
+            try:
+                return self._sessions[key]
+            except KeyError:
+                raise WarehouseError(
+                    f"no document {key!r} in collection {self._path}"
+                ) from None
+
+    def create_document(
+        self,
+        key: str,
+        *,
+        root: str | None = None,
+        document: FuzzyTree | None = None,
+    ) -> Session:
+        """Add a new document under *key* (a fresh shard warehouse).
+
+        Exactly like :func:`repro.connect` with ``create=True``: pass
+        *document* (a :class:`FuzzyTree`) or *root* (the label of an
+        empty document root).
+        """
+        self._check_open()
+        _check_key(key)
+        with self._lock:
+            if key in self._sessions:
+                raise WarehouseError(f"document {key!r} already exists")
+            session = connect(
+                self._path / key,
+                create=True,
+                root=root,
+                document=document,
+                **self._session_options,
+            )
+            self._sessions[key] = session
+            self._sessions = dict(sorted(self._sessions.items()))
+        return session
+
+    # ------------------------------------------------------------------
+    # Updates (routed)
+    # ------------------------------------------------------------------
+
+    def update(
+        self, key: str, transaction, confidence: float | None = None
+    ) -> UpdateReport:
+        """Apply one update to document *key* and commit it durably."""
+        return self.document(key).update(transaction, confidence)
+
+    def update_many(
+        self, key: str, transactions, confidence: float | None = None
+    ) -> list[UpdateReport]:
+        """Apply a batch to document *key* as one commit."""
+        return self.document(key).update_many(transactions, confidence=confidence)
+
+    # ------------------------------------------------------------------
+    # Queries (fanned out)
+    # ------------------------------------------------------------------
+
+    def query(self, query, keys: list[str] | None = None) -> CollectionResultSet:
+        """A lazy fan-out query over every shard (or just *keys*).
+
+        Returns a :class:`CollectionResultSet`; nothing runs until it
+        is iterated.
+        """
+        self._check_open()
+        if keys is None:
+            keys = self.keys()
+        else:
+            keys = list(keys)
+            for key in keys:
+                self.document(key)  # validate early, before the fan-out
+        # Compile once, share across shards: patterns are immutable and
+        # every shard engine re-keys matches onto its own plan anyway.
+        from repro.api.builders import compile_pattern
+
+        return CollectionResultSet(self, compile_pattern(query), keys)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate + per-document statistics and pool accounting."""
+        self._check_open()
+        with self._lock:
+            sessions = dict(self._sessions)
+        documents = {}
+        totals = {"nodes": 0, "declared_events": 0, "read_sessions": 0, "sequence": 0}
+        for key, session in sessions.items():
+            info = session.stats()
+            documents[key] = info
+            for name in totals:
+                totals[name] += info.get(name, 0)
+        return {
+            "documents": documents,
+            "document_count": len(documents),
+            "totals": totals,
+            "pool": self._pool.stats(),
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._sessions)} documents"
+        return f"Collection({self._path}, {state})"

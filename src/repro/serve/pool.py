@@ -1,0 +1,116 @@
+"""A bounded worker pool shared by a collection's shards.
+
+The serving layer's unit of parallelism: a :class:`SessionPool` wraps a
+:class:`~concurrent.futures.ThreadPoolExecutor` with a hard worker
+bound, submission accounting (how many tasks are in flight, how many
+ever ran) and an idempotent shutdown.  One pool serves *all* shards of
+a :class:`~repro.serve.collection.Collection`, so a collection of a
+hundred documents still runs at most ``workers`` concurrent shard
+queries — fan-out is bounded by the pool, not by the shard count.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.errors import WarehouseError
+
+__all__ = ["SessionPool", "default_workers"]
+
+
+def default_workers() -> int:
+    """The default pool width: the machine's cores, clamped to [2, 8].
+
+    Reader work is CPU-bound Python, so very wide pools only add GIL
+    contention; very narrow ones serialize multi-shard fan-out.
+    """
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class SessionPool:
+    """Bounded worker threads executing shard work for a collection.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent worker threads (default
+        :func:`default_workers`).
+
+    The pool is thread-safe; tasks may be submitted from any thread
+    until :meth:`shutdown`.  Worker threads are daemonic-by-executor
+    semantics: :meth:`shutdown` waits for in-flight work.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = default_workers()
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise WarehouseError(f"workers must be an int >= 1, got {workers!r}")
+        self._workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._active = 0
+        self._submitted = 0
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        """The maximum number of concurrent worker threads."""
+        return self._workers
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` on a worker; returns a Future."""
+        with self._lock:
+            if self._closed:
+                raise WarehouseError("session pool is shut down")
+            self._active += 1
+            self._submitted += 1
+        try:
+            future = self._executor.submit(fn, *args, **kwargs)
+        except BaseException:
+            with self._lock:
+                self._active -= 1
+            raise
+        future.add_done_callback(self._task_done)
+        return future
+
+    def _task_done(self, _future: Future) -> None:
+        with self._lock:
+            self._active -= 1
+
+    def stats(self) -> dict:
+        """Pool accounting: worker bound, in-flight and lifetime tasks."""
+        with self._lock:
+            return {
+                "workers": self._workers,
+                "active_tasks": self._active,
+                "submitted_tasks": self._submitted,
+                "closed": self._closed,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (by default) wait for what's running;
+        idempotent."""
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                self._closed = True
+                already = False
+        if not already:
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        info = self.stats()
+        state = "closed" if info["closed"] else f"{info['active_tasks']} active"
+        return f"SessionPool({info['workers']} workers, {state})"

@@ -31,11 +31,31 @@ full-rewrite behaviour (every commit is its own snapshot).
 
 A warehouse handle owns the single-writer lock from open to close; use
 it as a context manager.
+
+Thread safety (the serving layer's contract)
+--------------------------------------------
+One handle may be shared by many threads in a single-writer /
+multi-reader shape:
+
+* the **write path** (update, batch, simplify, compact, close) is
+  serialized by a re-entrant in-process lock — concurrent writers
+  queue, they never interleave a commit;
+* **readers** pin a document generation (:meth:`pin`, taken by the
+  session layer on every iteration) and then run lock-free on the
+  pinned, frozen tree; pin acquisition briefly synchronizes with the
+  write lock so a pin can never observe a half-applied in-place
+  mutation;
+* pin accounting is O(1) counters under a dedicated mutex (not the
+  write lock), so releasing a pin never waits on a commit;
+* the engine's caches carry their own locks (see
+  :mod:`repro.engine`); when the last pin on a superseded generation
+  is released the engine's per-root view for it is dropped eagerly.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import warnings
 from pathlib import Path
 
@@ -150,9 +170,12 @@ class DocumentPin:
         return self._warehouse is None
 
     def release(self) -> None:
-        """Unpin; idempotent.  The warehouse stops copy-on-write for it."""
-        warehouse, self._warehouse = self._warehouse, None
+        """Unpin; idempotent and thread-safe.  The warehouse stops
+        copy-on-write for this generation once its last pin is gone."""
+        warehouse = self._warehouse
         if warehouse is not None:
+            # The warehouse clears self._warehouse under its pin mutex,
+            # so two racing releases decrement the accounting once.
             warehouse._release_pin(self)
 
     def __repr__(self) -> str:
@@ -188,10 +211,18 @@ class Warehouse:
         self._auto_simplify_factor = auto_simplify_factor
         self._baseline_size = document.size()
         self._closed = False
-        # Active snapshot pins (see DocumentPin): the first mutation of
-        # a pinned document generation clones it out from under the
+        # Single-writer serialization for this handle's threads: every
+        # mutating operation (and pin acquisition, which must not
+        # observe a half-applied in-place mutation) holds this lock.
+        self._write_lock = threading.RLock()
+        # Pin accounting (see DocumentPin): O(1) counters keyed by
+        # document identity, guarded by a dedicated mutex so releasing
+        # a pin never waits behind a commit.  The first mutation of a
+        # pinned document generation clones it out from under the
         # readers (copy-on-write).
-        self._pins: list[DocumentPin] = []
+        self._pins_lock = threading.Lock()
+        self._pin_counts: dict[int, int] = {}
+        self._pin_total = 0
         # Cost-based query engine: plans are cached per (pattern
         # fingerprint, stats version); commits feed their structural
         # delta to the engine, which maintains the statistics in place
@@ -289,19 +320,21 @@ class Warehouse:
 
     def close(self) -> None:
         """Fold pending WAL records into a final snapshot (per policy),
-        release the lock; the handle becomes unusable."""
-        if self._closed:
-            return
-        try:
-            if (
-                self._policy.compact_on_close
-                and not self._policy.full_rewrite
-                and (self._commits_since_snapshot > 0 or self._snapshot_due)
-            ):
-                self._write_snapshot()
-        finally:
-            self._storage.release_lock()
-            self._closed = True
+        release the lock; the handle becomes unusable.  Idempotent and
+        safe to race: exactly one thread performs the shutdown."""
+        with self._write_lock:
+            if self._closed:
+                return
+            try:
+                if (
+                    self._policy.compact_on_close
+                    and not self._policy.full_rewrite
+                    and (self._commits_since_snapshot > 0 or self._snapshot_due)
+                ):
+                    self._write_snapshot()
+            finally:
+                self._storage.release_lock()
+                self._closed = True
 
     def __enter__(self) -> "Warehouse":
         return self
@@ -373,15 +406,23 @@ class Warehouse:
         into the engine's streaming protocol, which stops the
         enumeration at the cap); ``planner=False`` falls back to the
         fixed-strategy matcher with the handle's :class:`MatchConfig`.
+
+        Thread safety: the evaluation runs against a pinned generation
+        (released on return), so a concurrent commit copies-on-write
+        instead of mutating the tree under the matcher.
         """
         self._check_open()
         pattern = self._normalize_pattern(pattern)
-        return query_fuzzy_tree(
-            self._document,
-            pattern,
-            self._match_config,
-            engine=self._engine if planner else None,
-        )
+        pin = self.pin()
+        try:
+            return query_fuzzy_tree(
+                pin.document,
+                pattern,
+                self._match_config,
+                engine=self._engine if planner else None,
+            )
+        finally:
+            pin.release()
 
     def _normalize_pattern(self, pattern: str | Pattern) -> Pattern:
         if isinstance(pattern, str):
@@ -402,44 +443,80 @@ class Warehouse:
         mutate the pinned document clones the live document first, so
         the pin's view stays frozen at its commit sequence.  Callers
         must :meth:`DocumentPin.release` when done (the session API's
-        ``snapshot()`` context manager does).
+        ``snapshot()`` context manager and result-set iterators do).
+
+        Thread safety: acquisition synchronizes with the write lock —
+        a commit mutating the live document *in place* (no pins open at
+        its start) must finish before a new pin can capture the tree,
+        so a pin never observes a half-applied mutation.  Everything
+        after acquisition is lock-free reads of the frozen generation.
         """
-        self._check_open()
-        pin = DocumentPin(self, self._document, self._sequence)
-        self._pins.append(pin)
+        with self._write_lock:
+            self._check_open()
+            with self._pins_lock:
+                document = self._document
+                pin = DocumentPin(self, document, self._sequence)
+                key = id(document)
+                self._pin_counts[key] = self._pin_counts.get(key, 0) + 1
+                self._pin_total += 1
         return pin
 
     def _release_pin(self, pin: DocumentPin) -> None:
-        try:
-            self._pins.remove(pin)
-        except ValueError:
-            pass
+        with self._pins_lock:
+            if pin._warehouse is None:
+                return  # racing double-release: first caller won
+            pin._warehouse = None
+            key = id(pin.document)
+            count = self._pin_counts.get(key, 0)
+            generation_over = count <= 1
+            if generation_over:
+                self._pin_counts.pop(key, None)
+            else:
+                self._pin_counts[key] = count - 1
+            self._pin_total -= 1
+            superseded = pin.document is not self._document
+        if generation_over and superseded and not self._closed:
+            # Last pin on a copied-on-write generation: the engine's
+            # per-root view for it can never be read again.
+            self._engine.forget_root(pin.document.root)
 
     @property
     def read_sessions(self) -> int:
         """Number of snapshot pins currently open against this handle."""
-        return len(self._pins)
+        return self._pin_total
 
     def stats(self) -> dict:
-        """Document measurements plus commit/log/WAL counters."""
-        self._check_open()
-        info = fuzzy_stats(self._document).as_dict()
-        info["sequence"] = self._sequence
-        info["log_entries"] = len(self._log.entries())
-        info["snapshot_sequence"] = self._snapshot_sequence
-        info["wal_depth"] = self._commits_since_snapshot
-        info["wal_bytes"] = self._wal.size_bytes()
-        info["read_sessions"] = len(self._pins)
+        """Document measurements plus commit/log/WAL counters.
+
+        The O(n) document walk happens on a pinned generation *outside*
+        the write lock, so a monitoring poll never stalls commits or
+        new pins for the walk's duration.
+        """
+        pin = self.pin()  # also checks the handle is open
+        try:
+            info = fuzzy_stats(pin.document).as_dict()
+            with self._write_lock:
+                self._check_open()
+                info["sequence"] = self._sequence
+                info["log_entries"] = len(self._log.entries())
+                info["snapshot_sequence"] = self._snapshot_sequence
+                info["wal_depth"] = self._commits_since_snapshot
+                info["wal_bytes"] = self._wal.size_bytes()
+                # Exclude the pin this very call holds for its walk.
+                info["read_sessions"] = self._pin_total - 1
+        finally:
+            pin.release()
         shannon = self._engine.shannon.stats()
         info["shannon_cache_entries"] = shannon["entries"]
-        info["shannon_cache_hits"] = shannon["hits"]
         info["shannon_cache_misses"] = shannon["misses"]
+        info["shannon_cache_hits"] = shannon["hits"]
         return info
 
     def history(self) -> list[dict]:
         """The audit log, oldest first."""
-        self._check_open()
-        return self._log.entries()
+        with self._write_lock:
+            self._check_open()
+            return self._log.entries()
 
     # ------------------------------------------------------------------
     # Provenance
@@ -454,8 +531,10 @@ class Warehouse:
         returned, augmented with the batch entry's sequence and
         timestamp.
         """
-        self._check_open()
-        for entry in self._log.entries():
+        with self._write_lock:
+            self._check_open()
+            entries = self._log.entries()
+        for entry in entries:
             kind = entry.get("kind")
             if kind == "update" and entry.get("confidence_event") == event:
                 return entry
@@ -527,35 +606,36 @@ class Warehouse:
         transaction's own confidence (the paper's modules attach their
         confidence at submission time).
         """
-        self._check_open()
-        transaction = self._normalize_transaction(transaction, confidence)
-        delta = StatsDelta()
-        report = self._apply_in_place(
-            lambda: apply_update(
-                self._document, transaction, self._match_config, delta=delta
+        with self._write_lock:
+            self._check_open()
+            transaction = self._normalize_transaction(transaction, confidence)
+            delta = StatsDelta()
+            report = self._apply_in_place(
+                lambda: apply_update(
+                    self._document, transaction, self._match_config, delta=delta
+                )
             )
-        )
-        serialized = transaction_to_string(transaction, indent=False)
-        self._commit(
-            "update",
-            {
-                "transaction": serialized,
-                "confidence": transaction.confidence,
-                "confidence_event": report.confidence_event,
-                "matches": report.matches,
-                "applied": report.applied,
-                "inserted_nodes": report.inserted_nodes,
-                "survivor_copies": report.survivor_copies,
-            },
-            wal_payload={
-                "transaction": serialized,
-                "confidence_event": report.confidence_event,
-                **self._match_semantics(),
-            },
-            delta=delta,
-        )
-        self._maybe_auto_simplify()
-        return report
+            serialized = transaction_to_string(transaction, indent=False)
+            self._commit(
+                "update",
+                {
+                    "transaction": serialized,
+                    "confidence": transaction.confidence,
+                    "confidence_event": report.confidence_event,
+                    "matches": report.matches,
+                    "applied": report.applied,
+                    "inserted_nodes": report.inserted_nodes,
+                    "survivor_copies": report.survivor_copies,
+                },
+                wal_payload={
+                    "transaction": serialized,
+                    "confidence_event": report.confidence_event,
+                    **self._match_semantics(),
+                },
+                delta=delta,
+            )
+            self._maybe_auto_simplify()
+            return report
 
     def update_many(
         self,
@@ -572,45 +652,46 @@ class Warehouse:
         makes high-rate ingestion affordable.  An empty iterable is a
         no-op.
         """
-        self._check_open()
-        members = [
-            self._normalize_transaction(transaction, confidence)
-            for transaction in transactions
-        ]
-        if not members:
-            return []
-        batch = TransactionBatch(members)
-        delta = StatsDelta()
-        reports = self._apply_in_place(
-            lambda: [
-                apply_update(
-                    self._document, transaction, self._match_config, delta=delta
-                )
-                for transaction in batch
+        with self._write_lock:
+            self._check_open()
+            members = [
+                self._normalize_transaction(transaction, confidence)
+                for transaction in transactions
             ]
-        )
-        self._commit(
-            "batch",
-            {
-                "transactions": len(batch),
-                "applied": sum(1 for r in reports if r.applied),
-                "matches": sum(r.matches for r in reports),
-                "inserted_nodes": sum(r.inserted_nodes for r in reports),
-                "survivor_copies": sum(r.survivor_copies for r in reports),
-                "reports": [
-                    _batch_subrecord(transaction, report)
-                    for transaction, report in zip(batch, reports)
-                ],
-            },
-            wal_payload={
-                "batch": batch_to_string(batch, indent=False),
-                "confidence_events": [r.confidence_event for r in reports],
-                **self._match_semantics(),
-            },
-            delta=delta,
-        )
-        self._maybe_auto_simplify()
-        return reports
+            if not members:
+                return []
+            batch = TransactionBatch(members)
+            delta = StatsDelta()
+            reports = self._apply_in_place(
+                lambda: [
+                    apply_update(
+                        self._document, transaction, self._match_config, delta=delta
+                    )
+                    for transaction in batch
+                ]
+            )
+            self._commit(
+                "batch",
+                {
+                    "transactions": len(batch),
+                    "applied": sum(1 for r in reports if r.applied),
+                    "matches": sum(r.matches for r in reports),
+                    "inserted_nodes": sum(r.inserted_nodes for r in reports),
+                    "survivor_copies": sum(r.survivor_copies for r in reports),
+                    "reports": [
+                        _batch_subrecord(transaction, report)
+                        for transaction, report in zip(batch, reports)
+                    ],
+                },
+                wal_payload={
+                    "batch": batch_to_string(batch, indent=False),
+                    "confidence_events": [r.confidence_event for r in reports],
+                    **self._match_semantics(),
+                },
+                delta=delta,
+            )
+            self._maybe_auto_simplify()
+            return reports
 
     def begin_batch(self) -> "WarehouseBatch":
         """A context manager buffering updates into one batched commit.
@@ -632,31 +713,37 @@ class Warehouse:
         Simplification rewrites the document wholesale, so its commit is
         always a fresh snapshot — a natural compaction point.
         """
-        self._check_open()
-        report = self._apply_in_place(lambda: simplify(self._document))
-        self._commit(
-            "simplify",
-            {
-                "nodes_before": report.nodes_before,
-                "nodes_after": report.nodes_after,
-                "merged_siblings": report.merged_siblings,
-                "collected_events": report.collected_events,
-            },
-        )
-        self._baseline_size = max(1, self._document.size())
-        return report
+        with self._write_lock:
+            self._check_open()
+            report = self._apply_in_place(lambda: simplify(self._document))
+            self._commit(
+                "simplify",
+                {
+                    "nodes_before": report.nodes_before,
+                    "nodes_after": report.nodes_after,
+                    "merged_siblings": report.merged_siblings,
+                    "collected_events": report.collected_events,
+                },
+            )
+            self._baseline_size = max(1, self._document.size())
+            return report
 
     def compact(self) -> dict:
         """Fold the WAL into a fresh snapshot now; returns a summary."""
-        self._check_open()
-        folded = self._commits_since_snapshot
-        if folded > 0 or self._snapshot_due or self._snapshot_sequence != self._sequence:
-            self._write_snapshot()
-        return {
-            "sequence": self._sequence,
-            "folded_records": folded,
-            "wal_bytes": self._wal.size_bytes(),
-        }
+        with self._write_lock:
+            self._check_open()
+            folded = self._commits_since_snapshot
+            if (
+                folded > 0
+                or self._snapshot_due
+                or self._snapshot_sequence != self._sequence
+            ):
+                self._write_snapshot()
+            return {
+                "sequence": self._sequence,
+                "folded_records": folded,
+                "wal_bytes": self._wal.size_bytes(),
+            }
 
     def _apply_in_place(self, mutate):
         """Run an in-place document mutation, healing on failure.
@@ -672,7 +759,11 @@ class Warehouse:
         """
         self._detach_pinned_readers()
         try:
-            return mutate()
+            # The engine guard serializes the mutation against a
+            # concurrent reader's statistics recollection, which walks
+            # the live root (see QueryEngine.mutating).
+            with self._engine.mutating():
+                return mutate()
         except BaseException:
             self._snapshot_due = True
             self._engine.invalidate()
@@ -690,8 +781,9 @@ class Warehouse:
         identity on the next query.  Pins taken after the swap see the
         new generation — one clone per pinned generation, not per write.
         """
-        if any(pin.document is self._document for pin in self._pins):
-            self._document = self._document.clone()
+        with self._pins_lock:
+            if self._pin_counts.get(id(self._document), 0):
+                self._document = self._document.clone()
 
     def _match_semantics(self) -> dict:
         """The config fields that change *which* matches an update sees.

@@ -9,6 +9,20 @@ import pytest
 from repro import Condition, EventTable, FuzzyNode, FuzzyTree
 
 
+def pytest_configure(config):
+    # The concurrency stress tests mark themselves with @timeout so a
+    # deadlock fails fast on CI (where pytest-timeout is installed)
+    # instead of hanging the runner.  Locally the plugin may be absent;
+    # register the marker so the tests still run (without enforcement)
+    # rather than warn.
+    if not config.pluginmanager.hasplugin("timeout"):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test after this many seconds "
+            "(enforced by pytest-timeout when installed)",
+        )
+
+
 @pytest.fixture
 def slide12_doc() -> FuzzyTree:
     """The fuzzy tree of slide 12: A { B[w1,¬w2], C { D[w2] } }, w1=0.8 w2=0.7.

@@ -262,12 +262,13 @@ class TestQueryEngine:
         engine = QueryEngine(lambda: doc)
         pattern = parse_pattern("person { name }")
         engine.find_matches(pattern)
-        walk = engine._walk
+        view = engine._views[id(doc)]
+        walk = view.intervals
         assert walk is not None
         engine.find_matches(pattern)
-        assert engine._walk is walk  # document walk reused
+        assert engine._views[id(doc)].intervals is walk  # document walk reused
         engine.invalidate()
-        assert engine._walk is None
+        assert not engine._views
         assert len(engine.find_matches(pattern)) == 3
 
     def test_planner_counters_are_populated(self, doc):
