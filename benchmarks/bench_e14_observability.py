@@ -1,0 +1,343 @@
+"""E14 — observability overhead on the E9 query path.
+
+PR 6 attaches an instrument panel (:mod:`repro.obs`) to the warehouse:
+latency histograms, hierarchical span traces and a slow-query log,
+wired through the engine, the commit pipeline and the session result
+stream.  The overhead contract is that the panel is paid for by the
+people who read it:
+
+* **enabled** (metrics + tracing on) the query path stays within
+  ``E14_MAX_ENABLED_OVERHEAD`` (default **5%**) of the uninstrumented
+  baseline;
+* **disabled** (panel attached, both flags off) within
+  ``E14_MAX_DISABLED_OVERHEAD`` (default **1%**) — hot paths hoist the
+  enabled flags into locals once per operation, so the off switch costs
+  one comparison per query, not one per row.
+
+The measured workload is E9's: a random fuzzy document and a random
+TPWJ query with joins and value tests, evaluated through the session
+streaming path (``session.query(...)`` with every row's lazy
+probability read — the fully instrumented route).  Three warehouses are
+built from the *same* document, differing only in the ``observability``
+argument: ``None`` (baseline), a disabled panel, an enabled panel.
+Rows must agree across all three on every size — instrumentation can
+never change results.
+
+Timing uses the same best-of-N estimator as E11–E13, with the modes
+interleaved inside each repeat so clock drift hits all three equally.
+Overheads are tiny relative to shared-runner noise, so the pytest
+assertions apply to the **best** repeat and the thresholds are
+env-overridable; the CI trajectory gate compares the per-query medians
+(and the enabled/baseline ratio) with its usual 2.5x slack.
+
+Runs both ways::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e14_observability.py \
+        -x -q -o python_files="bench_*.py"
+    PYTHONPATH=src python benchmarks/bench_e14_observability.py [--quick]
+
+The script form needs no pytest plugins (CI smoke uses ``--quick``)
+and always writes machine-readable medians — including the
+``trajectory`` entries the CI benchmark-trajectory gate compares —
+to ``benchmarks/out/BENCH_E14.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import random
+import shutil
+import sys
+import time
+from pathlib import Path
+
+try:
+    from conftest import fmt
+except ImportError:  # script mode: run outside pytest's rootdir sys.path
+    def fmt(value: float, digits: int = 4) -> str:
+        return f"{value:.{digits}g}"
+
+from repro.api import connect
+from repro.obs import Observability
+from repro.trees import RandomTreeConfig
+from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
+
+OUT_DIR = Path(__file__).parent / "out"
+JSON_PATH = OUT_DIR / "BENCH_E14.json"
+
+SIZES = (300, 1200)
+QUICK_SIZES = (300,)
+REPEATS = 5
+QUICK_REPEATS = 3
+ITERATIONS = 60
+QUICK_ITERATIONS = 25
+
+
+def _max_enabled_overhead() -> float:
+    return float(os.environ.get("E14_MAX_ENABLED_OVERHEAD", "0.05"))
+
+
+def _max_disabled_overhead() -> float:
+    return float(os.environ.get("E14_MAX_DISABLED_OVERHEAD", "0.01"))
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+
+
+def build_instances(base: Path, n_nodes: int, seed: int = 11):
+    """Three warehouses on one document, differing only in the panel.
+
+    Returns ``(sessions, pattern)`` where *sessions* maps mode name to
+    an open session: ``baseline`` has no panel at all, ``disabled`` a
+    panel with both flags off, ``enabled`` a fully-on panel (fresh,
+    private — ring buffers and histograms scoped to this run).
+    """
+    rng = random.Random(seed)
+    document = random_fuzzy_tree(
+        rng,
+        FuzzyWorkloadConfig(
+            tree=RandomTreeConfig(
+                max_nodes=n_nodes,
+                min_nodes=max(2, n_nodes // 2),
+                max_children=5,
+                max_depth=7,
+            ),
+            n_events=4,
+        ),
+    )
+    pattern = random_query_for(
+        rng, document.root, max_nodes=5, join_probability=0.8,
+        value_test_probability=0.5,
+    )
+    disabled_panel = Observability()
+    disabled_panel.disable()
+    panels = {
+        "baseline": None,
+        "disabled": disabled_panel,
+        "enabled": Observability(),
+    }
+    sessions = {}
+    for mode, panel in panels.items():
+        path = base / f"e14-{mode}-{n_nodes}"
+        shutil.rmtree(path, ignore_errors=True)
+        sessions[mode] = connect(
+            path, create=True, document=document, observability=panel
+        )
+    return sessions, pattern
+
+
+def _run_query(session, pattern):
+    """One request on the fully instrumented route: stream every row
+    and read its (lazy) probability."""
+    return [
+        (row.tree.canonical(), row.probability)
+        for row in session.query(pattern)
+    ]
+
+
+def _per_query_seconds(session, pattern, iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        _run_query(session, pattern)
+    return (time.perf_counter() - start) / iterations
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+
+def run_overhead(base: Path, sizes, repeats: int, iterations: int):
+    """Rows: [nodes, baseline us, disabled us (+%), enabled us (+%)]."""
+    table_rows = []
+    results = []
+    for n_nodes in sizes:
+        sessions, pattern = build_instances(base, n_nodes)
+        try:
+            # Correctness while timing: identical rows in all modes.
+            reference = _run_query(sessions["baseline"], pattern)
+            for mode in ("disabled", "enabled"):
+                assert _run_query(sessions[mode], pattern) == reference, (
+                    f"{mode} instrumentation changed query results "
+                    f"at {n_nodes} nodes"
+                )
+            best = {mode: float("inf") for mode in sessions}
+            gc.collect()
+            gc.disable()
+            try:
+                for _ in range(repeats):
+                    # Interleaved: drift in one repeat hits every mode.
+                    for mode, session in sessions.items():
+                        best[mode] = min(
+                            best[mode],
+                            _per_query_seconds(session, pattern, iterations),
+                        )
+            finally:
+                gc.enable()
+        finally:
+            for session in sessions.values():
+                session.close()
+        record = {
+            "nodes": n_nodes,
+            "rows": len(reference),
+            "iterations": iterations,
+            "baseline_us": best["baseline"] * 1e6,
+            "disabled_us": best["disabled"] * 1e6,
+            "enabled_us": best["enabled"] * 1e6,
+            "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
+            "enabled_overhead": best["enabled"] / best["baseline"] - 1.0,
+        }
+        results.append(record)
+        table_rows.append(
+            [
+                n_nodes,
+                fmt(record["baseline_us"]),
+                f"{fmt(record['disabled_us'])} "
+                f"({record['disabled_overhead'] * 100:+.1f}%)",
+                f"{fmt(record['enabled_us'])} "
+                f"({record['enabled_overhead'] * 100:+.1f}%)",
+            ]
+        )
+    return table_rows, results
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+_HEADERS = ["nodes", "baseline us", "disabled us", "enabled us"]
+
+
+def _trajectory(records) -> list[dict]:
+    """The medians the CI trajectory gate compares across commits.
+
+    Gated: the per-query medians for all three modes (a planner or
+    streaming regression shows up in every one) and the
+    enabled/baseline *ratio* — the overhead contract itself.  The
+    ratio hovers near 1.0, so the gate's 2.5x slack fires only when
+    instrumentation cost blows up outright.
+    """
+    entries = []
+    for record in records:
+        for mode in ("baseline", "disabled", "enabled"):
+            entries.append(
+                {
+                    "id": f"e14.query_us.{mode}.nodes={record['nodes']}",
+                    "value": record[f"{mode}_us"],
+                    "direction": "lower",
+                }
+            )
+        entries.append(
+            {
+                "id": f"e14.enabled_ratio.nodes={record['nodes']}",
+                "value": record["enabled_us"] / record["baseline_us"],
+                "direction": "lower",
+            }
+        )
+    return entries
+
+
+def write_json(payload: dict) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _run_all(base: Path, sizes, repeats: int, iterations: int, quick: bool):
+    table_rows, records = run_overhead(base, sizes, repeats, iterations)
+    payload = {
+        "experiment": "E14",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "overhead": records,
+        "trajectory": _trajectory(records),
+    }
+    return table_rows, payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+
+
+def test_observability_overhead(report, tmp_path, benchmark):
+    table_rows, payload = benchmark.pedantic(
+        lambda: _run_all(tmp_path, SIZES, REPEATS, ITERATIONS, quick=False),
+        rounds=1,
+    )
+    report.table(
+        "E14  observability overhead on the E9 query path "
+        "(streamed rows + lazy probabilities)",
+        _HEADERS,
+        table_rows,
+    )
+    write_json(payload)
+    at_scale = payload["overhead"][-1]
+    assert at_scale["enabled_overhead"] <= _max_enabled_overhead(), (
+        f"enabled instrumentation cost "
+        f"{at_scale['enabled_overhead'] * 100:.1f}% at "
+        f"{at_scale['nodes']} nodes, over the "
+        f"{_max_enabled_overhead() * 100:.0f}% contract "
+        "(override with E14_MAX_ENABLED_OVERHEAD on noisy runners)"
+    )
+    assert at_scale["disabled_overhead"] <= _max_disabled_overhead(), (
+        f"disabled instrumentation cost "
+        f"{at_scale['disabled_overhead'] * 100:.1f}% at "
+        f"{at_scale['nodes']} nodes, over the "
+        f"{_max_disabled_overhead() * 100:.0f}% contract "
+        "(override with E14_MAX_DISABLED_OVERHEAD on noisy runners)"
+    )
+
+
+# ----------------------------------------------------------------------
+# script entry point
+# ----------------------------------------------------------------------
+
+
+def _print_table(title: str, headers, rows) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(title)
+    print("-" * len(title))
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print()
+
+
+def main(argv=None) -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small size, fewer repeats (CI smoke; no timing assertions)",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else SIZES
+    repeats = QUICK_REPEATS if args.quick else REPEATS
+    iterations = QUICK_ITERATIONS if args.quick else ITERATIONS
+    with tempfile.TemporaryDirectory() as tmp:
+        table_rows, payload = _run_all(
+            Path(tmp), sizes, repeats, iterations, quick=args.quick
+        )
+    _print_table(
+        "E14  observability overhead on the E9 query path "
+        "(streamed rows + lazy probabilities)",
+        _HEADERS,
+        table_rows,
+    )
+    write_json(payload)
+    print(f"machine-readable medians written to {JSON_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

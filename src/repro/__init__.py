@@ -104,6 +104,15 @@ from repro.events import (
     complement_as_disjoint_conditions,
     dnf_probability,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    SlowQueryLog,
+    Tracer,
+    default_observability,
+    render_json,
+    render_prometheus,
+)
 from repro.pworlds import (
     PossibleWorlds,
     World,
@@ -269,4 +278,12 @@ __all__ = [
     "collect_stats",
     "build_plan",
     "execute_plan",
+    # observability
+    "Observability",
+    "MetricsRegistry",
+    "Tracer",
+    "SlowQueryLog",
+    "default_observability",
+    "render_prometheus",
+    "render_json",
 ]

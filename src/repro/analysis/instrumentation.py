@@ -94,9 +94,14 @@ class Counters:
         ``engine.actual_candidates`` — so ``prefixed("engine.")``
         returns the planner's whole dashboard in one call.
         """
+        # Snapshot under the lock: a concurrent incr inserting a new
+        # key mid-iteration would otherwise raise "dictionary changed
+        # size during iteration" in a serving-thread dashboard read.
+        with self._lock:
+            values = dict(self._values)
         return {
             name: value
-            for name, value in sorted(self._values.items())
+            for name, value in sorted(values.items())
             if name.startswith(prefix)
         }
 
@@ -110,7 +115,7 @@ class Counters:
             self.incr(name, time.perf_counter() - start)
 
     def __repr__(self) -> str:
-        body = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.snapshot().items()))
         return f"Counters({body})"
 
 

@@ -19,6 +19,7 @@ the classic probability-ranked, per-answer-tree aggregation of
 from __future__ import annotations
 
 import weakref
+from time import perf_counter
 
 from repro.core.query import (
     FuzzyAnswer,
@@ -48,19 +49,37 @@ class Row:
         The disjoint conditions under which the match holds.
     """
 
-    __slots__ = ("_inner", "_source", "_events")
+    __slots__ = ("_inner", "_source", "_events", "_obs")
 
-    def __init__(self, inner: QueryRow, source, events) -> None:
+    def __init__(self, inner: QueryRow, source, events, obs=None) -> None:
         self._inner = inner
         self._source = source
         # The event table of the document generation this row was
         # computed on — stable even if the source commits (or
         # simplifies events away) after the row was streamed.
         self._events = events
+        # The instrument panel active when the row was streamed, or
+        # None: the lazy probability is timed on its first (and only)
+        # computation.
+        self._obs = obs
 
     @property
     def probability(self) -> float:
-        return self._inner.probability
+        obs = self._obs
+        inner = self._inner
+        if obs is not None and inner._probability is None:
+            t0 = perf_counter()
+            p = inner.probability
+            spent = perf_counter() - t0
+            if obs.metrics.enabled:
+                obs.metrics.observe("query.probability_seconds", spent)
+            if obs.tracer.enabled:
+                # Lands inside the query span while the stream is being
+                # consumed; a no-op if the probability is read after the
+                # trace closed.
+                obs.tracer.emit("probability_evaluation", spent)
+            return p
+        return inner.probability
 
     @property
     def tree(self):
@@ -180,46 +199,146 @@ class ResultSet:
         ``Warehouse.query`` result when no limit is set; with a limit,
         the aggregation covers the streamed prefix only.
         """
-        fuzzy, engine, config, release = self._source._iter_context()
+        fuzzy, engine, config, release, obs = self._source._iter_context()
+        tracing = obs is not None and obs.tracer.enabled
+        metrics = obs is not None and obs.metrics.enabled
+        engine = engine if self._planner else None
+        span = (
+            obs.tracer.start("query", pattern=self._pattern, aggregate=True)
+            if tracing
+            else None
+        )
+        t0 = perf_counter()
+        answers: list[FuzzyAnswer] | None = None
         try:
-            engine = engine if self._planner else None
             if self._limit is None:
                 # No cap: the classic aggregation prices each answer
                 # group once; rows never compute their own probability
                 # (it is lazy), so nothing is paid twice.
-                return query_fuzzy_tree(fuzzy, self._pattern, config, engine=engine)
-            rows = iter_query_rows(
-                fuzzy, self._pattern, config, engine=engine, limit=self._limit
-            )
-            return group_rows(
-                rows,
-                fuzzy.events,
-                cache=engine.shannon if engine is not None else None,
-            )
+                answers = query_fuzzy_tree(
+                    fuzzy, self._pattern, config, engine=engine
+                )
+            else:
+                rows = iter_query_rows(
+                    fuzzy, self._pattern, config, engine=engine, limit=self._limit
+                )
+                answers = group_rows(
+                    rows,
+                    fuzzy.events,
+                    cache=engine.shannon if engine is not None else None,
+                )
+            return answers
         finally:
             if release is not None:
                 release()
+            if span is not None:
+                if answers is not None:
+                    span.attributes["rows"] = len(answers)
+                obs.tracer.finish(span)
+            if metrics:
+                _record_query_metrics(
+                    obs,
+                    self._pattern,
+                    perf_counter() - t0,
+                    len(answers) if answers is not None else 0,
+                    span,
+                    engine,
+                )
 
     def __repr__(self) -> str:
         limit = "" if self._limit is None else f", limit={self._limit}"
         return f"ResultSet({str(self._pattern)!r}{limit})"
 
 
-def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner):
+def _plan_text(engine, pattern) -> str | None:
+    """The chosen plan's rendering for a slow-log entry (None off-plan)."""
+    if engine is None:
+        return None
+    try:
+        return engine.plan_for(pattern).explain()
+    except Exception:
+        # Slow-log capture must never turn a finished query into an
+        # error; a plan that cannot be (re)built just goes unrecorded.
+        return None
+
+
+def _record_query_metrics(obs, pattern, duration, rows, span, engine) -> None:
+    """Fold one finished query into counters, histogram and slow log."""
+    registry = obs.metrics
+    registry.incr("api.queries")
+    registry.observe("api.query_seconds", duration)
+    slowlog = obs.slowlog
+    if slowlog.should_record(duration):
+        registry.incr("api.slow_queries")
+        slowlog.record(
+            str(pattern),
+            duration,
+            rows,
+            phases=span.phase_seconds() if span is not None else None,
+            plan=_plan_text(engine, pattern),
+        )
+
+
+def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs):
     """The row generator behind a :class:`RowStream`.
 
     A module-level function (not a method) so the generator holds no
     reference to the stream object — the stream's weakref finalizer
     must be able to fire while the generator is still referenced by it.
+
+    With instrumentation attached the generator opens a ``query`` span
+    (the engine's plan-cache / plan-build / view-build emits nest under
+    it), accumulates per-pull enumeration time into one
+    ``match_enumeration`` child, and on exhaustion *or* early close
+    records first-row/total latencies, row counts and — past the
+    threshold — a slow-log entry.  Fully disabled, the cost is one
+    flag check per query (the plain loop below).
     """
-    for inner in iter_query_rows(
-        fuzzy,
-        pattern,
-        config,
-        engine=engine if planner else None,
-        limit=limit,
-    ):
-        yield Row(inner, source, fuzzy.events)
+    engine = engine if planner else None
+    tracing = obs is not None and obs.tracer.enabled
+    metrics = obs is not None and obs.metrics.enabled
+    if not tracing and not metrics:
+        for inner in iter_query_rows(
+            fuzzy, pattern, config, engine=engine, limit=limit
+        ):
+            yield Row(inner, source, fuzzy.events)
+        return
+
+    registry = obs.metrics
+    events = fuzzy.events
+    # The pattern rides along as an object: render_span/as_dict
+    # stringify it only when a human actually reads the trace.
+    span = obs.tracer.start("query", pattern=pattern) if tracing else None
+    rows = 0
+    t0 = perf_counter()
+    try:
+        stream = iter_query_rows(
+            fuzzy, pattern, config, engine=engine, limit=limit
+        )
+        while True:
+            t_pull = perf_counter()
+            try:
+                inner = next(stream)
+            except StopIteration:
+                if span is not None:
+                    span.record("match_enumeration", perf_counter() - t_pull)
+                break
+            pulled = perf_counter() - t_pull
+            if span is not None:
+                span.record("match_enumeration", pulled)
+            if metrics and rows == 0:
+                registry.observe("api.first_row_seconds", perf_counter() - t0)
+            rows += 1
+            yield Row(inner, source, events, obs)
+    finally:
+        duration = perf_counter() - t0
+        if span is not None:
+            span.attributes["rows"] = rows
+            obs.tracer.finish(span)
+        if metrics:
+            if rows:
+                registry.incr("api.rows_streamed", rows)
+            _record_query_metrics(obs, pattern, duration, rows, span, engine)
 
 
 class RowStream:
@@ -242,14 +361,14 @@ class RowStream:
     __slots__ = ("_inner", "_finalizer", "__weakref__")
 
     def __init__(self, source, pattern, limit, planner) -> None:
-        fuzzy, engine, config, release = source._iter_context()
+        fuzzy, engine, config, release, obs = source._iter_context()
         # The finalizer calls the pin's release directly — it must not
         # reference self, or the stream could never become unreachable.
         self._finalizer = (
             weakref.finalize(self, release) if release is not None else None
         )
         self._inner = _stream_rows(
-            source, fuzzy, engine, config, pattern, limit, planner
+            source, fuzzy, engine, config, pattern, limit, planner, obs
         )
 
     def __iter__(self) -> "RowStream":

@@ -52,7 +52,12 @@ from repro.events.table import EventTable
 from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
 from repro.api.builders import compile_pattern, compile_transaction
 from repro.api.results import ResultSet
-from repro.warehouse.warehouse import CommitPolicy, DocumentPin, Warehouse
+from repro.warehouse.warehouse import (
+    USE_DEFAULT_OBSERVABILITY,
+    CommitPolicy,
+    DocumentPin,
+    Warehouse,
+)
 
 __all__ = ["Session", "Snapshot", "SessionBatch", "connect"]
 
@@ -68,6 +73,7 @@ def connect(
     snapshot_every: int = 64,
     wal_bytes_limit: int = 4 * 1024 * 1024,
     compact_on_close: bool = True,
+    observability=USE_DEFAULT_OBSERVABILITY,
 ) -> "Session":
     """Open a session on the warehouse at *path*.
 
@@ -77,6 +83,11 @@ def connect(
     :class:`~repro.warehouse.warehouse.CommitPolicy`) and the handle's
     match semantics.  Sessions are context managers; closing releases
     open snapshots, folds the WAL per policy and frees the writer lock.
+
+    *observability* defaults to the process-global instrument panel
+    (:func:`repro.obs.default_observability`); pass an
+    :class:`~repro.obs.Observability` to scope metrics/traces to this
+    warehouse, or ``None`` for no instrumentation at all.
     """
     policy = CommitPolicy(
         snapshot_every=snapshot_every,
@@ -96,6 +107,7 @@ def connect(
             match_config=match_config,
             auto_simplify_factor=auto_simplify_factor,
             policy=policy,
+            observability=observability,
         )
     else:
         if document is not None or root is not None:
@@ -105,6 +117,7 @@ def connect(
             match_config=match_config,
             auto_simplify_factor=auto_simplify_factor,
             policy=policy,
+            observability=observability,
         )
     return Session(warehouse)
 
@@ -174,17 +187,24 @@ class Session:
         return self._warehouse.explain_plan(compile_pattern(query))
 
     def _iter_context(self):
-        """(document, engine, config, release) for ResultSet iteration.
+        """(document, engine, config, release, obs) for ResultSet iteration.
 
         The document generation is pinned for the iteration's duration
         so a commit landing between two streamed rows copies-on-write
         instead of mutating the tree under the iterator; *release*
-        (called by the ResultSet when iteration ends) unpins it.
+        (called by the ResultSet when iteration ends) unpins it.  *obs*
+        is the warehouse's instrument panel (or None).
         """
         self._check_open()
         warehouse = self._warehouse
         pin = warehouse.pin()
-        return pin.document, warehouse.engine, warehouse._match_config, pin.release
+        return (
+            pin.document,
+            warehouse.engine,
+            warehouse._match_config,
+            pin.release,
+            warehouse._obs,
+        )
 
     def _provenance(self, event: str) -> dict | None:
         self._check_open()
@@ -290,6 +310,21 @@ class Session:
         self._check_open()
         return self._warehouse.stats()
 
+    @property
+    def observability(self):
+        """The warehouse's :class:`~repro.obs.Observability` panel (or None)."""
+        return self._warehouse.observability
+
+    def metrics(self):
+        """The warehouse's :class:`~repro.obs.MetricsRegistry` (or None).
+
+        ``session.metrics().snapshot()`` is the structured dashboard;
+        :func:`repro.obs.render_prometheus` turns the same registry
+        into scrape-ready text.
+        """
+        obs = self._warehouse.observability
+        return None if obs is None else obs.metrics
+
     def history(self) -> list[dict]:
         """The audit log, oldest first."""
         self._check_open()
@@ -353,6 +388,7 @@ class Snapshot:
             self._session._warehouse._engine,
             self._config,
             None,
+            self._session._warehouse._obs,
         )
 
     def _provenance(self, event: str) -> dict | None:

@@ -13,7 +13,11 @@ architecture::
     python -m repro simplify WH
     python -m repro compact WH                        # fold the WAL into a snapshot
     python -m repro stats WH                          # includes WAL depth/bytes
+    python -m repro stats WH --json                   # ... machine-readable
     python -m repro serve-stats WH                    # serving-side counters
+    python -m repro metrics WH                        # Prometheus exposition
+    python -m repro metrics WH --format json          # ... structured dashboard
+    python -m repro trace WH '//person' --last 3      # nested per-phase spans
     python -m repro history WH --tail 10
     python -m repro worlds WH                         # enumerate (small docs)
     python -m repro estimate WH '//email' --samples 2000
@@ -39,11 +43,13 @@ on stderr (no traceback) with a distinct exit code per family:
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from pathlib import Path
 
 from repro.api import connect
+from repro.obs import render_json, render_prometheus, render_trace
 from repro.serve import Collection, connect_collection
 from repro.core.montecarlo import estimate_query
 from repro.core.semantics import to_possible_worlds
@@ -147,6 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser("stats", help="document and log statistics")
     stats.add_argument("path", type=Path)
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     serve_stats = commands.add_parser(
         "serve-stats",
@@ -154,6 +163,39 @@ def build_parser() -> argparse.ArgumentParser:
         "per-document for collections)",
     )
     serve_stats.add_argument("path", type=Path)
+    serve_stats.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="export the instrument panel (counters, gauges, latency "
+        "histograms) for the warehouse or collection",
+    )
+    metrics.add_argument("path", type=Path)
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="prom = Prometheus text exposition (default), json = "
+        "structured dashboard with slow queries and recent traces",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="show recent span traces; with a PATTERN, execute that "
+        "query first so its trace is captured",
+    )
+    trace.add_argument("path", type=Path)
+    trace.add_argument(
+        "pattern",
+        nargs="?",
+        default=None,
+        help="TPWJ query to execute and trace (optional)",
+    )
+    trace.add_argument(
+        "--last", type=int, default=5, help="show at most the last N traces"
+    )
 
     history = commands.add_parser("history", help="show the transaction log")
     history.add_argument("path", type=Path)
@@ -195,6 +237,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         "compact": _cmd_compact,
         "stats": _cmd_stats,
         "serve-stats": _cmd_serve_stats,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
         "history": _cmd_history,
         "worlds": _cmd_worlds,
         "estimate": _cmd_estimate,
@@ -376,7 +420,11 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     with connect(args.path) as session:
-        for key, value in session.stats().items():
+        info = session.stats()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        for key, value in info.items():
             print(f"{key}: {value}")
     return 0
 
@@ -399,6 +447,9 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     if Collection.is_collection(args.path):
         with connect_collection(args.path) as collection:
             info = collection.stats()
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
         print(f"collection: {args.path}  documents: {info['document_count']}")
         pool = info["pool"]
         print(
@@ -419,9 +470,58 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         return 0
     with connect(args.path) as session:
         info = session.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {name: info[name] for name in _SERVE_KEYS},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(f"warehouse: {args.path}")
     for name in _SERVE_KEYS:
         print(f"{name}: {info[name]}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    # Opening the store populates the panel for this process: recovery
+    # replay timing, document gauges (via stats()), and — through the
+    # catalogue — every declared series at zero, so a scrape of a fresh
+    # process still sees the full schema.
+    if Collection.is_collection(args.path):
+        with connect_collection(args.path) as collection:
+            collection.stats()
+            obs = collection.observability
+    else:
+        with connect(args.path) as session:
+            session.stats()
+            obs = session.observability
+    if obs is None:
+        raise ReproError("no observability panel attached")
+    if args.format == "json":
+        print(render_json(obs.metrics, obs))
+    else:
+        print(render_prometheus(obs.metrics), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    with connect(args.path) as session:
+        obs = session.observability
+        if obs is None or not obs.tracer.enabled:
+            raise ReproError("tracing is disabled for this warehouse")
+        if args.pattern is not None:
+            session.query(_parse_pattern_arg(args.pattern)).all()
+        traces = obs.tracer.recent(args.last)
+    if not traces:
+        print("(no traces)")
+        return 0
+    for index, span in enumerate(traces):
+        if index:
+            print()
+        print(render_trace(span))
     return 0
 
 

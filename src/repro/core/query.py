@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 from sys import intern as _intern_str
+from time import perf_counter
 
 from repro.analysis.instrumentation import counters
 from repro.events.condition import Condition
@@ -420,8 +421,15 @@ def query_fuzzy_tree(
     else:
         matches = find_matches(pattern, fuzzy.root, structural_config, plan=plan)
         index = cache = None
+    # Phase boundaries for the warehouse's instrument panel: one
+    # match_enumeration emit for the whole enumerate-and-group loop,
+    # one probability_evaluation emit for the pricing loop.  Off, this
+    # costs two attribute reads per query.
+    obs = engine.observability if engine is not None else None
+    tracing = obs is not None and obs.tracer.enabled
     track = counters.enabled
     grouped: dict[str, tuple[Node, list[Condition]]] = {}
+    t_phase = perf_counter() if tracing else 0.0
     for match in matches:
         if track:
             counters.incr("core.query.matches")
@@ -438,6 +446,14 @@ def query_fuzzy_tree(
         else:
             grouped[key] = (answer, list(conditions))
 
+    if tracing:
+        now = perf_counter()
+        obs.tracer.emit(
+            "match_enumeration", now - t_phase, groups=len(grouped)
+        )
+        t_phase = now
+    elif obs is not None:
+        t_phase = perf_counter()
     answers: list[FuzzyAnswer] = []
     for tree, conditions in grouped.values():
         dnf = Dnf(conditions)
@@ -445,5 +461,11 @@ def query_fuzzy_tree(
         if probability == 0.0:
             continue
         answers.append(FuzzyAnswer(tree, dnf, probability))
+    if obs is not None:
+        priced = perf_counter() - t_phase
+        if tracing:
+            obs.tracer.emit("probability_evaluation", priced)
+        if obs.metrics.enabled:
+            obs.metrics.observe("query.probability_seconds", priced)
     answers.sort(key=lambda a: (-a.probability, a.tree.canonical()))
     return answers

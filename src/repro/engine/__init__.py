@@ -50,6 +50,7 @@ import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
+from time import perf_counter
 
 from repro.core.fuzzy_tree import FuzzyNode
 from repro.engine.cache import PlanCache
@@ -134,6 +135,13 @@ class QueryEngine:
         released generations are dropped eagerly by
         :meth:`forget_root`; the bound is a backstop for callers that
         never release.
+    observability:
+        Optional :class:`~repro.obs.Observability` panel: planning and
+        view construction then emit phase spans (``plan_cache_lookup``,
+        ``plan_build``, ``view_build``, ``stats_delta``,
+        ``condition_index_patch``) into the active trace and latency
+        histograms into the registry.  ``None`` (the default for
+        standalone engines) attaches nothing and pays nothing.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class QueryEngine:
         root_provider: Callable[[], Node],
         cache_capacity: int = 128,
         max_root_views: int = 8,
+        observability=None,
     ) -> None:
         self.stats = DocumentStats(root_provider)
         self.cache = PlanCache(cache_capacity)
@@ -160,6 +169,12 @@ class QueryEngine:
         # order doubles as LRU order.
         self._views: OrderedDict[int, _RootView] = OrderedDict()
         self._max_root_views = max(1, max_root_views)
+        self._obs = observability
+
+    @property
+    def observability(self):
+        """The attached :class:`~repro.obs.Observability` panel (or None)."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # Invalidation / incremental maintenance
@@ -215,8 +230,13 @@ class QueryEngine:
         if delta is None:
             self.invalidate()
             return
+        obs = self._obs
+        tracing = obs is not None and obs.tracer.enabled
         with self._lock:
+            t0 = perf_counter() if tracing else 0.0
             self.stats.apply_delta(delta)
+            if tracing:
+                obs.tracer.emit("stats_delta", perf_counter() - t0)
             if delta.is_empty:
                 return
             live = self._root_provider()
@@ -225,7 +245,12 @@ class QueryEngine:
                 view.intervals = None
                 view.version = None
                 if view.conditions is not None:
+                    t1 = perf_counter() if tracing else 0.0
                     view.conditions.apply_changes(delta.subtree_changes)
+                    if tracing:
+                        obs.tracer.emit(
+                            "condition_index_patch", perf_counter() - t1
+                        )
 
     def forget_root(self, root: Node) -> None:
         """Drop the per-root view for *root* (a released pinned generation).
@@ -254,13 +279,28 @@ class QueryEngine:
         structurally identical — object than *pattern*; matches map the
         *plan's* pattern nodes.
         """
+        obs = self._obs
+        tracing = obs is not None and obs.tracer.enabled
         with self._lock:
             fingerprint = pattern_fingerprint(pattern)
             version = self.stats.version
+            t0 = perf_counter() if tracing else 0.0
             plan = self.cache.get(fingerprint, version)
+            if tracing:
+                obs.tracer.emit(
+                    "plan_cache_lookup",
+                    perf_counter() - t0,
+                    hit=plan is not None,
+                )
             if plan is None:
+                t1 = perf_counter() if obs is not None else 0.0
                 plan = build_plan(pattern, self.stats.current(), version)
                 self.cache.put(plan)
+                if obs is not None:
+                    built = perf_counter() - t1
+                    if tracing:
+                        obs.tracer.emit("plan_build", built)
+                    obs.metrics.observe("engine.plan_build_seconds", built)
             return plan
 
     # ------------------------------------------------------------------
@@ -311,6 +351,8 @@ class QueryEngine:
                 return view.intervals
             need_index = isinstance(root, FuzzyNode) and view.conditions is None
         index = AncestorConditionIndex(id(root)) if need_index else None
+        obs = self._obs
+        t0 = perf_counter() if obs is not None else 0.0
         # Chunked construction: yield the GIL periodically so a
         # committing writer never waits out a full O(n) rebuild burst.
         intervals = _Intervals(
@@ -318,6 +360,11 @@ class QueryEngine:
             index.observe if index is not None else None,
             yield_every=256,
         )
+        if obs is not None:
+            built = perf_counter() - t0
+            if obs.tracer.enabled:
+                obs.tracer.emit("view_build", built, with_index=need_index)
+            obs.metrics.observe("engine.view_build_seconds", built)
         with self._lock:
             view = self._view(root)  # may have been evicted meanwhile
             view.intervals = intervals

@@ -1,0 +1,118 @@
+"""The slow-query log: a bounded deque of queries past a threshold.
+
+Every session query that takes at least
+:attr:`SlowQueryLog.threshold` seconds from iteration start to
+exhaustion (or close) is captured: the pattern text, the plan the
+engine chose (rendered through the existing ``explain`` machinery —
+the plan comes from the cache, so capturing it is a lookup, not a
+re-plan), the row count and the per-phase timings the trace layer
+accumulated.  The deque is bounded (``capacity`` entries, oldest
+evicted), so the log is safe to leave on in a long-lived server.
+
+The threshold comparison is inclusive (``duration >= threshold``): a
+threshold of 0 therefore logs *every* query, the debugging mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+
+class SlowQueryEntry:
+    """One captured slow query."""
+
+    __slots__ = ("pattern", "duration", "rows", "phases", "plan", "timestamp")
+
+    def __init__(
+        self,
+        pattern: str,
+        duration: float,
+        rows: int,
+        phases: dict[str, float],
+        plan: str | None,
+    ) -> None:
+        self.pattern = pattern
+        self.duration = duration
+        self.rows = rows
+        #: Per-phase seconds (e.g. ``{"match_enumeration": 0.004}``).
+        self.phases = phases
+        #: The chosen plan rendered by ``Plan.explain()`` (None when the
+        #: query bypassed the planner).
+        self.plan = plan
+        self.timestamp = time.time()
+
+    def as_dict(self) -> dict:
+        return {
+            "pattern": self.pattern,
+            "duration_ms": round(self.duration * 1e3, 3),
+            "rows": self.rows,
+            "phases_ms": {
+                name: round(seconds * 1e3, 3)
+                for name, seconds in self.phases.items()
+            },
+            "plan": self.plan,
+            "timestamp": self.timestamp,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryEntry({self.pattern!r}, {self.duration * 1e3:.1f}ms, "
+            f"{self.rows} rows)"
+        )
+
+
+class SlowQueryLog:
+    """Bounded capture of queries meeting the latency threshold."""
+
+    __slots__ = ("threshold", "_entries", "_lock")
+
+    def __init__(self, threshold: float = 0.1, capacity: int = 128) -> None:
+        #: Seconds; queries with ``duration >= threshold`` are logged.
+        #: Settable at runtime (``session.observability.slowlog
+        #: .threshold = 0.01``).
+        self.threshold = threshold
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def should_record(self, duration: float) -> bool:
+        return duration >= self.threshold
+
+    def record(
+        self,
+        pattern: str,
+        duration: float,
+        rows: int,
+        phases: dict[str, float] | None = None,
+        plan: str | None = None,
+    ) -> SlowQueryEntry | None:
+        """Capture the query if it meets the threshold; returns the
+        entry (None when below)."""
+        if duration < self.threshold:
+            return None
+        entry = SlowQueryEntry(pattern, duration, rows, dict(phases or {}), plan)
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[SlowQueryEntry]:
+        """Captured entries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(threshold={self.threshold}, "
+            f"{len(self)} entries)"
+        )

@@ -42,6 +42,7 @@ import json
 import re
 import threading
 from pathlib import Path
+from time import perf_counter
 
 from repro.api.session import Session, connect
 from repro.core.fuzzy_tree import FuzzyTree
@@ -49,6 +50,10 @@ from repro.core.update import UpdateReport
 from repro.errors import QueryError, WarehouseError
 from repro.serve.pool import SessionPool
 from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
+from repro.warehouse.warehouse import (
+    USE_DEFAULT_OBSERVABILITY,
+    _resolve_observability,
+)
 
 __all__ = ["Collection", "CollectionResultSet", "ShardRow", "connect_collection"]
 
@@ -76,12 +81,16 @@ def connect_collection(
     snapshot_every: int = 64,
     wal_bytes_limit: int = 4 * 1024 * 1024,
     compact_on_close: bool = True,
+    observability=USE_DEFAULT_OBSERVABILITY,
 ) -> "Collection":
     """Open (or with ``create=True`` initialise) the collection at *path*.
 
     Every existing shard is opened eagerly — the collection owns each
     shard's single-writer lock from here to :meth:`Collection.close`.
     The session keywords apply to every shard it opens or creates.
+    One *observability* panel (by default the process-global one) is
+    shared by the pool and every shard, so fan-out spans, per-shard
+    timings and queue-wait histograms land in one place.
     """
     path = Path(path)
     manifest = path / _MANIFEST
@@ -95,14 +104,18 @@ def connect_collection(
         )
     elif not Collection.is_collection(path):
         raise WarehouseError(f"no collection at {path} (missing {_MANIFEST})")
+    obs = _resolve_observability(observability)
     session_options = {
         "match_config": match_config,
         "auto_simplify_factor": auto_simplify_factor,
         "snapshot_every": snapshot_every,
         "wal_bytes_limit": wal_bytes_limit,
         "compact_on_close": compact_on_close,
+        "observability": obs,
     }
-    collection = Collection(path, SessionPool(workers), session_options)
+    collection = Collection(
+        path, SessionPool(workers, observability=obs), session_options
+    )
     try:
         collection._open_existing()
     except BaseException:
@@ -180,30 +193,94 @@ class CollectionResultSet:
         sessions = [
             (key, collection.document(key)) for key in self._keys
         ]
+        obs = collection._obs
+        tracing = obs is not None and obs.tracer.enabled
+        metrics = obs is not None and obs.metrics.enabled
+
+        if not tracing and not metrics:
+            def run_shard(session: Session):
+                results = session.query(self._pattern)
+                if limit is not None:
+                    results = results.limit(limit)
+                return results.all()
+
+            futures = [
+                (key, collection._pool.submit(run_shard, session))
+                for key, session in sessions
+            ]
+            emitted = 0
+            try:
+                for key, future in futures:
+                    for row in future.result():
+                        yield ShardRow(key, row)
+                        emitted += 1
+                        if limit is not None and emitted >= limit:
+                            return
+            finally:
+                # Short-circuited (or the consumer stopped pulling):
+                # shard tasks that have not started yet need not run.
+                for _key, future in futures:
+                    future.cancel()
+            return
+
+        registry = obs.metrics
+        if metrics:
+            registry.incr("serve.fanout_queries")
+        span = (
+            obs.tracer.start(
+                "fanout", pattern=self._pattern, shards=len(sessions)
+            )
+            if tracing
+            else None
+        )
+        t0 = perf_counter()
 
         def run_shard(session: Session):
+            # Worker-side timestamps: shard wall time excludes queue
+            # wait (the pool's own histogram covers that) and the
+            # merge-side blocking below.
+            started = perf_counter()
             results = session.query(self._pattern)
             if limit is not None:
                 results = results.limit(limit)
-            return results.all()
+            rows = results.all()
+            return rows, started, perf_counter()
 
         futures = [
             (key, collection._pool.submit(run_shard, session))
             for key, session in sessions
         ]
         emitted = 0
+        waited = 0.0
         try:
             for key, future in futures:
-                for row in future.result():
+                t_wait = perf_counter()
+                rows, started, ended = future.result()
+                waited += perf_counter() - t_wait
+                shard_seconds = ended - started
+                if span is not None:
+                    span.record(
+                        "shard", shard_seconds, document=key, rows=len(rows)
+                    )
+                if metrics:
+                    registry.observe("serve.shard_seconds", shard_seconds)
+                for row in rows:
                     yield ShardRow(key, row)
                     emitted += 1
                     if limit is not None and emitted >= limit:
                         return
         finally:
-            # Short-circuited (or the consumer stopped pulling): shard
-            # tasks that have not started yet need not run at all.
             for _key, future in futures:
                 future.cancel()
+            total = perf_counter() - t0
+            if span is not None:
+                # Merge-side time the consumer spent outside shard
+                # waits: yielding rows, bookkeeping, downstream work.
+                span.record("merge", max(0.0, total - waited))
+                span.attributes["rows"] = emitted
+                obs.tracer.finish(span)
+            if metrics:
+                registry.observe("serve.fanout_seconds", total)
 
     def all(self) -> list[ShardRow]:
         """Materialize every merged row (honoring :meth:`limit`)."""
@@ -229,6 +306,11 @@ class CollectionResultSet:
         each shard.  A set limit bounds each shard's streamed prefix.
         """
         collection = self._collection
+        obs = collection._obs
+        metrics = obs is not None and obs.metrics.enabled
+        if metrics:
+            obs.metrics.incr("serve.fanout_queries")
+        t0 = perf_counter()
 
         def run_shard(session: Session):
             results = session.query(self._pattern)
@@ -243,6 +325,8 @@ class CollectionResultSet:
         merged: list[tuple[str, object]] = []
         for key, future in futures:
             merged.extend((key, answer) for answer in future.result())
+        if metrics:
+            obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
         return merged
 
     def __repr__(self) -> str:
@@ -261,10 +345,16 @@ class Collection:
     ) -> None:
         self._path = Path(path)
         self._pool = pool
+        self._obs = pool.observability
         self._session_options = dict(session_options)
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
         self._closed = False
+
+    @property
+    def observability(self):
+        """The shared :class:`~repro.obs.Observability` panel (or None)."""
+        return self._obs
 
     # ------------------------------------------------------------------
     # Layout

@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from time import perf_counter
 
 from repro.errors import WarehouseError
 
@@ -37,18 +38,24 @@ class SessionPool:
     workers:
         Maximum concurrent worker threads (default
         :func:`default_workers`).
+    observability:
+        An :class:`~repro.obs.Observability` panel, or None.  When its
+        metrics are enabled, every submitted task feeds the
+        ``serve.queue_wait_seconds`` (submission to worker pickup) and
+        ``serve.execute_seconds`` (task body) histograms.
 
     The pool is thread-safe; tasks may be submitted from any thread
     until :meth:`shutdown`.  Worker threads are daemonic-by-executor
     semantics: :meth:`shutdown` waits for in-flight work.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, observability=None) -> None:
         if workers is None:
             workers = default_workers()
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise WarehouseError(f"workers must be an int >= 1, got {workers!r}")
         self._workers = workers
+        self._obs = observability
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -62,8 +69,28 @@ class SessionPool:
         """The maximum number of concurrent worker threads."""
         return self._workers
 
+    @property
+    def observability(self):
+        """The attached :class:`~repro.obs.Observability` panel (or None)."""
+        return self._obs
+
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)`` on a worker; returns a Future."""
+        obs = self._obs
+        if obs is not None and obs.metrics.enabled:
+            registry = obs.metrics
+            inner, submitted = fn, perf_counter()
+
+            def fn(*args, **kwargs):  # noqa: F811 — instrumented shim
+                started = perf_counter()
+                registry.observe("serve.queue_wait_seconds", started - submitted)
+                try:
+                    return inner(*args, **kwargs)
+                finally:
+                    registry.observe(
+                        "serve.execute_seconds", perf_counter() - started
+                    )
+
         with self._lock:
             if self._closed:
                 raise WarehouseError("session pool is shut down")

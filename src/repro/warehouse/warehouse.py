@@ -58,8 +58,10 @@ import dataclasses
 import threading
 import warnings
 from pathlib import Path
+from time import perf_counter
 
 from repro.analysis.metrics import fuzzy_stats
+from repro.obs import default_observability
 from repro.core.fuzzy_tree import FuzzyTree
 from repro.engine import QueryEngine, StatsDelta
 from repro.core.query import FuzzyAnswer, query_fuzzy_tree
@@ -86,7 +88,26 @@ from repro.xmlio.xupdate import (
     transaction_to_string,
 )
 
-__all__ = ["CommitPolicy", "DocumentPin", "Warehouse", "WarehouseBatch"]
+__all__ = [
+    "CommitPolicy",
+    "DocumentPin",
+    "USE_DEFAULT_OBSERVABILITY",
+    "Warehouse",
+    "WarehouseBatch",
+]
+
+#: Sentinel default for ``observability=`` parameters: attach the
+#: process-global panel (:func:`repro.obs.default_observability`).
+#: Pass ``None`` explicitly to attach no instrumentation at all (the
+#: benchmark baseline), or an :class:`~repro.obs.Observability` of your
+#: own to scope this warehouse's metrics privately.
+USE_DEFAULT_OBSERVABILITY = object()
+
+
+def _resolve_observability(value):
+    if value is USE_DEFAULT_OBSERVABILITY:
+        return default_observability()
+    return value
 
 
 class CommitPolicy:
@@ -194,6 +215,7 @@ class Warehouse:
         match_config: MatchConfig = DEFAULT_CONFIG,
         auto_simplify_factor: float | None = None,
         policy: CommitPolicy | None = None,
+        observability=USE_DEFAULT_OBSERVABILITY,
     ) -> None:
         self._storage = storage
         self._document = document
@@ -223,12 +245,18 @@ class Warehouse:
         self._pins_lock = threading.Lock()
         self._pin_counts: dict[int, int] = {}
         self._pin_total = 0
+        # Instrument panel (metrics registry, tracer, slow-query log):
+        # the process-global default unless the caller scoped one per
+        # warehouse, or None for no instrumentation at all.
+        self._obs = _resolve_observability(observability)
         # Cost-based query engine: plans are cached per (pattern
         # fingerprint, stats version); commits feed their structural
         # delta to the engine, which maintains the statistics in place
         # and bumps the version only when the document really changed —
         # so queries between (and across no-op) commits reuse plans.
-        self._engine = QueryEngine(lambda: self._document.root)
+        self._engine = QueryEngine(
+            lambda: self._document.root, observability=self._obs
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -242,6 +270,7 @@ class Warehouse:
         match_config: MatchConfig = DEFAULT_CONFIG,
         auto_simplify_factor: float | None = None,
         policy: CommitPolicy | None = None,
+        observability=USE_DEFAULT_OBSERVABILITY,
     ) -> "Warehouse":
         """Create a new warehouse at *path* holding *document*.
 
@@ -260,6 +289,7 @@ class Warehouse:
                 match_config=match_config,
                 auto_simplify_factor=auto_simplify_factor,
                 policy=policy,
+                observability=observability,
             )
             warehouse._commit("create", {})
         except BaseException:
@@ -274,6 +304,7 @@ class Warehouse:
         match_config: MatchConfig = DEFAULT_CONFIG,
         auto_simplify_factor: float | None = None,
         policy: CommitPolicy | None = None,
+        observability=USE_DEFAULT_OBSERVABILITY,
     ) -> "Warehouse":
         """Open an existing warehouse, taking the writer lock.
 
@@ -287,6 +318,7 @@ class Warehouse:
         storage = Storage(path)
         if not storage.exists():
             raise WarehouseError(f"no warehouse at {path}")
+        obs = _resolve_observability(observability)
         storage.acquire_lock()
         try:
             xml_text, snapshot_sequence = storage.read_document()
@@ -297,10 +329,19 @@ class Warehouse:
                 document.events.advance_fresh_counter(fresh_counter)
             wal = WriteAheadLog(storage.path)
             records, _torn = wal.replayable(snapshot_sequence)
+            t_replay = perf_counter() if obs is not None else 0.0
             replayed = [
                 (record, _replay_record(document, record, match_config))
                 for record in records
             ]
+            if obs is not None:
+                obs.metrics.observe(
+                    "warehouse.recovery_seconds", perf_counter() - t_replay
+                )
+                if records:
+                    obs.metrics.incr(
+                        "warehouse.recovery_replayed_records", len(records)
+                    )
             sequence = records[-1]["sequence"] if records else snapshot_sequence
             warehouse = cls(
                 storage,
@@ -309,6 +350,7 @@ class Warehouse:
                 match_config=match_config,
                 auto_simplify_factor=auto_simplify_factor,
                 policy=policy,
+                observability=obs,
             )
             warehouse._snapshot_sequence = snapshot_sequence
             warehouse._commits_since_snapshot = len(records)
@@ -376,6 +418,11 @@ class Warehouse:
         """The warehouse's cost-based query engine (stats + plan cache)."""
         self._check_open()
         return self._engine
+
+    @property
+    def observability(self):
+        """The attached :class:`~repro.obs.Observability` panel (or None)."""
+        return self._obs
 
     def query(
         self, pattern: str | Pattern, planner: bool = True
@@ -510,6 +557,13 @@ class Warehouse:
         info["shannon_cache_entries"] = shannon["entries"]
         info["shannon_cache_misses"] = shannon["misses"]
         info["shannon_cache_hits"] = shannon["hits"]
+        obs = self._obs
+        if obs is not None:
+            self._observe_gauges(obs)
+            obs.metrics.set_gauge("warehouse.nodes", info.get("nodes", 0))
+            obs.metrics.set_gauge(
+                "warehouse.declared_events", info.get("declared_events", 0)
+            )
         return info
 
     def history(self) -> list[dict]:
@@ -608,34 +662,51 @@ class Warehouse:
         """
         with self._write_lock:
             self._check_open()
-            transaction = self._normalize_transaction(transaction, confidence)
-            delta = StatsDelta()
-            report = self._apply_in_place(
-                lambda: apply_update(
-                    self._document, transaction, self._match_config, delta=delta
-                )
+            obs = self._obs
+            span = (
+                obs.tracer.start("commit", kind="update")
+                if obs is not None and obs.tracer.enabled
+                else None
             )
-            serialized = transaction_to_string(transaction, indent=False)
-            self._commit(
-                "update",
-                {
-                    "transaction": serialized,
-                    "confidence": transaction.confidence,
-                    "confidence_event": report.confidence_event,
-                    "matches": report.matches,
-                    "applied": report.applied,
-                    "inserted_nodes": report.inserted_nodes,
-                    "survivor_copies": report.survivor_copies,
-                },
-                wal_payload={
-                    "transaction": serialized,
-                    "confidence_event": report.confidence_event,
-                    **self._match_semantics(),
-                },
-                delta=delta,
+            try:
+                return self._commit_update_locked(transaction, confidence, obs)
+            finally:
+                if span is not None:
+                    obs.tracer.finish(span)
+
+    def _commit_update_locked(self, transaction, confidence, obs) -> UpdateReport:
+        tracing = obs is not None and obs.tracer.enabled
+        transaction = self._normalize_transaction(transaction, confidence)
+        delta = StatsDelta()
+        t0 = perf_counter() if tracing else 0.0
+        report = self._apply_in_place(
+            lambda: apply_update(
+                self._document, transaction, self._match_config, delta=delta
             )
-            self._maybe_auto_simplify()
-            return report
+        )
+        if tracing:
+            obs.tracer.emit("apply", perf_counter() - t0)
+        serialized = transaction_to_string(transaction, indent=False)
+        self._commit(
+            "update",
+            {
+                "transaction": serialized,
+                "confidence": transaction.confidence,
+                "confidence_event": report.confidence_event,
+                "matches": report.matches,
+                "applied": report.applied,
+                "inserted_nodes": report.inserted_nodes,
+                "survivor_copies": report.survivor_copies,
+            },
+            wal_payload={
+                "transaction": serialized,
+                "confidence_event": report.confidence_event,
+                **self._match_semantics(),
+            },
+            delta=delta,
+        )
+        self._maybe_auto_simplify()
+        return report
 
     def update_many(
         self,
@@ -660,38 +731,55 @@ class Warehouse:
             ]
             if not members:
                 return []
-            batch = TransactionBatch(members)
-            delta = StatsDelta()
-            reports = self._apply_in_place(
-                lambda: [
-                    apply_update(
-                        self._document, transaction, self._match_config, delta=delta
-                    )
-                    for transaction in batch
-                ]
+            obs = self._obs
+            span = (
+                obs.tracer.start("commit", kind="batch", transactions=len(members))
+                if obs is not None and obs.tracer.enabled
+                else None
             )
-            self._commit(
-                "batch",
-                {
-                    "transactions": len(batch),
-                    "applied": sum(1 for r in reports if r.applied),
-                    "matches": sum(r.matches for r in reports),
-                    "inserted_nodes": sum(r.inserted_nodes for r in reports),
-                    "survivor_copies": sum(r.survivor_copies for r in reports),
-                    "reports": [
-                        _batch_subrecord(transaction, report)
-                        for transaction, report in zip(batch, reports)
-                    ],
-                },
-                wal_payload={
-                    "batch": batch_to_string(batch, indent=False),
-                    "confidence_events": [r.confidence_event for r in reports],
-                    **self._match_semantics(),
-                },
-                delta=delta,
-            )
-            self._maybe_auto_simplify()
-            return reports
+            try:
+                return self._update_many_locked(members, obs)
+            finally:
+                if span is not None:
+                    obs.tracer.finish(span)
+
+    def _update_many_locked(self, members, obs) -> list[UpdateReport]:
+        tracing = obs is not None and obs.tracer.enabled
+        batch = TransactionBatch(members)
+        delta = StatsDelta()
+        t0 = perf_counter() if tracing else 0.0
+        reports = self._apply_in_place(
+            lambda: [
+                apply_update(
+                    self._document, transaction, self._match_config, delta=delta
+                )
+                for transaction in batch
+            ]
+        )
+        if tracing:
+            obs.tracer.emit("apply", perf_counter() - t0)
+        self._commit(
+            "batch",
+            {
+                "transactions": len(batch),
+                "applied": sum(1 for r in reports if r.applied),
+                "matches": sum(r.matches for r in reports),
+                "inserted_nodes": sum(r.inserted_nodes for r in reports),
+                "survivor_copies": sum(r.survivor_copies for r in reports),
+                "reports": [
+                    _batch_subrecord(transaction, report)
+                    for transaction, report in zip(batch, reports)
+                ],
+            },
+            wal_payload={
+                "batch": batch_to_string(batch, indent=False),
+                "confidence_events": [r.confidence_event for r in reports],
+                **self._match_semantics(),
+            },
+            delta=delta,
+        )
+        self._maybe_auto_simplify()
+        return reports
 
     def begin_batch(self) -> "WarehouseBatch":
         """A context manager buffering updates into one batched commit.
@@ -715,18 +803,28 @@ class Warehouse:
         """
         with self._write_lock:
             self._check_open()
-            report = self._apply_in_place(lambda: simplify(self._document))
-            self._commit(
-                "simplify",
-                {
-                    "nodes_before": report.nodes_before,
-                    "nodes_after": report.nodes_after,
-                    "merged_siblings": report.merged_siblings,
-                    "collected_events": report.collected_events,
-                },
-            )
-            self._baseline_size = max(1, self._document.size())
-            return report
+            obs = self._obs
+            tracing = obs is not None and obs.tracer.enabled
+            span = obs.tracer.start("commit", kind="simplify") if tracing else None
+            try:
+                t0 = perf_counter() if tracing else 0.0
+                report = self._apply_in_place(lambda: simplify(self._document))
+                if tracing:
+                    obs.tracer.emit("apply", perf_counter() - t0)
+                self._commit(
+                    "simplify",
+                    {
+                        "nodes_before": report.nodes_before,
+                        "nodes_after": report.nodes_after,
+                        "merged_siblings": report.merged_siblings,
+                        "collected_events": report.collected_events,
+                    },
+                )
+                self._baseline_size = max(1, self._document.size())
+                return report
+            finally:
+                if span is not None:
+                    obs.tracer.finish(span)
 
     def compact(self) -> dict:
         """Fold the WAL into a fresh snapshot now; returns a summary."""
@@ -819,6 +917,9 @@ class Warehouse:
         wal_payload: dict | None = None,
         delta: StatsDelta | None = None,
     ) -> None:
+        obs = self._obs
+        tracing = obs is not None and obs.tracer.enabled
+        t_commit = perf_counter() if obs is not None else 0.0
         self._sequence += 1
         try:
             if wal_payload is None or self._policy.full_rewrite or self._snapshot_due:
@@ -844,7 +945,15 @@ class Warehouse:
                 self._log.append(kind, self._sequence, payload, fsync=True)
             else:
                 try:
+                    t_wal = perf_counter() if obs is not None else 0.0
                     self._wal.append(kind, self._sequence, wal_payload)
+                    if obs is not None:
+                        appended = perf_counter() - t_wal
+                        if tracing:
+                            obs.tracer.emit("wal_append", appended)
+                        obs.metrics.observe(
+                            "warehouse.wal_append_seconds", appended
+                        )
                 except BaseException:
                     # The commit was not acknowledged: roll the sequence
                     # back (no WAL gap), but the in-memory document
@@ -869,6 +978,13 @@ class Warehouse:
                 self._log.append(kind, self._sequence, payload, fsync=compacting)
                 if compacting:
                     self._write_snapshot()
+            if obs is not None:
+                obs.metrics.incr("warehouse.commits")
+                obs.metrics.incr(f"warehouse.commits.{kind}")
+                obs.metrics.observe(
+                    "warehouse.commit_seconds", perf_counter() - t_commit
+                )
+                self._observe_gauges(obs)
         finally:
             # Feed the commit's structural delta to the engine even on
             # failure paths: the delta describes the in-memory mutation,
@@ -877,6 +993,8 @@ class Warehouse:
             self._engine.apply_delta(delta)
 
     def _write_snapshot(self) -> None:
+        obs = self._obs
+        t0 = perf_counter() if obs is not None else 0.0
         self._storage.write_document(
             fuzzy_to_string(self._document),
             self._sequence,
@@ -891,6 +1009,20 @@ class Warehouse:
         self._commits_since_snapshot = 0
         self._snapshot_due = False
         self._wal.reset()
+        if obs is not None:
+            written = perf_counter() - t0
+            if obs.tracer.enabled:
+                obs.tracer.emit("snapshot", written)
+            obs.metrics.observe("warehouse.snapshot_seconds", written)
+
+    def _observe_gauges(self, obs) -> None:
+        """Refresh the cheap warehouse gauges (called after each commit
+        and before exports; the O(n) node count only on stats())."""
+        metrics = obs.metrics
+        metrics.set_gauge("warehouse.sequence", self._sequence)
+        metrics.set_gauge("warehouse.wal_depth", self._commits_since_snapshot)
+        metrics.set_gauge("warehouse.wal_bytes", self._wal.size_bytes())
+        metrics.set_gauge("warehouse.read_sessions", self._pin_total)
 
     def _reconcile_audit_log(self, replayed: list[tuple[dict, list]]) -> None:
         """Reconstruct audit entries lost with the un-fsynced tail.
