@@ -84,6 +84,7 @@ from repro.errors import (
     InconsistentConditionError,
     InvalidProbabilityError,
     PatternSyntaxError,
+    QueryCancelledError,
     QueryError,
     QueryParseError,
     ReproError,
@@ -215,6 +216,7 @@ __all__ = [
     "InconsistentConditionError",
     "QueryError",
     "PatternSyntaxError",
+    "QueryCancelledError",
     "QueryParseError",
     "UpdateError",
     "XMLFormatError",

@@ -28,7 +28,7 @@ from repro.core.query import (
     iter_query_rows,
     query_fuzzy_tree,
 )
-from repro.errors import QueryError
+from repro.errors import QueryCancelledError, QueryError
 
 __all__ = ["ResultSet", "Row", "RowStream"]
 
@@ -170,7 +170,22 @@ class ResultSet:
         # RowStream owns it and guarantees release on exhaustion,
         # close(), context-manager exit, or garbage collection of an
         # abandoned iterator (weakref finalizer).
-        return RowStream(self._source, self._pattern, self._limit, self._planner)
+        return self.stream()
+
+    def stream(self, *, abort=None) -> "RowStream":
+        """An explicit :class:`RowStream`, optionally cancellable.
+
+        *abort*, when given, is a zero-argument callable polled before
+        every row is computed (so it may be flipped from another thread
+        — a deadline timer, a disconnect watcher).  Once it returns
+        true the enumeration stops before doing any further work, the
+        iteration pin is released, and the stream raises
+        :class:`~repro.errors.QueryCancelledError` — the serving
+        layer's per-request deadline path.
+        """
+        return RowStream(
+            self._source, self._pattern, self._limit, self._planner, abort
+        )
 
     def all(self) -> list[Row]:
         """Materialize every row (honoring :meth:`limit`)."""
@@ -279,7 +294,18 @@ def _record_query_metrics(obs, pattern, duration, rows, span, engine) -> None:
         )
 
 
-def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs):
+def _check_abort(abort) -> None:
+    """Raise :class:`QueryCancelledError` once *abort* returns true.
+
+    Polled between rows — before the next row's enumeration and
+    probability work starts — so a flipped deadline flag stops the
+    stream at the next row boundary, not after another full match.
+    """
+    if abort():
+        raise QueryCancelledError("query cancelled by its abort hook")
+
+
+def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs, abort):
     """The row generator behind a :class:`RowStream`.
 
     A module-level function (not a method) so the generator holds no
@@ -298,11 +324,23 @@ def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs):
     tracing = obs is not None and obs.tracer.enabled
     metrics = obs is not None and obs.metrics.enabled
     if not tracing and not metrics:
-        for inner in iter_query_rows(
+        if abort is None:
+            for inner in iter_query_rows(
+                fuzzy, pattern, config, engine=engine, limit=limit
+            ):
+                yield Row(inner, source, fuzzy.events)
+            return
+        _check_abort(abort)
+        stream = iter_query_rows(
             fuzzy, pattern, config, engine=engine, limit=limit
-        ):
+        )
+        while True:
+            try:
+                inner = next(stream)
+            except StopIteration:
+                return
             yield Row(inner, source, fuzzy.events)
-        return
+            _check_abort(abort)
 
     registry = obs.metrics
     events = fuzzy.events
@@ -316,6 +354,8 @@ def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs):
             fuzzy, pattern, config, engine=engine, limit=limit
         )
         while True:
+            if abort is not None:
+                _check_abort(abort)
             t_pull = perf_counter()
             try:
                 inner = next(stream)
@@ -360,7 +400,7 @@ class RowStream:
 
     __slots__ = ("_inner", "_finalizer", "__weakref__")
 
-    def __init__(self, source, pattern, limit, planner) -> None:
+    def __init__(self, source, pattern, limit, planner, abort=None) -> None:
         fuzzy, engine, config, release, obs = source._iter_context()
         # The finalizer calls the pin's release directly — it must not
         # reference self, or the stream could never become unreachable.
@@ -368,7 +408,7 @@ class RowStream:
             weakref.finalize(self, release) if release is not None else None
         )
         self._inner = _stream_rows(
-            source, fuzzy, engine, config, pattern, limit, planner, obs
+            source, fuzzy, engine, config, pattern, limit, planner, obs, abort
         )
 
     def __iter__(self) -> "RowStream":

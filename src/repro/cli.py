@@ -15,6 +15,7 @@ architecture::
     python -m repro stats WH                          # includes WAL depth/bytes
     python -m repro stats WH --json                   # ... machine-readable
     python -m repro serve-stats WH                    # serving-side counters
+    python -m repro serve WH --port 8080              # HTTP/JSON front end
     python -m repro metrics WH                        # Prometheus exposition
     python -m repro metrics WH --format json          # ... structured dashboard
     python -m repro trace WH '//person' --last 3      # nested per-phase spans
@@ -38,14 +39,21 @@ on stderr (no traceback) with a distinct exit code per family:
 * 5 — warehouse locked by another process
   (:class:`~repro.errors.WarehouseLockedError`);
 * 6 — use of a closed session (:class:`~repro.errors.SessionClosedError`).
+
+Two Unix conventions on top: a downstream that closes the pipe early
+(``repro query … --stream | head -1``) exits 141 (128 + SIGPIPE) with
+no traceback, and Ctrl-C exits 130 (128 + SIGINT) — in both cases the
+streamed iteration is closed first, so its snapshot pin is released.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
+from contextlib import closing
 from pathlib import Path
 
 from repro.api import connect
@@ -157,6 +165,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve the warehouse (or collection) over HTTP/JSON: "
+        "POST /query, POST /update, GET /stats, /metrics, /healthz; "
+        "SIGTERM drains gracefully",
+    )
+    serve.add_argument("path", type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="query worker threads (default: cores, clamped to [2, 8])",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admitted requests beyond the workers before 429 load-shedding",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=30_000,
+        help="default per-query deadline (requests override via timeout_ms)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help="seconds an idle keep-alive connection is kept open",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds a drain waits for in-flight requests before closing",
+    )
+
     serve_stats = commands.add_parser(
         "serve-stats",
         help="serving-side counters (read sessions, caches, WAL; "
@@ -225,6 +273,18 @@ def main(argv: list[str] | None = None) -> int:
         # User/model errors get one clean line, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    except BrokenPipeError:
+        # ``repro query … | head -1``: downstream closed the pipe.  The
+        # streaming loops release their pins via closing(); here we only
+        # have to exit quietly — point stdout at devnull so the
+        # interpreter's exit-time flush cannot raise a second time.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass  # stdout already gone or not a real file (e.g. captured)
+        return 141  # 128 + SIGPIPE, the shell's convention
+    except KeyboardInterrupt:
+        return 130  # 128 + SIGINT; quiet, like every well-behaved filter
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -233,6 +293,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "query": _cmd_query,
         "explain": _cmd_explain,
         "update": _cmd_update,
+        "serve": _cmd_serve,
         "simplify": _cmd_simplify,
         "compact": _cmd_compact,
         "stats": _cmd_stats,
@@ -281,13 +342,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             # Row mode: lazy, match order, limit pushed into the engine.
             if args.limit is not None:
                 results = results.limit(args.limit)
-            for row in results:
-                empty = False
-                if args.xml:
-                    print(f"<!-- P = {row.probability:.6f} -->")
-                    print(plain_to_string(row.tree))
-                else:
-                    print(f"{row.probability:.6f}  {row.tree.canonical()}")
+            # closing(): a BrokenPipeError (| head) or Ctrl-C must still
+            # release the stream's iteration pin before the session goes.
+            with closing(iter(results)) as rows:
+                for row in rows:
+                    empty = False
+                    if args.xml:
+                        print(f"<!-- P = {row.probability:.6f} -->")
+                        print(plain_to_string(row.tree))
+                    else:
+                        print(f"{row.probability:.6f}  {row.tree.canonical()}")
         else:
             # Answer mode: full evaluation, ranked by probability.
             answers = results.answers()
@@ -320,16 +384,19 @@ def _cmd_query_collection(args: argparse.Namespace, pattern: Pattern) -> int:
         if args.limit is not None:
             results = results.limit(args.limit)
         if args.stream:
-            for row in results:
-                empty = False
-                if args.xml:
-                    print(f"<!-- {row.document}: P = {row.probability:.6f} -->")
-                    print(plain_to_string(row.tree))
-                else:
-                    print(
-                        f"{row.document}  {row.probability:.6f}  "
-                        f"{row.tree.canonical()}"
-                    )
+            # closing(): on a broken pipe the fan-out's short-circuit
+            # finally must run (abandon flag, shard futures cancelled).
+            with closing(iter(results)) as rows:
+                for row in rows:
+                    empty = False
+                    if args.xml:
+                        print(f"<!-- {row.document}: P = {row.probability:.6f} -->")
+                        print(plain_to_string(row.tree))
+                    else:
+                        print(
+                            f"{row.document}  {row.probability:.6f}  "
+                            f"{row.tree.canonical()}"
+                        )
         else:
             merged = results.answers()
             if args.limit is not None:
@@ -395,6 +462,23 @@ def _cmd_update(args: argparse.Namespace) -> int:
             + (f"  event: {report.confidence_event}" if report.confidence_event else "")
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the HTTP package borrows the CLI's exit-code
+    # mapping for its error payloads, so the import must stay lazy.
+    from repro.serve.http import run_server
+
+    return run_server(
+        args.path,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline=args.deadline_ms / 1000.0,
+        idle_timeout=args.idle_timeout,
+        drain_grace=args.drain_grace,
+    )
 
 
 def _cmd_simplify(args: argparse.Namespace) -> int:

@@ -18,6 +18,7 @@ __all__ = [
     "InconsistentConditionError",
     "QueryError",
     "PatternSyntaxError",
+    "QueryCancelledError",
     "QueryParseError",
     "UpdateError",
     "XMLFormatError",
@@ -77,6 +78,17 @@ class PatternSyntaxError(QueryError):
 #: Backwards-compatible alias; the canonical name is
 #: :class:`PatternSyntaxError` since the session API unification.
 QueryParseError = PatternSyntaxError
+
+
+class QueryCancelledError(QueryError):
+    """A streamed query was abandoned by its abort hook before exhaustion.
+
+    Raised from inside a :class:`~repro.api.results.RowStream` opened
+    with an *abort* callable (see :meth:`ResultSet.stream`) when that
+    callable returns true between rows — the serving layer's deadline
+    and disconnect cancellation path.  The stream's iteration pin is
+    released before the error propagates.
+    """
 
 
 class UpdateError(ReproError):

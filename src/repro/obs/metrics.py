@@ -106,6 +106,20 @@ METRIC_CATALOG: tuple[tuple[str, str, str], ...] = (
     ("serve.fanout_seconds", "histogram",
      "Collection fan-out: submit to merged-stream exhaustion"),
     ("serve.fanout_queries", "counter", "Collection fan-out query executions"),
+    # HTTP front end (repro serve)
+    ("http.requests", "counter", "HTTP requests answered (any status)"),
+    ("http.request_seconds", "histogram",
+     "HTTP request latency: parsed to response written"),
+    ("http.query_seconds", "histogram",
+     "POST /query latency: admission to response body ready"),
+    ("http.shed_requests", "counter",
+     "Requests rejected with 429 by admission control"),
+    ("http.deadline_timeouts", "counter",
+     "Queries cancelled by a per-request deadline (504)"),
+    ("http.error_responses", "counter", "HTTP responses with status >= 400"),
+    ("http.inflight_requests", "gauge",
+     "Requests admitted and not yet answered"),
+    ("http.connections", "counter", "TCP connections accepted"),
 )
 
 

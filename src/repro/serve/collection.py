@@ -197,8 +197,18 @@ class CollectionResultSet:
         tracing = obs is not None and obs.tracer.enabled
         metrics = obs is not None and obs.metrics.enabled
 
+        # Flipped when the merge ends early (limit hit, consumer
+        # abandoned the iterator, deadline cancel).  future.cancel()
+        # only stops tasks the executor has not picked up; a task that
+        # starts *after* the cancel decision — cancel() raced the
+        # worker's pickup and lost — sees the flag at entry and returns
+        # without touching its shard (no pin, no query, no rows).
+        abandoned = threading.Event()
+
         if not tracing and not metrics:
             def run_shard(session: Session):
+                if abandoned.is_set():
+                    return []
                 results = session.query(self._pattern)
                 if limit is not None:
                     results = results.limit(limit)
@@ -219,6 +229,7 @@ class CollectionResultSet:
             finally:
                 # Short-circuited (or the consumer stopped pulling):
                 # shard tasks that have not started yet need not run.
+                abandoned.set()
                 for _key, future in futures:
                     future.cancel()
             return
@@ -240,6 +251,8 @@ class CollectionResultSet:
             # wait (the pool's own histogram covers that) and the
             # merge-side blocking below.
             started = perf_counter()
+            if abandoned.is_set():
+                return [], started, started
             results = session.query(self._pattern)
             if limit is not None:
                 results = results.limit(limit)
@@ -270,6 +283,7 @@ class CollectionResultSet:
                     if limit is not None and emitted >= limit:
                         return
         finally:
+            abandoned.set()
             for _key, future in futures:
                 future.cancel()
             total = perf_counter() - t0

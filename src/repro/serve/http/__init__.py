@@ -1,0 +1,41 @@
+"""``repro serve``: a stdlib-only asyncio HTTP/JSON front end.
+
+Two layers, deliberately separable:
+
+* :mod:`repro.serve.http.app` — the application: payload validation,
+  worker-side query/update/stats execution, deterministic JSON
+  encoding, error-family → HTTP-status mapping.  No sockets.
+* :mod:`repro.serve.http.server` — the asyncio front end: HTTP/1.1
+  keep-alive parsing, admission control with load-shedding, deadline
+  plumbing, metrics, graceful drain, and the ``repro serve`` /
+  test-harness entry points.
+
+This package is *not* imported by ``repro.serve`` eagerly —
+``repro.cli`` imports ``repro.serve`` at module load, and the error
+payloads here borrow the CLI's exit-code mapping, so the dependency
+must stay one-way until call time.
+"""
+
+from repro.serve.http.app import (
+    Application,
+    BadRequest,
+    canonical_json,
+    encode_row,
+    error_body,
+    query_response_body,
+    status_for,
+)
+from repro.serve.http.server import HTTPServer, ServerThread, run_server
+
+__all__ = [
+    "Application",
+    "BadRequest",
+    "HTTPServer",
+    "ServerThread",
+    "canonical_json",
+    "encode_row",
+    "error_body",
+    "query_response_body",
+    "run_server",
+    "status_for",
+]

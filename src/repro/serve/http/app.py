@@ -1,0 +1,272 @@
+"""The HTTP front door's application layer: JSON in, JSON out.
+
+This module is everything about ``repro serve`` that is *not* sockets:
+request payload validation, query/update/stats execution against a
+:class:`~repro.api.session.Session` or
+:class:`~repro.serve.collection.Collection`, deterministic JSON
+encoding of rows and reports, and the mapping from the library's error
+hierarchy to HTTP statuses.
+
+Two contracts matter to callers:
+
+* **Determinism** — :func:`query_response_body` is byte-deterministic
+  (sorted keys, compact separators, ``repr``-exact floats), so an HTTP
+  ``/query`` response with ``limit=n`` is byte-identical to encoding
+  the first *n* rows of the equivalent in-process
+  :class:`~repro.api.results.ResultSet` — property-tested in
+  ``tests/test_http.py``.
+* **Error parity** — :func:`error_body` carries the same family
+  classification as the CLI: the payload embeds
+  :func:`repro.cli.exit_code_for`'s exit code next to the HTTP status,
+  so scripts driving the wire and scripts driving the CLI branch on
+  one vocabulary.
+
+Query execution is deadline-aware: :meth:`Application.query` runs on a
+pool worker with an *abort* callable threaded into the row stream
+(:meth:`ResultSet.stream`), so a deadline flipped by the event loop
+cancels the underlying streamed iteration at the next row boundary and
+the iteration pin drains before the 504 goes out.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import closing
+from dataclasses import asdict
+from time import monotonic
+
+from repro.errors import (
+    PatternSyntaxError,
+    QueryCancelledError,
+    ReproError,
+    SessionClosedError,
+    WarehouseCorruptError,
+    WarehouseError,
+    WarehouseLockedError,
+)
+from repro.serve.collection import Collection
+from repro.updates.transaction import TransactionBatch
+from repro.xmlio.xupdate import updates_from_string
+
+__all__ = [
+    "Application",
+    "canonical_json",
+    "encode_row",
+    "error_body",
+    "query_response_body",
+    "status_for",
+]
+
+
+def canonical_json(payload) -> bytes:
+    """Deterministic JSON bytes: sorted keys, compact, repr-exact floats."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def encode_row(row) -> dict:
+    """One streamed row as a JSON-ready record.
+
+    Works for both per-session :class:`~repro.api.results.Row` and
+    fan-out :class:`~repro.serve.collection.ShardRow` (which adds the
+    ``document`` key of the shard the row matched in).  Reading
+    ``probability`` here forces the lazy computation on the worker
+    thread — never on the event loop.
+    """
+    record = {
+        "probability": row.probability,
+        "tree": row.tree.canonical(),
+        "bindings": row.bindings(),
+    }
+    document = getattr(row, "document", None)
+    if document is not None:
+        record["document"] = document
+    return record
+
+
+def query_response_body(rows: list[dict]) -> bytes:
+    """The exact ``POST /query`` response body for encoded *rows*."""
+    return canonical_json({"count": len(rows), "rows": rows})
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status for a library error (500 for anything unknown)."""
+    if isinstance(exc, QueryCancelledError):
+        return 504  # deadline expired mid-stream
+    if isinstance(exc, SessionClosedError):
+        return 503  # shutting down / handle gone
+    if isinstance(exc, WarehouseLockedError):
+        return 423
+    if isinstance(exc, WarehouseCorruptError):
+        return 500
+    if isinstance(exc, PatternSyntaxError):
+        return 400
+    if isinstance(exc, WarehouseError):
+        return 500
+    if isinstance(exc, ReproError):
+        return 400  # invalid query/update/tree/event input
+    return 500
+
+
+def error_body(exc: BaseException, status: int | None = None) -> tuple[int, dict]:
+    """(status, structured JSON error) for an exception.
+
+    The payload reuses the CLI's family mapping: ``exit_code`` is what
+    ``repro <command>`` would have exited with for the same error, so
+    wire clients and shell scripts classify failures identically.
+    """
+    # Imported here: repro.cli imports repro.serve at module load; the
+    # late import keeps the package graph acyclic.
+    from repro.cli import exit_code_for
+
+    if status is None:
+        status = status_for(exc)
+    payload = {
+        "error": {
+            "family": type(exc).__name__,
+            "message": str(exc) or type(exc).__name__,
+            "exit_code": exit_code_for(exc) if isinstance(exc, ReproError) else None,
+            "status": status,
+        }
+    }
+    return status, payload
+
+
+class BadRequest(ReproError):
+    """A malformed HTTP payload (missing field, wrong type, bad route use)."""
+
+
+def _field(payload: dict, name: str, types, *, required: bool = False):
+    value = payload.get(name)
+    if value is None:
+        if required:
+            raise BadRequest(f"missing required field {name!r}")
+        return None
+    if isinstance(value, bool) or not isinstance(value, types):
+        raise BadRequest(f"field {name!r} has the wrong type: {value!r}")
+    return value
+
+
+class Application:
+    """Request execution over one served Session or Collection.
+
+    All three execution methods (:meth:`query`, :meth:`update`,
+    :meth:`stats`) are **worker-side**: the HTTP layer dispatches them
+    to its :class:`~repro.serve.pool.SessionPool` so a document walk or
+    an fsync never blocks the event loop.
+    """
+
+    def __init__(self, target, *, own_target: bool = False) -> None:
+        self._target = target
+        self._is_collection = isinstance(target, Collection)
+        self._own_target = own_target
+
+    @property
+    def target(self):
+        return self._target
+
+    @property
+    def is_collection(self) -> bool:
+        return self._is_collection
+
+    @property
+    def observability(self):
+        return self._target.observability
+
+    def close(self) -> None:
+        """Close the served session/collection iff this app opened it."""
+        if self._own_target:
+            self._target.close()
+
+    # ------------------------------------------------------------------
+    # Worker-side request execution
+    # ------------------------------------------------------------------
+
+    def query(self, payload: dict, deadline: float | None, cancel) -> bytes:
+        """Execute ``POST /query``; returns the exact response body.
+
+        *deadline* is a :func:`time.monotonic` timestamp (or None);
+        *cancel* is a :class:`threading.Event` the event loop sets when
+        its own backstop timeout fires or the client vanishes.  Both
+        feed one abort hook polled at every row boundary — on abort the
+        stream closes (pins released) and
+        :class:`~repro.errors.QueryCancelledError` propagates.
+        """
+        pattern = _field(payload, "pattern", str, required=True)
+        limit = _field(payload, "limit", int)
+        document = _field(payload, "document", str)
+
+        if deadline is None and cancel is None:
+            abort = None
+        elif cancel is None:
+            abort = lambda: monotonic() >= deadline  # noqa: E731
+        elif deadline is None:
+            abort = cancel.is_set
+        else:
+            abort = lambda: cancel.is_set() or monotonic() >= deadline  # noqa: E731
+        if abort is not None and abort():
+            # Queue wait already consumed the deadline: cancel before
+            # touching the warehouse at all.
+            raise QueryCancelledError("deadline expired before execution began")
+
+        if self._is_collection:
+            keys = None
+            if document is not None:
+                if document not in self._target:
+                    raise BadRequest(f"no document {document!r} in the collection")
+                keys = [document]
+            results = self._target.query(pattern, keys=keys)
+            if limit is not None:
+                results = results.limit(limit)
+            rows = []
+            # The fan-out iterator is a generator: closing() guarantees
+            # the short-circuit finally (abandon flag + future cancel)
+            # runs even when the abort hook fires mid-merge.
+            with closing(iter(results)) as stream:
+                for row in stream:
+                    rows.append(encode_row(row))
+                    if abort is not None and abort():
+                        raise QueryCancelledError(
+                            "query cancelled by its abort hook"
+                        )
+            return query_response_body(rows)
+
+        if document is not None:
+            raise BadRequest("field 'document' only applies to collections")
+        results = self._target.query(pattern)
+        if limit is not None:
+            results = results.limit(limit)
+        with results.stream(abort=abort) as stream:
+            rows = [encode_row(row) for row in stream]
+        return query_response_body(rows)
+
+    def update(self, payload: dict) -> bytes:
+        """Execute ``POST /update``: one transaction or an xu:batch."""
+        text = _field(payload, "xupdate", str, required=True)
+        confidence = _field(payload, "confidence", (int, float))
+        document = _field(payload, "document", str)
+        if self._is_collection:
+            if document is None:
+                raise BadRequest(
+                    "collections route updates by key: pass 'document'"
+                )
+            if document not in self._target:
+                raise BadRequest(f"no document {document!r} in the collection")
+            session = self._target.document(document)
+        else:
+            if document is not None:
+                raise BadRequest("field 'document' only applies to collections")
+            session = self._target
+        parsed = updates_from_string(text)
+        if isinstance(parsed, TransactionBatch):
+            reports = session.update_many(parsed, confidence=confidence)
+            return canonical_json(
+                {"batch": True, "reports": [asdict(r) for r in reports]}
+            )
+        report = session.update(parsed, confidence=confidence)
+        return canonical_json({"batch": False, "report": asdict(report)})
+
+    def stats(self) -> bytes:
+        """Execute ``GET /stats`` (per-document + pool for collections)."""
+        return canonical_json(self._target.stats())

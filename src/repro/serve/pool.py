@@ -98,9 +98,15 @@ class SessionPool:
             self._submitted += 1
         try:
             future = self._executor.submit(fn, *args, **kwargs)
-        except BaseException:
+        except BaseException as exc:
             with self._lock:
                 self._active -= 1
+                closed = self._closed
+            if closed and isinstance(exc, RuntimeError):
+                # Lost a race with shutdown(): the closed check above
+                # passed, then the executor shut down before our
+                # submit.  Same contract as losing the race earlier.
+                raise WarehouseError("session pool is shut down") from exc
             raise
         future.add_done_callback(self._task_done)
         return future

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -311,3 +312,117 @@ class TestServeCli:
             ["update", str(path), "--xupdate", str(tx), "--doc", "x"]
         ) == 2
         assert "--doc only applies" in capsys.readouterr().err
+
+
+class TestPoolShutdownRace:
+    """Regression: submit() checked _closed under the lock but called the
+    executor outside it, so losing the race to a concurrent shutdown()
+    escaped as a bare RuntimeError instead of WarehouseError."""
+
+    def test_lost_race_translates_to_warehouse_error(self):
+        pool = SessionPool(workers=1)
+        real_executor = pool._executor
+
+        class RacingExecutor:
+            """Shuts the pool down between the _closed check (which the
+            caller already passed) and the executor submit."""
+
+            def submit(self, fn, *args, **kwargs):
+                pool.shutdown()
+                return real_executor.submit(fn, *args, **kwargs)
+
+            def shutdown(self, wait=True):
+                real_executor.shutdown(wait=wait)
+
+        pool._executor = RacingExecutor()
+        with pytest.raises(WarehouseError):
+            pool.submit(lambda: None)
+        info = pool.stats()
+        assert info["closed"] and info["active_tasks"] == 0
+
+    @pytest.mark.timeout(120)
+    def test_submit_vs_shutdown_hammer(self):
+        for _ in range(25):
+            pool = SessionPool(workers=2)
+            errors: list[BaseException] = []
+            futures = []
+            futures_lock = threading.Lock()
+            barrier = threading.Barrier(5)
+
+            def submitter():
+                barrier.wait()
+                for _ in range(100):
+                    try:
+                        future = pool.submit(lambda: 1)
+                    except WarehouseError:
+                        return  # the documented loser-of-the-race outcome
+                    except BaseException as exc:  # noqa: BLE001 - the bug
+                        errors.append(exc)
+                        return
+                    with futures_lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=submitter) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            pool.shutdown()
+            for thread in threads:
+                thread.join(30)
+            assert not errors, f"bare exception escaped submit: {errors!r}"
+            for future in futures:
+                if not future.cancelled():
+                    assert future.result(timeout=30) == 1
+            assert pool.stats()["active_tasks"] == 0
+
+
+class TestAbandonMidMerge:
+    """Regression: abandoning a fan-out mid-merge must stop shard tasks
+    that *start after* the cancel decision, not just cancel queued ones."""
+
+    def _assert_settles_clean(self, collection, timeout=15.0):
+        deadline = time.monotonic() + timeout
+
+        def settled():
+            if collection.stats()["pool"]["active_tasks"] != 0:
+                return False
+            return all(
+                collection.document(key).stats()["read_sessions"] == 0
+                for key in collection.keys()
+            )
+
+        while time.monotonic() < deadline:
+            if settled():
+                return
+            time.sleep(0.01)
+        info = {
+            "pool": collection.stats()["pool"],
+            "read_sessions": {
+                key: collection.document(key).stats()["read_sessions"]
+                for key in collection.keys()
+            },
+        }
+        raise AssertionError(f"fan-out never settled after abandon: {info}")
+
+    def test_abandon_mid_merge_releases_everything(self, collection):
+        stream = iter(collection.query("//email"))
+        row = next(stream)
+        assert row.document == "alice"
+        stream.close()
+        self._assert_settles_clean(collection)
+
+    def test_abandon_with_single_worker_pool(self, tmp_path):
+        # workers=1 serializes the shards, so later shard tasks start
+        # only after the abandon decision — the exact racy window.
+        with repro.connect_collection(
+            tmp_path / "c", create=True, workers=1
+        ) as collection:
+            for key in ("a", "b", "c", "d", "e", "f"):
+                collection.create_document(key, root="person")
+                for i in range(4):
+                    collection.update(key, _insert_email(f"{key}{i}@x"))
+            for _ in range(10):
+                stream = iter(collection.query("//email"))
+                assert next(stream).document == "a"
+                stream.close()
+                self._assert_settles_clean(collection)
