@@ -123,6 +123,7 @@ from repro.pworlds import (
 from repro.serve import (
     Collection,
     CollectionResultSet,
+    ProcessCollection,
     SessionPool,
     ShardRow,
     connect_collection,
@@ -205,6 +206,7 @@ __all__ = [
     "connect_collection",
     "Collection",
     "CollectionResultSet",
+    "ProcessCollection",
     "SessionPool",
     "ShardRow",
     # errors

@@ -181,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="query worker threads (default: cores, clamped to [2, 8])",
     )
     serve.add_argument(
+        "--shard-processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a collection with N worker processes behind a "
+        "consistent-hash ring instead of the in-process thread pool "
+        "(single-core hosts fall back to threads)",
+    )
+    serve.add_argument(
         "--queue-depth",
         type=int,
         default=16,
@@ -474,6 +483,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        shard_processes=args.shard_processes,
         queue_depth=args.queue_depth,
         default_deadline=args.deadline_ms / 1000.0,
         idle_timeout=args.idle_timeout,
@@ -531,16 +541,21 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     if Collection.is_collection(args.path):
         with connect_collection(args.path) as collection:
             info = collection.stats()
+            info["health"] = collection.health()
         if args.json:
             print(json.dumps(info, indent=2, sort_keys=True))
             return 0
         print(f"collection: {args.path}  documents: {info['document_count']}")
-        pool = info["pool"]
-        print(
-            f"pool: {pool['workers']} workers  "
-            f"active: {pool['active_tasks']}  "
-            f"submitted: {pool['submitted_tasks']}"
-        )
+        pool = info.get("pool")
+        if pool is not None:
+            print(
+                f"pool: {pool['workers']} workers  "
+                f"active: {pool['active_tasks']}  "
+                f"submitted: {pool['submitted_tasks']}"
+            )
+        cluster = info.get("cluster")
+        if cluster is not None:
+            print(f"cluster: {cluster['processes']} worker processes")
         totals = info["totals"]
         print(
             f"totals: nodes: {totals['nodes']}  "
@@ -548,6 +563,12 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
             f"commits: {totals['sequence']}  "
             f"read sessions: {totals['read_sessions']}"
         )
+        for key, shard in sorted(info["health"]["shards"].items()):
+            print(
+                f"  health {key}: alive: {shard['alive']}  "
+                f"wal_depth: {shard['wal_depth']}  "
+                f"respawns: {shard['respawns']}"
+            )
         for key, document in info["documents"].items():
             values = "  ".join(f"{name}: {document[name]}" for name in _SERVE_KEYS)
             print(f"  {key}: {values}")

@@ -26,6 +26,7 @@ __all__ = [
     "WarehouseLockedError",
     "WarehouseCorruptError",
     "SessionClosedError",
+    "ShardUnavailableError",
 ]
 
 
@@ -118,3 +119,16 @@ class SessionClosedError(WarehouseError):
     ``WarehouseError("warehouse handle is closed")`` as a warehouse
     failure keeps catching it.
     """
+
+
+class ShardUnavailableError(WarehouseError):
+    """A process-backed shard died (or is respawning) mid-request.
+
+    The shard's acknowledged commits are durable — the supervisor
+    respawns the worker and WAL replay restores them — so the request
+    that observed the dead pipe is safe to retry once the shard is
+    re-admitted.  :attr:`retryable` marks that contract for clients and
+    the HTTP error body.
+    """
+
+    retryable = True

@@ -98,6 +98,10 @@ METRIC_CATALOG: tuple[tuple[str, str, str], ...] = (
     ("warehouse.wal_bytes", "gauge", "WAL file size in bytes"),
     ("warehouse.read_sessions", "gauge", "Open snapshot pins"),
     ("warehouse.nodes", "gauge", "Document node count (refreshed on stats/export)"),
+    ("warehouse.binary_snapshot_loads", "counter",
+     "Warehouse.open cold-starts served from the binary snapshot codec"),
+    ("warehouse.binary_snapshot_fallbacks", "counter",
+     "Binary snapshot load failures that fell back to the XML snapshot"),
     # serving layer
     ("serve.queue_wait_seconds", "histogram",
      "Pool queue wait: submit to worker pickup"),
@@ -106,6 +110,16 @@ METRIC_CATALOG: tuple[tuple[str, str, str], ...] = (
     ("serve.fanout_seconds", "histogram",
      "Collection fan-out: submit to merged-stream exhaustion"),
     ("serve.fanout_queries", "counter", "Collection fan-out query executions"),
+    # process-per-shard cluster (repro serve --shard-processes)
+    ("cluster.workers", "gauge", "Live worker processes in the cluster"),
+    ("cluster.requests", "counter", "Requests routed to worker processes"),
+    ("cluster.respawns", "counter", "Worker processes respawned after death"),
+    ("cluster.worker_failures", "counter",
+     "Requests failed by a dead/dying worker (retryable)"),
+    ("cluster.migrations", "counter",
+     "Documents migrated between workers on ring changes"),
+    ("cluster.ipc_roundtrip_seconds", "histogram",
+     "Supervisor-side request/response round trip over the worker pipe"),
     # HTTP front end (repro serve)
     ("http.requests", "counter", "HTTP requests answered (any status)"),
     ("http.request_seconds", "histogram",

@@ -13,7 +13,13 @@ piece that puts threads on top of the storage and session layers:
   documents** as one store: one warehouse per document key, updates
   routed by key, queries fanned out across shards on a bounded
   :class:`SessionPool` and merged lazily in deterministic
-  (shard, row) order with ``limit(n)`` short-circuiting the fan-out.
+  (shard, row) order with ``limit(n)`` short-circuiting the fan-out;
+* ``connect_collection(..., mode="process")`` swaps the thread pool
+  for **worker processes** (:class:`ProcessCollection`): a supervisor
+  routes document keys over a consistent-hash ring to processes that
+  each own their shards' warehouses, recover from their own WAL on
+  crash and are respawned automatically — reader throughput scales
+  past the GIL (see :mod:`repro.serve.cluster`).
 
 ::
 
@@ -27,6 +33,12 @@ piece that puts threads on top of the storage and session layers:
             print(row.document, row.probability, row.tree.canonical())
 """
 
+from repro.serve.cluster import (
+    ClusterResultSet,
+    ClusterRow,
+    HashRing,
+    ProcessCollection,
+)
 from repro.serve.collection import (
     Collection,
     CollectionResultSet,
@@ -38,6 +50,10 @@ from repro.serve.pool import SessionPool, default_workers
 __all__ = [
     "Collection",
     "CollectionResultSet",
+    "ClusterResultSet",
+    "ClusterRow",
+    "HashRing",
+    "ProcessCollection",
     "SessionPool",
     "ShardRow",
     "connect_collection",

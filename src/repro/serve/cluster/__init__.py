@@ -1,0 +1,37 @@
+"""Process-per-shard serving: supervisor, workers, ring, wire protocol.
+
+The package behind ``connect_collection(..., mode="process")`` and
+``repro serve --shard-processes N``: a supervisor process routes
+document keys over a consistent-hash ring to worker processes, each
+owning its shards' warehouses and recovering from its own WAL on crash.
+"""
+
+from repro.serve.cluster.ring import HashRing
+from repro.serve.cluster.supervisor import (
+    ClusterResultSet,
+    ClusterRow,
+    ProcessCollection,
+)
+from repro.serve.cluster.wire import (
+    PipeTransport,
+    SocketTransport,
+    Verb,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.cluster.worker import worker_main
+
+__all__ = [
+    "ClusterResultSet",
+    "ClusterRow",
+    "HashRing",
+    "PipeTransport",
+    "ProcessCollection",
+    "SocketTransport",
+    "Verb",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "worker_main",
+]

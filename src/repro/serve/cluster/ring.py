@@ -1,0 +1,96 @@
+"""Consistent-hash ring: document keys → worker names.
+
+The supervisor routes every document key to exactly one worker.  A
+plain ``hash(key) % N`` would reshuffle nearly every key when N
+changes; the consistent-hash ring moves only ~K/N keys when a worker
+joins or leaves, which is what keeps ring changes cheap migrations
+instead of full reshards.
+
+Each worker contributes ``replicas`` virtual points (SHA-1 of
+``"name#i"``) on a 2^64 circle; a key routes to the first worker point
+at or past its own hash.  SHA-1 keeps placement stable across
+processes and runs — :func:`hash` is salted per process and would
+reroute everything on restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.errors import WarehouseError
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(hashlib.sha1(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """An immutable-per-operation consistent-hash ring over worker names.
+
+    Not thread-safe by itself; the supervisor mutates it under its
+    routing lock.
+    """
+
+    __slots__ = ("_replicas", "_nodes", "_points", "_owners")
+
+    def __init__(self, nodes: tuple[str, ...] | list[str] = (), replicas: int = 64) -> None:
+        if not isinstance(replicas, int) or replicas < 1:
+            raise WarehouseError(f"replicas must be an int >= 1, got {replicas!r}")
+        self._replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Add a worker's virtual points (idempotent-hostile: re-adding
+        an existing node raises — a double-add hides a routing bug)."""
+        if node in self._nodes:
+            raise WarehouseError(f"ring already contains {node!r}")
+        self._nodes.add(node)
+        for i in range(self._replicas):
+            point = _point(f"{node}#{i}")
+            # SHA-1 collisions across 64-bit prefixes are effectively
+            # impossible; keep the first owner if one ever happens so
+            # add/remove stay symmetric.
+            if point not in self._owners:
+                self._owners[point] = node
+                self._points.append(point)
+        self._points.sort()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise WarehouseError(f"ring does not contain {node!r}")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if self._owners[p] != node]
+        self._owners = {p: o for p, o in self._owners.items() if o != node}
+
+    def route(self, key: str) -> str:
+        """The worker owning *key* (first point clockwise from its hash)."""
+        if not self._points:
+            raise WarehouseError("cannot route on an empty ring")
+        index = bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def assignment(self, keys) -> dict[str, str]:
+        """Route many keys at once: ``{key: worker name}``."""
+        return {key: self.route(key) for key in keys}
+
+    def __repr__(self) -> str:
+        return f"HashRing({sorted(self._nodes)!r}, replicas={self._replicas})"

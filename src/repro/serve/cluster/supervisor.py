@@ -1,0 +1,796 @@
+"""Supervisor: stateless router over stateful worker processes.
+
+:class:`ProcessCollection` is the process-per-shard sibling of
+:class:`~repro.serve.collection.Collection`: the same directory layout,
+the same key-routed updates and fan-out queries, but every shard lives
+in a worker *process* (:mod:`repro.serve.cluster.worker`) so reader
+throughput scales past the GIL.  The supervisor holds no document
+state at all:
+
+* a :class:`~repro.serve.cluster.ring.HashRing` routes document keys
+  to workers; ring changes (:meth:`add_worker` / :meth:`remove_worker`)
+  migrate only the keys whose owner changed, via RELEASE on the old
+  worker (which folds the shard's WAL into a final snapshot — the
+  pinned-snapshot handoff) followed by ASSIGN on the new one, all
+  under the routing lock so no request can observe a half-moved key;
+* a monitor thread watches worker liveness; a dead worker is respawned
+  with the same key set and recovers from its own WAL inside
+  ``Warehouse.open`` before answering READY.  An in-flight request on
+  the dying pipe fails fast with the retryable
+  :class:`~repro.errors.ShardUnavailableError` — acknowledged commits
+  are already durable in that shard's WAL, so the retry contract is
+  safe;
+* requests are length-prefixed frames (:mod:`.wire`) over a
+  per-worker ``multiprocessing.Pipe``, serialized per worker by a
+  handle lock and matched to responses by request id.
+
+Workers are started with the ``spawn`` method: the supervisor runs
+inside threaded serving processes, and forking a multithreaded parent
+inherits locks in undefined states.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from time import perf_counter
+
+import repro.errors as errors_module
+from repro.core.update import UpdateReport
+from repro.errors import QueryError, ShardUnavailableError, WarehouseError
+from repro.serve.cluster.ring import HashRing
+from repro.serve.cluster.wire import PipeTransport, Verb, WireError
+from repro.serve.cluster.worker import worker_main
+from repro.warehouse.warehouse import (
+    USE_DEFAULT_OBSERVABILITY,
+    _resolve_observability,
+)
+from repro.xmlio.parse import plain_from_string
+from repro.xmlio.serialize import fuzzy_to_string
+
+__all__ = ["ClusterResultSet", "ClusterRow", "ProcessCollection"]
+
+#: Seconds a freshly spawned worker gets to import, recover its shards
+#: and answer READY (spawn pays interpreter start + module imports).
+_SPAWN_TIMEOUT = 120.0
+#: Seconds a DRAIN/close is given before escalating to terminate/kill.
+_DRAIN_TIMEOUT = 10.0
+#: Liveness poll interval of the monitor thread.
+_MONITOR_INTERVAL = 0.05
+
+
+def _reconstruct_error(payload: dict) -> Exception:
+    """An ERR payload back into the closest exception class."""
+    family = payload.get("family")
+    message = payload.get("message", "worker error")
+    cls = getattr(errors_module, str(family), None)
+    if isinstance(cls, type) and issubclass(cls, errors_module.ReproError):
+        try:
+            return cls(message)
+        except TypeError:
+            pass  # subclasses with richer signatures fall through
+    return WarehouseError(f"{family}: {message}")
+
+
+class ClusterRow:
+    """One merged query row from a worker process.
+
+    The same reading surface as
+    :class:`~repro.serve.collection.ShardRow` (``document``,
+    ``probability``, ``tree``, ``bindings()``): the answer tree crossed
+    the pipe as compact XML and is parsed lazily on first access.
+    """
+
+    __slots__ = ("document", "probability", "_bindings", "_tree_xml", "_tree")
+
+    def __init__(self, document: str, payload: dict) -> None:
+        self.document = document
+        self.probability = payload["probability"]
+        self._bindings = payload["bindings"]
+        self._tree_xml = payload["tree_xml"]
+        self._tree = None
+
+    @property
+    def tree(self):
+        if self._tree is None:
+            self._tree = plain_from_string(self._tree_xml)
+        return self._tree
+
+    def bindings(self) -> dict[str, str | None]:
+        return dict(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"ClusterRow({self.document!r}, p={self.probability:.4f})"
+
+
+class ClusterResultSet:
+    """Lazy fan-out query over a process collection's workers.
+
+    Mirrors :class:`~repro.serve.collection.CollectionResultSet`:
+    immutable, ``limit(n)`` returns a new set, iteration yields rows in
+    deterministic (shard key, row) order.  The limit is pushed to every
+    worker (a shard contributes at most n rows) and capped again at the
+    merge.
+    """
+
+    __slots__ = ("_collection", "_pattern", "_keys", "_limit")
+
+    def __init__(self, collection, pattern: str, keys, limit=None) -> None:
+        self._collection = collection
+        self._pattern = pattern
+        self._keys = keys
+        self._limit = limit
+
+    def limit(self, n: int) -> "ClusterResultSet":
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise QueryError(f"limit must be a non-negative int, got {n!r}")
+        capped = n if self._limit is None else min(self._limit, n)
+        return ClusterResultSet(self._collection, self._pattern, self._keys, capped)
+
+    def __iter__(self):
+        if self._limit == 0:
+            return iter(())
+        rows_by_key = self._collection._fanout_query(
+            self._pattern, self._keys, self._limit
+        )
+        return self._merge(rows_by_key)
+
+    def _merge(self, rows_by_key: dict[str, list[ClusterRow]]):
+        emitted = 0
+        for key in sorted(rows_by_key):
+            for row in rows_by_key[key]:
+                yield row
+                emitted += 1
+                if self._limit is not None and emitted >= self._limit:
+                    return
+
+    def all(self) -> list[ClusterRow]:
+        return list(self)
+
+    def first(self) -> ClusterRow | None:
+        for row in self.limit(1):
+            return row
+        return None
+
+    def count(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        limit = "" if self._limit is None else f", limit={self._limit}"
+        return (
+            f"ClusterResultSet({self._pattern!r}, "
+            f"{len(self._keys)} shards{limit})"
+        )
+
+
+class _WorkerHandle:
+    """One worker process plus its request channel and accounting."""
+
+    __slots__ = (
+        "name",
+        "process",
+        "transport",
+        "lock",
+        "keys",
+        "respawns",
+        "alive",
+        "draining",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.process = None
+        self.transport: PipeTransport | None = None
+        # Serializes request/response pairs on the pipe; also what a
+        # respawn holds while swapping in the new process.
+        self.lock = threading.Lock()
+        self.keys: set[str] = set()
+        self.respawns = 0
+        self.alive = False
+        self.draining = False
+
+
+class ProcessCollection:
+    """N worker processes serving a collection directory as one store.
+
+    Open through :func:`repro.serve.connect_collection` with
+    ``mode="process"`` — the constructor expects an *existing*
+    collection layout (the manifest and any shard directories).
+
+    ``session_options`` must be plain data (ints/bools/None): they
+    cross the spawn boundary.  ``fault_injection=True`` lets tests ask
+    workers to SIGKILL themselves around a commit — never enable it in
+    real serving.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        shard_processes: int,
+        session_options: dict | None = None,
+        observability=USE_DEFAULT_OBSERVABILITY,
+        fault_injection: bool = False,
+        replicas: int = 64,
+    ) -> None:
+        if (
+            not isinstance(shard_processes, int)
+            or isinstance(shard_processes, bool)
+            or shard_processes < 1
+        ):
+            raise WarehouseError(
+                f"shard_processes must be an int >= 1, got {shard_processes!r}"
+            )
+        self._path = Path(path)
+        self._obs = _resolve_observability(observability)
+        self._options = dict(session_options or {})
+        if fault_injection:
+            self._options["allow_faults"] = True
+        self._ctx = multiprocessing.get_context("spawn")
+        self._request_ids = itertools.count(1)
+        # Guards the ring, the handle map and every key→worker move.
+        self._routing_lock = threading.Lock()
+        self._ring = HashRing(replicas=replicas)
+        self._handles: dict[str, _WorkerHandle] = {}
+        self._closed = False
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+        keys = self._scan_keys()
+        names = [f"w{i}" for i in range(shard_processes)]
+        for name in names:
+            self._ring.add(name)
+        assignment = self._ring.assignment(keys)
+        try:
+            for name in names:
+                handle = _WorkerHandle(name)
+                handle.keys = {k for k, owner in assignment.items() if owner == name}
+                self._spawn(handle)
+                self._handles[name] = handle
+        except BaseException:
+            self.close()
+            raise
+        self._set_worker_gauge()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _scan_keys(self) -> list[str]:
+        keys = []
+        for entry in sorted(self._path.iterdir()):
+            if entry.is_dir() and (entry / "document.xml").exists():
+                keys.append(entry.name)
+        return keys
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start (or restart) *handle*'s process; blocks until READY.
+
+        Callers hold either the routing lock (startup, ring changes) or
+        the handle lock (respawn) — never neither.
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, str(self._path), sorted(handle.keys), self._options),
+            name=f"repro-shard-{handle.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        transport = PipeTransport(parent_conn)
+        try:
+            verb, _rid, payload = transport.recv(timeout=_SPAWN_TIMEOUT)
+        except (EOFError, OSError, TimeoutError) as exc:
+            transport.close()
+            process.terminate()
+            process.join(1.0)
+            raise WarehouseError(
+                f"worker {handle.name} died before READY"
+            ) from exc
+        if verb is not Verb.READY:
+            transport.close()
+            process.join(1.0)
+            raise _reconstruct_error(
+                payload if isinstance(payload, dict) else {}
+            )
+        handle.process = process
+        handle.transport = transport
+        handle.alive = True
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(_MONITOR_INTERVAL):
+            for handle in list(self._handles.values()):
+                process = handle.process
+                if (
+                    process is None
+                    or handle.draining
+                    or process.is_alive()
+                ):
+                    continue
+                try:
+                    self._respawn(handle)
+                except Exception:
+                    # Spawn failed (resources, lock contention): leave
+                    # the handle dead; the next tick tries again and
+                    # requests keep failing retryably meanwhile.
+                    continue
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        with handle.lock:
+            if self._closed or handle.draining:
+                return
+            process = handle.process
+            if process is None or process.is_alive():
+                return  # lost a race with another respawn
+            handle.alive = False
+            if handle.transport is not None:
+                handle.transport.close()
+            process.join(0.1)
+            self._spawn(handle)
+            handle.respawns += 1
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.incr("cluster.respawns")
+
+    def close(self) -> None:
+        """Drain every worker and stop the monitor; idempotent."""
+        with self._routing_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stopping.set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.join(2.0)
+        for handle in self._handles.values():
+            handle.draining = True
+            process = handle.process
+            transport = handle.transport
+            if transport is not None and handle.alive:
+                try:
+                    with handle.lock:
+                        transport.send(Verb.DRAIN, next(self._request_ids), {})
+                        transport.recv(timeout=_DRAIN_TIMEOUT)
+                except (EOFError, OSError, TimeoutError, WireError):
+                    pass
+            if process is not None:
+                process.join(_DRAIN_TIMEOUT)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(2.0)
+            if transport is not None:
+                transport.close()
+            handle.alive = False
+        self._set_worker_gauge()
+
+    def __enter__(self) -> "ProcessCollection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WarehouseError("collection is closed")
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        handle: _WorkerHandle,
+        verb: Verb,
+        payload: dict,
+        timeout: float | None = None,
+    ) -> dict:
+        """One request/response round trip on *handle*'s pipe.
+
+        Raises :class:`ShardUnavailableError` (retryable) when the
+        worker dies mid-request; the monitor respawns it and WAL replay
+        restores every acknowledged commit.
+        """
+        obs = self._obs
+        request_id = next(self._request_ids)
+        t0 = perf_counter()
+        with handle.lock:
+            if not handle.alive or handle.transport is None:
+                raise ShardUnavailableError(
+                    f"worker {handle.name} is down (respawn in progress); retry"
+                )
+            transport = handle.transport
+            try:
+                transport.send(verb, request_id, payload)
+                while True:
+                    reply_verb, reply_id, reply = transport.recv(timeout)
+                    if reply_id == request_id:
+                        break
+                    # A response to an earlier request that timed out:
+                    # drop it, keep waiting for ours.
+            except (EOFError, OSError) as exc:
+                handle.alive = False
+                if obs is not None:
+                    obs.metrics.incr("cluster.worker_failures")
+                raise ShardUnavailableError(
+                    f"worker {handle.name} died mid-request; acknowledged "
+                    "commits are durable — retry after respawn"
+                ) from exc
+            except TimeoutError:
+                if obs is not None:
+                    obs.metrics.incr("cluster.worker_failures")
+                raise ShardUnavailableError(
+                    f"worker {handle.name} did not answer within {timeout}s"
+                ) from None
+        if obs is not None:
+            obs.metrics.incr("cluster.requests")
+            obs.metrics.observe(
+                "cluster.ipc_roundtrip_seconds", perf_counter() - t0
+            )
+        if reply_verb is Verb.ERR and isinstance(reply, dict):
+            raise _reconstruct_error(reply)
+        if reply_verb is not Verb.OK:
+            raise WireError(f"unexpected response verb {reply_verb!r}")
+        return reply if isinstance(reply, dict) else {}
+
+    def _handle_for_key(self, key: str) -> _WorkerHandle:
+        with self._routing_lock:
+            self._check_open()
+            if key not in self._all_keys_locked():
+                raise WarehouseError(
+                    f"no document {key!r} in collection {self._path}"
+                )
+            return self._handles[self._ring.route(key)]
+
+    def _all_keys_locked(self) -> set[str]:
+        keys: set[str] = set()
+        for handle in self._handles.values():
+            keys |= handle.keys
+        return keys
+
+    def _set_worker_gauge(self) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.set_gauge(
+                "cluster.workers",
+                sum(1 for h in self._handles.values() if h.alive),
+            )
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def observability(self):
+        return self._obs
+
+    def keys(self) -> list[str]:
+        with self._routing_lock:
+            return sorted(self._all_keys_locked())
+
+    def __len__(self) -> int:
+        with self._routing_lock:
+            return len(self._all_keys_locked())
+
+    def __contains__(self, key: str) -> bool:
+        with self._routing_lock:
+            return key in self._all_keys_locked()
+
+    def create_document(
+        self,
+        key: str,
+        *,
+        root: str | None = None,
+        document=None,
+    ) -> None:
+        """Add a new document under *key* on the worker the ring picks.
+
+        Unlike the thread collection this returns no session — the
+        shard lives in another process; use :meth:`update` /
+        :meth:`query` against the key.
+        """
+        self._check_open()
+        with self._routing_lock:
+            if key in self._all_keys_locked():
+                raise WarehouseError(f"document {key!r} already exists")
+            handle = self._handles[self._ring.route(key)]
+        payload: dict = {"key": key, "root": root}
+        if document is not None:
+            payload["document_xml"] = fuzzy_to_string(document, indent=False)
+        self._request(handle, Verb.CREATE, payload)
+        with self._routing_lock:
+            handle.keys.add(key)
+
+    # ------------------------------------------------------------------
+    # Updates (routed) and queries (fanned out)
+    # ------------------------------------------------------------------
+
+    def update(
+        self, key: str, transaction, confidence: float | None = None, *, fault=None
+    ) -> UpdateReport:
+        """Apply one update to document *key*; durable once returned.
+
+        *fault* is the test-only injection point (ignored unless the
+        collection was opened with ``fault_injection=True``).
+        """
+        payload = {
+            "key": key,
+            "transaction": _serialize_transaction(transaction),
+            "confidence": confidence,
+        }
+        if fault is not None:
+            payload["fault"] = fault
+        reply = self._request(self._handle_for_key(key), Verb.UPDATE, payload)
+        return UpdateReport(**reply["report"])
+
+    def update_many(
+        self, key: str, transactions, confidence: float | None = None
+    ) -> list[UpdateReport]:
+        """Apply a batch to document *key* as one commit."""
+        payload = {
+            "key": key,
+            "transactions": [_serialize_transaction(t) for t in transactions],
+            "confidence": confidence,
+        }
+        reply = self._request(self._handle_for_key(key), Verb.UPDATE, payload)
+        return [UpdateReport(**r) for r in reply["reports"]]
+
+    def query(self, query, keys: list[str] | None = None) -> ClusterResultSet:
+        """A lazy fan-out query over every shard (or just *keys*)."""
+        self._check_open()
+        from repro.api.builders import compile_pattern
+
+        pattern = str(compile_pattern(query))
+        if keys is None:
+            keys = self.keys()
+        else:
+            keys = list(keys)
+            known = set(self.keys())
+            for key in keys:
+                if key not in known:
+                    raise WarehouseError(
+                        f"no document {key!r} in collection {self._path}"
+                    )
+        return ClusterResultSet(self, pattern, keys)
+
+    def _fanout_query(
+        self, pattern: str, keys, limit: int | None
+    ) -> dict[str, list[ClusterRow]]:
+        """Run *pattern* on every worker owning one of *keys*; returns
+        rows grouped by document key (each worker's shards answered by
+        one QUERY frame, workers in parallel threads)."""
+        self._check_open()
+        wanted = set(keys)
+        with self._routing_lock:
+            by_worker: dict[str, list[str]] = {}
+            for key in wanted & self._all_keys_locked():
+                by_worker.setdefault(self._ring.route(key), []).append(key)
+            handles = {name: self._handles[name] for name in by_worker}
+        if not by_worker:
+            return {}
+        obs = self._obs
+        if obs is not None and obs.metrics.enabled:
+            obs.metrics.incr("serve.fanout_queries")
+        t0 = perf_counter()
+
+        def run_worker(name: str) -> dict:
+            return self._request(
+                handles[name],
+                Verb.QUERY,
+                {"pattern": pattern, "keys": by_worker[name], "limit": limit},
+            )
+
+        rows_by_key: dict[str, list[ClusterRow]] = {}
+        if len(by_worker) == 1:
+            (name,) = by_worker
+            replies = [run_worker(name)]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=len(by_worker), thread_name_prefix="repro-cluster-fanout"
+            ) as pool:
+                replies = list(pool.map(run_worker, sorted(by_worker)))
+        for reply in replies:
+            for key, rows in reply.get("rows", {}).items():
+                rows_by_key[key] = [ClusterRow(key, row) for row in rows]
+        if obs is not None and obs.metrics.enabled:
+            obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
+        return rows_by_key
+
+    # ------------------------------------------------------------------
+    # Ring changes
+    # ------------------------------------------------------------------
+
+    def add_worker(self) -> str:
+        """Grow the ring by one worker; migrates only re-routed keys.
+
+        Returns the new worker's name.  Migration holds the routing
+        lock: RELEASE folds each moving shard's WAL into a final
+        snapshot on the old worker, ASSIGN opens that snapshot on the
+        new one — a committed update can never be left behind.
+        """
+        with self._routing_lock:
+            self._check_open()
+            index = 0
+            while f"w{index}" in self._handles:
+                index += 1
+            name = f"w{index}"
+            current = self._all_keys_locked()
+            before = self._ring.assignment(current)
+            self._ring.add(name)
+            after = self._ring.assignment(current)
+            moving = {k for k in current if before[k] != after[k]}
+            handle = _WorkerHandle(name)
+            try:
+                self._spawn(handle)
+            except BaseException:
+                self._ring.remove(name)
+                raise
+            self._handles[name] = handle
+            self._migrate_locked(moving, after)
+            self._set_worker_gauge()
+        return name
+
+    def remove_worker(self, name: str) -> None:
+        """Shrink the ring: migrate the worker's keys away, drain it."""
+        with self._routing_lock:
+            self._check_open()
+            if name not in self._handles:
+                raise WarehouseError(f"no worker {name!r}")
+            if len(self._handles) == 1:
+                raise WarehouseError("cannot remove the last worker")
+            handle = self._handles[name]
+            moving = set(handle.keys)
+            self._ring.remove(name)
+            after = self._ring.assignment(moving)
+            self._migrate_locked(moving, after)
+            handle.draining = True
+            del self._handles[name]
+            self._set_worker_gauge()
+        try:
+            self._request(handle, Verb.DRAIN, {}, timeout=_DRAIN_TIMEOUT)
+        except (ShardUnavailableError, WireError):
+            pass
+        process = handle.process
+        if process is not None:
+            process.join(_DRAIN_TIMEOUT)
+            if process.is_alive():
+                process.terminate()
+                process.join(2.0)
+        if handle.transport is not None:
+            handle.transport.close()
+        handle.alive = False
+
+    def _migrate_locked(self, moving: set, assignment: dict[str, str]) -> None:
+        """Move each key in *moving* to its new owner (routing lock held)."""
+        obs = self._obs
+        for key in sorted(moving):
+            source = None
+            for handle in self._handles.values():
+                if key in handle.keys:
+                    source = handle
+                    break
+            target = self._handles[assignment[key]]
+            if source is target or source is None:
+                continue
+            self._request(source, Verb.RELEASE, {"key": key})
+            source.keys.discard(key)
+            self._request(target, Verb.ASSIGN, {"key": key})
+            target.keys.add(key)
+            if obs is not None:
+                obs.metrics.incr("cluster.migrations")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate + per-document statistics and cluster accounting."""
+        self._check_open()
+        documents: dict[str, dict] = {}
+        workers: dict[str, dict] = {}
+        for name in sorted(self._handles):
+            handle = self._handles[name]
+            info = {
+                "alive": handle.alive,
+                "respawns": handle.respawns,
+                "keys": sorted(handle.keys),
+            }
+            if handle.alive:
+                try:
+                    reply = self._request(handle, Verb.STATS, {})
+                    documents.update(reply.get("documents", {}))
+                except ShardUnavailableError:
+                    info["alive"] = False
+            workers[name] = info
+        totals = {"nodes": 0, "declared_events": 0, "read_sessions": 0, "sequence": 0}
+        for info in documents.values():
+            for field in totals:
+                totals[field] += info.get(field, 0)
+        return {
+            "documents": documents,
+            "document_count": len(documents),
+            "totals": totals,
+            "cluster": {
+                "mode": "process",
+                "workers": workers,
+                "processes": len(self._handles),
+            },
+        }
+
+    def health(self, timeout: float = 2.0) -> dict:
+        """Per-shard liveness: ``{"shards": {key: {...}}}``.
+
+        A worker that is dead or does not answer within *timeout*
+        reports every key it owns as ``alive: False`` — a recovering
+        shard is visible, not invisible.
+        """
+        self._check_open()
+        shards: dict[str, dict] = {}
+        for name in sorted(self._handles):
+            handle = self._handles[name]
+            reply = None
+            if handle.alive:
+                try:
+                    reply = self._request(handle, Verb.HEALTH, {}, timeout=timeout)
+                except ShardUnavailableError:
+                    reply = None
+            if reply is not None:
+                for key, info in reply.get("shards", {}).items():
+                    shards[key] = {
+                        "alive": bool(info.get("alive")),
+                        "wal_depth": info.get("wal_depth"),
+                        "respawns": handle.respawns,
+                    }
+            else:
+                for key in sorted(handle.keys):
+                    shards[key] = {
+                        "alive": False,
+                        "wal_depth": None,
+                        "respawns": handle.respawns,
+                    }
+        return {"shards": shards}
+
+    def workers(self) -> dict[str, dict]:
+        """Live worker accounting: name → alive/respawns/keys."""
+        with self._routing_lock:
+            return {
+                name: {
+                    "alive": handle.alive,
+                    "respawns": handle.respawns,
+                    "keys": sorted(handle.keys),
+                }
+                for name, handle in sorted(self._handles.items())
+            }
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else f"{len(self._handles)} workers, {len(self.keys())} documents"
+        )
+        return f"ProcessCollection({self._path}, {state})"
+
+
+def _serialize_transaction(transaction) -> str:
+    """An update (builder, transaction object or XUpdate string) as the
+    XUpdate text that crosses the pipe."""
+    if isinstance(transaction, str):
+        return transaction
+    from repro.api.builders import compile_transaction
+    from repro.xmlio.xupdate import transaction_to_string
+
+    return transaction_to_string(compile_transaction(transaction), indent=False)

@@ -1,0 +1,166 @@
+"""Length-prefixed binary frame protocol between supervisor and workers.
+
+One frame is one request or one response::
+
+    u32  frame length (bytes past this field)
+    u8   verb (:class:`Verb`)
+    u64  request id (echoed by the response; lets a receiver discard a
+         stale response after a timed-out request)
+    u32  CRC-32 of the payload bytes
+    ...  payload: pickled plain data (dicts of strings/numbers/lists)
+
+Frames travel over either a :class:`multiprocessing.Pipe` connection
+(:class:`PipeTransport` — the connection's own message framing carries
+whole frames, the length prefix is kept for uniformity) or a stream
+socket (:class:`SocketTransport` — the length prefix *is* the framing).
+A checksum mismatch, a truncated frame or an unknown verb raises
+:class:`WireError`; EOF on the underlying channel raises plain
+:class:`EOFError` so the supervisor can tell "peer died" from "peer
+sent garbage".
+
+Payloads are pickled, but only ever plain data built by this package on
+both ends of a pipe this process created — the protocol is an internal
+IPC surface, not a network-facing one (the HTTP front end stays the
+only outside door).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from enum import IntEnum
+
+from repro.errors import WarehouseError
+
+__all__ = [
+    "PipeTransport",
+    "SocketTransport",
+    "Verb",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+]
+
+
+class WireError(WarehouseError):
+    """A malformed frame: bad checksum, truncation, unknown verb."""
+
+
+class Verb(IntEnum):
+    """Frame kinds.  Requests flow supervisor → worker; every request
+    is answered by exactly one OK or ERR frame with the same id."""
+
+    # requests
+    QUERY = 1
+    UPDATE = 2
+    CREATE = 3
+    STATS = 4
+    HEALTH = 5
+    DRAIN = 6
+    ASSIGN = 7
+    RELEASE = 8
+    # responses / lifecycle
+    READY = 16
+    OK = 17
+    ERR = 18
+
+
+_HEADER = struct.Struct("<BQI")  # verb, request id, payload crc32
+_LENGTH = struct.Struct("<I")
+
+
+def encode_frame(verb: Verb, request_id: int, payload: object) -> bytes:
+    """One wire frame, length prefix included."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(int(verb), request_id, zlib.crc32(body))
+    return _LENGTH.pack(len(header) + len(body)) + header + body
+
+
+def decode_frame(frame: bytes) -> tuple[Verb, int, object]:
+    """Decode one frame (length prefix included); verifies the checksum."""
+    prefix = _LENGTH.size
+    if len(frame) < prefix + _HEADER.size:
+        raise WireError(f"frame too short ({len(frame)} bytes)")
+    (length,) = _LENGTH.unpack_from(frame)
+    if length != len(frame) - prefix:
+        raise WireError(
+            f"frame length mismatch: prefix says {length}, got {len(frame) - prefix}"
+        )
+    verb_value, request_id, checksum = _HEADER.unpack_from(frame, prefix)
+    body = frame[prefix + _HEADER.size :]
+    if zlib.crc32(body) != checksum:
+        raise WireError("frame payload failed its checksum")
+    try:
+        verb = Verb(verb_value)
+    except ValueError:
+        raise WireError(f"unknown verb {verb_value}") from None
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:  # pickle raises a zoo of types on bad bytes
+        raise WireError(f"frame payload failed to unpickle: {exc}") from exc
+    return verb, request_id, payload
+
+
+class PipeTransport:
+    """Frames over a :class:`multiprocessing.connection.Connection`.
+
+    The connection's message framing delivers whole frames; ``recv``
+    honours an optional timeout via ``poll`` and raises
+    :class:`TimeoutError` without consuming anything.
+    """
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, verb: Verb, request_id: int, payload: object) -> None:
+        self._conn.send_bytes(encode_frame(verb, request_id, payload))
+
+    def recv(self, timeout: float | None = None) -> tuple[Verb, int, object]:
+        """The next frame; raises EOFError when the peer is gone and
+        TimeoutError when *timeout* elapses first."""
+        if timeout is not None and not self._conn.poll(timeout):
+            raise TimeoutError("no frame within the timeout")
+        return decode_frame(self._conn.recv_bytes())
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self._conn.poll(timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+
+class SocketTransport:
+    """Frames over a stream socket; the length prefix is the framing."""
+
+    __slots__ = ("_sock",)
+
+    def __init__(self, sock) -> None:
+        self._sock = sock
+
+    def send(self, verb: Verb, request_id: int, payload: object) -> None:
+        self._sock.sendall(encode_frame(verb, request_id, payload))
+
+    def recv(self, timeout: float | None = None) -> tuple[Verb, int, object]:
+        self._sock.settimeout(timeout)
+        prefix = self._read_exact(_LENGTH.size)
+        (length,) = _LENGTH.unpack(prefix)
+        return decode_frame(prefix + self._read_exact(length))
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = self._sock.recv(n - len(chunks))
+            if not chunk:
+                raise EOFError("socket closed mid-frame")
+            chunks += chunk
+        return bytes(chunks)
+
+    def close(self) -> None:
+        self._sock.close()

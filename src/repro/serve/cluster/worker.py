@@ -1,0 +1,237 @@
+"""Worker process: owns one or more warehouse shards, speaks frames.
+
+``worker_main`` is the spawn target.  It opens a
+:class:`~repro.api.session.Session` per assigned document key (WAL
+replay — and therefore crash recovery — happens right there in
+``Warehouse.open``), sends a READY frame, then serves request frames
+until DRAIN or supervisor EOF.  Every request is answered by exactly
+one OK or ERR frame carrying the request's id; a
+:class:`~repro.errors.ReproError` becomes a structured ERR payload
+(family, message, retryable) and the worker keeps serving — only
+channel damage or DRAIN ends the loop.
+
+Workers run with ``observability=None`` sessions: the supervisor's
+``cluster.*`` metrics are the cluster's instrument panel, and a child
+process's registry would be invisible to the parent anyway.
+
+Fault injection (tests only): when the supervisor enabled
+``allow_faults``, an UPDATE payload may carry ``fault:
+"before_commit" | "after_commit"`` and the worker SIGKILLs itself at
+that point — before applying, or after the commit is durable but
+before the acknowledgement.  This is how the kill -9 recovery
+guarantees are exercised without racing an external killer against a
+commit window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+from pathlib import Path
+
+from repro.api.session import Session, connect
+from repro.errors import ReproError, WarehouseError
+from repro.serve.cluster.wire import PipeTransport, Verb, WireError
+from repro.xmlio.parse import fuzzy_from_string
+from repro.xmlio.serialize import plain_to_string
+
+__all__ = ["worker_main"]
+
+
+def _session_options(options: dict) -> dict:
+    return {
+        "snapshot_every": options.get("snapshot_every", 64),
+        "wal_bytes_limit": options.get("wal_bytes_limit", 4 * 1024 * 1024),
+        "compact_on_close": options.get("compact_on_close", True),
+        "auto_simplify_factor": options.get("auto_simplify_factor"),
+        "observability": None,
+    }
+
+
+def _kill_self() -> None:
+    """Die exactly like an external ``kill -9``: no atexit, no flush."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class _Worker:
+    def __init__(self, root: Path, options: dict) -> None:
+        self.root = root
+        self.options = options
+        self.allow_faults = bool(options.get("allow_faults"))
+        self.sessions: dict[str, Session] = {}
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+
+    def open_shard(self, key: str) -> None:
+        if key in self.sessions:
+            return
+        self.sessions[key] = connect(
+            self.root / key, **_session_options(self.options)
+        )
+
+    def close_shard(self, key: str) -> None:
+        session = self.sessions.pop(key, None)
+        if session is not None:
+            # compact_on_close folds the WAL into a final snapshot: the
+            # handoff artifact a migration target opens without replay.
+            session.close()
+
+    def close_all(self) -> None:
+        for key in list(self.sessions):
+            self.close_shard(key)
+
+    def _session(self, key: str) -> Session:
+        try:
+            return self.sessions[key]
+        except KeyError:
+            raise WarehouseError(
+                f"worker does not own document {key!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Request handlers (each returns the OK payload)
+    # ------------------------------------------------------------------
+
+    def handle_query(self, payload: dict) -> dict:
+        pattern = payload["pattern"]
+        limit = payload.get("limit")
+        keys = payload.get("keys")
+        keys = sorted(self.sessions) if keys is None else sorted(keys)
+        rows: dict[str, list[dict]] = {}
+        for key in keys:
+            results = self._session(key).query(pattern)
+            if limit is not None:
+                results = results.limit(limit)
+            rows[key] = [
+                {
+                    "probability": row.probability,
+                    "tree_xml": plain_to_string(row.tree, indent=False),
+                    "bindings": row.bindings(),
+                }
+                for row in results
+            ]
+        return {"rows": rows}
+
+    def handle_update(self, payload: dict) -> dict:
+        key = payload["key"]
+        session = self._session(key)
+        confidence = payload.get("confidence")
+        fault = payload.get("fault") if self.allow_faults else None
+        if fault == "before_commit":
+            _kill_self()
+        if "transactions" in payload:
+            reports = session.update_many(
+                payload["transactions"], confidence=confidence
+            )
+            if fault == "after_commit":
+                _kill_self()
+            return {"reports": [dataclasses.asdict(r) for r in reports]}
+        report = session.update(payload["transaction"], confidence)
+        if fault == "after_commit":
+            # The commit is durable (WAL fsynced) — dying here is the
+            # "acknowledged on disk, never acknowledged to the client"
+            # window recovery must close.
+            _kill_self()
+        return {"report": dataclasses.asdict(report)}
+
+    def handle_create(self, payload: dict) -> dict:
+        key = payload["key"]
+        if key in self.sessions:
+            raise WarehouseError(f"document {key!r} already exists")
+        document_xml = payload.get("document_xml")
+        self.sessions[key] = connect(
+            self.root / key,
+            create=True,
+            root=payload.get("root"),
+            document=(
+                fuzzy_from_string(document_xml) if document_xml is not None else None
+            ),
+            **_session_options(self.options),
+        )
+        return {"key": key}
+
+    def handle_stats(self, payload: dict) -> dict:
+        return {
+            "documents": {
+                key: self.sessions[key].stats() for key in sorted(self.sessions)
+            }
+        }
+
+    def handle_health(self, payload: dict) -> dict:
+        return {
+            "shards": {
+                key: self.sessions[key].warehouse.health()
+                for key in sorted(self.sessions)
+            }
+        }
+
+    def handle_assign(self, payload: dict) -> dict:
+        self.open_shard(payload["key"])
+        return {"key": payload["key"]}
+
+    def handle_release(self, payload: dict) -> dict:
+        self.close_shard(payload["key"])
+        return {"key": payload["key"]}
+
+
+_HANDLERS = {
+    Verb.QUERY: _Worker.handle_query,
+    Verb.UPDATE: _Worker.handle_update,
+    Verb.CREATE: _Worker.handle_create,
+    Verb.STATS: _Worker.handle_stats,
+    Verb.HEALTH: _Worker.handle_health,
+    Verb.ASSIGN: _Worker.handle_assign,
+    Verb.RELEASE: _Worker.handle_release,
+}
+
+
+def worker_main(conn, root: str, keys: list[str], options: dict) -> None:
+    """Process entry point: open shards, announce READY, serve frames."""
+    # The supervisor owns interactive shutdown; a Ctrl-C aimed at it
+    # must not tear workers mid-commit — they exit on DRAIN or EOF.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    transport = PipeTransport(conn)
+    worker = _Worker(Path(root), dict(options))
+    try:
+        for key in keys:
+            worker.open_shard(key)
+    except BaseException as exc:
+        transport.send(
+            Verb.ERR,
+            0,
+            {"family": type(exc).__name__, "message": str(exc), "retryable": False},
+        )
+        return
+    transport.send(Verb.READY, 0, {"pid": os.getpid(), "keys": sorted(worker.sessions)})
+    try:
+        while True:
+            try:
+                verb, request_id, payload = transport.recv()
+            except (EOFError, OSError):
+                return  # supervisor is gone; fall through to cleanup
+            if verb is Verb.DRAIN:
+                worker.close_all()
+                transport.send(Verb.OK, request_id, {"drained": True})
+                return
+            handler = _HANDLERS.get(verb)
+            try:
+                if handler is None:
+                    raise WireError(f"unexpected request verb {verb!r}")
+                result = handler(worker, payload)
+            except ReproError as exc:
+                transport.send(
+                    Verb.ERR,
+                    request_id,
+                    {
+                        "family": type(exc).__name__,
+                        "message": str(exc),
+                        "retryable": bool(getattr(exc, "retryable", False)),
+                    },
+                )
+            else:
+                transport.send(Verb.OK, request_id, result)
+    finally:
+        worker.close_all()

@@ -39,6 +39,7 @@ their shard key and are never merged across documents.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 from pathlib import Path
@@ -76,6 +77,9 @@ def connect_collection(
     *,
     create: bool = False,
     workers: int | None = None,
+    mode: str = "thread",
+    shard_processes: int | None = None,
+    force_processes: bool = False,
     match_config: MatchConfig = DEFAULT_CONFIG,
     auto_simplify_factor: float | None = None,
     snapshot_every: int = 64,
@@ -85,13 +89,33 @@ def connect_collection(
 ) -> "Collection":
     """Open (or with ``create=True`` initialise) the collection at *path*.
 
-    Every existing shard is opened eagerly — the collection owns each
-    shard's single-writer lock from here to :meth:`Collection.close`.
-    The session keywords apply to every shard it opens or creates.
-    One *observability* panel (by default the process-global one) is
-    shared by the pool and every shard, so fan-out spans, per-shard
-    timings and queue-wait histograms land in one place.
+    *mode* picks the serving engine:
+
+    * ``"thread"`` (default) — every shard opens in this process,
+      queries fan out on a shared :class:`~repro.serve.pool.SessionPool`;
+    * ``"process"`` — shards live in worker *processes* behind a
+      consistent-hash ring (:class:`~repro.serve.cluster.ProcessCollection`),
+      so reader throughput scales past the GIL; *shard_processes* sets
+      the worker count (default: cores, clamped to [2, 8]).  On a
+      single-core host the process engine only adds IPC cost, so the
+      call degrades to thread mode unless *force_processes* is set;
+    * ``"auto"`` — process mode when the machine has ≥ 2 cores, thread
+      mode otherwise.
+
+    In thread mode, every existing shard is opened eagerly — the
+    collection owns each shard's single-writer lock from here to
+    :meth:`Collection.close`.  The session keywords apply to every
+    shard it opens or creates.  One *observability* panel (by default
+    the process-global one) is shared by the pool and every shard, so
+    fan-out spans, per-shard timings and queue-wait histograms land in
+    one place.  In process mode the panel instruments the supervisor
+    (``cluster.*`` families); worker-process internals are aggregated
+    through :meth:`stats` and :meth:`health` instead.
     """
+    if mode not in ("thread", "process", "auto"):
+        raise WarehouseError(
+            f"mode must be 'thread', 'process' or 'auto', got {mode!r}"
+        )
     path = Path(path)
     manifest = path / _MANIFEST
     if create:
@@ -104,6 +128,37 @@ def connect_collection(
         )
     elif not Collection.is_collection(path):
         raise WarehouseError(f"no collection at {path} (missing {_MANIFEST})")
+
+    if mode == "auto":
+        mode = "process" if (os.cpu_count() or 1) >= 2 else "thread"
+    if mode == "process" and not force_processes and (os.cpu_count() or 1) < 2:
+        # One core: worker processes would time-slice the same CPU and
+        # pay IPC on top — the thread pool is strictly better.
+        mode = "thread"
+    if mode == "process":
+        if match_config is not DEFAULT_CONFIG:
+            raise WarehouseError(
+                "process mode cannot ship a custom match_config across "
+                "the process boundary; use thread mode"
+            )
+        from repro.serve.cluster import ProcessCollection
+
+        return ProcessCollection(
+            path,
+            shard_processes=(
+                shard_processes
+                if shard_processes is not None
+                else max(2, min(8, os.cpu_count() or 2))
+            ),
+            session_options={
+                "auto_simplify_factor": auto_simplify_factor,
+                "snapshot_every": snapshot_every,
+                "wal_bytes_limit": wal_bytes_limit,
+                "compact_on_close": compact_on_close,
+            },
+            observability=observability,
+        )
+
     obs = _resolve_observability(observability)
     session_options = {
         "match_config": match_config,
@@ -540,6 +595,26 @@ class Collection:
             "totals": totals,
             "pool": self._pool.stats(),
         }
+
+    def health(self) -> dict:
+        """Per-shard liveness: ``{"shards": {key: {...}}}``.
+
+        The same shape process mode reports, so ``/healthz`` and
+        ``serve-stats`` consumers never branch on the engine.  In-thread
+        shards have no supervisor, hence ``respawns`` is always 0.
+        """
+        self._check_open()
+        with self._lock:
+            sessions = dict(self._sessions)
+        shards = {}
+        for key, session in sessions.items():
+            info = session.warehouse.health()
+            shards[key] = {
+                "alive": bool(info.get("alive")),
+                "wal_depth": info.get("wal_depth"),
+                "respawns": 0,
+            }
+        return {"shards": shards}
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{len(self._sessions)} documents"

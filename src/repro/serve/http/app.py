@@ -40,10 +40,12 @@ from repro.errors import (
     QueryCancelledError,
     ReproError,
     SessionClosedError,
+    ShardUnavailableError,
     WarehouseCorruptError,
     WarehouseError,
     WarehouseLockedError,
 )
+from repro.serve.cluster import ProcessCollection
 from repro.serve.collection import Collection
 from repro.updates.transaction import TransactionBatch
 from repro.xmlio.xupdate import updates_from_string
@@ -96,6 +98,8 @@ def status_for(exc: BaseException) -> int:
         return 504  # deadline expired mid-stream
     if isinstance(exc, SessionClosedError):
         return 503  # shutting down / handle gone
+    if isinstance(exc, ShardUnavailableError):
+        return 503  # worker died mid-request; retryable after respawn
     if isinstance(exc, WarehouseLockedError):
         return 423
     if isinstance(exc, WarehouseCorruptError):
@@ -159,7 +163,8 @@ class Application:
 
     def __init__(self, target, *, own_target: bool = False) -> None:
         self._target = target
-        self._is_collection = isinstance(target, Collection)
+        self._is_process = isinstance(target, ProcessCollection)
+        self._is_collection = isinstance(target, Collection) or self._is_process
         self._own_target = own_target
 
     @property
@@ -253,6 +258,19 @@ class Application:
                 )
             if document not in self._target:
                 raise BadRequest(f"no document {document!r} in the collection")
+            if self._is_process:
+                # No local session: route through the supervisor, which
+                # ships the transaction to the owning worker process.
+                parsed = updates_from_string(text)
+                if isinstance(parsed, TransactionBatch):
+                    reports = self._target.update_many(
+                        document, list(parsed), confidence
+                    )
+                    return canonical_json(
+                        {"batch": True, "reports": [asdict(r) for r in reports]}
+                    )
+                report = self._target.update(document, parsed, confidence)
+                return canonical_json({"batch": False, "report": asdict(report)})
             session = self._target.document(document)
         else:
             if document is not None:
@@ -270,3 +288,31 @@ class Application:
     def stats(self) -> bytes:
         """Execute ``GET /stats`` (per-document + pool for collections)."""
         return canonical_json(self._target.stats())
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` payload: status plus per-shard liveness.
+
+        Collections (thread and process engines alike) report
+        ``{"shards": {key: {"alive", "wal_depth", "respawns"}}}``; the
+        overall status degrades to ``"degraded"`` when any shard is
+        down (a process worker mid-respawn).  A single served session
+        reports its one warehouse under its directory name.
+        """
+        if self._is_collection:
+            payload = self._target.health()
+        else:
+            info = self._target.warehouse.health()
+            payload = {
+                "shards": {
+                    "document": {
+                        "alive": bool(info.get("alive")),
+                        "wal_depth": info.get("wal_depth"),
+                        "respawns": 0,
+                    }
+                }
+            }
+        degraded = any(
+            not shard["alive"] for shard in payload["shards"].values()
+        )
+        payload["status"] = "degraded" if degraded else "ok"
+        return payload

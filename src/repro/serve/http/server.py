@@ -10,7 +10,8 @@ or :class:`~repro.serve.collection.Collection` over the wire::
     GET  /stats         document/WAL/pin statistics (per-shard for collections)
     GET  /metrics       Prometheus text exposition (repro.obs.export)
     GET  /metrics.json  structured dashboard: metrics + slow queries + traces
-    GET  /healthz       {"status": "ok"} — 503 {"status": "draining"} in drain
+    GET  /healthz       {"status": "ok", "shards": {key: {alive, wal_depth,
+                         respawns}}} — 503 when draining or any shard is down
 
 Production concerns, each load-bearing:
 
@@ -380,7 +381,18 @@ class HTTPServer:
                     "application/json",
                     (),
                 )
-            return 200, canonical_json({"status": "ok"}), "application/json", ()
+            # Off the loop (process collections do a short IPC fan-out)
+            # but NOT on the pool: health must answer while the serving
+            # queue is saturated.
+            try:
+                payload = await asyncio.to_thread(self._app.health)
+            except BaseException as exc:
+                if isinstance(exc, (asyncio.CancelledError, KeyboardInterrupt)):
+                    raise
+                status, payload = error_body(exc, 503)
+                return status, canonical_json(payload), "application/json", ()
+            status = 200 if payload.get("status") == "ok" else 503
+            return status, canonical_json(payload), "application/json", ()
 
         if path in ("/metrics", "/metrics.json"):
             obs = self._obs
@@ -497,9 +509,24 @@ class HTTPServer:
 # ----------------------------------------------------------------------
 
 
-def _open_target(path: str | Path, *, workers: int | None = None):
-    """Session or Collection for *path*, collection auto-detected."""
+def _open_target(
+    path: str | Path,
+    *,
+    workers: int | None = None,
+    shard_processes: int | None = None,
+):
+    """Session or Collection for *path*, collection auto-detected.
+
+    *shard_processes* selects the process-per-shard engine for
+    collections (ignored for single warehouses); on a single-core host
+    it degrades back to the thread pool — see
+    :func:`~repro.serve.collection.connect_collection`.
+    """
     if Collection.is_collection(path):
+        if shard_processes is not None:
+            return connect_collection(
+                path, mode="process", shard_processes=shard_processes
+            )
         return connect_collection(path, workers=workers)
     from repro.api import connect
 
@@ -512,6 +539,7 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     workers: int | None = None,
+    shard_processes: int | None = None,
     queue_depth: int = 16,
     default_deadline: float = 30.0,
     idle_timeout: float = 30.0,
@@ -522,8 +550,10 @@ def run_server(
 
     Opens the warehouse (or collection) at *path*, serves until SIGTERM
     or SIGINT, drains gracefully, closes the store, returns 0.
+    ``shard_processes=N`` serves a collection with N worker processes
+    behind the consistent-hash ring instead of the in-process pool.
     """
-    target = _open_target(path, workers=workers)
+    target = _open_target(path, workers=workers, shard_processes=shard_processes)
     app = Application(target, own_target=True)
     try:
         server = HTTPServer(
@@ -574,13 +604,14 @@ class ServerThread:
                 requests_go_to(handle.url)
     """
 
-    def __init__(self, target, **server_kwargs) -> None:
+    def __init__(self, target, *, shard_processes: int | None = None, **server_kwargs) -> None:
         if isinstance(target, (str, Path)):
             self._path = Path(target)
             self._app = None
         else:
             self._path = None
             self._app = Application(target)
+        self._shard_processes = shard_processes
         self._kwargs = server_kwargs
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -617,7 +648,10 @@ class ServerThread:
     async def _amain(self) -> None:
         app = self._app
         if app is None:
-            app = Application(_open_target(self._path), own_target=True)
+            app = Application(
+                _open_target(self._path, shard_processes=self._shard_processes),
+                own_target=True,
+            )
         self.server = HTTPServer(app, **self._kwargs)
         await self.server.start()
         self._loop = asyncio.get_running_loop()

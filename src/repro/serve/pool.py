@@ -1,24 +1,43 @@
 """A bounded worker pool shared by a collection's shards.
 
-The serving layer's unit of parallelism: a :class:`SessionPool` wraps a
-:class:`~concurrent.futures.ThreadPoolExecutor` with a hard worker
+The serving layer's unit of parallelism: a :class:`SessionPool` runs
+its own worker threads over a shared task queue with a hard worker
 bound, submission accounting (how many tasks are in flight, how many
-ever ran) and an idempotent shutdown.  One pool serves *all* shards of
-a :class:`~repro.serve.collection.Collection`, so a collection of a
-hundred documents still runs at most ``workers`` concurrent shard
-queries — fan-out is bounded by the pool, not by the shard count.
+ever ran) and an idempotent, *hang-proof* shutdown.  One pool serves
+*all* shards of a :class:`~repro.serve.collection.Collection`, so a
+collection of a hundred documents still runs at most ``workers``
+concurrent shard queries — fan-out is bounded by the pool, not by the
+shard count.
+
+The pool deliberately does not use
+:class:`~concurrent.futures.ThreadPoolExecutor`: executor threads are
+non-daemon and joined by an atexit hook, so one shard task wedged
+inside a document walk would hang interpreter exit forever — exactly
+the failure mode :class:`~repro.serve.http.server.ServerThread`
+teardown paths used to hit.  Here the workers are daemon threads,
+:meth:`shutdown` joins them with a deadline, and a straggler is
+*logged* (``repro.serve`` logger) and abandoned instead of wedging the
+process.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import queue
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
-from time import perf_counter
+from concurrent.futures import Future
+from time import monotonic, perf_counter
 
 from repro.errors import WarehouseError
 
 __all__ = ["SessionPool", "default_workers"]
+
+_logger = logging.getLogger("repro.serve")
+
+#: The sentinel a worker thread exits on (re-queued so one sentinel per
+#: worker suffices no matter which worker dequeues it first).
+_SHUTDOWN = object()
 
 
 def default_workers() -> int:
@@ -45,8 +64,9 @@ class SessionPool:
         ``serve.execute_seconds`` (task body) histograms.
 
     The pool is thread-safe; tasks may be submitted from any thread
-    until :meth:`shutdown`.  Worker threads are daemonic-by-executor
-    semantics: :meth:`shutdown` waits for in-flight work.
+    until :meth:`shutdown`.  Futures honour
+    :meth:`~concurrent.futures.Future.cancel` for tasks a worker has
+    not picked up yet.
     """
 
     def __init__(self, workers: int | None = None, observability=None) -> None:
@@ -56,13 +76,21 @@ class SessionPool:
             raise WarehouseError(f"workers must be an int >= 1, got {workers!r}")
         self._workers = workers
         self._obs = observability
-        self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-serve"
-        )
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._active = 0
         self._submitted = 0
         self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     @property
     def workers(self) -> int:
@@ -73,6 +101,29 @@ class SessionPool:
     def observability(self):
         """The attached :class:`~repro.obs.Observability` panel (or None)."""
         return self._obs
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                # Pass the pill on: one per worker is queued, but any
+                # worker may dequeue any of them.
+                self._queue.put(_SHUTDOWN)
+                return
+            future, fn, args, kwargs = item
+            if not future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._active -= 1
+                continue
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            finally:
+                with self._lock:
+                    self._active -= 1
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)`` on a worker; returns a Future."""
@@ -91,29 +142,17 @@ class SessionPool:
                         "serve.execute_seconds", perf_counter() - started
                     )
 
+        future: Future = Future()
         with self._lock:
             if self._closed:
                 raise WarehouseError("session pool is shut down")
             self._active += 1
             self._submitted += 1
-        try:
-            future = self._executor.submit(fn, *args, **kwargs)
-        except BaseException as exc:
-            with self._lock:
-                self._active -= 1
-                closed = self._closed
-            if closed and isinstance(exc, RuntimeError):
-                # Lost a race with shutdown(): the closed check above
-                # passed, then the executor shut down before our
-                # submit.  Same contract as losing the race earlier.
-                raise WarehouseError("session pool is shut down") from exc
-            raise
-        future.add_done_callback(self._task_done)
+            # Enqueue under the lock: every accepted task is queued
+            # *before* shutdown's sentinel, so no future can be
+            # stranded behind the poison pill.
+            self._queue.put((future, fn, args, kwargs))
         return future
-
-    def _task_done(self, _future: Future) -> None:
-        with self._lock:
-            self._active -= 1
 
     def stats(self) -> dict:
         """Pool accounting: worker bound, in-flight and lifetime tasks."""
@@ -125,17 +164,35 @@ class SessionPool:
                 "closed": self._closed,
             }
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (by default) wait for what's running;
-        idempotent."""
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting work and (by default) join the workers.
+
+        Joining is bounded by *timeout* seconds across all workers: a
+        thread still busy past the deadline is logged as a straggler
+        and abandoned (the threads are daemonic, so it can never hang
+        interpreter exit).  Idempotent.
+        """
         with self._lock:
-            if self._closed:
-                already = True
-            else:
+            already = self._closed
+            if not already:
                 self._closed = True
-                already = False
-        if not already:
-            self._executor.shutdown(wait=wait)
+                self._queue.put(_SHUTDOWN)
+        if not wait:
+            return
+        deadline = monotonic() + timeout
+        stragglers = []
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - monotonic()))
+            if thread.is_alive():
+                stragglers.append(thread.name)
+        if stragglers:
+            _logger.warning(
+                "session pool shutdown abandoned %d straggler worker(s) "
+                "after %.1fs: %s (daemon threads; they cannot block exit)",
+                len(stragglers),
+                timeout,
+                ", ".join(stragglers),
+            )
 
     def __enter__(self) -> "SessionPool":
         return self

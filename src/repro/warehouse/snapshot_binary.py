@@ -1,0 +1,355 @@
+"""Compact binary snapshot codec for fuzzy documents.
+
+Shard cold-start is dominated by reparsing ``document.xml``:
+tokenizing, label validation, condition parsing and the per-node cycle
+checks of :meth:`Node.add_child` all run again for a tree the warehouse
+itself wrote moments earlier.  This module encodes the same document as
+a flat binary image — interned label and condition tables followed by
+fixed-shape preorder node records — that decodes by direct slot
+assignment, skipping every constructor-time check.  Integrity comes
+from a trailing SHA-256 over the payload instead: the decoder verifies
+the digest before trusting a single byte, and any damage raises
+:class:`~repro.errors.WarehouseCorruptError` so :meth:`Warehouse.open`
+can fall back to the XML snapshot.
+
+Layout (all integers little-endian)::
+
+    magic   b"RPBS"
+    u16     format version (1)
+    u64     snapshot sequence number
+    u32     event count
+            per event:  u32 name length + utf8 name, f64 probability
+    u64     fresh-name counter
+    u32     label count
+            per label:  u32 length + utf8
+    u32     condition count          (entry 0 is always TRUE)
+            per condition: u16 literal count
+            per literal:   u32 event-name index (into a name table
+                           shared with the event table; names used only
+                           in conditions are appended after the
+                           declared events), u8 positive
+    u32     extra condition-name count, then per name u32 len + utf8
+            (events mentioned by conditions; normally zero because the
+            event table declares them all — kept for forward safety)
+    u32     value count
+            per value: u32 length + utf8    (interned leaf text values)
+    u32     node count
+            per node (preorder, fixed width): u32 label id,
+            u32 condition id, u32 child count, u32 value id + 1 (0 for
+            no value)
+    sha256  digest of every preceding byte
+
+    The node records are fixed-width on purpose: the decoder unpacks
+    the whole preorder array in one ``Struct.iter_unpack`` sweep
+    instead of one bounds-checked read per field.
+
+The decoder rebuilds :class:`FuzzyNode` instances via ``__new__`` and
+writes their slots directly — the digest already guarantees the image
+is exactly what :func:`save_binary` produced from a valid document, so
+re-running label checks, cycle checks and :meth:`FuzzyTree.validate`
+would only reverify invariants the encoder enforced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
+from repro.errors import WarehouseCorruptError
+from repro.events.condition import TRUE, Condition
+from repro.events.literal import Literal
+from repro.events.table import EventTable
+
+__all__ = ["FORMAT_VERSION", "MAGIC", "load_binary", "save_binary"]
+
+MAGIC = b"RPBS"
+FORMAT_VERSION = 1
+
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+_NODE = struct.Struct("<IIII")  # label id, condition id, child count, value id+1
+_LITERAL = struct.Struct("<IB")  # event-name index, positive flag
+
+
+def save_binary(document: FuzzyTree, sequence: int) -> bytes:
+    """Encode *document* (with its commit *sequence*) as a binary image."""
+    out = bytearray()
+    out += MAGIC
+    out += _U16.pack(FORMAT_VERSION)
+    out += _U64.pack(sequence)
+
+    # Event table: declared names in insertion order, so the decoded
+    # table iterates identically (serialized documents stay stable).
+    event_names: list[str] = []
+    event_index: dict[str, int] = {}
+    events = document.events
+    out += _U32.pack(len(events))
+    for name, probability in events.items():
+        event_index[name] = len(event_names)
+        event_names.append(name)
+        raw = name.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+        out += _F64.pack(probability)
+    out += _U64.pack(events.fresh_counter)
+
+    # Interning pass: labels and conditions repeat heavily across a
+    # document, so each distinct one is written once and nodes carry
+    # integer ids.
+    labels: list[str] = []
+    label_index: dict[str, int] = {}
+    conditions: list[Condition] = [TRUE]
+    condition_index: dict[Condition, int] = {TRUE: 0}
+    extra_names: list[str] = []
+    node_count = 0
+    for node in document.root.iter():
+        node_count += 1
+        if node.label not in label_index:
+            label_index[node.label] = len(labels)
+            labels.append(node.label)
+        condition = node.condition  # type: ignore[attr-defined]
+        if condition not in condition_index:
+            condition_index[condition] = len(conditions)
+            conditions.append(condition)
+            for literal in condition.literals:
+                if literal.event not in event_index:
+                    event_index[literal.event] = len(event_names) + len(extra_names)
+                    extra_names.append(literal.event)
+
+    out += _U32.pack(len(labels))
+    for label in labels:
+        raw = label.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+
+    out += _U32.pack(len(conditions))
+    for condition in conditions:
+        # Sorted literal order keeps the encoding deterministic for a
+        # given document (frozenset iteration order is not).
+        literals = sorted(
+            condition.literals, key=lambda lit: (lit.event, not lit.positive)
+        )
+        out += _U16.pack(len(literals))
+        for literal in literals:
+            out += _LITERAL.pack(event_index[literal.event], literal.positive)
+
+    out += _U32.pack(len(extra_names))
+    for name in extra_names:
+        raw = name.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+
+    values: list[str] = []
+    value_index: dict[str, int] = {}
+    records = bytearray()
+    for node in document.root.iter():
+        value = node.value
+        if value is None:
+            value_id = 0
+        else:
+            value_id = value_index.get(value)
+            if value_id is None:
+                value_index[value] = value_id = len(values) + 1
+                values.append(value)
+        records += _NODE.pack(
+            label_index[node.label],
+            condition_index[node.condition],  # type: ignore[attr-defined]
+            len(node.children),
+            value_id,
+        )
+
+    out += _U32.pack(len(values))
+    for value in values:
+        raw = value.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+
+    out += _U32.pack(node_count)
+    out += records
+
+    out += hashlib.sha256(out).digest()
+    return bytes(out)
+
+
+class _Reader:
+    """Bounds-checked cursor over the (already digest-verified) image."""
+
+    __slots__ = ("data", "offset", "limit")
+
+    def __init__(self, data: bytes, offset: int, limit: int) -> None:
+        self.data = data
+        self.offset = offset
+        self.limit = limit
+
+    def u8(self) -> int:
+        return self._unpack(_U8)
+
+    def u16(self) -> int:
+        return self._unpack(_U16)
+
+    def u32(self) -> int:
+        return self._unpack(_U32)
+
+    def u64(self) -> int:
+        return self._unpack(_U64)
+
+    def f64(self) -> float:
+        return self._unpack(_F64)
+
+    def _unpack(self, fmt: struct.Struct):
+        end = self.offset + fmt.size
+        if end > self.limit:
+            raise WarehouseCorruptError("binary snapshot truncated")
+        (value,) = fmt.unpack_from(self.data, self.offset)
+        self.offset = end
+        return value
+
+    def text(self) -> str:
+        length = self.u32()
+        end = self.offset + length
+        if end > self.limit:
+            raise WarehouseCorruptError("binary snapshot truncated")
+        try:
+            value = self.data[self.offset : end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WarehouseCorruptError(
+                f"binary snapshot holds invalid utf-8: {exc}"
+            ) from exc
+        self.offset = end
+        return value
+
+
+def load_binary(data: bytes) -> tuple[FuzzyTree, int]:
+    """Decode an image into ``(document, sequence)``.
+
+    Raises :class:`~repro.errors.WarehouseCorruptError` on any damage:
+    bad magic, unknown version, digest mismatch, truncation or a
+    structurally impossible record.
+    """
+    if len(data) < len(MAGIC) + _U16.size + _DIGEST_SIZE:
+        raise WarehouseCorruptError("binary snapshot too short")
+    if data[: len(MAGIC)] != MAGIC:
+        raise WarehouseCorruptError("binary snapshot has a bad magic number")
+    payload_end = len(data) - _DIGEST_SIZE
+    digest = hashlib.sha256(data[:payload_end]).digest()
+    if digest != data[payload_end:]:
+        raise WarehouseCorruptError("binary snapshot failed its checksum")
+
+    reader = _Reader(data, len(MAGIC), payload_end)
+    version = reader.u16()
+    if version != FORMAT_VERSION:
+        raise WarehouseCorruptError(
+            f"binary snapshot format version {version} is not supported"
+        )
+    sequence = reader.u64()
+
+    event_count = reader.u32()
+    event_names: list[str] = []
+    probabilities: dict[str, float] = {}
+    for _ in range(event_count):
+        name = reader.text()
+        probability = reader.f64()
+        event_names.append(name)
+        probabilities[name] = probability
+    fresh_counter = reader.u64()
+
+    label_count = reader.u32()
+    labels = [reader.text() for _ in range(label_count)]
+
+    # Conditions may reference extra (post-table) names; literal decode
+    # is deferred until those names are read.
+    condition_count = reader.u32()
+    raw_conditions: list[list[tuple[int, int]]] = []
+    for _ in range(condition_count):
+        literal_count = reader.u16()
+        raw_conditions.append(
+            [(reader.u32(), reader.u8()) for _ in range(literal_count)]
+        )
+    extra_count = reader.u32()
+    for _ in range(extra_count):
+        event_names.append(reader.text())
+
+    conditions: list[Condition] = []
+    for raw in raw_conditions:
+        if not raw:
+            conditions.append(TRUE)
+            continue
+        try:
+            literals = frozenset(
+                Literal(event_names[index], bool(positive))
+                for index, positive in raw
+            )
+        except IndexError:
+            raise WarehouseCorruptError(
+                "binary snapshot condition references an unknown event index"
+            ) from None
+        conditions.append(Condition(literals))
+
+    value_count = reader.u32()
+    values = [reader.text() for _ in range(value_count)]
+
+    node_count = reader.u32()
+    if node_count == 0:
+        raise WarehouseCorruptError("binary snapshot has no nodes")
+    records_end = reader.offset + node_count * _NODE.size
+    if records_end > reader.limit:
+        raise WarehouseCorruptError("binary snapshot truncated")
+
+    # Preorder rebuild by direct slot writes; the digest vouches for
+    # structural validity so constructor checks are skipped.  The whole
+    # fixed-width record array is unpacked in one sweep.
+    new_node = FuzzyNode.__new__
+    root: FuzzyNode | None = None
+    # Stack of [parent node, children still expected under it].
+    stack: list[list] = []
+    try:
+        for label_id, condition_id, child_count, value_id in _NODE.iter_unpack(
+            data[reader.offset : records_end]
+        ):
+            node = new_node(FuzzyNode)
+            node.label = labels[label_id]
+            node._value = values[value_id - 1] if value_id else None
+            node._children = []
+            node._condition = conditions[condition_id]
+            if root is None:
+                node._parent = None
+                root = node
+            else:
+                if not stack:
+                    raise WarehouseCorruptError(
+                        "binary snapshot node count disagrees with child counts"
+                    )
+                top = stack[-1]
+                parent = top[0]
+                node._parent = parent
+                parent._children.append(node)
+                if top[1] == 1:
+                    stack.pop()
+                else:
+                    top[1] -= 1
+            if child_count:
+                stack.append([node, child_count])
+    except IndexError:
+        raise WarehouseCorruptError(
+            "binary snapshot node references an unknown label/condition/value"
+        ) from None
+    if stack:
+        raise WarehouseCorruptError(
+            "binary snapshot child counts exceed the node count"
+        )
+    assert root is not None
+
+    events = EventTable()
+    events._probabilities = probabilities
+    events.advance_fresh_counter(fresh_counter)
+
+    tree = FuzzyTree.__new__(FuzzyTree)
+    tree.root = root
+    tree.events = events
+    return tree, sequence

@@ -41,6 +41,7 @@ from repro.warehouse.log import _fsync_directory
 __all__ = ["Storage"]
 
 _DOCUMENT_FILE = "document.xml"
+_BINARY_FILE = "document.bin"
 _META_FILE = "meta.json"
 _LOCK_FILE = "lock"
 
@@ -59,6 +60,10 @@ class Storage:
     @property
     def document_path(self) -> Path:
         return self.path / _DOCUMENT_FILE
+
+    @property
+    def binary_path(self) -> Path:
+        return self.path / _BINARY_FILE
 
     @property
     def meta_path(self) -> Path:
@@ -186,13 +191,25 @@ class Storage:
     # ------------------------------------------------------------------
 
     def write_document(
-        self, xml_text: str, sequence: int, extra_meta: dict | None = None
+        self,
+        xml_text: str,
+        sequence: int,
+        extra_meta: dict | None = None,
+        binary: bytes | None = None,
     ) -> None:
         """Atomically commit the document snapshot and its metadata.
 
         *extra_meta* entries (e.g. the event table's fresh-name counter,
         which WAL replay needs to re-mint identical event names) are
         merged into the metadata file.
+
+        *binary* is the optional compact binary image of the same
+        snapshot (see :mod:`repro.warehouse.snapshot_binary`): written
+        alongside the XML with its own checksum recorded in the
+        metadata, removed when None so a stale image can never outlive
+        the XML snapshot it mirrored.  The XML stays the authoritative
+        copy — readers fall back to it whenever the binary image is
+        missing or damaged.
         """
         self.initialize()
         payload = xml_text.encode("utf-8")
@@ -204,6 +221,17 @@ class Storage:
             "bytes": len(payload),
             "format": "repro-probabilistic-xml-v1",
         }
+        if binary is not None:
+            _atomic_write(self.binary_path, binary)
+            meta["binary"] = {
+                "sha256": hashlib.sha256(binary).hexdigest(),
+                "bytes": len(binary),
+            }
+        else:
+            try:
+                self.binary_path.unlink()
+            except FileNotFoundError:
+                pass
         if extra_meta:
             meta.update(extra_meta)
         _atomic_write(
@@ -223,6 +251,32 @@ class Storage:
                 f"(expected {meta.get('sha256')}, found {digest})"
             )
         return payload.decode("utf-8"), int(meta.get("sequence", 0))
+
+    def read_binary(self) -> bytes | None:
+        """The binary snapshot image, verified against its recorded
+        checksum; None when no image was written with the snapshot.
+
+        Raises :class:`~repro.errors.WarehouseCorruptError` when the
+        metadata advertises an image that is missing or damaged — the
+        caller decides whether to fall back to the XML copy.
+        """
+        meta = self.read_meta()
+        recorded = meta.get("binary")
+        if not isinstance(recorded, dict):
+            return None
+        try:
+            payload = self.binary_path.read_bytes()
+        except FileNotFoundError:
+            raise WarehouseCorruptError(
+                f"metadata records a binary snapshot but {self.binary_path} is missing"
+            ) from None
+        digest = hashlib.sha256(payload).hexdigest()
+        if recorded.get("sha256") != digest:
+            raise WarehouseCorruptError(
+                f"binary snapshot checksum mismatch in {self.path} "
+                f"(expected {recorded.get('sha256')}, found {digest})"
+            )
+        return payload
 
     def read_meta(self) -> dict:
         """The snapshot's metadata record."""

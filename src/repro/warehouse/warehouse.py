@@ -78,6 +78,7 @@ from repro.tpwj.parser import parse_pattern
 from repro.tpwj.pattern import Pattern
 from repro.updates.transaction import TransactionBatch, UpdateTransaction
 from repro.warehouse.log import TransactionLog, WriteAheadLog
+from repro.warehouse.snapshot_binary import load_binary, save_binary
 from repro.warehouse.storage import Storage
 from repro.xmlio.parse import fuzzy_from_string
 from repro.xmlio.serialize import fuzzy_to_string
@@ -314,6 +315,13 @@ class Warehouse:
         anywhere else raises
         :class:`~repro.errors.WarehouseCorruptError`).  Audit-log
         entries missing for replayed commits are reconstructed.
+
+        When the snapshot carries a binary image
+        (:mod:`repro.warehouse.snapshot_binary`) it is decoded instead
+        of reparsing the XML — the cold-start fast path.  A damaged or
+        stale image falls back to the XML snapshot silently (counted in
+        ``warehouse.binary_snapshot_fallbacks``); only when the XML copy
+        is *also* damaged does the open raise.
         """
         storage = Storage(path)
         if not storage.exists():
@@ -321,8 +329,7 @@ class Warehouse:
         obs = _resolve_observability(observability)
         storage.acquire_lock()
         try:
-            xml_text, snapshot_sequence = storage.read_document()
-            document = fuzzy_from_string(xml_text)
+            document, snapshot_sequence = cls._load_snapshot(storage, obs)
             meta = storage.read_meta()
             fresh_counter = meta.get("fresh_counter")
             if isinstance(fresh_counter, int):
@@ -359,6 +366,38 @@ class Warehouse:
             storage.release_lock()
             raise
         return warehouse
+
+    @classmethod
+    def _load_snapshot(cls, storage: Storage, obs) -> tuple[FuzzyTree, int]:
+        """Load the snapshot, preferring the binary image over the XML.
+
+        The binary image must decode cleanly *and* carry the sequence
+        the metadata records — anything else (damage, truncation, a
+        stale image from an interrupted snapshot write) falls back to
+        the authoritative XML copy.
+        """
+        fallback = False
+        payload = None
+        try:
+            payload = storage.read_binary()
+        except WarehouseCorruptError:
+            fallback = True
+        if payload is not None:
+            try:
+                document, binary_sequence = load_binary(payload)
+            except WarehouseCorruptError:
+                fallback = True
+            else:
+                meta = storage.read_meta()
+                if binary_sequence == int(meta.get("sequence", 0)):
+                    if obs is not None:
+                        obs.metrics.incr("warehouse.binary_snapshot_loads")
+                    return document, binary_sequence
+                fallback = True
+        if fallback and obs is not None:
+            obs.metrics.incr("warehouse.binary_snapshot_fallbacks")
+        xml_text, snapshot_sequence = storage.read_document()
+        return fuzzy_from_string(xml_text), snapshot_sequence
 
     def close(self) -> None:
         """Fold pending WAL records into a final snapshot (per policy),
@@ -531,6 +570,20 @@ class Warehouse:
     def read_sessions(self) -> int:
         """Number of snapshot pins currently open against this handle."""
         return self._pin_total
+
+    def health(self) -> dict:
+        """Cheap liveness probe: O(1) counters, no document walk.
+
+        Unlike :meth:`stats` this never pins the document or takes the
+        write lock, so a health poll cannot stall behind a long commit
+        — exactly what the serving layer's ``/healthz`` needs.
+        """
+        return {
+            "alive": not self._closed,
+            "sequence": self._sequence,
+            "wal_depth": self._commits_since_snapshot,
+            "read_sessions": self._pin_total,
+        }
 
     def stats(self) -> dict:
         """Document measurements plus commit/log/WAL counters.
@@ -999,6 +1052,7 @@ class Warehouse:
             fuzzy_to_string(self._document),
             self._sequence,
             extra_meta={"fresh_counter": self._document.events.fresh_counter},
+            binary=save_binary(self._document, self._sequence),
         )
         # The snapshot is durable from here: update the bookkeeping
         # before resetting the WAL, so a reset failure cannot make a

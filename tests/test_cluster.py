@@ -1,0 +1,378 @@
+"""Tests for process-per-shard serving: wire, ring, supervisor, workers.
+
+The process tests spawn real worker processes (``spawn`` start method)
+and exercise the cluster guarantees end to end: thread/process row
+parity, acknowledged-commit durability across ``kill -9``, supervisor
+respawn with WAL recovery, pinned-snapshot ring migration, and the
+single-core degradation to the thread engine.  Everything carries a
+``timeout`` mark so a wedged pipe fails fast on CI instead of hanging
+the runner.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.errors import ShardUnavailableError, WarehouseError
+from repro.serve import Collection, ProcessCollection, connect_collection
+from repro.serve.cluster.ring import HashRing
+from repro.serve.cluster.wire import Verb, WireError, decode_frame, encode_frame
+
+KEYS = ("alice", "bob", "carol", "dave", "erin")
+
+
+def _insert_email(value: str, confidence: float = 0.9):
+    return (
+        repro.update(repro.pattern("person", variable="p", anchored=True))
+        .insert("p", repro.tree("email", value))
+        .confidence(confidence)
+    )
+
+
+_PATTERN = "/person { email [$e] }"
+
+
+def _seed_collection(path) -> None:
+    with connect_collection(path, create=True, workers=2) as seed:
+        for key in KEYS:
+            seed.create_document(key, root="person")
+            for i in range(3):
+                seed.update(key, _insert_email(f"{key}{i}@x", 0.5 + 0.1 * i))
+
+
+def _wait_shard_alive(collection, key: str, deadline: float = 60.0) -> None:
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline:
+        if collection.health()["shards"].get(key, {}).get("alive"):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"shard {key!r} never came back alive")
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+
+
+class TestWire:
+    def test_frame_round_trip(self):
+        payload = {"rows": [1, 2.5, "x"], "nested": {"a": None}}
+        frame = encode_frame(Verb.QUERY, 42, payload)
+        verb, request_id, decoded = decode_frame(frame)
+        assert verb is Verb.QUERY
+        assert request_id == 42
+        assert decoded == payload
+
+    def test_all_verbs_encode(self):
+        for verb in Verb:
+            decoded_verb, _, _ = decode_frame(encode_frame(verb, 1, {}))
+            assert decoded_verb is verb
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame(Verb.OK, 7, {"k": "v"})
+        for cut in (3, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(WireError):
+                decode_frame(frame[:cut])
+
+    def test_corrupt_payload_rejected(self):
+        frame = bytearray(encode_frame(Verb.OK, 7, {"k": "v"}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireError, match="checksum"):
+            decode_frame(bytes(frame))
+
+    def test_unknown_verb_rejected(self):
+        frame = bytearray(encode_frame(Verb.OK, 7, {}))
+        frame[4] = 0xEE  # the verb byte, past the u32 length prefix
+        with pytest.raises(WireError, match="verb"):
+            decode_frame(bytes(frame))
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_routing_is_stable_and_total(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"doc{i}" for i in range(200)]
+        first = ring.assignment(keys)
+        assert set(first.values()) <= {"w0", "w1", "w2"}
+        # Same inputs, fresh ring: SHA-1 placement never depends on
+        # process state (unlike hash()).
+        assert HashRing(["w0", "w1", "w2"]).assignment(keys) == first
+
+    def test_every_worker_owns_something(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        owners = set(ring.assignment(f"doc{i}" for i in range(400)).values())
+        assert owners == {"w0", "w1", "w2", "w3"}
+
+    def test_adding_a_node_moves_few_keys(self):
+        keys = [f"doc{i}" for i in range(1000)]
+        ring = HashRing(["w0", "w1", "w2"])
+        before = ring.assignment(keys)
+        ring.add("w3")
+        after = ring.assignment(keys)
+        moved = sum(1 for k in keys if before[k] != after[k])
+        # Ideal is K/N = 250; allow generous slack but far below a full
+        # reshuffle (a mod-N scheme moves ~750).
+        assert 0 < moved < 500
+        # Every moved key moved TO the new node, never between old ones.
+        assert all(after[k] == "w3" for k in keys if before[k] != after[k])
+
+    def test_remove_restores_prior_routing(self):
+        keys = [f"doc{i}" for i in range(300)]
+        ring = HashRing(["w0", "w1"])
+        before = ring.assignment(keys)
+        ring.add("w2")
+        ring.remove("w2")
+        assert ring.assignment(keys) == before
+
+    def test_errors(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(WarehouseError):
+            ring.add("w0")
+        with pytest.raises(WarehouseError):
+            ring.remove("w9")
+        with pytest.raises(WarehouseError):
+            HashRing().route("doc")
+
+
+# ----------------------------------------------------------------------
+# Mode selection
+# ----------------------------------------------------------------------
+
+
+class TestModeSelection:
+    def test_single_core_degrades_to_threads(self, tmp_path, monkeypatch):
+        _seed_collection(tmp_path / "coll")
+        import repro.serve.collection as collection_module
+
+        monkeypatch.setattr(collection_module.os, "cpu_count", lambda: 1)
+        with connect_collection(tmp_path / "coll", mode="process") as col:
+            assert isinstance(col, Collection)
+        with connect_collection(tmp_path / "coll", mode="auto") as col:
+            assert isinstance(col, Collection)
+
+    @pytest.mark.timeout(180)
+    def test_force_processes_overrides_single_core(self, tmp_path, monkeypatch):
+        _seed_collection(tmp_path / "coll")
+        import repro.serve.collection as collection_module
+
+        monkeypatch.setattr(collection_module.os, "cpu_count", lambda: 1)
+        with connect_collection(
+            tmp_path / "coll",
+            mode="process",
+            shard_processes=2,
+            force_processes=True,
+            observability=None,
+        ) as col:
+            assert isinstance(col, ProcessCollection)
+            assert col.query(_PATTERN).count() == len(KEYS) * 3
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError, match="mode"):
+            connect_collection(tmp_path / "c", create=True, mode="fibers")
+
+
+# ----------------------------------------------------------------------
+# Process collection end to end
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def seeded(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cluster") / "coll"
+    _seed_collection(path)
+    return path
+
+
+class TestProcessCollection:
+    @pytest.mark.timeout(180)
+    def test_parity_with_thread_engine(self, seeded):
+        with connect_collection(seeded) as threads:
+            expected = [
+                (row.document, row.probability, row.bindings())
+                for row in threads.query(_PATTERN)
+            ]
+        with ProcessCollection(
+            seeded, shard_processes=2, observability=None
+        ) as cluster:
+            got = [
+                (row.document, row.probability, row.bindings())
+                for row in cluster.query(_PATTERN)
+            ]
+        assert got == expected
+
+    @pytest.mark.timeout(180)
+    def test_limit_first_count_and_key_scoping(self, seeded):
+        with ProcessCollection(
+            seeded, shard_processes=2, observability=None
+        ) as cluster:
+            assert cluster.query(_PATTERN).count() == len(KEYS) * 3
+            assert len(cluster.query(_PATTERN).limit(4).all()) == 4
+            first = cluster.query(_PATTERN).first()
+            assert first.document == sorted(KEYS)[0]
+            assert first.tree.label == "person"
+            scoped = cluster.query(_PATTERN, keys=["bob"]).all()
+            assert {row.document for row in scoped} == {"bob"}
+            with pytest.raises(WarehouseError, match="mallory"):
+                cluster.query(_PATTERN, keys=["mallory"])
+            assert cluster.query(_PATTERN).limit(0).all() == []
+
+    @pytest.mark.timeout(180)
+    def test_update_durable_across_engines(self, tmp_path):
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=2, observability=None
+        ) as cluster:
+            report = cluster.update("carol", _insert_email("durable@x", 0.8))
+            assert report.applied
+            reports = cluster.update_many(
+                "carol", [_insert_email("batch1@x"), _insert_email("batch2@x")]
+            )
+            assert len(reports) == 2
+        # Reopen with the thread engine: commits crossed the process
+        # boundary into that shard's WAL/snapshot, not a cache.
+        with connect_collection(path) as threads:
+            values = {
+                row.bindings()["e"]
+                for row in threads.query(_PATTERN, keys=["carol"])
+            }
+        assert {"durable@x", "batch1@x", "batch2@x"} <= values
+
+    @pytest.mark.timeout(180)
+    def test_create_document_routes_to_a_worker(self, tmp_path):
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=2, observability=None
+        ) as cluster:
+            cluster.create_document("frank", root="person")
+            assert "frank" in cluster
+            cluster.update("frank", _insert_email("frank@x"))
+            rows = cluster.query(_PATTERN, keys=["frank"]).all()
+            assert [row.bindings()["e"] for row in rows] == ["frank@x"]
+            with pytest.raises(WarehouseError, match="already exists"):
+                cluster.create_document("frank", root="person")
+
+    @pytest.mark.timeout(180)
+    def test_stats_and_health_shapes(self, seeded):
+        with ProcessCollection(
+            seeded, shard_processes=2, observability=None
+        ) as cluster:
+            stats = cluster.stats()
+            assert stats["document_count"] == len(KEYS)
+            assert stats["cluster"]["mode"] == "process"
+            assert stats["cluster"]["processes"] == 2
+            assert stats["totals"]["nodes"] > 0
+            health = cluster.health()
+            assert set(health["shards"]) == set(KEYS)
+            for shard in health["shards"].values():
+                assert shard["alive"] is True
+                assert shard["respawns"] == 0
+                assert isinstance(shard["wal_depth"], int)
+
+
+class TestCrashRecovery:
+    @pytest.mark.timeout(300)
+    def test_kill9_after_commit_loses_nothing(self, tmp_path):
+        """The acceptance scenario: a worker SIGKILLed *after* the WAL
+        fsync but *before* the acknowledgement.  The caller sees a
+        retryable ShardUnavailableError, the supervisor respawns the
+        worker, WAL replay restores the commit."""
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=2, observability=None, fault_injection=True
+        ) as cluster:
+            with pytest.raises(ShardUnavailableError) as err:
+                cluster.update(
+                    "alice", _insert_email("committed@x"), fault="after_commit"
+                )
+            assert err.value.retryable is True
+            _wait_shard_alive(cluster, "alice")
+            values = {
+                row.bindings()["e"]
+                for row in cluster.query(_PATTERN, keys=["alice"])
+            }
+            assert "committed@x" in values
+            workers = cluster.workers()
+            assert sum(info["respawns"] for info in workers.values()) == 1
+
+    @pytest.mark.timeout(300)
+    def test_kill9_before_commit_applies_nothing(self, tmp_path):
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=2, observability=None, fault_injection=True
+        ) as cluster:
+            with pytest.raises(ShardUnavailableError):
+                cluster.update(
+                    "alice", _insert_email("phantom@x"), fault="before_commit"
+                )
+            _wait_shard_alive(cluster, "alice")
+            values = {
+                row.bindings()["e"]
+                for row in cluster.query(_PATTERN, keys=["alice"])
+            }
+            assert "phantom@x" not in values
+            # The retry contract: the same update re-submitted lands.
+            report = cluster.update("alice", _insert_email("retried@x"))
+            assert report.applied
+
+    @pytest.mark.timeout(300)
+    def test_faults_ignored_without_opt_in(self, tmp_path):
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=2, observability=None
+        ) as cluster:
+            report = cluster.update(
+                "bob", _insert_email("safe@x"), fault="after_commit"
+            )
+            assert report.applied  # no kill: faults need fault_injection=True
+
+
+class TestRingChanges:
+    @pytest.mark.timeout(300)
+    def test_add_and_remove_worker_migrates_without_loss(self, tmp_path):
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=2, observability=None
+        ) as cluster:
+            before = {
+                (row.document, row.bindings()["e"])
+                for row in cluster.query(_PATTERN)
+            }
+            name = cluster.add_worker()
+            assert len(cluster.workers()) == 3
+            after_add = {
+                (row.document, row.bindings()["e"])
+                for row in cluster.query(_PATTERN)
+            }
+            assert after_add == before
+            # Writes against migrated shards land on their new owners.
+            cluster.update("dave", _insert_email("moved@x"))
+            cluster.remove_worker(name)
+            assert len(cluster.workers()) == 2
+            final = {
+                (row.document, row.bindings()["e"])
+                for row in cluster.query(_PATTERN)
+            }
+            assert before | {("dave", "moved@x")} == final
+
+    @pytest.mark.timeout(180)
+    def test_cannot_remove_last_worker(self, tmp_path):
+        path = tmp_path / "coll"
+        _seed_collection(path)
+        with ProcessCollection(
+            path, shard_processes=1, observability=None
+        ) as cluster:
+            with pytest.raises(WarehouseError, match="last worker"):
+                cluster.remove_worker("w0")

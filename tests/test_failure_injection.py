@@ -36,11 +36,22 @@ class TestCrashDebris:
         with Warehouse.open(path) as wh:
             assert wh.document.size() == 5
 
-    def test_truncated_document_detected(self, tmp_path, slide12_doc):
+    def test_truncated_document_healed_by_binary_snapshot(self, tmp_path, slide12_doc):
+        """The binary snapshot is a peer image: a damaged XML alone heals."""
         path = tmp_path / "wh"
         Warehouse.create(path, slide12_doc).close()
         full = (path / "document.xml").read_bytes()
         (path / "document.xml").write_bytes(full[: len(full) // 2])
+        with Warehouse.open(path) as wh:
+            assert wh.document.size() == slide12_doc.size()
+
+    def test_truncated_document_detected(self, tmp_path, slide12_doc):
+        """Both snapshot images damaged: corruption, not recovery."""
+        path = tmp_path / "wh"
+        Warehouse.create(path, slide12_doc).close()
+        for name in ("document.xml", "document.bin"):
+            full = (path / name).read_bytes()
+            (path / name).write_bytes(full[: len(full) // 2])
         with pytest.raises(WarehouseCorruptError, match="checksum"):
             Warehouse.open(path)
 

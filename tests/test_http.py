@@ -294,7 +294,12 @@ class TestObservabilityEndpoints:
         _, handle = served_session
         status, _, body = _request(handle.port, "GET", "/healthz")
         assert status == 200
-        assert json.loads(body) == {"status": "ok"}
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        (shard,) = payload["shards"].values()
+        assert shard["alive"] is True
+        assert shard["respawns"] == 0
+        assert isinstance(shard["wal_depth"], int)
 
     def test_prometheus_exposition_is_valid(self, served_session):
         session, handle = served_session

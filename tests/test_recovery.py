@@ -136,7 +136,7 @@ class TestCrashDuringCompaction:
         )
         wh.update(_insert_tx())  # seq 2: WAL only
 
-        def dying_write(self, xml_text, sequence, extra_meta=None):
+        def dying_write(self, xml_text, sequence, extra_meta=None, binary=None):
             raise _Crash()
 
         monkeypatch.setattr(Storage, "write_document", dying_write)
@@ -189,7 +189,8 @@ class TestCrashDuringCompaction:
 
         def dying_atomic_write(target, payload):
             calls["n"] += 1
-            if calls["n"] == 2:  # document.xml written, meta.json pending
+            # Writes per snapshot: document.xml, document.bin, meta.json.
+            if calls["n"] == 3:  # documents written, meta.json pending
                 raise _Crash()
             real_atomic_write(target, payload)
 
@@ -438,7 +439,7 @@ class TestReviewRegressions:
         wh.update(_insert_tx())  # seq 2: WAL only
         # Crash during the threshold commit's snapshot: the WAL record
         # and audit entry are already down, the fold never happened.
-        def dying_write(self, xml_text, sequence, extra_meta=None):
+        def dying_write(self, xml_text, sequence, extra_meta=None, binary=None):
             raise _Crash()
 
         monkeypatch.setattr(Storage, "write_document", dying_write)
@@ -518,7 +519,7 @@ class TestReviewRegressions:
         wh.update(_insert_tx())
         sequence = wh.sequence
 
-        def dying_write(self, xml_text, sequence, extra_meta=None):
+        def dying_write(self, xml_text, sequence, extra_meta=None, binary=None):
             raise _Crash()
 
         monkeypatch.setattr(Storage, "write_document", dying_write)

@@ -315,30 +315,33 @@ class TestServeCli:
 
 
 class TestPoolShutdownRace:
-    """Regression: submit() checked _closed under the lock but called the
-    executor outside it, so losing the race to a concurrent shutdown()
-    escaped as a bare RuntimeError instead of WarehouseError."""
+    """Shutdown ordering contracts: a task accepted by submit() always
+    runs (it is queued ahead of the poison pill under the pool lock);
+    a submit that loses to shutdown raises WarehouseError; a wedged
+    worker is abandoned with a log line, never an interpreter hang."""
 
-    def test_lost_race_translates_to_warehouse_error(self):
+    def test_submit_after_shutdown_raises(self):
         pool = SessionPool(workers=1)
-        real_executor = pool._executor
-
-        class RacingExecutor:
-            """Shuts the pool down between the _closed check (which the
-            caller already passed) and the executor submit."""
-
-            def submit(self, fn, *args, **kwargs):
-                pool.shutdown()
-                return real_executor.submit(fn, *args, **kwargs)
-
-            def shutdown(self, wait=True):
-                real_executor.shutdown(wait=wait)
-
-        pool._executor = RacingExecutor()
+        future = pool.submit(lambda: 42)
+        pool.shutdown()
+        assert future.result(timeout=30) == 42
         with pytest.raises(WarehouseError):
             pool.submit(lambda: None)
         info = pool.stats()
         assert info["closed"] and info["active_tasks"] == 0
+
+    def test_shutdown_logs_and_abandons_stragglers(self, caplog):
+        pool = SessionPool(workers=1)
+        release = threading.Event()
+        pool.submit(release.wait)
+        with caplog.at_level("WARNING", logger="repro.serve"):
+            pool.shutdown(timeout=0.2)
+        try:
+            assert any(
+                "straggler" in record.message for record in caplog.records
+            )
+        finally:
+            release.set()
 
     @pytest.mark.timeout(120)
     def test_submit_vs_shutdown_hammer(self):
