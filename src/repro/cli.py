@@ -190,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(single-core hosts fall back to threads)",
     )
     serve.add_argument(
+        "--replication-factor",
+        type=int,
+        default=1,
+        metavar="R",
+        help="with --shard-processes: keep every document on R ring "
+        "successors so reads fail over when a worker dies",
+    )
+    serve.add_argument(
         "--queue-depth",
         type=int,
         default=16,
@@ -484,6 +492,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         shard_processes=args.shard_processes,
+        replication_factor=args.replication_factor,
         queue_depth=args.queue_depth,
         default_deadline=args.deadline_ms / 1000.0,
         idle_timeout=args.idle_timeout,
@@ -555,7 +564,14 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
             )
         cluster = info.get("cluster")
         if cluster is not None:
-            print(f"cluster: {cluster['processes']} worker processes")
+            line = f"cluster: {cluster['processes']} worker processes"
+            replication = cluster.get("replication")
+            if replication and replication.get("factor", 1) > 1:
+                line += (
+                    f"  replication: x{replication['factor']}"
+                    f"  stale replicas: {replication['stale_replicas']}"
+                )
+            print(line)
         totals = info["totals"]
         print(
             f"totals: nodes: {totals['nodes']}  "

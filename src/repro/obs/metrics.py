@@ -120,6 +120,18 @@ METRIC_CATALOG: tuple[tuple[str, str, str], ...] = (
      "Documents migrated between workers on ring changes"),
     ("cluster.ipc_roundtrip_seconds", "histogram",
      "Supervisor-side request/response round trip over the worker pipe"),
+    ("cluster.retries", "counter",
+     "Backoff retries of cluster reads inside the deadline budget"),
+    ("cluster.failovers", "counter",
+     "Reads served by a replica after the primary failed"),
+    ("cluster.resyncs", "counter",
+     "Replica copies healed from a primary snapshot handoff"),
+    ("cluster.resync_bytes", "counter",
+     "Bytes shipped by replica resync handoffs"),
+    ("cluster.stale_replicas", "gauge",
+     "Replica copies currently awaiting resync"),
+    ("cluster.replica_lag", "gauge",
+     "Max commit-sequence lag across synced replicas"),
     # HTTP front end (repro serve)
     ("http.requests", "counter", "HTTP requests answered (any status)"),
     ("http.request_seconds", "histogram",

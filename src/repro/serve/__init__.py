@@ -34,10 +34,13 @@ piece that puts threads on top of the storage and session layers:
 """
 
 from repro.serve.cluster import (
+    ChaosMonkey,
     ClusterResultSet,
     ClusterRow,
+    FaultPlan,
     HashRing,
     ProcessCollection,
+    RetryPolicy,
 )
 from repro.serve.collection import (
     Collection,
@@ -48,12 +51,15 @@ from repro.serve.collection import (
 from repro.serve.pool import SessionPool, default_workers
 
 __all__ = [
+    "ChaosMonkey",
     "Collection",
     "CollectionResultSet",
     "ClusterResultSet",
     "ClusterRow",
+    "FaultPlan",
     "HashRing",
     "ProcessCollection",
+    "RetryPolicy",
     "SessionPool",
     "ShardRow",
     "connect_collection",

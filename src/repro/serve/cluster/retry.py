@@ -1,0 +1,121 @@
+"""Retry, backoff and deadline budgets for cluster requests.
+
+A worker death is *transient*: the monitor respawns the process and WAL
+replay restores every acknowledged commit, typically well under a
+second.  The right client-side behaviour is therefore to retry — but
+politely.  This module centralises the policy:
+
+* **classification** — only errors that declare themselves safe to
+  retry are retried.  The contract is the existing ``retryable``
+  attribute on the exception (``ShardUnavailableError.retryable is
+  True``); everything else propagates immediately, because retrying a
+  deterministic failure (bad pattern, unknown key) just triples its
+  latency.
+* **decorrelated-jitter backoff** — each sleep is drawn uniformly from
+  ``[base, previous * multiplier]`` and capped, the AWS "decorrelated
+  jitter" scheme: concurrent retriers spread out instead of stampeding
+  a worker that is busy replaying its WAL.
+* **deadline budgets** — the caller's deadline is a hard wall.  A
+  retry is attempted only when its backoff sleep still fits inside the
+  budget; when it does not, the *original* error is re-raised, so the
+  caller sees the real failure, not a synthetic timeout.
+
+The clock, sleeper and RNG are injectable, which keeps the policy's
+behaviour deterministic under test (and lets the chaos suite replay
+exact schedules).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import WarehouseError
+
+__all__ = ["DEFAULT_POLICY", "RetryPolicy", "call_with_retry", "is_retryable"]
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The error classification contract: an exception opts into retry
+    by declaring ``retryable = True`` (as ``ShardUnavailableError``
+    does); everything else is treated as deterministic."""
+    return bool(getattr(exc, "retryable", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape: decorrelated jitter between *base_delay* and
+    *max_delay*, at most *max_attempts* tries (None = deadline-bound
+    only)."""
+
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    multiplier: float = 3.0
+    max_attempts: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise WarehouseError(
+                f"base_delay must be > 0, got {self.base_delay!r}"
+            )
+        if self.max_delay < self.base_delay:
+            raise WarehouseError(
+                f"max_delay {self.max_delay!r} < base_delay {self.base_delay!r}"
+            )
+        if self.multiplier < 1.0:
+            raise WarehouseError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise WarehouseError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts!r}"
+            )
+
+    def next_delay(self, previous: float | None, rng: random.Random) -> float:
+        """The sleep before the next attempt, given the *previous* one."""
+        ceiling = self.base_delay if previous is None else previous * self.multiplier
+        ceiling = max(self.base_delay, min(self.max_delay, ceiling))
+        return rng.uniform(self.base_delay, ceiling)
+
+
+DEFAULT_POLICY = RetryPolicy()
+
+
+def call_with_retry(
+    fn,
+    *,
+    deadline: float | None = None,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    classify=is_retryable,
+    rng: random.Random | None = None,
+    on_retry=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+):
+    """Call *fn* until it returns, the error is final, or the budget ends.
+
+    *deadline* is an absolute *clock()* timestamp (``time.monotonic``
+    by default).  *classify* decides retryability per exception;
+    *on_retry(attempt, delay, exc)* observes each backoff (metrics
+    hook).  On budget or attempt exhaustion the last real error is
+    re-raised unchanged.
+    """
+    rng = rng if rng is not None else random.Random()
+    attempt = 0
+    delay: float | None = None
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except BaseException as exc:
+            if not classify(exc):
+                raise
+            if policy.max_attempts is not None and attempt >= policy.max_attempts:
+                raise
+            delay = policy.next_delay(delay, rng)
+            if deadline is not None and clock() + delay >= deadline:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            sleep(delay)

@@ -81,16 +81,40 @@ class HashRing:
 
     def route(self, key: str) -> str:
         """The worker owning *key* (first point clockwise from its hash)."""
+        return self.successors(key, 1)[0]
+
+    def successors(self, key: str, n: int) -> list[str]:
+        """The first *n* distinct workers clockwise from *key*'s hash.
+
+        Element 0 is the primary (what :meth:`route` returns); the rest
+        is the replica set.  Capped at the worker count — asking for
+        more successors than workers returns them all, so a
+        replication factor above the cluster size degrades gracefully
+        instead of failing placement.
+        """
         if not self._points:
             raise WarehouseError("cannot route on an empty ring")
-        index = bisect_right(self._points, _point(key))
-        if index == len(self._points):
-            index = 0
-        return self._owners[self._points[index]]
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise WarehouseError(f"successor count must be an int >= 1, got {n!r}")
+        wanted = min(n, len(self._nodes))
+        start = bisect_right(self._points, _point(key))
+        owners: list[str] = []
+        for step in range(len(self._points)):
+            point = self._points[(start + step) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == wanted:
+                    break
+        return owners
 
     def assignment(self, keys) -> dict[str, str]:
         """Route many keys at once: ``{key: worker name}``."""
         return {key: self.route(key) for key in keys}
+
+    def placement(self, keys, n: int) -> dict[str, list[str]]:
+        """Replica placement for many keys: ``{key: [primary, *replicas]}``."""
+        return {key: self.successors(key, n) for key in keys}
 
     def __repr__(self) -> str:
         return f"HashRing({sorted(self._nodes)!r}, replicas={self._replicas})"

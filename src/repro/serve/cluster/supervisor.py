@@ -24,6 +24,24 @@ state at all:
   per-worker ``multiprocessing.Pipe``, serialized per worker by a
   handle lock and matched to responses by request id.
 
+**Replication** (``replication_factor=R``, default 1): each key is
+placed on its R distinct ring successors — element 0 is the primary,
+the rest hold replica copies under ``root/.replicas/<worker>/<key>``.
+Writes go to the primary first (the acknowledgement; a failed primary
+write fails the update, retryably) and are then written through to
+every live replica; a replica whose post-apply commit sequence
+diverges from the primary's — or that was unreachable, freshly
+respawned, or newly placed by a ring change — is marked *stale* and
+healed by the monitor thread from the primary's folded snapshot
+(SYNC_PULL on the primary, SYNC_PUSH on the replica: the same
+pinned-snapshot handoff ring migrations use).  Reads fan out to
+primaries as before, but on :class:`~repro.errors.ShardUnavailableError`
+or :class:`~repro.serve.cluster.wire.WireError` they *fail over*
+per key — fresh replicas first, stale ones as a last resort — and
+retry with decorrelated-jitter backoff (:mod:`.retry`) inside the
+query's deadline budget, so a ``kill -9`` mid-query costs latency,
+not an error.
+
 Workers are started with the ``spawn`` method: the supervisor runs
 inside threaded serving processes, and forking a multithreaded parent
 inherits locks in undefined states.
@@ -33,14 +51,17 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import random
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 
 import repro.errors as errors_module
 from repro.core.update import UpdateReport
 from repro.errors import QueryError, ShardUnavailableError, WarehouseError
+from repro.serve.cluster.retry import RetryPolicy, call_with_retry
 from repro.serve.cluster.ring import HashRing
 from repro.serve.cluster.wire import PipeTransport, Verb, WireError
 from repro.serve.cluster.worker import worker_main
@@ -175,6 +196,7 @@ class _WorkerHandle:
         "transport",
         "lock",
         "keys",
+        "replica_keys",
         "respawns",
         "alive",
         "draining",
@@ -188,6 +210,7 @@ class _WorkerHandle:
         # respawn holds while swapping in the new process.
         self.lock = threading.Lock()
         self.keys: set[str] = set()
+        self.replica_keys: set[str] = set()
         self.respawns = 0
         self.alive = False
         self.draining = False
@@ -204,6 +227,12 @@ class ProcessCollection:
     cross the spawn boundary.  ``fault_injection=True`` lets tests ask
     workers to SIGKILL themselves around a commit — never enable it in
     real serving.
+
+    ``replication_factor=R`` keeps a copy of every document on its R
+    distinct ring successors (capped at the worker count); reads fail
+    over between copies inside ``query_deadline`` seconds using
+    *retry_policy* for backoff, and ``attempt_timeout`` bounds each
+    individual attempt so one hung worker cannot eat the whole budget.
     """
 
     def __init__(
@@ -215,6 +244,10 @@ class ProcessCollection:
         observability=USE_DEFAULT_OBSERVABILITY,
         fault_injection: bool = False,
         replicas: int = 64,
+        replication_factor: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        query_deadline: float = 30.0,
+        attempt_timeout: float | None = None,
     ) -> None:
         if (
             not isinstance(shard_processes, int)
@@ -223,6 +256,18 @@ class ProcessCollection:
         ):
             raise WarehouseError(
                 f"shard_processes must be an int >= 1, got {shard_processes!r}"
+            )
+        if (
+            not isinstance(replication_factor, int)
+            or isinstance(replication_factor, bool)
+            or replication_factor < 1
+        ):
+            raise WarehouseError(
+                f"replication_factor must be an int >= 1, got {replication_factor!r}"
+            )
+        if query_deadline <= 0:
+            raise WarehouseError(
+                f"query_deadline must be > 0, got {query_deadline!r}"
             )
         self._path = Path(path)
         self._obs = _resolve_observability(observability)
@@ -238,22 +283,49 @@ class ProcessCollection:
         self._closed = False
         self._stopping = threading.Event()
         self._monitor: threading.Thread | None = None
+        # Replication state: per-key write locks serialize primary-ack +
+        # write-through + resync for one key; the stale set is the heal
+        # queue the monitor thread drains.
+        self._replication = replication_factor
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._query_deadline = float(query_deadline)
+        self._attempt_timeout = attempt_timeout
+        self._retry_rng = random.Random()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self._key_locks_guard = threading.Lock()
+        self._stale_lock = threading.Lock()
+        self._stale: set[tuple[str, str]] = set()
+        self._commit_seq: dict[str, int] = {}
+        self._replica_seq: dict[tuple[str, str], int] = {}
 
         keys = self._scan_keys()
         names = [f"w{i}" for i in range(shard_processes)]
         for name in names:
             self._ring.add(name)
         assignment = self._ring.assignment(keys)
+        placement = (
+            self._ring.placement(keys, self._replication)
+            if self._replication > 1
+            else {}
+        )
         try:
             for name in names:
                 handle = _WorkerHandle(name)
                 handle.keys = {k for k, owner in assignment.items() if owner == name}
+                handle.replica_keys = {
+                    k for k, owners in placement.items() if name in owners[1:]
+                }
                 self._spawn(handle)
                 self._handles[name] = handle
         except BaseException:
             self.close()
             raise
         self._set_worker_gauge()
+        # Populate every replica before serving: the first failover must
+        # find copies, not empty directories.
+        for name, handle in self._handles.items():
+            self._mark_stale((key, name) for key in handle.replica_keys)
+        self._resync_stale()
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
         )
@@ -277,9 +349,10 @@ class ProcessCollection:
         the handle lock (respawn) — never neither.
         """
         parent_conn, child_conn = self._ctx.Pipe()
+        options = dict(self._options, worker_name=handle.name)
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, str(self._path), sorted(handle.keys), self._options),
+            args=(child_conn, str(self._path), sorted(handle.keys), options),
             name=f"repro-shard-{handle.name}",
             daemon=True,
         )
@@ -322,6 +395,11 @@ class ProcessCollection:
                     # the handle dead; the next tick tries again and
                     # requests keep failing retryably meanwhile.
                     continue
+            if self._replication > 1 and not self._closed:
+                try:
+                    self._resync_stale()
+                except Exception:
+                    continue  # heal again next tick
 
     def _respawn(self, handle: _WorkerHandle) -> None:
         with handle.lock:
@@ -336,6 +414,10 @@ class ProcessCollection:
             process.join(0.1)
             self._spawn(handle)
             handle.respawns += 1
+        # A respawned worker recovered its *primary* shards from their
+        # WALs, but its replica copies may have missed write-throughs
+        # while it was down — re-sync them all from their primaries.
+        self._mark_stale((key, handle.name) for key in handle.replica_keys)
         obs = self._obs
         if obs is not None:
             obs.metrics.incr("cluster.respawns")
@@ -452,6 +534,16 @@ class ProcessCollection:
                 )
             return self._handles[self._ring.route(key)]
 
+    def _placement_for(self, key: str) -> list[str]:
+        """``[primary worker, *replica workers]`` for *key*."""
+        with self._routing_lock:
+            self._check_open()
+            if key not in self._all_keys_locked():
+                raise WarehouseError(
+                    f"no document {key!r} in collection {self._path}"
+                )
+            return self._ring.successors(key, self._replication)
+
     def _all_keys_locked(self) -> set[str]:
         keys: set[str] = set()
         for handle in self._handles.values():
@@ -467,6 +559,166 @@ class ProcessCollection:
             )
 
     # ------------------------------------------------------------------
+    # Replication plumbing
+    # ------------------------------------------------------------------
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._key_locks_guard:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
+
+    def _mark_stale(self, pairs) -> None:
+        with self._stale_lock:
+            self._stale.update(pairs)
+        self._set_replication_gauges()
+
+    def _clear_stale(self, pair: tuple[str, str]) -> None:
+        with self._stale_lock:
+            self._stale.discard(pair)
+        self._set_replication_gauges()
+
+    def _stale_pairs(self) -> set[tuple[str, str]]:
+        with self._stale_lock:
+            return set(self._stale)
+
+    def _set_replication_gauges(self) -> None:
+        obs = self._obs
+        if obs is None or self._replication <= 1:
+            return
+        with self._stale_lock:
+            stale = len(self._stale)
+        lag = 0
+        for (key, _name), seq in list(self._replica_seq.items()):
+            head = self._commit_seq.get(key)
+            if head is not None:
+                lag = max(lag, head - seq)
+        obs.metrics.set_gauge("cluster.stale_replicas", stale)
+        obs.metrics.set_gauge("cluster.replica_lag", max(lag, 0))
+
+    def _replicate(self, key: str, replicas: list[str], payload: dict, sequence) -> None:
+        """Write *payload* through to each replica; divergence → stale."""
+        obs = self._obs
+        replica_payload = {k: v for k, v in payload.items() if k != "fault"}
+        replica_payload["replica"] = True
+        for name in replicas:
+            handle = self._handles.get(name)
+            fresh = False
+            if handle is not None and handle.alive:
+                try:
+                    reply = self._request(
+                        handle, Verb.UPDATE, replica_payload,
+                        timeout=self._attempt_timeout,
+                    )
+                    # The replica must land on the same commit sequence
+                    # as the primary; anything else is divergence.
+                    fresh = sequence is not None and reply.get("sequence") == sequence
+                except (ShardUnavailableError, WireError):
+                    fresh = False
+            if fresh:
+                self._replica_seq[(key, name)] = sequence
+                self._clear_stale((key, name))
+            else:
+                self._mark_stale([(key, name)])
+        self._set_replication_gauges()
+
+    def _write(self, key: str, payload: dict) -> dict:
+        """Primary-acknowledged write with replica write-through."""
+        with self._key_lock(key):
+            placement = self._placement_for(key)
+            handle = self._handles[placement[0]]
+            try:
+                reply = self._request(handle, Verb.UPDATE, payload)
+            except ShardUnavailableError:
+                # The primary died inside the commit window: the commit
+                # may be durable in its WAL without any replica having
+                # seen it.  Resync them all once it is back.
+                self._mark_stale((key, name) for name in placement[1:])
+                raise
+            sequence = reply.get("sequence")
+            if sequence is not None:
+                self._commit_seq[key] = sequence
+            if len(placement) > 1:
+                self._replicate(key, placement[1:], payload, sequence)
+        return reply
+
+    def _resync_pair(self, key: str, name: str) -> bool:
+        """Heal worker *name*'s replica of *key* from the primary's
+        folded snapshot; True when healed or no longer needed."""
+        with self._key_lock(key):
+            try:
+                placement = self._placement_for(key)
+            except WarehouseError:
+                return True  # key or collection gone
+            if name not in placement[1:]:
+                return True  # no longer a replica after a ring change
+            primary = self._handles.get(placement[0])
+            replica = self._handles.get(name)
+            if (
+                primary is None
+                or replica is None
+                or not primary.alive
+                or not replica.alive
+            ):
+                return False  # respawn in progress; heal next tick
+            try:
+                pulled = self._request(primary, Verb.SYNC_PULL, {"key": key})
+                pushed = self._request(
+                    replica,
+                    Verb.SYNC_PUSH,
+                    {
+                        "key": key,
+                        "sequence": pulled["sequence"],
+                        "files": pulled["files"],
+                    },
+                )
+            except (ShardUnavailableError, WireError):
+                return False
+            if pushed.get("sequence") != pulled["sequence"]:
+                return False
+            self._replica_seq[(key, name)] = pulled["sequence"]
+            self._commit_seq[key] = pulled["sequence"]
+            obs = self._obs
+            if obs is not None:
+                obs.metrics.incr("cluster.resyncs")
+                obs.metrics.incr(
+                    "cluster.resync_bytes",
+                    sum(len(blob) for blob in pulled["files"].values()),
+                )
+            return True
+
+    def _resync_stale(self) -> None:
+        for key, name in sorted(self._stale_pairs()):
+            if self._closed:
+                return
+            if self._resync_pair(key, name):
+                self._clear_stale((key, name))
+
+    def await_replication(self, timeout: float = 30.0) -> None:
+        """Block until no replica is stale (all copies healed).
+
+        Raises :class:`~repro.errors.WarehouseError` when *timeout*
+        elapses first — e.g. a primary that never came back.
+        """
+        self._check_open()
+        deadline = monotonic() + timeout
+        while True:
+            pairs = self._stale_pairs()
+            if not pairs:
+                return
+            if monotonic() >= deadline:
+                raise WarehouseError(
+                    f"replication did not settle within {timeout}s; "
+                    f"stale: {sorted(pairs)}"
+                )
+            sleep(_MONITOR_INTERVAL)
+
+    def replicas_of(self, key: str) -> list[str]:
+        """``[primary, *replicas]`` worker names serving *key*."""
+        return self._placement_for(key)
+
+    # ------------------------------------------------------------------
     # Documents
     # ------------------------------------------------------------------
 
@@ -477,6 +729,10 @@ class ProcessCollection:
     @property
     def observability(self):
         return self._obs
+
+    @property
+    def replication_factor(self) -> int:
+        return self._replication
 
     def keys(self) -> list[str]:
         with self._routing_lock:
@@ -501,19 +757,26 @@ class ProcessCollection:
 
         Unlike the thread collection this returns no session — the
         shard lives in another process; use :meth:`update` /
-        :meth:`query` against the key.
+        :meth:`query` against the key.  With replication the new
+        document's copies are synced to its replica workers before this
+        returns.
         """
         self._check_open()
         with self._routing_lock:
             if key in self._all_keys_locked():
                 raise WarehouseError(f"document {key!r} already exists")
-            handle = self._handles[self._ring.route(key)]
+            placement = self._ring.successors(key, self._replication)
+            handle = self._handles[placement[0]]
         payload: dict = {"key": key, "root": root}
         if document is not None:
             payload["document_xml"] = fuzzy_to_string(document, indent=False)
         self._request(handle, Verb.CREATE, payload)
         with self._routing_lock:
             handle.keys.add(key)
+            for name in placement[1:]:
+                self._handles[name].replica_keys.add(key)
+        self._mark_stale((key, name) for name in placement[1:])
+        self._resync_stale()
 
     # ------------------------------------------------------------------
     # Updates (routed) and queries (fanned out)
@@ -524,6 +787,9 @@ class ProcessCollection:
     ) -> UpdateReport:
         """Apply one update to document *key*; durable once returned.
 
+        The primary's acknowledgement is the durability point; live
+        replicas are then written through before this returns (a
+        replica that failed or diverged is healed asynchronously).
         *fault* is the test-only injection point (ignored unless the
         collection was opened with ``fault_injection=True``).
         """
@@ -534,7 +800,7 @@ class ProcessCollection:
         }
         if fault is not None:
             payload["fault"] = fault
-        reply = self._request(self._handle_for_key(key), Verb.UPDATE, payload)
+        reply = self._write(key, payload)
         return UpdateReport(**reply["report"])
 
     def update_many(
@@ -546,7 +812,7 @@ class ProcessCollection:
             "transactions": [_serialize_transaction(t) for t in transactions],
             "confidence": confidence,
         }
-        reply = self._request(self._handle_for_key(key), Verb.UPDATE, payload)
+        reply = self._write(key, payload)
         return [UpdateReport(**r) for r in reply["reports"]]
 
     def query(self, query, keys: list[str] | None = None) -> ClusterResultSet:
@@ -572,7 +838,8 @@ class ProcessCollection:
     ) -> dict[str, list[ClusterRow]]:
         """Run *pattern* on every worker owning one of *keys*; returns
         rows grouped by document key (each worker's shards answered by
-        one QUERY frame, workers in parallel threads)."""
+        one QUERY frame, workers in parallel threads).  A worker whose
+        batch fails retryably degrades to per-key replica failover."""
         self._check_open()
         wanted = set(keys)
         with self._routing_lock:
@@ -586,13 +853,27 @@ class ProcessCollection:
         if obs is not None and obs.metrics.enabled:
             obs.metrics.incr("serve.fanout_queries")
         t0 = perf_counter()
+        deadline = monotonic() + self._query_deadline
 
         def run_worker(name: str) -> dict:
-            return self._request(
-                handles[name],
-                Verb.QUERY,
-                {"pattern": pattern, "keys": by_worker[name], "limit": limit},
-            )
+            batch = sorted(by_worker[name])
+            try:
+                reply = self._request(
+                    handles[name],
+                    Verb.QUERY,
+                    {"pattern": pattern, "keys": batch, "limit": limit},
+                    timeout=self._attempt_timeout,
+                )
+                return reply.get("rows", {})
+            except (ShardUnavailableError, WireError) as exc:
+                if self._replication <= 1:
+                    raise
+                return {
+                    key: self._query_key_failover(
+                        key, pattern, limit, deadline, first_error=exc
+                    )
+                    for key in batch
+                }
 
         rows_by_key: dict[str, list[ClusterRow]] = {}
         if len(by_worker) == 1:
@@ -604,11 +885,85 @@ class ProcessCollection:
             ) as pool:
                 replies = list(pool.map(run_worker, sorted(by_worker)))
         for reply in replies:
-            for key, rows in reply.get("rows", {}).items():
+            for key, rows in reply.items():
                 rows_by_key[key] = [ClusterRow(key, row) for row in rows]
         if obs is not None and obs.metrics.enabled:
             obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
         return rows_by_key
+
+    def _query_key_failover(
+        self, key: str, pattern: str, limit, deadline: float, first_error=None
+    ) -> list[dict]:
+        """One key's rows from whichever copy answers first.
+
+        Candidate order: primary, fresh replicas, stale replicas (a
+        stale copy is still a better answer than an error when nothing
+        else is up).  A full sweep that finds no live copy backs off
+        with decorrelated jitter and tries again — the monitor may be
+        mid-respawn — until the deadline budget is spent, at which
+        point the last real error propagates.
+        """
+        obs = self._obs
+        last_error = first_error
+
+        def sweep() -> list[dict]:
+            nonlocal last_error
+            placement = self._placement_for(key)
+            stale = self._stale_pairs()
+            fresh = [n for n in placement[1:] if (key, n) not in stale]
+            lagging = [n for n in placement[1:] if (key, n) in stale]
+            for position, name in enumerate([placement[0]] + fresh + lagging):
+                handle = self._handles.get(name)
+                if handle is None or not handle.alive:
+                    continue
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    break
+                timeout = (
+                    min(remaining, self._attempt_timeout)
+                    if self._attempt_timeout is not None
+                    else remaining
+                )
+                try:
+                    reply = self._request(
+                        handle,
+                        Verb.QUERY,
+                        {
+                            "pattern": pattern,
+                            "keys": [key],
+                            "limit": limit,
+                            "replica": position > 0,
+                        },
+                        timeout=timeout,
+                    )
+                except (ShardUnavailableError, WireError) as exc:
+                    last_error = exc
+                    continue
+                if position > 0 and obs is not None:
+                    obs.metrics.incr("cluster.failovers")
+                return reply.get("rows", {}).get(key, [])
+            if last_error is not None:
+                raise last_error
+            raise ShardUnavailableError(f"no live copy of {key!r}")
+
+        span = (
+            obs.tracer.span("cluster_failover", document=key)
+            if obs is not None and obs.tracer.enabled
+            else nullcontext()
+        )
+        with span:
+            return call_with_retry(
+                sweep,
+                deadline=deadline,
+                policy=self._retry_policy,
+                classify=lambda exc: isinstance(
+                    exc, (ShardUnavailableError, WireError)
+                ),
+                rng=self._retry_rng,
+                on_retry=lambda attempt, delay, exc: (
+                    obs.metrics.incr("cluster.retries") if obs is not None else None
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Ring changes
@@ -620,7 +975,9 @@ class ProcessCollection:
         Returns the new worker's name.  Migration holds the routing
         lock: RELEASE folds each moving shard's WAL into a final
         snapshot on the old worker, ASSIGN opens that snapshot on the
-        new one — a committed update can never be left behind.
+        new one — a committed update can never be left behind.  Replica
+        placement is recomputed afterwards and new copies are synced
+        before returning.
         """
         with self._routing_lock:
             self._check_open()
@@ -641,7 +998,10 @@ class ProcessCollection:
                 raise
             self._handles[name] = handle
             self._migrate_locked(moving, after)
+            new_pairs = self._reassign_replicas_locked()
             self._set_worker_gauge()
+        self._mark_stale(new_pairs)
+        self._resync_stale()
         return name
 
     def remove_worker(self, name: str) -> None:
@@ -659,7 +1019,14 @@ class ProcessCollection:
             self._migrate_locked(moving, after)
             handle.draining = True
             del self._handles[name]
+            new_pairs = self._reassign_replicas_locked()
             self._set_worker_gauge()
+        with self._stale_lock:
+            self._stale = {(k, n) for k, n in self._stale if n != name}
+        self._replica_seq = {
+            (k, n): seq for (k, n), seq in self._replica_seq.items() if n != name
+        }
+        self._mark_stale(new_pairs)
         try:
             self._request(handle, Verb.DRAIN, {}, timeout=_DRAIN_TIMEOUT)
         except (ShardUnavailableError, WireError):
@@ -673,6 +1040,7 @@ class ProcessCollection:
         if handle.transport is not None:
             handle.transport.close()
         handle.alive = False
+        self._resync_stale()
 
     def _migrate_locked(self, moving: set, assignment: dict[str, str]) -> None:
         """Move each key in *moving* to its new owner (routing lock held)."""
@@ -693,6 +1061,38 @@ class ProcessCollection:
             if obs is not None:
                 obs.metrics.incr("cluster.migrations")
 
+    def _reassign_replicas_locked(self) -> list[tuple[str, str]]:
+        """Recompute every worker's replica set from the current ring
+        (routing lock held).  Copies that moved away are released on
+        their old worker; returns the (key, worker) pairs that need a
+        fresh sync."""
+        if self._replication <= 1:
+            for handle in self._handles.values():
+                handle.replica_keys = set()
+            return []
+        placement = self._ring.placement(
+            self._all_keys_locked(), self._replication
+        )
+        new_pairs: list[tuple[str, str]] = []
+        for name, handle in self._handles.items():
+            wanted = {k for k, owners in placement.items() if name in owners[1:]}
+            dropped = handle.replica_keys - wanted
+            added = wanted - handle.replica_keys
+            handle.replica_keys = wanted
+            for key in sorted(dropped):
+                self._replica_seq.pop((key, name), None)
+                with self._stale_lock:
+                    self._stale.discard((key, name))
+                if handle.alive:
+                    try:
+                        self._request(
+                            handle, Verb.RELEASE, {"key": key, "replica": True}
+                        )
+                    except (ShardUnavailableError, WireError):
+                        pass  # the copy dies with the worker either way
+            new_pairs.extend((key, name) for key in sorted(added))
+        return new_pairs
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -708,6 +1108,7 @@ class ProcessCollection:
                 "alive": handle.alive,
                 "respawns": handle.respawns,
                 "keys": sorted(handle.keys),
+                "replica_keys": sorted(handle.replica_keys),
             }
             if handle.alive:
                 try:
@@ -720,6 +1121,8 @@ class ProcessCollection:
         for info in documents.values():
             for field in totals:
                 totals[field] += info.get(field, 0)
+        with self._stale_lock:
+            stale = len(self._stale)
         return {
             "documents": documents,
             "document_count": len(documents),
@@ -728,6 +1131,10 @@ class ProcessCollection:
                 "mode": "process",
                 "workers": workers,
                 "processes": len(self._handles),
+                "replication": {
+                    "factor": self._replication,
+                    "stale_replicas": stale,
+                },
             },
         }
 
@@ -772,6 +1179,7 @@ class ProcessCollection:
                     "alive": handle.alive,
                     "respawns": handle.respawns,
                     "keys": sorted(handle.keys),
+                    "replica_keys": sorted(handle.replica_keys),
                 }
                 for name, handle in sorted(self._handles.items())
             }

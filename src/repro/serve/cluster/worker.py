@@ -10,6 +10,17 @@ one OK or ERR frame carrying the request's id; a
 (family, message, retryable) and the worker keeps serving — only
 channel damage or DRAIN ends the loop.
 
+Besides its *primary* shards (canonical ``root/key`` directories), a
+worker can hold **replica** copies of shards whose primary lives on
+another worker.  Replicas are stored under
+``root/.replicas/<worker-name>/<key>`` — the leading dot keeps them
+out of every key scan — and are populated exclusively through
+SYNC_PUSH (a folded snapshot shipped from the primary); requests
+address them with ``"replica": true`` in the payload.  A replica that
+has not been synced yet answers with the retryable
+:class:`~repro.errors.ShardUnavailableError` so the supervisor's
+failover sweep moves on to the next candidate.
+
 Workers run with ``observability=None`` sessions: the supervisor's
 ``cluster.*`` metrics are the cluster's instrument panel, and a child
 process's registry would be invisible to the parent anyway.
@@ -27,16 +38,24 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import shutil
 import signal
 from pathlib import Path
 
 from repro.api.session import Session, connect
-from repro.errors import ReproError, WarehouseError
+from repro.errors import ReproError, ShardUnavailableError, WarehouseError
 from repro.serve.cluster.wire import PipeTransport, Verb, WireError
 from repro.xmlio.parse import fuzzy_from_string
 from repro.xmlio.serialize import plain_to_string
 
-__all__ = ["worker_main"]
+__all__ = ["REPLICA_DIR", "SYNC_FILES", "worker_main"]
+
+#: Dot-prefixed so replica copies never match the collection key scan.
+REPLICA_DIR = ".replicas"
+#: The folded-snapshot handoff set: everything a fresh `Warehouse.open`
+#: needs after `compact()` (the WAL is empty post-fold and missing
+#: audit entries are reconstructed on open).
+SYNC_FILES = ("document.xml", "document.bin", "meta.json")
 
 
 def _session_options(options: dict) -> dict:
@@ -58,8 +77,11 @@ class _Worker:
     def __init__(self, root: Path, options: dict) -> None:
         self.root = root
         self.options = options
+        self.name = str(options.get("worker_name", "w"))
         self.allow_faults = bool(options.get("allow_faults"))
         self.sessions: dict[str, Session] = {}
+        self.replicas: dict[str, Session] = {}
+        self.replica_root = root / REPLICA_DIR / self.name
 
     # ------------------------------------------------------------------
     # Shard lifecycle
@@ -82,8 +104,20 @@ class _Worker:
     def close_all(self) -> None:
         for key in list(self.sessions):
             self.close_shard(key)
+        for key in list(self.replicas):
+            session = self.replicas.pop(key)
+            session.close()
 
-    def _session(self, key: str) -> Session:
+    def _session(self, key: str, replica: bool = False) -> Session:
+        if replica:
+            try:
+                return self.replicas[key]
+            except KeyError:
+                # Retryable: the supervisor syncs replicas after spawn;
+                # a reader that arrives first should fail over, not die.
+                raise ShardUnavailableError(
+                    f"worker {self.name} has no synced replica of {key!r}"
+                ) from None
         try:
             return self.sessions[key]
         except KeyError:
@@ -98,11 +132,15 @@ class _Worker:
     def handle_query(self, payload: dict) -> dict:
         pattern = payload["pattern"]
         limit = payload.get("limit")
+        replica = bool(payload.get("replica"))
         keys = payload.get("keys")
-        keys = sorted(self.sessions) if keys is None else sorted(keys)
+        if keys is None:
+            keys = sorted(self.replicas if replica else self.sessions)
+        else:
+            keys = sorted(keys)
         rows: dict[str, list[dict]] = {}
         for key in keys:
-            results = self._session(key).query(pattern)
+            results = self._session(key, replica).query(pattern)
             if limit is not None:
                 results = results.limit(limit)
             rows[key] = [
@@ -117,9 +155,10 @@ class _Worker:
 
     def handle_update(self, payload: dict) -> dict:
         key = payload["key"]
-        session = self._session(key)
+        replica = bool(payload.get("replica"))
+        session = self._session(key, replica)
         confidence = payload.get("confidence")
-        fault = payload.get("fault") if self.allow_faults else None
+        fault = payload.get("fault") if self.allow_faults and not replica else None
         if fault == "before_commit":
             _kill_self()
         if "transactions" in payload:
@@ -128,14 +167,20 @@ class _Worker:
             )
             if fault == "after_commit":
                 _kill_self()
-            return {"reports": [dataclasses.asdict(r) for r in reports]}
+            return {
+                "reports": [dataclasses.asdict(r) for r in reports],
+                "sequence": session.warehouse.sequence,
+            }
         report = session.update(payload["transaction"], confidence)
         if fault == "after_commit":
             # The commit is durable (WAL fsynced) — dying here is the
             # "acknowledged on disk, never acknowledged to the client"
             # window recovery must close.
             _kill_self()
-        return {"report": dataclasses.asdict(report)}
+        return {
+            "report": dataclasses.asdict(report),
+            "sequence": session.warehouse.sequence,
+        }
 
     def handle_create(self, payload: dict) -> dict:
         key = payload["key"]
@@ -173,8 +218,53 @@ class _Worker:
         return {"key": payload["key"]}
 
     def handle_release(self, payload: dict) -> dict:
-        self.close_shard(payload["key"])
-        return {"key": payload["key"]}
+        key = payload["key"]
+        if payload.get("replica"):
+            session = self.replicas.pop(key, None)
+            if session is not None:
+                session.close()
+            shutil.rmtree(self.replica_root / key, ignore_errors=True)
+        else:
+            self.close_shard(key)
+        return {"key": key}
+
+    def handle_sync_pull(self, payload: dict) -> dict:
+        """Fold the primary shard's WAL and ship the snapshot files.
+
+        The supervisor holds the key's write lock across the pull/push
+        pair and this process is single-threaded, so nothing can commit
+        between the compact and the file reads.
+        """
+        key = payload["key"]
+        session = self._session(key)
+        summary = session.compact()
+        directory = self.root / key
+        files: dict[str, bytes] = {}
+        for name in SYNC_FILES:
+            path = directory / name
+            if path.exists():
+                files[name] = path.read_bytes()
+        return {"key": key, "sequence": summary["sequence"], "files": files}
+
+    def handle_sync_push(self, payload: dict) -> dict:
+        """Replace this worker's replica of *key* with the pulled files."""
+        key = payload["key"]
+        files = payload.get("files") or {}
+        for name in files:
+            if name not in SYNC_FILES:
+                raise WarehouseError(f"unexpected sync file {name!r}")
+        session = self.replicas.pop(key, None)
+        if session is not None:
+            session.close()
+        directory = self.replica_root / key
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir(parents=True)
+        for name, data in files.items():
+            (directory / name).write_bytes(data)
+        session = connect(directory, **_session_options(self.options))
+        self.replicas[key] = session
+        return {"key": key, "sequence": session.warehouse.sequence}
 
 
 _HANDLERS = {
@@ -185,6 +275,8 @@ _HANDLERS = {
     Verb.HEALTH: _Worker.handle_health,
     Verb.ASSIGN: _Worker.handle_assign,
     Verb.RELEASE: _Worker.handle_release,
+    Verb.SYNC_PULL: _Worker.handle_sync_pull,
+    Verb.SYNC_PUSH: _Worker.handle_sync_push,
 }
 
 

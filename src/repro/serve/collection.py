@@ -80,6 +80,7 @@ def connect_collection(
     mode: str = "thread",
     shard_processes: int | None = None,
     force_processes: bool = False,
+    replication_factor: int = 1,
     match_config: MatchConfig = DEFAULT_CONFIG,
     auto_simplify_factor: float | None = None,
     snapshot_every: int = 64,
@@ -101,6 +102,13 @@ def connect_collection(
       call degrades to thread mode unless *force_processes* is set;
     * ``"auto"`` — process mode when the machine has ≥ 2 cores, thread
       mode otherwise.
+
+    In process mode, *replication_factor* = R keeps a copy of every
+    document on its R distinct ring successors: writes are
+    acknowledged by the primary and written through to replicas, reads
+    fail over to a replica when the primary is down (see
+    :class:`~repro.serve.cluster.ProcessCollection`).  Thread mode has
+    one failure domain — this process — so the factor is ignored there.
 
     In thread mode, every existing shard is opened eagerly — the
     collection owns each shard's single-writer lock from here to
@@ -157,6 +165,7 @@ def connect_collection(
                 "compact_on_close": compact_on_close,
             },
             observability=observability,
+            replication_factor=replication_factor,
         )
 
     obs = _resolve_observability(observability)

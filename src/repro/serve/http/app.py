@@ -56,6 +56,7 @@ __all__ = [
     "encode_row",
     "error_body",
     "query_response_body",
+    "retry_after_headers",
     "status_for",
 ]
 
@@ -111,6 +112,19 @@ def status_for(exc: BaseException) -> int:
     if isinstance(exc, ReproError):
         return 400  # invalid query/update/tree/event input
     return 500
+
+
+def retry_after_headers(exc: BaseException, status: int) -> tuple:
+    """Extra response headers telling a client when to come back.
+
+    A 503 from a retry-exhausted :class:`ShardUnavailableError` gets
+    ``Retry-After`` exactly like the 429 shed path: the shard is being
+    respawned and will answer again in about a second — clients should
+    back off, not hammer the recovering worker.
+    """
+    if status == 503 and isinstance(exc, ShardUnavailableError):
+        return (("Retry-After", "1"),)
+    return ()
 
 
 def error_body(exc: BaseException, status: int | None = None) -> tuple[int, dict]:

@@ -59,6 +59,7 @@ from repro.serve.http.app import (
     BadRequest,
     canonical_json,
     error_body,
+    retry_after_headers,
 )
 from repro.serve.pool import SessionPool
 
@@ -500,7 +501,8 @@ class HTTPServer:
             if metrics and isinstance(exc, QueryCancelledError):
                 obs.metrics.incr("http.deadline_timeouts")
             status, payload = error_body(exc)
-            return status, canonical_json(payload), "application/json", ()
+            extra = retry_after_headers(exc, status)
+            return status, canonical_json(payload), "application/json", extra
         return 200, body, "application/json", ()
 
 
@@ -514,6 +516,7 @@ def _open_target(
     *,
     workers: int | None = None,
     shard_processes: int | None = None,
+    replication_factor: int = 1,
 ):
     """Session or Collection for *path*, collection auto-detected.
 
@@ -521,11 +524,15 @@ def _open_target(
     collections (ignored for single warehouses); on a single-core host
     it degrades back to the thread pool — see
     :func:`~repro.serve.collection.connect_collection`.
+    *replication_factor* applies in process mode only.
     """
     if Collection.is_collection(path):
         if shard_processes is not None:
             return connect_collection(
-                path, mode="process", shard_processes=shard_processes
+                path,
+                mode="process",
+                shard_processes=shard_processes,
+                replication_factor=replication_factor,
             )
         return connect_collection(path, workers=workers)
     from repro.api import connect
@@ -540,6 +547,7 @@ def run_server(
     port: int = 8080,
     workers: int | None = None,
     shard_processes: int | None = None,
+    replication_factor: int = 1,
     queue_depth: int = 16,
     default_deadline: float = 30.0,
     idle_timeout: float = 30.0,
@@ -551,9 +559,15 @@ def run_server(
     Opens the warehouse (or collection) at *path*, serves until SIGTERM
     or SIGINT, drains gracefully, closes the store, returns 0.
     ``shard_processes=N`` serves a collection with N worker processes
-    behind the consistent-hash ring instead of the in-process pool.
+    behind the consistent-hash ring instead of the in-process pool;
+    ``replication_factor=R`` keeps every document on R of them.
     """
-    target = _open_target(path, workers=workers, shard_processes=shard_processes)
+    target = _open_target(
+        path,
+        workers=workers,
+        shard_processes=shard_processes,
+        replication_factor=replication_factor,
+    )
     app = Application(target, own_target=True)
     try:
         server = HTTPServer(

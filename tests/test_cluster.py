@@ -11,7 +11,10 @@ the runner.
 
 from __future__ import annotations
 
+import struct
 import time
+import zlib
+from pathlib import Path
 
 import pytest
 
@@ -19,7 +22,13 @@ import repro
 from repro.errors import ShardUnavailableError, WarehouseError
 from repro.serve import Collection, ProcessCollection, connect_collection
 from repro.serve.cluster.ring import HashRing
-from repro.serve.cluster.wire import Verb, WireError, decode_frame, encode_frame
+from repro.serve.cluster.wire import (
+    FRAME_FORMAT_VERSION,
+    Verb,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
 
 KEYS = ("alice", "bob", "carol", "dave", "erin")
 
@@ -84,10 +93,42 @@ class TestWire:
             decode_frame(bytes(frame))
 
     def test_unknown_verb_rejected(self):
-        frame = bytearray(encode_frame(Verb.OK, 7, {}))
-        frame[4] = 0xEE  # the verb byte, past the u32 length prefix
+        # The checksum covers the verb byte, so an in-flight flip fails
+        # the CRC first; an *honestly signed* unknown verb (a future
+        # peer speaking this frame version) must still be rejected.
+        body = struct.pack("<I", 2) + b"{}" + struct.pack("<I", 0)
+        header = struct.pack("<BBQ", FRAME_FORMAT_VERSION, 0xEE, 7)
+        crc = zlib.crc32(body, zlib.crc32(header))
+        frame = (
+            struct.pack("<I", len(header) + 4 + len(body))
+            + header
+            + struct.pack("<I", crc)
+            + body
+        )
         with pytest.raises(WireError, match="verb"):
+            decode_frame(frame)
+
+    def test_version_mismatch_rejected(self):
+        frame = bytearray(encode_frame(Verb.OK, 7, {}))
+        frame[4] = FRAME_FORMAT_VERSION + 1  # past the u32 length prefix
+        with pytest.raises(WireError, match="version"):
             decode_frame(bytes(frame))
+
+    def test_binary_blobs_round_trip(self):
+        payload = {
+            "files": {"document.bin": b"\x00\xff\x01snap", "meta.json": b"{}"},
+            "note": {"__blob__": 3, "k": b"escaped"},
+        }
+        _, _, decoded = decode_frame(encode_frame(Verb.SYNC_PUSH, 9, payload))
+        assert decoded == payload
+
+    def test_no_pickle_in_cluster_package(self):
+        import repro.serve.cluster as cluster_pkg
+
+        package_dir = Path(cluster_pkg.__file__).parent
+        for module in package_dir.glob("*.py"):
+            source = module.read_text(encoding="utf-8")
+            assert "import pickle" not in source, module.name
 
 
 # ----------------------------------------------------------------------
