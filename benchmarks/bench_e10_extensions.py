@@ -22,11 +22,11 @@ import time
 
 from repro.analysis import classify_growth, fit_exponential, fit_power_law
 from repro import (
-    parse_pattern,
-    query_fuzzy_tree,
     query_possible_worlds,
     to_possible_worlds,
 )
+from repro.tpwj.parser import parse_pattern
+from repro.core.query import query_fuzzy_tree
 from repro.tpwj.pattern import PatternNode
 from repro.trees import RandomTreeConfig
 from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for

@@ -44,7 +44,8 @@ except ImportError:  # script mode: run outside pytest's rootdir sys.path
     def fmt(value: float, digits: int = 4) -> str:
         return f"{value:.{digits}g}"
 
-from repro import InsertOperation, UpdateTransaction, parse_pattern
+from repro import InsertOperation, UpdateTransaction
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 from repro.trees.random import RandomTreeConfig
 from repro.warehouse import CommitPolicy, Warehouse
@@ -109,7 +110,7 @@ def _measure_commit_latency(
         timings = []
         for _ in range(n_tx):
             start = time.perf_counter()
-            warehouse.update(tx)
+            warehouse._commit_update(tx)
             timings.append(time.perf_counter() - start)
         warehouse.close()
         medians.append(statistics.median(timings))
@@ -150,7 +151,7 @@ def _measure_recovery(
     policy = CommitPolicy(snapshot_every=10 * n_records, compact_on_close=False)
     warehouse = Warehouse.create(path, document, policy=policy)
     for _ in range(n_records):
-        warehouse.update(tx)
+        warehouse._commit_update(tx)
     expected = warehouse.document.root.canonical()
     # Simulate a crash: the lock evaporates, nothing is compacted.
     warehouse._storage.release_lock()

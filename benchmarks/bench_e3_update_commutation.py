@@ -18,10 +18,10 @@ from repro import (
     DeleteOperation,
     InsertOperation,
     UpdateTransaction,
-    apply_update,
     to_possible_worlds,
     update_possible_worlds,
 )
+from repro.core.update import apply_update
 from repro.trees import RandomTreeConfig, tree
 from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
 

@@ -24,11 +24,11 @@ from repro import (
     FuzzyTree,
     InsertOperation,
     UpdateTransaction,
-    apply_update,
-    parse_pattern,
     to_possible_worlds,
     update_possible_worlds,
 )
+from repro.core.update import apply_update
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 
 from conftest import fmt

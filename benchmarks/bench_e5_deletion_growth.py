@@ -20,10 +20,10 @@ from repro import (
     FuzzyNode,
     FuzzyTree,
     UpdateTransaction,
-    apply_update,
-    parse_pattern,
     simplify,
 )
+from repro.core.update import apply_update
+from repro.tpwj.parser import parse_pattern
 
 
 def chain_document(width: int = 4) -> FuzzyTree:

@@ -16,10 +16,10 @@ import pytest
 
 from repro import (
     estimate_query,
-    query_fuzzy_tree,
     query_possible_worlds,
     to_possible_worlds,
 )
+from repro.core.query import query_fuzzy_tree
 from repro.trees import RandomTreeConfig
 from repro.workloads import FuzzyWorkloadConfig, random_fuzzy_tree, random_query_for
 

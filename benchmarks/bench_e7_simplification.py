@@ -12,7 +12,8 @@ import random
 
 import pytest
 
-from repro import apply_update, simplify, to_possible_worlds
+from repro import simplify, to_possible_worlds
+from repro.core.update import apply_update
 from repro.core.simplify import ALL_RULES
 from repro.trees import RandomTreeConfig
 from repro.workloads import (

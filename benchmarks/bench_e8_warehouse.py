@@ -39,7 +39,7 @@ def test_update_throughput(report, tmp_path, benchmark, name):
                 transactions = list(scenario.stream(stream_length))
                 start = time.perf_counter()
                 for tx in transactions:
-                    wh.update(tx)
+                    wh._commit_update(tx)
                 elapsed = time.perf_counter() - start
                 rows.append(
                     [
@@ -65,11 +65,11 @@ def test_query_latency_after_stream(report, tmp_path, benchmark, name):
     path = tmp_path / name
     with Warehouse.create(path, scenario.initial_document(), auto_simplify_factor=4.0) as wh:
         for tx in scenario.stream(60):
-            wh.update(tx)
+            wh._commit_update(tx)
         patterns = scenario.query_mix()
 
         def query_all():
-            return [wh.query(p) for p in patterns]
+            return [wh._query_answers(p) for p in patterns]
 
         results = benchmark(query_all)
         report.table(
@@ -90,7 +90,7 @@ def test_durability_of_stream(report, tmp_path, benchmark):
         path = tmp_path / "durable"
         with Warehouse.create(path, scenario.initial_document()) as wh:
             for tx in scenario.stream(25):
-                wh.update(tx)
+                wh._commit_update(tx)
             canonical = wh.document.root.canonical()
             sequence = wh.sequence
         with Warehouse.open(path) as wh:

@@ -10,8 +10,8 @@ The library implements the paper end to end:
 * **TPWJ queries** (:mod:`repro.tpwj`) — tree patterns with value
   joins, evaluated both on worlds and directly on fuzzy trees;
 * **probabilistic updates** (:mod:`repro.updates`, applied via
-  :func:`repro.apply_update`) — insert/delete transactions with a
-  confidence;
+  :func:`repro.core.update.apply_update`) — insert/delete transactions
+  with a confidence;
 * an **XML dialect** (:mod:`repro.xmlio`) and a filesystem
   **warehouse** (:mod:`repro.warehouse`) matching the paper's system
   architecture;
@@ -32,16 +32,16 @@ Quickstart — the session API is the public surface::
             print(row.probability, row.tree.canonical())
 
 The model layer (fuzzy trees, possible worlds, the event algebra) stays
-importable from its subpackages for direct experimentation; the old
-module-level conveniences ``repro.parse_pattern``,
-``repro.query_fuzzy_tree`` and ``repro.apply_update`` are deprecated
-shims for one release — see the README's migration table.
+importable from its subpackages for direct experimentation; the 1.x
+module-level conveniences (``repro.parse_pattern``,
+``repro.query_fuzzy_tree``, ``repro.apply_update``) were removed in
+2.0 — see the README's migration table.
 """
-
-import warnings as _warnings
 
 from repro.api import (
     PatternBuilder,
+    QueryOptions,
+    QueryOptionsError,
     ResultSet,
     Row,
     Session,
@@ -145,50 +145,7 @@ from repro.updates import (
     apply_deterministic,
 )
 
-__version__ = "1.1.0"
-
-# ----------------------------------------------------------------------
-# Deprecated module-level entry points (one release).
-#
-# The grab-bag conveniences the session API replaces are served lazily
-# so importing them warns once per site; the canonical functions remain
-# available — without deprecation — at their defining modules for
-# model-level work (repro.tpwj.parser.parse_pattern,
-# repro.core.query.query_fuzzy_tree, repro.core.update.apply_update).
-# ----------------------------------------------------------------------
-
-_DEPRECATED_SHIMS = {
-    "parse_pattern": (
-        "repro.tpwj.parser",
-        "Session.query accepts pattern strings directly "
-        "(or build one with repro.pattern(...))",
-    ),
-    "query_fuzzy_tree": (
-        "repro.core.query",
-        "use repro.connect(...).query(...) — or "
-        "repro.core.query.query_fuzzy_tree for model-level evaluation",
-    ),
-    "apply_update": (
-        "repro.core.update",
-        "use repro.connect(...).update(...) — or "
-        "repro.core.update.apply_update for model-level application",
-    ),
-}
-
-
-def __getattr__(name: str):
-    shim = _DEPRECATED_SHIMS.get(name)
-    if shim is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    module_name, hint = shim
-    _warnings.warn(
-        f"repro.{name} is deprecated; {hint}",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    import importlib
-
-    return getattr(importlib.import_module(module_name), name)
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
@@ -196,6 +153,8 @@ __all__ = [
     "connect",
     "Session",
     "Snapshot",
+    "QueryOptions",
+    "QueryOptionsError",
     "ResultSet",
     "Row",
     "PatternBuilder",
@@ -241,9 +200,9 @@ __all__ = [
     "World",
     "query_possible_worlds",
     "update_possible_worlds",
-    # queries (the deprecated shims parse_pattern / query_fuzzy_tree /
-    # apply_update resolve via __getattr__ but are kept out of __all__
-    # so `from repro import *` stays warning-free)
+    # queries (model-level helpers live at their defining modules:
+    # repro.tpwj.parser.parse_pattern, repro.core.query.query_fuzzy_tree,
+    # repro.core.update.apply_update)
     "Pattern",
     "PatternNode",
     "format_pattern",

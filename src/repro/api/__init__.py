@@ -23,6 +23,7 @@ from repro.api.builders import (
     pattern,
     update,
 )
+from repro.api.options import QueryOptions, QueryOptionsError
 from repro.api.results import ResultSet, Row, RowStream
 from repro.api.session import Session, SessionBatch, Snapshot, connect
 
@@ -31,6 +32,8 @@ __all__ = [
     "Session",
     "SessionBatch",
     "Snapshot",
+    "QueryOptions",
+    "QueryOptionsError",
     "ResultSet",
     "Row",
     "RowStream",

@@ -18,17 +18,24 @@ the classic probability-ranked, per-answer-tree aggregation of
 
 from __future__ import annotations
 
+import random
 import weakref
+from sys import intern as _intern_str
 from time import perf_counter
 
+from repro.api.options import QueryOptions
+from repro.core.montecarlo import AnswerEstimate, estimate_answers
 from repro.core.query import (
     FuzzyAnswer,
     QueryRow,
     group_rows,
+    iter_bounded_rows,
     iter_query_rows,
     query_fuzzy_tree,
+    topk_rows,
 )
 from repro.errors import QueryCancelledError, QueryError
+from repro.events.dnf import Dnf
 
 __all__ = ["ResultSet", "Row", "RowStream"]
 
@@ -123,25 +130,48 @@ class ResultSet:
     Each ``iter()`` re-executes the query against the source's current
     document (snapshots pin theirs, so re-iteration there is stable);
     repeated executions hit the source's plan cache.  A result set is
-    immutable — :meth:`limit` returns a new one.
+    immutable — every refinement (:meth:`limit`,
+    :meth:`order_by_probability`, :meth:`min_probability`) returns a
+    new one; all of them are sugar over the set's frozen
+    :class:`~repro.api.options.QueryOptions`, the same object every
+    serving layer threads through unchanged.
     """
 
-    __slots__ = ("_source", "_pattern", "_limit", "_planner")
+    __slots__ = ("_source", "_pattern", "_options")
 
     def __init__(
-        self, source, pattern, limit: int | None = None, planner: bool = True
+        self,
+        source,
+        pattern,
+        limit: int | None = None,
+        planner: bool = True,
+        *,
+        options: QueryOptions | None = None,
     ) -> None:
         self._source = source
         self._pattern = pattern
-        self._limit = limit
-        # planner=False falls back to the fixed-strategy matcher (the
-        # E9 ablation baseline); it materializes matches, so limits
-        # truncate but do not stream.
-        self._planner = planner
+        if options is None:
+            # planner=False falls back to the fixed-strategy matcher
+            # (the E9 ablation baseline); it materializes matches, so
+            # limits truncate but do not stream.
+            options = QueryOptions(
+                limit=limit, plan="auto" if planner else "fixed"
+            )
+        self._options = options
+
+    @property
+    def options(self) -> QueryOptions:
+        """The frozen execution envelope this set describes."""
+        return self._options
 
     # ------------------------------------------------------------------
     # Refinement
     # ------------------------------------------------------------------
+
+    def _replace(self, **changes) -> "ResultSet":
+        return ResultSet(
+            self._source, self._pattern, options=self._options.replace(**changes)
+        )
 
     def limit(self, n: int) -> "ResultSet":
         """At most *n* rows, computed by early termination.
@@ -149,13 +179,42 @@ class ResultSet:
         The cap is pushed into the engine's streaming protocol: the
         backtracking enumeration stops as soon as *n* rows have been
         emitted, so a small limit on a large document does a fraction
-        of the full query's work.  The limited stream is a prefix of
-        the unlimited one (same plan, same deterministic order).
+        of the full query's work.  In document order the limited stream
+        is a prefix of the unlimited one (same plan, same deterministic
+        order); combined with :meth:`order_by_probability` it is
+        top-k, executed as branch-and-bound inside the join.
         """
         if not isinstance(n, int) or isinstance(n, bool) or n < 0:
             raise QueryError(f"limit must be a non-negative int, got {n!r}")
-        capped = n if self._limit is None else min(self._limit, n)
-        return ResultSet(self._source, self._pattern, capped, self._planner)
+        current = self._options.limit
+        capped = n if current is None else min(current, n)
+        return self._replace(limit=capped)
+
+    def order_by_probability(self) -> "ResultSet":
+        """Rows in decreasing-probability order, ties in document order.
+
+        With a :meth:`limit` this executes as branch-and-bound top-k:
+        partial matches whose probability upper bound (the product of
+        their bound nodes' closed conditions) cannot beat the current
+        k-th best are pruned inside the backtracking join, never
+        enumerated.
+        """
+        return self._replace(order="probability")
+
+    def min_probability(self, p) -> "ResultSet":
+        """Only rows with probability >= *p*.
+
+        The threshold is pushed into the join: partial matches whose
+        upper bound is already below *p* are pruned.  Chaining keeps
+        the strictest threshold.
+        """
+        if isinstance(p, bool) or not isinstance(p, (int, float)) or not 0.0 <= p <= 1.0:
+            raise QueryError(
+                f"min_probability must be a number in [0, 1], got {p!r}"
+            )
+        current = self._options.min_probability
+        floor = float(p) if current is None else max(current, float(p))
+        return self._replace(min_probability=floor)
 
     # ------------------------------------------------------------------
     # Consumption
@@ -182,10 +241,74 @@ class ResultSet:
         iteration pin is released, and the stream raises
         :class:`~repro.errors.QueryCancelledError` — the serving
         layer's per-request deadline path.
+
+        ``limit(0)`` short-circuits to an empty stream without building
+        the engine view or opening an iteration pin.
         """
-        return RowStream(
-            self._source, self._pattern, self._limit, self._planner, abort
-        )
+        if self._options.limit == 0:
+            return RowStream.empty()
+        return RowStream(self._source, self._pattern, self._options, abort)
+
+    def estimate(
+        self,
+        *,
+        epsilon: float | None = None,
+        deadline_ms: int | None = None,
+        seed: int = 0,
+    ) -> list[AnswerEstimate]:
+        """Anytime Monte-Carlo answers: confidence intervals, not exact.
+
+        The exact path prices each answer by Shannon expansion, which
+        is exponential in the answer's DNF in the worst case; this path
+        enumerates the same matches (cheap — pricing is what blows up),
+        groups them per answer tree, and prices the groups by sampling
+        their mentioned events.  Sampling stops when every interval is
+        within ±*epsilon* (at 3σ), when the *deadline_ms* budget is
+        spent, or at the sample cap — whichever comes first — so
+        adversarial event graphs degrade to bounded-error estimates
+        instead of timeouts.
+
+        Arguments default to the set's options (``epsilon=0.05`` when
+        neither is set anywhere); *seed* fixes the sampler so every
+        layer pricing the same groups returns identical estimates.
+        Estimates honor ``min_probability`` (as a filter on the
+        estimated value) and come back sorted by decreasing
+        probability, ties by canonical form.
+        """
+        opts = self._options
+        if epsilon is None:
+            epsilon = opts.epsilon
+        if deadline_ms is None:
+            deadline_ms = opts.deadline_ms
+        if opts.limit == 0:
+            return []
+        fuzzy, engine, config, release, obs = self._source._iter_context()
+        engine = engine if opts.use_planner else None
+        try:
+            grouped: dict[str, tuple] = {}
+            for row in iter_query_rows(
+                fuzzy, self._pattern, config, engine=engine, limit=opts.limit
+            ):
+                key = _intern_str(row.tree.canonical())
+                entry = grouped.get(key)
+                if entry is not None:
+                    entry[1].extend(row.dnf.terms)
+                else:
+                    grouped[key] = (row.tree, list(row.dnf.terms))
+            estimates = estimate_answers(
+                [(tree, Dnf(terms)) for tree, terms in grouped.values()],
+                fuzzy.events,
+                epsilon=epsilon,
+                deadline=None if deadline_ms is None else deadline_ms / 1000.0,
+                rng=random.Random(seed),
+            )
+        finally:
+            if release is not None:
+                release()
+        if opts.min_probability is not None:
+            floor = opts.min_probability
+            estimates = [e for e in estimates if e.probability >= floor]
+        return estimates
 
     def all(self) -> list[Row]:
         """Materialize every row (honoring :meth:`limit`)."""
@@ -211,13 +334,16 @@ class ResultSet:
         Matches inducing the same answer tree are merged (their
         conditions disjoined) and the aggregates ranked by decreasing
         probability — identical to the historical
-        ``Warehouse.query`` result when no limit is set; with a limit,
-        the aggregation covers the streamed prefix only.
+        historical per-answer aggregation when no limit is set; with a
+        limit, the aggregation covers the streamed prefix only.
         """
+        options = self._options
+        if options.limit == 0:
+            return []
         fuzzy, engine, config, release, obs = self._source._iter_context()
         tracing = obs is not None and obs.tracer.enabled
         metrics = obs is not None and obs.metrics.enabled
-        engine = engine if self._planner else None
+        engine = engine if options.use_planner else None
         span = (
             obs.tracer.start("query", pattern=self._pattern, aggregate=True)
             if tracing
@@ -226,7 +352,16 @@ class ResultSet:
         t0 = perf_counter()
         answers: list[FuzzyAnswer] | None = None
         try:
-            if self._limit is None:
+            if options.is_bounded:
+                # Aggregate exactly the rows the bounded stream would
+                # emit (top-k / thresholded enumeration).
+                rows = _row_iter(fuzzy, engine, config, self._pattern, options, None)
+                answers = group_rows(
+                    rows,
+                    fuzzy.events,
+                    cache=engine.shannon if engine is not None else None,
+                )
+            elif options.limit is None:
                 # No cap: the classic aggregation prices each answer
                 # group once; rows never compute their own probability
                 # (it is lazy), so nothing is paid twice.
@@ -235,7 +370,7 @@ class ResultSet:
                 )
             else:
                 rows = iter_query_rows(
-                    fuzzy, self._pattern, config, engine=engine, limit=self._limit
+                    fuzzy, self._pattern, config, engine=engine, limit=options.limit
                 )
                 answers = group_rows(
                     rows,
@@ -261,8 +396,10 @@ class ResultSet:
                 )
 
     def __repr__(self) -> str:
-        limit = "" if self._limit is None else f", limit={self._limit}"
-        return f"ResultSet({str(self._pattern)!r}{limit})"
+        extras = self._options.to_json()
+        extras.pop("pattern", None)
+        rendered = "".join(f", {k}={v!r}" for k, v in sorted(extras.items()))
+        return f"ResultSet({str(self._pattern)!r}{rendered})"
 
 
 def _plan_text(engine, pattern) -> str | None:
@@ -294,6 +431,12 @@ def _record_query_metrics(obs, pattern, duration, rows, span, engine) -> None:
         )
 
 
+def _no_rows():
+    """The generator behind :meth:`RowStream.empty` (closeable, done)."""
+    return
+    yield
+
+
 def _check_abort(abort) -> None:
     """Raise :class:`QueryCancelledError` once *abort* returns true.
 
@@ -305,7 +448,44 @@ def _check_abort(abort) -> None:
         raise QueryCancelledError("query cancelled by its abort hook")
 
 
-def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs, abort):
+def _row_iter(fuzzy, engine, config, pattern, options, abort):
+    """The :class:`~repro.core.query.QueryRow` iterator for *options*.
+
+    Dispatches on the options' shape: probability order runs the
+    branch-and-bound top-k (eager — the sort key is the exact
+    probability), a bare ``min_probability`` runs the thresholded
+    document-order enumeration, and the default is the plain lazy
+    stream.  *abort* is threaded into the eager path (the generator
+    paths poll it between pulls in :func:`_stream_rows`).
+    """
+    min_p = options.min_probability if options.min_probability is not None else 0.0
+    if options.order == "probability":
+        return iter(
+            topk_rows(
+                fuzzy,
+                pattern,
+                config,
+                engine=engine,
+                k=options.limit,
+                min_probability=min_p,
+                abort=abort,
+            )
+        )
+    if min_p > 0.0:
+        return iter_bounded_rows(
+            fuzzy,
+            pattern,
+            config,
+            engine=engine,
+            min_probability=min_p,
+            limit=options.limit,
+        )
+    return iter_query_rows(
+        fuzzy, pattern, config, engine=engine, limit=options.limit
+    )
+
+
+def _stream_rows(source, fuzzy, engine, config, pattern, options, obs, abort):
     """The row generator behind a :class:`RowStream`.
 
     A module-level function (not a method) so the generator holds no
@@ -320,20 +500,16 @@ def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs, ab
     threshold — a slow-log entry.  Fully disabled, the cost is one
     flag check per query (the plain loop below).
     """
-    engine = engine if planner else None
+    engine = engine if options.use_planner else None
     tracing = obs is not None and obs.tracer.enabled
     metrics = obs is not None and obs.metrics.enabled
     if not tracing and not metrics:
         if abort is None:
-            for inner in iter_query_rows(
-                fuzzy, pattern, config, engine=engine, limit=limit
-            ):
+            for inner in _row_iter(fuzzy, engine, config, pattern, options, None):
                 yield Row(inner, source, fuzzy.events)
             return
         _check_abort(abort)
-        stream = iter_query_rows(
-            fuzzy, pattern, config, engine=engine, limit=limit
-        )
+        stream = _row_iter(fuzzy, engine, config, pattern, options, abort)
         while True:
             try:
                 inner = next(stream)
@@ -350,9 +526,7 @@ def _stream_rows(source, fuzzy, engine, config, pattern, limit, planner, obs, ab
     rows = 0
     t0 = perf_counter()
     try:
-        stream = iter_query_rows(
-            fuzzy, pattern, config, engine=engine, limit=limit
-        )
+        stream = _row_iter(fuzzy, engine, config, pattern, options, abort)
         while True:
             if abort is not None:
                 _check_abort(abort)
@@ -400,7 +574,7 @@ class RowStream:
 
     __slots__ = ("_inner", "_finalizer", "__weakref__")
 
-    def __init__(self, source, pattern, limit, planner, abort=None) -> None:
+    def __init__(self, source, pattern, options, abort=None) -> None:
         fuzzy, engine, config, release, obs = source._iter_context()
         # The finalizer calls the pin's release directly — it must not
         # reference self, or the stream could never become unreachable.
@@ -408,8 +582,21 @@ class RowStream:
             weakref.finalize(self, release) if release is not None else None
         )
         self._inner = _stream_rows(
-            source, fuzzy, engine, config, pattern, limit, planner, obs, abort
+            source, fuzzy, engine, config, pattern, options, obs, abort
         )
+
+    @classmethod
+    def empty(cls) -> "RowStream":
+        """An exhausted stream with no pin and no engine view.
+
+        ``limit(0)`` resolves here: the result is known to be empty, so
+        no document generation is pinned and no query work runs —
+        ``read_sessions`` stays untouched.
+        """
+        stream = object.__new__(cls)
+        stream._finalizer = None
+        stream._inner = _no_rows()
+        return stream
 
     def __iter__(self) -> "RowStream":
         return self

@@ -47,10 +47,11 @@ from pathlib import Path
 from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
 from repro.core.simplify import SimplifyReport
 from repro.core.update import UpdateReport
-from repro.errors import SessionClosedError, WarehouseError
+from repro.errors import QueryError, SessionClosedError, WarehouseError
 from repro.events.table import EventTable
 from repro.tpwj.match import DEFAULT_CONFIG, MatchConfig
 from repro.api.builders import compile_pattern, compile_transaction
+from repro.api.options import QueryOptions
 from repro.api.results import ResultSet
 from repro.warehouse.warehouse import (
     USE_DEFAULT_OBSERVABILITY,
@@ -60,6 +61,35 @@ from repro.warehouse.warehouse import (
 )
 
 __all__ = ["Session", "Snapshot", "SessionBatch", "connect"]
+
+
+def _result_set(source, query, planner, options) -> ResultSet:
+    """Build a :class:`ResultSet` from either calling convention.
+
+    The legacy form passes *query* (string / Pattern / builder) plus
+    the *planner* flag; the v2 form passes a
+    :class:`~repro.api.options.QueryOptions` whose ``plan`` field
+    governs planner selection (the *planner* kwarg is ignored then)
+    and whose ``pattern`` field substitutes for an omitted *query*.
+    """
+    if options is not None:
+        if not isinstance(options, QueryOptions):
+            raise QueryError(
+                f"options must be a QueryOptions, got {options!r}"
+            )
+        if query is None:
+            if options.pattern is None:
+                raise QueryError(
+                    "query() needs a pattern: pass one positionally or "
+                    "set options.pattern"
+                )
+            query = options.pattern
+        return ResultSet(source, compile_pattern(query), options=options)
+    if query is None:
+        raise QueryError(
+            "query() needs a pattern (string, Pattern or builder) or options="
+        )
+    return ResultSet(source, compile_pattern(query), planner=planner)
 
 
 def connect(
@@ -170,16 +200,22 @@ class Session:
     # Queries
     # ------------------------------------------------------------------
 
-    def query(self, query, *, planner: bool = True) -> ResultSet:
+    def query(self, query=None, *, planner: bool = True, options=None) -> ResultSet:
         """A lazy result stream for *query* (string, Pattern or builder).
 
         Nothing runs until the result set is iterated; iteration goes
         through the warehouse's cost-based planner and plan cache, and
         ``.limit(n)`` streams — see :class:`ResultSet`.
         ``planner=False`` is the fixed-strategy ablation baseline.
+
+        *options*, a :class:`~repro.api.QueryOptions`, carries the full
+        execution envelope (limit, order, ``min_probability``, anytime
+        parameters) in one object — the form every serving layer
+        threads through unchanged.  *query* may then be omitted: the
+        options' ``pattern`` field is compiled instead.
         """
         self._check_open()
-        return ResultSet(self, compile_pattern(query), planner=planner)
+        return _result_set(self, query, planner, options)
 
     def explain(self, query) -> str:
         """The engine's statistics and chosen plan for *query*, rendered."""
@@ -372,10 +408,14 @@ class Snapshot:
         self._check_open()
         return self._pin.document
 
-    def query(self, query) -> ResultSet:
-        """A lazy result stream evaluated against the pinned state."""
+    def query(self, query=None, *, planner: bool = True, options=None) -> ResultSet:
+        """A lazy result stream evaluated against the pinned state.
+
+        Accepts the same (*query*, *options*) forms as
+        :meth:`Session.query`.
+        """
         self._check_open()
-        return ResultSet(self, compile_pattern(query))
+        return _result_set(self, query, planner, options)
 
     def _iter_context(self):
         # Already pinned for the snapshot's whole lifetime — no

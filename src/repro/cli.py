@@ -125,6 +125,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the cost-based engine (fixed-strategy matcher)",
     )
+    query.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        dest="top_k",
+        help="the k most probable answers, branch-and-bound pruned "
+        "(rows print in descending probability)",
+    )
+    query.add_argument(
+        "--min-probability",
+        type=float,
+        default=None,
+        dest="min_probability",
+        help="only answers with probability >= P (the threshold is "
+        "pushed into the join as a pruning bound)",
+    )
+    query.add_argument(
+        "--estimate",
+        action="store_true",
+        help="anytime Monte-Carlo estimates (probability ± stderr) "
+        "instead of exact Shannon probabilities",
+    )
+    query.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="estimate convergence target at 3 sigma (implies --estimate)",
+    )
+    query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        dest="deadline_ms",
+        help="estimate sampling time budget in milliseconds "
+        "(implies --estimate)",
+    )
 
     explain = commands.add_parser(
         "explain", help="show the engine's plan and cost estimates for a query"
@@ -348,14 +384,67 @@ def _parse_pattern_arg(text: str) -> Pattern:
         raise PatternSyntaxError(f"invalid pattern {text!r}: {exc}") from exc
 
 
+def _query_options(args: argparse.Namespace):
+    """The QueryOptions for the new flags, or None for the legacy paths.
+
+    ``--top-k`` folds into ``limit`` (strictest wins) and switches the
+    order to probability; validation errors surface as the aggregated
+    :class:`~repro.api.options.QueryOptionsError`.
+    """
+    from repro.api import QueryOptions
+
+    if args.top_k is None and args.min_probability is None:
+        return None
+    limit = args.limit
+    if args.top_k is not None:
+        limit = args.top_k if limit is None else min(limit, args.top_k)
+    return QueryOptions(
+        limit=limit,
+        order="probability" if args.top_k is not None else "document",
+        min_probability=args.min_probability,
+        plan="fixed" if args.no_planner else "auto",
+    )
+
+
+def _print_estimate(estimate, *, xml: bool, document: str | None = None) -> None:
+    prefix = "" if document is None else f"{document}  "
+    if xml:
+        where = "" if document is None else f"{document}: "
+        print(
+            f"<!-- {where}P = {estimate.probability:.6f} "
+            f"± {estimate.stderr:.6f} ({estimate.samples} samples) -->"
+        )
+        print(plain_to_string(estimate.tree))
+    else:
+        print(
+            f"{prefix}{estimate.probability:.6f} ±{estimate.stderr:.6f} "
+            f"({estimate.samples} samples)  {estimate.tree.canonical()}"
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     pattern = _parse_pattern_arg(args.pattern)
+    options = _query_options(args)
+    estimating = (
+        args.estimate or args.epsilon is not None or args.deadline_ms is not None
+    )
     if Collection.is_collection(args.path):
-        return _cmd_query_collection(args, pattern)
+        return _cmd_query_collection(args, pattern, options, estimating)
     empty = True
     with connect(args.path) as session:
-        results = session.query(pattern, planner=not args.no_planner)
-        if args.stream:
+        if options is not None:
+            results = session.query(pattern, options=options)
+        else:
+            results = session.query(pattern, planner=not args.no_planner)
+        if estimating:
+            if options is None and args.limit is not None:
+                results = results.limit(args.limit)
+            for estimate in results.estimate(
+                epsilon=args.epsilon, deadline_ms=args.deadline_ms
+            ):
+                empty = False
+                _print_estimate(estimate, xml=args.xml)
+        elif args.stream or (options is not None and options.is_bounded):
             # Row mode: lazy, match order, limit pushed into the engine.
             if args.limit is not None:
                 results = results.limit(args.limit)
@@ -386,21 +475,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query_collection(args: argparse.Namespace, pattern: Pattern) -> int:
+def _cmd_query_collection(
+    args: argparse.Namespace, pattern: Pattern, options=None, estimating=False
+) -> int:
     """Fan a query out across every document of a collection.
 
-    Rows arrive in deterministic (document, row) order, prefixed with
-    their document key; ``--limit`` is pushed into every shard and
-    short-circuits the fan-out.  ``--stream`` is implied (cross-shard
-    answer aggregation is meaningless: independent event tables), and
-    without it ranked per-document answers are printed instead.
+    Rows arrive in deterministic (document, row) order — or globally by
+    descending probability under ``--top-k`` — prefixed with their
+    document key; limits and probability floors are pushed into every
+    shard and short-circuit the fan-out.  ``--stream`` is implied
+    (cross-shard answer aggregation is meaningless: independent event
+    tables), and without it ranked per-document answers are printed
+    instead.
     """
     empty = True
     with connect_collection(args.path) as collection:
-        results = collection.query(pattern)
-        if args.limit is not None:
-            results = results.limit(args.limit)
-        if args.stream:
+        if options is not None:
+            results = collection.query(pattern, options=options)
+        else:
+            results = collection.query(pattern)
+            if args.limit is not None:
+                results = results.limit(args.limit)
+        if estimating:
+            for key, estimate in results.estimate(
+                epsilon=args.epsilon, deadline_ms=args.deadline_ms
+            ):
+                empty = False
+                _print_estimate(estimate, xml=args.xml, document=key)
+        elif args.stream or (options is not None and options.is_bounded):
             # closing(): on a broken pipe the fan-out's short-circuit
             # finally must run (abandon flag, shard futures cancelled).
             with closing(iter(results)) as rows:

@@ -16,15 +16,17 @@ from repro.core.aggregates import (
     probability_at_least,
 )
 from repro.core.fuzzy_tree import FuzzyNode, FuzzyTree
-from repro.core.montecarlo import AnswerEstimate, estimate_query
+from repro.core.montecarlo import AnswerEstimate, estimate_answers, estimate_query
 from repro.core.query import (
     FuzzyAnswer,
     QueryRow,
     group_rows,
+    iter_bounded_rows,
     iter_query_rows,
     match_condition,
     match_conditions,
     query_fuzzy_tree,
+    topk_rows,
 )
 from repro.core.semantics import from_possible_worlds, to_possible_worlds
 from repro.core.simplify import ALL_RULES, SimplifyReport, simplify
@@ -39,6 +41,8 @@ __all__ = [
     "QueryRow",
     "query_fuzzy_tree",
     "iter_query_rows",
+    "iter_bounded_rows",
+    "topk_rows",
     "group_rows",
     "match_condition",
     "UpdateReport",
@@ -47,6 +51,7 @@ __all__ = [
     "simplify",
     "ALL_RULES",
     "AnswerEstimate",
+    "estimate_answers",
     "estimate_query",
     "match_conditions",
     "expected_matches",

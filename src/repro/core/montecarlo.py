@@ -10,6 +10,16 @@ appears.
 
 Estimates come with a standard error (binomial), so benchmarks can
 report confidence intervals alongside the exact probabilities.
+
+Two samplers live here.  :func:`estimate_query` is the benchmark-grade
+*world* sampler: it materialises each sampled world and re-runs the
+query (E6).  :func:`estimate_answers` is the serving-grade *anytime*
+estimator behind ``ResultSet.estimate``: the match enumeration has
+already produced each answer's DNF, so a sample only draws the
+mentioned events and evaluates the DNFs directly — no tree
+materialisation, no re-matching — and sampling stops as soon as every
+answer's confidence interval is within ±ε, the deadline expires, or
+the sample budget runs out.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from time import monotonic
 
 from repro.core.fuzzy_tree import FuzzyTree
 from repro.events.assignment import sample_assignment
@@ -25,7 +36,7 @@ from repro.tpwj.pattern import Pattern
 from repro.tpwj.result import distinct_answers
 from repro.trees.node import Node
 
-__all__ = ["AnswerEstimate", "estimate_query"]
+__all__ = ["AnswerEstimate", "estimate_answers", "estimate_query"]
 
 
 @dataclass(slots=True)
@@ -73,5 +84,83 @@ def estimate_query(
         p = count / samples
         stderr = math.sqrt(p * (1.0 - p) / samples)
         estimates.append(AnswerEstimate(trees[key], p, stderr, count, samples))
+    estimates.sort(key=lambda e: (-e.probability, e.tree.canonical()))
+    return estimates
+
+
+def estimate_answers(
+    groups,
+    events,
+    *,
+    epsilon: float | None = None,
+    deadline: float | None = None,
+    rng: random.Random | None = None,
+    confidence: float = 3.0,
+    batch: int = 256,
+    max_samples: int = 1_000_000,
+) -> list[AnswerEstimate]:
+    """Anytime Monte-Carlo pricing of already-enumerated answer groups.
+
+    *groups* is a sequence of ``(tree, dnf)`` pairs — one per answer,
+    as produced by grouping the match enumeration; *events* is the
+    document's event table.  Each sample draws one assignment over the
+    union of the DNFs' mentioned events and evaluates every group's DNF
+    against it, so the per-sample cost is linear in the DNF sizes —
+    independent of the Shannon expansion's blow-up, which is exactly
+    the regime this estimator exists for.
+
+    Sampling stops at the first of: every group's interval is tight
+    (``confidence * stderr <= epsilon``, checked per batch), the
+    *deadline* (seconds of sampling budget) expires, or *max_samples*
+    is reached.  At least one batch always runs, so every estimate has
+    a defined probability and standard error.  With neither *epsilon*
+    nor *deadline* given, ``epsilon=0.05`` is assumed.
+
+    The default ``rng`` is ``random.Random(0)``: every layer pricing
+    the same groups with the same options draws the same samples —
+    the cross-layer byte-parity contract extends to estimates.
+
+    Returns one :class:`AnswerEstimate` per group (including
+    never-observed ones, at probability 0), sorted by decreasing
+    probability, ties by canonical form.
+    """
+    groups = list(groups)
+    if not groups:
+        return []
+    rng = rng if rng is not None else random.Random(0)
+    dnfs = [dnf for _, dnf in groups]
+    mentioned: set = set()
+    for dnf in dnfs:
+        mentioned |= dnf.events()
+    drawn = sorted(mentioned)
+    target = 0.05 if epsilon is None and deadline is None else epsilon
+    stop_at = None if deadline is None else monotonic() + deadline
+    counts = [0] * len(groups)
+    samples = 0
+    while True:
+        step = min(batch, max_samples - samples)
+        if step <= 0:
+            break
+        for _ in range(step):
+            assignment = sample_assignment(events, rng, events=drawn)
+            for position, dnf in enumerate(dnfs):
+                if dnf.satisfied_by(assignment):
+                    counts[position] += 1
+        samples += step
+        if target is not None and all(
+            confidence
+            * math.sqrt((c / samples) * (1.0 - c / samples) / samples)
+            <= target
+            for c in counts
+        ):
+            break
+        if stop_at is not None and monotonic() >= stop_at:
+            break
+
+    estimates: list[AnswerEstimate] = []
+    for (tree, _), count in zip(groups, counts):
+        p = count / samples
+        stderr = math.sqrt(p * (1.0 - p) / samples)
+        estimates.append(AnswerEstimate(tree, p, stderr, count, samples))
     estimates.sort(key=lambda e: (-e.probability, e.tree.canonical()))
     return estimates

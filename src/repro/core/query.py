@@ -28,6 +28,7 @@ their probability lazily on first access; whether a match is *possible*
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import replace
 from sys import intern as _intern_str
 from time import perf_counter
@@ -53,6 +54,8 @@ __all__ = [
     "QueryRow",
     "query_fuzzy_tree",
     "iter_query_rows",
+    "iter_bounded_rows",
+    "topk_rows",
     "group_rows",
     "match_condition",
     "match_conditions",
@@ -350,6 +353,189 @@ def iter_query_rows(
             continue
         dnf = Dnf(conditions)
         yield QueryRow(match, answer_tree(fuzzy.root, match), dnf, events, cache=cache)
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def _bounded_matches(fuzzy, pattern, structural_config, engine, prune):
+    """The match stream for a probability-bounded evaluation.
+
+    Engine-backed and on a fuzzy document, the engine runs its
+    branch-and-bound join: partial assignments are priced through a
+    :class:`~repro.engine.executor.ProbabilityBound` over the
+    ancestor-condition index and *prune* decides, from the upper bound
+    alone, whether a branch can still contribute.  Without an engine
+    (the E9 ablation baseline) or without an index (plain documents)
+    the stream degrades to the unbounded enumeration — same rows, no
+    pruning.
+
+    Returns ``(matches, index, cache)``.
+    """
+    if engine is None:
+        return (
+            iter(find_matches(pattern, fuzzy.root, structural_config)),
+            None,
+            None,
+        )
+    index = engine.condition_index(fuzzy.root)
+    cache = engine.shannon
+    if index is None:
+        matches = engine.iter_matches(
+            pattern, structural_config, root=fuzzy.root
+        )
+        return matches, index, cache
+    from repro.engine.executor import ProbabilityBound
+
+    bound = ProbabilityBound(index.closed_condition, fuzzy.events.probability)
+    matches = engine.iter_matches(
+        pattern, structural_config, root=fuzzy.root, bound=bound, prune=prune
+    )
+    return matches, index, cache
+
+
+def topk_rows(
+    fuzzy: FuzzyTree,
+    pattern: Pattern,
+    config: MatchConfig = DEFAULT_CONFIG,
+    *,
+    engine=None,
+    k: int | None = None,
+    min_probability: float = 0.0,
+    abort=None,
+) -> list[QueryRow]:
+    """The *k* most probable rows, in decreasing-probability order.
+
+    Ties are broken by the deterministic enumeration order, so the
+    result equals the first *k* entries of the stable sort of the full
+    enumeration by decreasing probability (the property the tests pin).
+
+    Engine-backed, this runs as branch-and-bound inside the
+    backtracking join: each partial assignment's closed conditions give
+    an O(1) upper bound on any completion's probability, and a branch
+    is cut when that bound cannot beat the current k-th best in the
+    admission heap (or falls below *min_probability*).  Cutting at
+    ``upper == kth-best`` is safe: a completion could at best *tie*,
+    and later enumeration order loses ties.
+
+    Rows are priced eagerly (their exact probability is the sort key),
+    through the engine's shared Shannon memo when available.  *abort*
+    is the serving layers' cancellation hook, polled once per
+    enumerated match.
+    """
+    if k is not None and k <= 0:
+        return []
+    events = fuzzy.events
+    structural_config = (
+        replace(config, honor_negation=False) if pattern.has_negation() else config
+    )
+    heap: list = []  # (probability, -emission_index, row): root = evictee
+
+    def prune(upper: float) -> bool:
+        if upper < min_probability:
+            return True
+        return k is not None and len(heap) == k and upper <= heap[0][0]
+
+    matches, index, cache = _bounded_matches(
+        fuzzy, pattern, structural_config, engine, prune
+    )
+    track = counters.enabled
+    emitted = 0
+    for match in matches:
+        if abort is not None and abort():
+            from repro.errors import QueryCancelledError
+
+            raise QueryCancelledError("query cancelled by its abort hook")
+        if track:
+            counters.incr("core.query.matches")
+        conditions = match_conditions(match, index=index)
+        if not conditions:
+            if track:
+                counters.incr("core.query.inconsistent_matches")
+            continue
+        if not _possibly_nonzero(conditions, events):
+            continue
+        dnf = Dnf(conditions)
+        p = dnf_probability(dnf, events, cache=cache)
+        if p == 0.0 or p < min_probability:
+            continue
+        row = QueryRow(
+            match,
+            answer_tree(fuzzy.root, match),
+            dnf,
+            events,
+            cache=cache,
+            probability=p,
+        )
+        entry = (p, -emitted, row)
+        emitted += 1
+        if k is None:
+            heap.append(entry)
+        elif len(heap) < k:
+            heapq.heappush(heap, entry)
+        else:
+            # On a probability tie the fresh entry's later emission
+            # index makes it the heap minimum, so pushpop discards it —
+            # exactly the stable-sort tie rule.
+            heapq.heappushpop(heap, entry)
+    heap.sort(key=lambda entry: (-entry[0], -entry[1]))
+    return [row for _, _, row in heap]
+
+
+def iter_bounded_rows(
+    fuzzy: FuzzyTree,
+    pattern: Pattern,
+    config: MatchConfig = DEFAULT_CONFIG,
+    *,
+    engine=None,
+    min_probability: float = 0.0,
+    limit: int | None = None,
+):
+    """Document-order rows with ``probability >= min_probability``.
+
+    Like :func:`iter_query_rows` but the threshold is pushed *into*
+    the join: engine-backed, a partial assignment whose probability
+    upper bound is already below *min_probability* is pruned without
+    ever being completed.  Rows are priced eagerly (the threshold needs
+    the exact value); *limit* counts qualifying rows only.
+    """
+    if limit is not None and limit <= 0:
+        return
+    events = fuzzy.events
+    structural_config = (
+        replace(config, honor_negation=False) if pattern.has_negation() else config
+    )
+
+    def prune(upper: float) -> bool:
+        return upper < min_probability
+
+    matches, index, cache = _bounded_matches(
+        fuzzy, pattern, structural_config, engine, prune
+    )
+    track = counters.enabled
+    emitted = 0
+    for match in matches:
+        if track:
+            counters.incr("core.query.matches")
+        conditions = match_conditions(match, index=index)
+        if not conditions:
+            if track:
+                counters.incr("core.query.inconsistent_matches")
+            continue
+        if not _possibly_nonzero(conditions, events):
+            continue
+        dnf = Dnf(conditions)
+        p = dnf_probability(dnf, events, cache=cache)
+        if p == 0.0 or p < min_probability:
+            continue
+        yield QueryRow(
+            match,
+            answer_tree(fuzzy.root, match),
+            dnf,
+            events,
+            cache=cache,
+            probability=p,
+        )
         emitted += 1
         if limit is not None and emitted >= limit:
             return

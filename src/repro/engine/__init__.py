@@ -63,6 +63,7 @@ from repro.engine.cardinality import (
 from repro.engine.conditions import AncestorConditionIndex
 from repro.engine.executor import (
     _Intervals,
+    ProbabilityBound,
     execute_plan,
     iter_plan,
     iter_rekeyed,
@@ -78,6 +79,7 @@ from repro.trees.node import Node
 __all__ = [
     "QueryEngine",
     "AncestorConditionIndex",
+    "ProbabilityBound",
     "Plan",
     "PlanStep",
     "PlanCache",
@@ -272,17 +274,21 @@ class QueryEngine:
     # Planning
     # ------------------------------------------------------------------
 
-    def plan_for(self, pattern: Pattern) -> Plan:
+    def plan_for(self, pattern: Pattern, *, bounded: bool = False) -> Plan:
         """The cached or freshly built plan for *pattern* on the current stats.
 
         Note: a cached plan's :attr:`Plan.pattern` may be a different —
         structurally identical — object than *pattern*; matches map the
-        *plan's* pattern nodes.
+        *plan's* pattern nodes.  *bounded* requests the plan shape for
+        probability-bounded enumeration (cached under its own
+        fingerprint suffix, so the two shapes never alias).
         """
         obs = self._obs
         tracing = obs is not None and obs.tracer.enabled
         with self._lock:
-            fingerprint = pattern_fingerprint(pattern)
+            fingerprint = pattern_fingerprint(pattern) + (
+                " [bounded]" if bounded else ""
+            )
             version = self.stats.version
             t0 = perf_counter() if tracing else 0.0
             plan = self.cache.get(fingerprint, version)
@@ -294,7 +300,9 @@ class QueryEngine:
                 )
             if plan is None:
                 t1 = perf_counter() if obs is not None else 0.0
-                plan = build_plan(pattern, self.stats.current(), version)
+                plan = build_plan(
+                    pattern, self.stats.current(), version, bounded=bounded
+                )
                 self.cache.put(plan)
                 if obs is not None:
                     built = perf_counter() - t1
@@ -419,6 +427,9 @@ class QueryEngine:
         pattern: Pattern,
         config: MatchConfig = DEFAULT_CONFIG,
         root: Node | None = None,
+        *,
+        bound: ProbabilityBound | None = None,
+        prune=None,
     ) -> "Iterator[Match]":
         """Plan (with caching) and stream matches for *pattern* lazily.
 
@@ -436,13 +447,25 @@ class QueryEngine:
         moves on.  Planning and walk construction happen under the
         engine lock; the enumeration itself runs lock-free on the
         captured immutable plan and walk.
+
+        *bound* and *prune* (always together) switch on the
+        probability-bounded join: every candidate binding is priced via
+        ``bound.bind`` and skipped when ``prune(upper)`` says the
+        branch cannot contribute.  Bounded runs use the bounded plan
+        shape (discounted cost model, separate cache entry).
         """
+        pruning = bound is not None and prune is not None
         with self._lock:
-            plan = self.plan_for(pattern)
+            plan = self.plan_for(pattern, bounded=pruning)
             if root is None:
                 root = self._root_provider()
         intervals = self._intervals_for(root)
-        matches = iter_plan(plan, root, config, intervals=intervals)
+        if pruning:
+            matches = iter_plan(
+                plan, root, config, intervals=intervals, bound=bound, prune=prune
+            )
+        else:
+            matches = iter_plan(plan, root, config, intervals=intervals)
         # plan_for keyed the cache by this pattern's fingerprint, so
         # the shapes are identical; re-key onto the caller's nodes.
         yield from iter_rekeyed(plan, pattern, matches)

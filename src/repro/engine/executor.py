@@ -44,6 +44,7 @@ __all__ = [
     "FullScan",
     "SemiJoinPrune",
     "BacktrackJoin",
+    "ProbabilityBound",
 ]
 
 
@@ -231,6 +232,71 @@ class SemiJoinPrune:
         return any(c.parent is data_node for c in child_candidates)
 
 
+class ProbabilityBound:
+    """Incremental upper bound on a partial match's probability.
+
+    A match fires only in worlds satisfying the conjunction of its
+    mapped nodes' *closed* conditions (node + ancestors — the
+    ancestor-condition index gives each closure in O(1)).  Over the
+    distinct literals bound so far, the product of per-literal
+    probabilities is that conjunction's exact probability when it is
+    consistent, and a (positive) overestimate when it is not — either
+    way an **upper bound** on anything the partial assignment can grow
+    into, because extending the assignment only conjoins more literals
+    and conjunction never raises probability.  (Negated subpatterns
+    only lower the true probability further, so the bound stays valid
+    for them too.)
+
+    :meth:`bind`/:meth:`unbind` mirror the backtracking join's
+    assign/retract: each bind multiplies in the probabilities of the
+    closure's *new* literals and pushes an undo record; unbind restores
+    the previous product exactly (a stack restore, not a division — a
+    zero-probability literal would otherwise poison the product
+    forever).
+    """
+
+    __slots__ = ("_lookup", "_probability", "_seen", "_stack", "_product")
+
+    def __init__(self, closed_condition, event_probability) -> None:
+        #: node -> interned closed Condition (the index's lookup).
+        self._lookup = closed_condition
+        #: event name -> probability (the event table's lookup).
+        self._probability = event_probability
+        self._seen: set = set()
+        self._stack: list = []
+        self._product = 1.0
+
+    @property
+    def current(self) -> float:
+        """The bound for the literals bound so far."""
+        return self._product
+
+    def bind(self, node) -> float:
+        """Fold *node*'s closed condition in; returns the new bound."""
+        seen = self._seen
+        product = self._product
+        added: list = []
+        probability = self._probability
+        for literal in self._lookup(node).literals:
+            if literal in seen:
+                continue
+            seen.add(literal)
+            added.append(literal)
+            p = probability(literal.event)
+            product *= p if literal.positive else 1.0 - p
+        self._stack.append((self._product, added))
+        self._product = product
+        return product
+
+    def unbind(self) -> None:
+        """Undo the most recent :meth:`bind` exactly."""
+        product, added = self._stack.pop()
+        seen = self._seen
+        for literal in added:
+            seen.discard(literal)
+        self._product = product
+
+
 class BacktrackJoin:
     """Backtracking enumeration over the plan's visit order.
 
@@ -238,6 +304,12 @@ class BacktrackJoin:
     as the backtracking discovers them, so a consumer that stops early
     (``ResultSet.limit``, a handle's ``max_matches``) aborts the rest of
     the search instead of paying for a full enumeration.
+
+    Probability-bounded enumeration (top-k / ``min_probability``): pass
+    *bound* (a :class:`ProbabilityBound`) and *prune* (a callable on
+    the bound's value) to :meth:`iter_matches` and every partial
+    assignment whose upper bound the consumer rejects is cut — the
+    whole subtree of the backtracking search below it is never visited.
     """
 
     def __init__(
@@ -253,13 +325,23 @@ class BacktrackJoin:
         self._runtime = runtime
         self._join_groups = plan.pattern.join_variables()
 
-    def iter_matches(self) -> Iterator[Match]:
-        """Lazily yield matches in the plan's deterministic visit order."""
+    def iter_matches(self, *, bound=None, prune=None) -> Iterator[Match]:
+        """Lazily yield matches in the plan's deterministic visit order.
+
+        With *bound* and *prune* set, every candidate assignment first
+        folds its node's closed condition into the bound; if
+        ``prune(upper)`` rejects the resulting upper bound, the branch
+        is abandoned before any deeper enumeration (and the bound is
+        restored).  *prune* may close over mutable consumer state — a
+        threshold-admission heap's k-th best rises as rows are
+        admitted, so later branches face a tighter test.
+        """
         mapping: dict[PatternNode, Node] = {}
         bindings: dict[str, str] = {}
         order = self._plan.order
         runtime = self._runtime
         early = self._plan.early_join_check
+        pruning = bound is not None and prune is not None
         # One flag read per execution, not one per partial assignment.
         track = counters.enabled
 
@@ -281,18 +363,28 @@ class BacktrackJoin:
                     if track:
                         counters.incr("match.negation_pruned")
                     continue
+                if pruning:
+                    if prune(bound.bind(data_node)):
+                        bound.unbind()
+                        if track:
+                            counters.incr("match.bound_pruned")
+                        continue
                 variable = pattern_node.variable
                 joined = early and variable is not None and variable in self._join_groups
                 if joined:
-                    bound = bindings.get(variable)
-                    if bound is not None and bound != data_node.value:
+                    existing = bindings.get(variable)
+                    if existing is not None and existing != data_node.value:
+                        if pruning:
+                            bound.unbind()
                         continue
-                    fresh_binding = bound is None
+                    fresh_binding = existing is None
                     if fresh_binding:
                         bindings[variable] = data_node.value
                 mapping[pattern_node] = data_node
                 yield from assign(position + 1)
                 del mapping[pattern_node]
+                if pruning:
+                    bound.unbind()
                 if joined and fresh_binding:
                     del bindings[variable]
 
@@ -332,6 +424,8 @@ def iter_plan(
     runtime: MatchConfig = DEFAULT_CONFIG,
     *,
     intervals: _Intervals | None = None,
+    bound: ProbabilityBound | None = None,
+    prune=None,
 ) -> Iterator[Match]:
     """Run *plan* against the tree at *root*, streaming matches lazily.
 
@@ -346,6 +440,8 @@ def iter_plan(
     come from the plan.  *intervals* lets a long-lived caller
     (:class:`~repro.engine.QueryEngine`) reuse the document walk across
     executions; it must have been built for *root* in its current state.
+    *bound*/*prune* switch on probability-bounded enumeration — see
+    :meth:`BacktrackJoin.iter_matches`.
     """
     counters.incr("engine.plans_executed")
     pattern = plan.pattern
@@ -374,7 +470,9 @@ def iter_plan(
         if not SemiJoinPrune(intervals).prune(positive, candidates):
             return
 
-    matches = BacktrackJoin(plan, intervals, candidates, runtime).iter_matches()
+    matches = BacktrackJoin(plan, intervals, candidates, runtime).iter_matches(
+        bound=bound, prune=prune
+    )
     if runtime.max_matches is not None:
         matches = islice(matches, runtime.max_matches)
     yield from matches

@@ -42,6 +42,17 @@ __all__ = ["Plan", "PlanStep", "build_plan", "pattern_fingerprint"]
 #: costs more than the enumeration it could save.
 SEMIJOIN_THRESHOLD = 32.0
 
+#: How much of the enumeration a probability-bounded join is expected
+#: to skip: branch-and-bound cuts assignments whose upper bound cannot
+#: beat the admission threshold, so the expected visited fraction of
+#: the backtracking tree is modelled as this constant.
+BOUNDED_COST_DISCOUNT = 0.5
+#: Under a bounded join the semi-join prepass must clear a higher bar:
+#: its full linear pass over the candidate sets is paid up front, while
+#: much of the enumeration it would have saved is pruned by the
+#: probability bound anyway.
+BOUNDED_SEMIJOIN_FACTOR = 2.0
+
 
 def pattern_fingerprint(pattern: Pattern) -> str:
     """A deterministic key identifying a pattern up to text syntax.
@@ -129,9 +140,23 @@ class Plan:
 
 
 def build_plan(
-    pattern: Pattern, stats: TreeStats, stats_version: int = 0
+    pattern: Pattern,
+    stats: TreeStats,
+    stats_version: int = 0,
+    *,
+    bounded: bool = False,
 ) -> Plan:
-    """Choose a visit order and operator set for *pattern* given *stats*."""
+    """Choose a visit order and operator set for *pattern* given *stats*.
+
+    *bounded* prices the plan for probability-bounded enumeration
+    (top-k / ``min_probability``): the branch-and-bound prune inside
+    the join is expected to skip a large share of the backtracking
+    tree, so enumeration cost is discounted and the semi-join prepass —
+    whose up-front pass competes with savings the prune captures anyway
+    — must clear a higher candidate-volume bar.  Bounded plans carry a
+    distinct fingerprint so the plan cache never serves one shape for
+    the other.
+    """
     counters.incr("engine.plans_built")
     join_vars = set(pattern.join_variables())
     reasons: list[str] = []
@@ -188,20 +213,31 @@ def build_plan(
     total_candidates = sum(
         estimate_candidates(node, stats, join_vars) for node in order
     )
+    semijoin_threshold = SEMIJOIN_THRESHOLD * (
+        BOUNDED_SEMIJOIN_FACTOR if bounded else 1.0
+    )
     use_semijoin_pruning = (
-        len(order) > 1 and total_candidates >= SEMIJOIN_THRESHOLD
+        len(order) > 1 and total_candidates >= semijoin_threshold
     )
     if use_semijoin_pruning:
         reasons.append(
             f"semi-join prune: est. candidate volume {total_candidates:.0f} "
-            f">= threshold {SEMIJOIN_THRESHOLD:.0f}"
+            f">= threshold {semijoin_threshold:.0f}"
         )
     elif len(order) <= 1:
         reasons.append("no semi-join prune: single pattern node")
     else:
         reasons.append(
             f"no semi-join prune: est. candidate volume {total_candidates:.0f} "
-            f"below threshold {SEMIJOIN_THRESHOLD:.0f}"
+            f"below threshold {semijoin_threshold:.0f}"
+        )
+    if bounded:
+        estimated_cost *= BOUNDED_COST_DISCOUNT
+        baseline_cost *= BOUNDED_COST_DISCOUNT
+        reasons.append(
+            "bounded enumeration: probability branch-and-bound prunes the "
+            f"join (cost x{BOUNDED_COST_DISCOUNT}, semi-join threshold "
+            f"x{BOUNDED_SEMIJOIN_FACTOR:.0f})"
         )
 
     early_join_check = bool(join_vars)
@@ -244,6 +280,7 @@ def build_plan(
         estimated_cost=estimated_cost,
         baseline_cost=baseline_cost,
         stats_version=stats_version,
-        fingerprint=pattern_fingerprint(pattern),
+        fingerprint=pattern_fingerprint(pattern)
+        + (" [bounded]" if bounded else ""),
         reasons=tuple(reasons),
     )

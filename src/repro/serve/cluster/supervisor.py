@@ -59,6 +59,7 @@ from pathlib import Path
 from time import monotonic, perf_counter, sleep
 
 import repro.errors as errors_module
+from repro.api.options import QueryOptions
 from repro.core.update import UpdateReport
 from repro.errors import QueryError, ShardUnavailableError, WarehouseError
 from repro.serve.cluster.retry import RetryPolicy, call_with_retry
@@ -72,7 +73,7 @@ from repro.warehouse.warehouse import (
 from repro.xmlio.parse import plain_from_string
 from repro.xmlio.serialize import fuzzy_to_string
 
-__all__ = ["ClusterResultSet", "ClusterRow", "ProcessCollection"]
+__all__ = ["ClusterEstimate", "ClusterResultSet", "ClusterRow", "ProcessCollection"]
 
 #: Seconds a freshly spawned worker gets to import, recover its shards
 #: and answer READY (spawn pays interpreter start + module imports).
@@ -127,36 +128,125 @@ class ClusterRow:
         return f"ClusterRow({self.document!r}, p={self.probability:.4f})"
 
 
+class ClusterEstimate:
+    """One anytime Monte-Carlo answer from a worker process.
+
+    The same reading surface as
+    :class:`~repro.core.montecarlo.AnswerEstimate` plus the shard's
+    ``document`` key; the answer tree crossed the pipe as compact XML
+    and is parsed lazily on first access.
+    """
+
+    __slots__ = (
+        "document",
+        "probability",
+        "stderr",
+        "samples",
+        "occurrences",
+        "_tree_xml",
+        "_tree",
+    )
+
+    def __init__(self, document: str, payload: dict) -> None:
+        self.document = document
+        self.probability = payload["probability"]
+        self.stderr = payload["stderr"]
+        self.samples = payload["samples"]
+        self.occurrences = payload["occurrences"]
+        self._tree_xml = payload["tree_xml"]
+        self._tree = None
+
+    @property
+    def tree(self):
+        if self._tree is None:
+            self._tree = plain_from_string(self._tree_xml)
+        return self._tree
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterEstimate({self.document!r}, p={self.probability:.4f}"
+            f"±{self.stderr:.4f})"
+        )
+
+
 class ClusterResultSet:
     """Lazy fan-out query over a process collection's workers.
 
     Mirrors :class:`~repro.serve.collection.CollectionResultSet`:
-    immutable, ``limit(n)`` returns a new set, iteration yields rows in
-    deterministic (shard key, row) order.  The limit is pushed to every
-    worker (a shard contributes at most n rows) and capped again at the
-    merge.
+    immutable, each refinement (``limit``, ``order_by_probability``,
+    ``min_probability``) returns a new set, iteration yields rows in
+    deterministic (shard key, row) order — or globally by descending
+    probability once ordered.  The options are pushed to every worker
+    (a shard contributes at most n rows, already branch-and-bound
+    pruned) and capped again at the merge.
     """
 
-    __slots__ = ("_collection", "_pattern", "_keys", "_limit")
+    __slots__ = ("_collection", "_pattern", "_keys", "_options")
 
-    def __init__(self, collection, pattern: str, keys, limit=None) -> None:
+    def __init__(
+        self, collection, pattern: str, keys, limit=None, *, options=None
+    ) -> None:
         self._collection = collection
         self._pattern = pattern
         self._keys = keys
-        self._limit = limit
+        self._options = (
+            options if options is not None else QueryOptions(limit=limit)
+        )
+
+    @property
+    def options(self) -> QueryOptions:
+        return self._options
+
+    @property
+    def _limit(self):
+        return self._options.limit
+
+    def _replace(self, **changes) -> "ClusterResultSet":
+        return ClusterResultSet(
+            self._collection,
+            self._pattern,
+            self._keys,
+            options=self._options.replace(**changes),
+        )
 
     def limit(self, n: int) -> "ClusterResultSet":
         if not isinstance(n, int) or isinstance(n, bool) or n < 0:
             raise QueryError(f"limit must be a non-negative int, got {n!r}")
         capped = n if self._limit is None else min(self._limit, n)
-        return ClusterResultSet(self._collection, self._pattern, self._keys, capped)
+        return self._replace(limit=capped)
+
+    def order_by_probability(self) -> "ClusterResultSet":
+        return self._replace(order="probability")
+
+    def min_probability(self, p) -> "ClusterResultSet":
+        if isinstance(p, bool) or not isinstance(p, (int, float)) or not 0.0 <= p <= 1.0:
+            raise QueryError(
+                f"min_probability must be a number in [0, 1], got {p!r}"
+            )
+        current = self._options.min_probability
+        floor = float(p) if current is None else max(current, float(p))
+        return self._replace(min_probability=floor)
+
+    def _wire_options(self):
+        """The options to ship, or None to keep the legacy frame shape.
+
+        A plain query (document order, no floor, no estimate) stays on
+        the pattern+limit payload so its wire frames — and therefore
+        the PR-7 byte-parity contract — are unchanged.  The pattern
+        travels in its own frame field, so it is stripped here."""
+        options = self._options.replace(pattern=None, document=None)
+        if options == QueryOptions(limit=options.limit):
+            return None
+        return options
 
     def __iter__(self):
         if self._limit == 0:
             return iter(())
         rows_by_key = self._collection._fanout_query(
-            self._pattern, self._keys, self._limit
+            self._pattern, self._keys, self._limit, options=self._wire_options()
         )
+        if self._options.order == "probability":
+            return self._merge_probability(rows_by_key)
         return self._merge(rows_by_key)
 
     def _merge(self, rows_by_key: dict[str, list[ClusterRow]]):
@@ -167,6 +257,57 @@ class ClusterResultSet:
                 emitted += 1
                 if self._limit is not None and emitted >= self._limit:
                     return
+
+    def _merge_probability(self, rows_by_key: dict[str, list[ClusterRow]]):
+        """Global probability order across shards, ties by (key, rank).
+
+        Each worker already returned its rows in descending probability
+        with ties broken by local emission order, so sorting on
+        ``(-probability, key, rank)`` reproduces exactly the order a
+        single session over the union would produce."""
+        merged = []
+        for key in sorted(rows_by_key):
+            for rank, row in enumerate(rows_by_key[key]):
+                merged.append((-row.probability, key, rank, row))
+        merged.sort(key=lambda entry: entry[:3])
+        yield from (entry[3] for entry in merged[: self._limit])
+
+    def estimate(
+        self, *, epsilon=None, deadline_ms=None, seed: int = 0
+    ) -> list[tuple[str, "ClusterEstimate"]]:
+        """Anytime Monte-Carlo estimates fanned out to every shard.
+
+        Returns ``(document, estimate)`` pairs merged by descending
+        probability (ties by shard key then per-shard order) and capped
+        at the limit — the same merge discipline as the exact
+        probability-ordered path."""
+        if epsilon is None:
+            epsilon = self._options.epsilon
+        if deadline_ms is None:
+            deadline_ms = self._options.deadline_ms
+        if self._limit == 0:
+            return []
+        wire = self._options.replace(
+            pattern=None, document=None, epsilon=epsilon, deadline_ms=deadline_ms
+        )
+        if not wire.is_estimate:
+            # Match estimate_answers' default target so the worker-side
+            # sampler actually converges instead of running forever.
+            wire = wire.replace(epsilon=0.05)
+        rows_by_key = self._collection._fanout_query(
+            self._pattern,
+            self._keys,
+            self._limit,
+            options=wire,
+            seed=seed,
+            wrap=ClusterEstimate,
+        )
+        merged = []
+        for key in sorted(rows_by_key):
+            for rank, estimate in enumerate(rows_by_key[key]):
+                merged.append((-estimate.probability, key, rank, estimate))
+        merged.sort(key=lambda entry: entry[:3])
+        return [(entry[3].document, entry[3]) for entry in merged[: self._limit]]
 
     def all(self) -> list[ClusterRow]:
         return list(self)
@@ -815,10 +956,35 @@ class ProcessCollection:
         reply = self._write(key, payload)
         return [UpdateReport(**r) for r in reply["reports"]]
 
-    def query(self, query, keys: list[str] | None = None) -> ClusterResultSet:
-        """A lazy fan-out query over every shard (or just *keys*)."""
+    def query(
+        self, query=None, keys: list[str] | None = None, *, options=None
+    ) -> ClusterResultSet:
+        """A lazy fan-out query over every shard (or just *keys*).
+
+        Accepts the same :class:`~repro.api.options.QueryOptions`
+        surface as :meth:`Collection.query`: the pattern may live on
+        the options object, and ``options.document`` narrows the query
+        to one shard when *keys* is not given.
+        """
         self._check_open()
         from repro.api.builders import compile_pattern
+
+        if options is not None:
+            if not isinstance(options, QueryOptions):
+                raise QueryError(
+                    f"options must be a QueryOptions, got {options!r}"
+                )
+            if query is None:
+                if options.pattern is None:
+                    raise QueryError(
+                        "query(options=...) needs options.pattern "
+                        "when no pattern argument is given"
+                    )
+                query = options.pattern
+            if keys is None and options.document is not None:
+                keys = [options.document]
+        elif query is None:
+            raise QueryError("query() needs a pattern or options")
 
         pattern = str(compile_pattern(query))
         if keys is None:
@@ -831,15 +997,26 @@ class ProcessCollection:
                     raise WarehouseError(
                         f"no document {key!r} in collection {self._path}"
                     )
-        return ClusterResultSet(self, pattern, keys)
+        return ClusterResultSet(self, pattern, keys, options=options)
 
     def _fanout_query(
-        self, pattern: str, keys, limit: int | None
+        self,
+        pattern: str,
+        keys,
+        limit: int | None,
+        options: QueryOptions | None = None,
+        seed: int = 0,
+        wrap=ClusterRow,
     ) -> dict[str, list[ClusterRow]]:
         """Run *pattern* on every worker owning one of *keys*; returns
         rows grouped by document key (each worker's shards answered by
         one QUERY frame, workers in parallel threads).  A worker whose
-        batch fails retryably degrades to per-key replica failover."""
+        batch fails retryably degrades to per-key replica failover.
+
+        *options* (when not None) ships the QueryOptions wire form so
+        workers run the bounded/estimate execution paths; *wrap* builds
+        the per-row object (:class:`ClusterRow` for exact rows,
+        :class:`ClusterEstimate` for Monte-Carlo answers)."""
         self._check_open()
         wanted = set(keys)
         with self._routing_lock:
@@ -854,14 +1031,19 @@ class ProcessCollection:
             obs.metrics.incr("serve.fanout_queries")
         t0 = perf_counter()
         deadline = monotonic() + self._query_deadline
+        wire_options = None if options is None else options.to_json()
 
         def run_worker(name: str) -> dict:
             batch = sorted(by_worker[name])
+            payload = {"pattern": pattern, "keys": batch, "limit": limit}
+            if wire_options is not None:
+                payload["options"] = wire_options
+                payload["seed"] = seed
             try:
                 reply = self._request(
                     handles[name],
                     Verb.QUERY,
-                    {"pattern": pattern, "keys": batch, "limit": limit},
+                    payload,
                     timeout=self._attempt_timeout,
                 )
                 return reply.get("rows", {})
@@ -870,7 +1052,13 @@ class ProcessCollection:
                     raise
                 return {
                     key: self._query_key_failover(
-                        key, pattern, limit, deadline, first_error=exc
+                        key,
+                        pattern,
+                        limit,
+                        deadline,
+                        first_error=exc,
+                        wire_options=wire_options,
+                        seed=seed,
                     )
                     for key in batch
                 }
@@ -886,13 +1074,20 @@ class ProcessCollection:
                 replies = list(pool.map(run_worker, sorted(by_worker)))
         for reply in replies:
             for key, rows in reply.items():
-                rows_by_key[key] = [ClusterRow(key, row) for row in rows]
+                rows_by_key[key] = [wrap(key, row) for row in rows]
         if obs is not None and obs.metrics.enabled:
             obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
         return rows_by_key
 
     def _query_key_failover(
-        self, key: str, pattern: str, limit, deadline: float, first_error=None
+        self,
+        key: str,
+        pattern: str,
+        limit,
+        deadline: float,
+        first_error=None,
+        wire_options=None,
+        seed: int = 0,
     ) -> list[dict]:
         """One key's rows from whichever copy answers first.
 
@@ -924,16 +1119,20 @@ class ProcessCollection:
                     if self._attempt_timeout is not None
                     else remaining
                 )
+                payload = {
+                    "pattern": pattern,
+                    "keys": [key],
+                    "limit": limit,
+                    "replica": position > 0,
+                }
+                if wire_options is not None:
+                    payload["options"] = wire_options
+                    payload["seed"] = seed
                 try:
                     reply = self._request(
                         handle,
                         Verb.QUERY,
-                        {
-                            "pattern": pattern,
-                            "keys": [key],
-                            "limit": limit,
-                            "replica": position > 0,
-                        },
+                        payload,
                         timeout=timeout,
                     )
                 except (ShardUnavailableError, WireError) as exc:

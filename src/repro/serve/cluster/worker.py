@@ -42,6 +42,7 @@ import shutil
 import signal
 from pathlib import Path
 
+from repro.api.options import QueryOptions
 from repro.api.session import Session, connect
 from repro.errors import ReproError, ShardUnavailableError, WarehouseError
 from repro.serve.cluster.wire import PipeTransport, Verb, WireError
@@ -134,15 +135,49 @@ class _Worker:
         limit = payload.get("limit")
         replica = bool(payload.get("replica"))
         keys = payload.get("keys")
+        wire_options = payload.get("options")
+        # The supervisor ships the QueryOptions wire form verbatim; the
+        # worker reconstructs the identical object, so per-shard
+        # execution follows exactly the local-query semantics (same
+        # branch-and-bound, same estimator seed).
+        options = (
+            QueryOptions.from_json(wire_options, require_pattern=False).replace(
+                document=None
+            )
+            if wire_options is not None
+            else None
+        )
         if keys is None:
             keys = sorted(self.replicas if replica else self.sessions)
         else:
             keys = sorted(keys)
+        if options is not None and options.is_estimate:
+            seed = int(payload.get("seed", 0))
+            estimates: dict[str, list[dict]] = {}
+            for key in keys:
+                session = self._session(key, replica)
+                estimates[key] = [
+                    {
+                        "probability": estimate.probability,
+                        "stderr": estimate.stderr,
+                        "samples": estimate.samples,
+                        "occurrences": estimate.occurrences,
+                        "tree_xml": plain_to_string(estimate.tree, indent=False),
+                    }
+                    for estimate in session.query(
+                        pattern, options=options
+                    ).estimate(seed=seed)
+                ]
+            return {"rows": estimates, "estimate": True}
         rows: dict[str, list[dict]] = {}
         for key in keys:
-            results = self._session(key, replica).query(pattern)
-            if limit is not None:
-                results = results.limit(limit)
+            session = self._session(key, replica)
+            if options is not None:
+                results = session.query(pattern, options=options)
+            else:
+                results = session.query(pattern)
+                if limit is not None:
+                    results = results.limit(limit)
             rows[key] = [
                 {
                     "probability": row.probability,

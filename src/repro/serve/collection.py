@@ -45,6 +45,7 @@ import threading
 from pathlib import Path
 from time import perf_counter
 
+from repro.api.options import QueryOptions
 from repro.api.session import Session, connect
 from repro.core.fuzzy_tree import FuzzyTree
 from repro.core.update import UpdateReport
@@ -232,31 +233,116 @@ class CollectionResultSet:
     tasks that have not started are cancelled.
     """
 
-    __slots__ = ("_collection", "_pattern", "_keys", "_limit")
+    __slots__ = ("_collection", "_pattern", "_keys", "_options")
 
-    def __init__(self, collection: "Collection", pattern, keys, limit=None) -> None:
+    def __init__(
+        self,
+        collection: "Collection",
+        pattern,
+        keys,
+        limit=None,
+        *,
+        options: QueryOptions | None = None,
+    ) -> None:
         self._collection = collection
         self._pattern = pattern
         self._keys = keys
-        self._limit = limit
+        self._options = options if options is not None else QueryOptions(limit=limit)
+
+    @property
+    def options(self) -> QueryOptions:
+        """The frozen execution envelope every shard receives."""
+        return self._options
+
+    @property
+    def _limit(self):
+        return self._options.limit
+
+    def _replace(self, **changes) -> "CollectionResultSet":
+        return CollectionResultSet(
+            self._collection,
+            self._pattern,
+            self._keys,
+            options=self._options.replace(**changes),
+        )
 
     def limit(self, n: int) -> "CollectionResultSet":
         """At most *n* merged rows (early termination in every shard)."""
         if not isinstance(n, int) or isinstance(n, bool) or n < 0:
             raise QueryError(f"limit must be a non-negative int, got {n!r}")
-        capped = n if self._limit is None else min(self._limit, n)
-        return CollectionResultSet(
-            self._collection, self._pattern, self._keys, capped
-        )
+        current = self._options.limit
+        capped = n if current is None else min(current, n)
+        return self._replace(limit=capped)
+
+    def order_by_probability(self) -> "CollectionResultSet":
+        """Merged rows in decreasing-probability order.
+
+        Each shard runs its own branch-and-bound top-k (the global
+        top-k rows are necessarily within their shard's top-k), then
+        the merge re-sorts deterministically by ``(probability desc,
+        shard key, per-shard rank)`` and caps at the limit.  Unlike
+        document order this is a barrier: every shard must report
+        before the first row can be emitted.
+        """
+        return self._replace(order="probability")
+
+    def min_probability(self, p) -> "CollectionResultSet":
+        """Only rows with probability >= *p*, pruned inside every shard."""
+        if isinstance(p, bool) or not isinstance(p, (int, float)) or not 0.0 <= p <= 1.0:
+            raise QueryError(
+                f"min_probability must be a number in [0, 1], got {p!r}"
+            )
+        current = self._options.min_probability
+        floor = float(p) if current is None else max(current, float(p))
+        return self._replace(min_probability=floor)
+
+    def _shard_options(self) -> QueryOptions:
+        # The routing field stays at this layer; shards get the rest.
+        return self._options.replace(document=None)
+
+    def _iter_probability(self):
+        """The decreasing-probability merge (a fan-out barrier)."""
+        collection = self._collection
+        options = self._shard_options()
+        limit = options.limit
+        obs = collection._obs
+        metrics = obs is not None and obs.metrics.enabled
+        if metrics:
+            obs.metrics.incr("serve.fanout_queries")
+        t0 = perf_counter()
+
+        def run_shard(session: Session):
+            return session.query(self._pattern, options=options).all()
+
+        futures = [
+            (key, collection._pool.submit(run_shard, collection.document(key)))
+            for key in self._keys
+        ]
+        merged = []
+        for key, future in futures:
+            merged.extend(
+                (-row.probability, key, rank, row)
+                for rank, row in enumerate(future.result())
+            )
+        merged.sort(key=lambda entry: entry[:3])
+        if metrics:
+            obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
+        for _neg, key, _rank, row in merged[:limit]:
+            yield ShardRow(key, row)
 
     def __iter__(self):
         collection = self._collection
-        limit = self._limit
+        options = self._options
+        limit = options.limit
         if limit == 0:
+            return
+        if options.order == "probability":
+            yield from self._iter_probability()
             return
         sessions = [
             (key, collection.document(key)) for key in self._keys
         ]
+        shard_options = self._shard_options()
         obs = collection._obs
         tracing = obs is not None and obs.tracer.enabled
         metrics = obs is not None and obs.metrics.enabled
@@ -273,10 +359,7 @@ class CollectionResultSet:
             def run_shard(session: Session):
                 if abandoned.is_set():
                     return []
-                results = session.query(self._pattern)
-                if limit is not None:
-                    results = results.limit(limit)
-                return results.all()
+                return session.query(self._pattern, options=shard_options).all()
 
             futures = [
                 (key, collection._pool.submit(run_shard, session))
@@ -317,10 +400,7 @@ class CollectionResultSet:
             started = perf_counter()
             if abandoned.is_set():
                 return [], started, started
-            results = session.query(self._pattern)
-            if limit is not None:
-                results = results.limit(limit)
-            rows = results.all()
+            rows = session.query(self._pattern, options=shard_options).all()
             return rows, started, perf_counter()
 
         futures = [
@@ -390,11 +470,10 @@ class CollectionResultSet:
             obs.metrics.incr("serve.fanout_queries")
         t0 = perf_counter()
 
+        shard_options = self._shard_options()
+
         def run_shard(session: Session):
-            results = session.query(self._pattern)
-            if self._limit is not None:
-                results = results.limit(self._limit)
-            return results.answers()
+            return session.query(self._pattern, options=shard_options).answers()
 
         futures = [
             (key, collection._pool.submit(run_shard, collection.document(key)))
@@ -407,11 +486,58 @@ class CollectionResultSet:
             obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
         return merged
 
+    def estimate(
+        self,
+        *,
+        epsilon: float | None = None,
+        deadline_ms: int | None = None,
+        seed: int = 0,
+    ) -> list[tuple[str, object]]:
+        """Anytime Monte-Carlo answers per shard, merged deterministically.
+
+        Fans out :meth:`~repro.api.results.ResultSet.estimate` to every
+        shard (each samples its own event table — estimates, like
+        answers, never cross shards) and returns ``(document key,
+        AnswerEstimate)`` pairs sorted by decreasing estimated
+        probability, ties by shard key then the shard's own order.
+        """
+        if self._options.limit == 0:
+            return []
+        collection = self._collection
+        shard_options = self._shard_options()
+        obs = collection._obs
+        metrics = obs is not None and obs.metrics.enabled
+        if metrics:
+            obs.metrics.incr("serve.fanout_queries")
+        t0 = perf_counter()
+
+        def run_shard(session: Session):
+            return session.query(self._pattern, options=shard_options).estimate(
+                epsilon=epsilon, deadline_ms=deadline_ms, seed=seed
+            )
+
+        futures = [
+            (key, collection._pool.submit(run_shard, collection.document(key)))
+            for key in self._keys
+        ]
+        merged = []
+        for key, future in futures:
+            merged.extend(
+                (-estimate.probability, key, rank, estimate)
+                for rank, estimate in enumerate(future.result())
+            )
+        merged.sort(key=lambda entry: entry[:3])
+        if metrics:
+            obs.metrics.observe("serve.fanout_seconds", perf_counter() - t0)
+        return [(key, estimate) for _neg, key, _rank, estimate in merged]
+
     def __repr__(self) -> str:
-        limit = "" if self._limit is None else f", limit={self._limit}"
+        extras = self._options.to_json()
+        extras.pop("pattern", None)
+        rendered = "".join(f", {k}={v!r}" for k, v in sorted(extras.items()))
         return (
             f"CollectionResultSet({str(self._pattern)!r}, "
-            f"{len(self._keys)} shards{limit})"
+            f"{len(self._keys)} shards{rendered})"
         )
 
 
@@ -563,13 +689,41 @@ class Collection:
     # Queries (fanned out)
     # ------------------------------------------------------------------
 
-    def query(self, query, keys: list[str] | None = None) -> CollectionResultSet:
+    def query(
+        self,
+        query=None,
+        keys: list[str] | None = None,
+        *,
+        options: QueryOptions | None = None,
+    ) -> CollectionResultSet:
         """A lazy fan-out query over every shard (or just *keys*).
 
         Returns a :class:`CollectionResultSet`; nothing runs until it
-        is iterated.
+        is iterated.  *options* carries the full execution envelope
+        (and may substitute for *query* via its ``pattern`` field);
+        its ``document`` field, when set, restricts the fan-out to
+        that one shard.
         """
         self._check_open()
+        if options is not None:
+            if not isinstance(options, QueryOptions):
+                raise QueryError(
+                    f"options must be a QueryOptions, got {options!r}"
+                )
+            if query is None:
+                if options.pattern is None:
+                    raise QueryError(
+                        "query() needs a pattern: pass one positionally "
+                        "or set options.pattern"
+                    )
+                query = options.pattern
+            if options.document is not None and keys is None:
+                keys = [options.document]
+        elif query is None:
+            raise QueryError(
+                "query() needs a pattern (string, Pattern or builder) "
+                "or options="
+            )
         if keys is None:
             keys = self.keys()
         else:
@@ -580,7 +734,9 @@ class Collection:
         # every shard engine re-keys matches onto its own plan anyway.
         from repro.api.builders import compile_pattern
 
-        return CollectionResultSet(self, compile_pattern(query), keys)
+        return CollectionResultSet(
+            self, compile_pattern(query), keys, options=options
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -20,8 +20,10 @@ from repro.serve.http.app import (
     Application,
     BadRequest,
     canonical_json,
+    encode_estimate_row,
     encode_row,
     error_body,
+    estimate_response_body,
     query_response_body,
     status_for,
 )
@@ -33,8 +35,10 @@ __all__ = [
     "HTTPServer",
     "ServerThread",
     "canonical_json",
+    "encode_estimate_row",
     "encode_row",
     "error_body",
+    "estimate_response_body",
     "query_response_body",
     "run_server",
     "status_for",

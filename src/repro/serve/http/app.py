@@ -35,6 +35,7 @@ from contextlib import closing
 from dataclasses import asdict
 from time import monotonic
 
+from repro.api.options import QueryOptions, QueryOptionsError
 from repro.errors import (
     PatternSyntaxError,
     QueryCancelledError,
@@ -53,8 +54,10 @@ from repro.xmlio.xupdate import updates_from_string
 __all__ = [
     "Application",
     "canonical_json",
+    "encode_estimate_row",
     "encode_row",
     "error_body",
+    "estimate_response_body",
     "query_response_body",
     "retry_after_headers",
     "status_for",
@@ -91,6 +94,34 @@ def encode_row(row) -> dict:
 def query_response_body(rows: list[dict]) -> bytes:
     """The exact ``POST /query`` response body for encoded *rows*."""
     return canonical_json({"count": len(rows), "rows": rows})
+
+
+def encode_estimate_row(estimate, document: str | None = None) -> dict:
+    """One anytime Monte-Carlo answer as a JSON-ready record.
+
+    Same determinism contract as :func:`encode_row`: a fixed seed
+    yields identical samples in-process and behind the wire, so the
+    encoded estimate is byte-identical across layers.
+    """
+    record = {
+        "probability": estimate.probability,
+        "stderr": estimate.stderr,
+        "samples": estimate.samples,
+        "occurrences": estimate.occurrences,
+        "tree": estimate.tree.canonical(),
+    }
+    if document is not None:
+        record["document"] = document
+    return record
+
+
+def estimate_response_body(rows: list[dict]) -> bytes:
+    """The ``POST /query`` response body for the anytime estimate path.
+
+    ``"estimate": true`` marks the rows as confidence-interval
+    estimates (probability ± stderr), not exact probabilities.
+    """
+    return canonical_json({"count": len(rows), "estimate": True, "rows": rows})
 
 
 def status_for(exc: BaseException) -> int:
@@ -148,6 +179,10 @@ def error_body(exc: BaseException, status: int | None = None) -> tuple[int, dict
             "status": status,
         }
     }
+    if isinstance(exc, QueryOptionsError):
+        # Every invalid field at once — a client fixing its request
+        # sees the full list in one round trip.
+        payload["error"]["fields"] = exc.errors
     return status, payload
 
 
@@ -211,10 +246,13 @@ class Application:
         feed one abort hook polled at every row boundary — on abort the
         stream closes (pins released) and
         :class:`~repro.errors.QueryCancelledError` propagates.
+
+        The body validates through :meth:`QueryOptions.from_json`: one
+        structured 400 lists **every** invalid field (``timeout_ms`` is
+        transport-level and consumed by the route, so it is ignored
+        here).
         """
-        pattern = _field(payload, "pattern", str, required=True)
-        limit = _field(payload, "limit", int)
-        document = _field(payload, "document", str)
+        options = QueryOptions.from_json(payload, ignore=("timeout_ms",))
 
         if deadline is None and cancel is None:
             abort = None
@@ -230,14 +268,15 @@ class Application:
             raise QueryCancelledError("deadline expired before execution began")
 
         if self._is_collection:
-            keys = None
-            if document is not None:
-                if document not in self._target:
-                    raise BadRequest(f"no document {document!r} in the collection")
-                keys = [document]
-            results = self._target.query(pattern, keys=keys)
-            if limit is not None:
-                results = results.limit(limit)
+            document = options.document
+            if document is not None and document not in self._target:
+                raise BadRequest(f"no document {document!r} in the collection")
+            results = self._target.query(options.pattern, options=options)
+            if options.is_estimate:
+                pairs = results.estimate()
+                return estimate_response_body(
+                    [encode_estimate_row(e, document=key) for key, e in pairs]
+                )
             rows = []
             # The fan-out iterator is a generator: closing() guarantees
             # the short-circuit finally (abandon flag + future cancel)
@@ -251,11 +290,13 @@ class Application:
                         )
             return query_response_body(rows)
 
-        if document is not None:
+        if options.document is not None:
             raise BadRequest("field 'document' only applies to collections")
-        results = self._target.query(pattern)
-        if limit is not None:
-            results = results.limit(limit)
+        results = self._target.query(options=options)
+        if options.is_estimate:
+            return estimate_response_body(
+                [encode_estimate_row(e) for e in results.estimate()]
+            )
         with results.stream(abort=abort) as stream:
             rows = [encode_row(row) for row in stream]
         return query_response_body(rows)

@@ -56,7 +56,6 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-import warnings
 from pathlib import Path
 from time import perf_counter
 
@@ -463,25 +462,6 @@ class Warehouse:
         """The attached :class:`~repro.obs.Observability` panel (or None)."""
         return self._obs
 
-    def query(
-        self, pattern: str | Pattern, planner: bool = True
-    ) -> list[FuzzyAnswer]:
-        """Evaluate a TPWJ query; answers ranked by probability.
-
-        .. deprecated::
-            Open a :class:`~repro.api.Session` with
-            :func:`repro.connect` and use ``session.query(...)``; this
-            shim delegates to the same code path and will be removed
-            one release after the session API.
-        """
-        warnings.warn(
-            "Warehouse.query is deprecated; use repro.connect(path) and "
-            "Session.query instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._query_answers(pattern, planner=planner)
-
     def _query_answers(
         self, pattern: str | Pattern, *, planner: bool = True
     ) -> list[FuzzyAnswer]:
@@ -679,27 +659,6 @@ class Warehouse:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-
-    def update(
-        self,
-        transaction: UpdateTransaction | str,
-        confidence: float | None = None,
-    ) -> UpdateReport:
-        """Apply a probabilistic update transaction and commit.
-
-        .. deprecated::
-            Open a :class:`~repro.api.Session` with
-            :func:`repro.connect` and use ``session.update(...)``; this
-            shim delegates to the same code path and will be removed
-            one release after the session API.
-        """
-        warnings.warn(
-            "Warehouse.update is deprecated; use repro.connect(path) and "
-            "Session.update instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._commit_update(transaction, confidence)
 
     def _commit_update(
         self,

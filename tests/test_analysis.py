@@ -9,7 +9,8 @@ from repro.analysis import (
     fuzzy_stats,
     tree_stats,
 )
-from repro import PossibleWorlds, find_matches, parse_pattern
+from repro import PossibleWorlds, find_matches
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 
 

@@ -533,7 +533,7 @@ class TestSessionUpdates:
 
 
 # ----------------------------------------------------------------------
-# Errors and deprecation shims
+# Errors and the 2.0 surface (no deprecated 1.x shims)
 # ----------------------------------------------------------------------
 
 
@@ -567,21 +567,19 @@ class TestErrorsAndShims:
         with pytest.raises(errors.PatternSyntaxError):
             session.query("A {")
 
-    def test_module_level_shims_warn(self):
-        with pytest.warns(DeprecationWarning, match="repro.parse_pattern"):
-            assert repro.parse_pattern("//a") is not None
-        with pytest.warns(DeprecationWarning, match="repro.query_fuzzy_tree"):
-            _ = repro.query_fuzzy_tree
-        with pytest.warns(DeprecationWarning, match="repro.apply_update"):
-            _ = repro.apply_update
+    def test_module_level_shims_are_gone(self):
+        # 2.0 removed the 1.x lazy shims: the attributes no longer
+        # resolve at all, and the model-level functions stay available
+        # (warning-free) at their defining modules.
+        for name in ("parse_pattern", "query_fuzzy_tree", "apply_update"):
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):
             repro.does_not_exist  # noqa: B018
 
     def test_star_import_is_warning_free(self):
-        # The shimmed names are kept out of __all__ so a bare
-        # `from repro import *` never trips the deprecation shims.
         import warnings
 
         namespace: dict = {}
@@ -589,23 +587,22 @@ class TestErrorsAndShims:
             warnings.simplefilter("error", DeprecationWarning)
             exec("from repro import *", namespace)  # noqa: S102
         assert "connect" in namespace
+        assert "QueryOptions" in namespace
         assert "parse_pattern" not in namespace
 
-    def test_warehouse_query_and_update_warn(self, tmp_path, slide12_doc):
+    def test_warehouse_shims_are_gone(self, tmp_path, slide12_doc):
+        # The Warehouse surface is sessions-only in 2.0: the deprecated
+        # pass-throughs were deleted outright.
         from repro.warehouse import Warehouse
 
         with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
-            with pytest.warns(DeprecationWarning, match="Warehouse.query"):
-                answers = warehouse.query("//D")
-            assert len(answers) == 1
-            tx = (
-                update(pattern("C", variable="c"))
-                .insert("c", tree("N"))
-                .build()
-            )
-            with pytest.warns(DeprecationWarning, match="Warehouse.update"):
-                report = warehouse.update(tx)
-            assert report.applied
+            with pytest.raises(AttributeError):
+                warehouse.query  # noqa: B018
+            with pytest.raises(AttributeError):
+                warehouse.update  # noqa: B018
+
+    def test_version_is_2(self):
+        assert repro.__version__.startswith("2.")
 
 
 # ----------------------------------------------------------------------

@@ -249,6 +249,52 @@ class TestProcessCollection:
         assert got == expected
 
     @pytest.mark.timeout(180)
+    def test_topk_and_threshold_parity_with_thread_engine(self, seeded):
+        """Probability-ordered and thresholded fan-out matches the
+        thread engine row for row (same merge discipline, same ties)."""
+        with connect_collection(seeded) as threads:
+            expected_topk = [
+                (row.document, row.probability, row.bindings())
+                for row in threads.query(_PATTERN).order_by_probability().limit(4)
+            ]
+            expected_floor = [
+                (row.document, row.probability, row.bindings())
+                for row in threads.query(_PATTERN).min_probability(0.6)
+            ]
+        with ProcessCollection(
+            seeded, shard_processes=2, observability=None
+        ) as cluster:
+            got_topk = [
+                (row.document, row.probability, row.bindings())
+                for row in cluster.query(_PATTERN).order_by_probability().limit(4)
+            ]
+            got_floor = [
+                (row.document, row.probability, row.bindings())
+                for row in cluster.query(_PATTERN).min_probability(0.6)
+            ]
+            assert cluster.query(_PATTERN).order_by_probability().limit(0).all() == []
+        assert got_topk == expected_topk
+        assert got_floor == expected_floor
+
+    @pytest.mark.timeout(180)
+    def test_estimate_parity_with_thread_engine(self, seeded):
+        """Fixed-seed Monte-Carlo estimates are identical across the
+        thread and process engines: same samples, same merge order."""
+        with connect_collection(seeded) as threads:
+            expected = [
+                (key, e.probability, e.stderr, e.samples, e.tree.canonical())
+                for key, e in threads.query(_PATTERN).estimate(epsilon=0.05)
+            ]
+        with ProcessCollection(
+            seeded, shard_processes=2, observability=None
+        ) as cluster:
+            got = [
+                (key, e.probability, e.stderr, e.samples, e.tree.canonical())
+                for key, e in cluster.query(_PATTERN).estimate(epsilon=0.05)
+            ]
+        assert got == expected
+
+    @pytest.mark.timeout(180)
     def test_limit_first_count_and_key_scoping(self, seeded):
         with ProcessCollection(
             seeded, shard_processes=2, observability=None

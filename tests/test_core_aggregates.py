@@ -9,8 +9,8 @@ from repro import (
     EventTable,
     FuzzyNode,
     FuzzyTree,
-    parse_pattern,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.core import (
     expected_answers,
     expected_matches,

@@ -4,7 +4,9 @@ import random
 
 import pytest
 
-from repro import estimate_query, parse_pattern, query_fuzzy_tree
+from repro import estimate_query
+from repro.core.query import query_fuzzy_tree
+from repro.tpwj.parser import parse_pattern
 
 
 class TestEstimation:

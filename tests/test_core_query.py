@@ -8,11 +8,11 @@ from repro import (
     EventTable,
     FuzzyNode,
     FuzzyTree,
-    parse_pattern,
-    query_fuzzy_tree,
     query_possible_worlds,
     to_possible_worlds,
 )
+from repro.tpwj.parser import parse_pattern
+from repro.core.query import query_fuzzy_tree
 from repro.tpwj import find_matches
 from repro.core import match_condition
 from repro.trees import tree

@@ -228,9 +228,9 @@ class TestSemanticsPreservation:
             DeleteOperation,
             InsertOperation,
             UpdateTransaction,
-            apply_update,
-            parse_pattern,
         )
+        from repro.core.update import apply_update
+        from repro.tpwj.parser import parse_pattern
         from repro.trees import tree as t
 
         tx = UpdateTransaction(

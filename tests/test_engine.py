@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import parse_pattern
+from repro.tpwj.parser import parse_pattern
 from repro.warehouse import Warehouse
 from repro.analysis import counters
 from repro.engine import (
@@ -305,16 +305,16 @@ class TestQueryEngine:
 class TestWarehousePlans:
     def test_repeated_query_hits_the_plan_cache(self, tmp_path, slide12_doc):
         with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
-            warehouse.query("//D")
+            warehouse._query_answers("//D")
             hits_before = warehouse.engine.cache.hits
-            again = warehouse.query("//D")
+            again = warehouse._query_answers("//D")
             assert warehouse.engine.cache.hits == hits_before + 1
             assert len(again) == 1
 
     def test_planned_and_fixed_paths_agree(self, tmp_path, slide12_doc):
         with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
-            planned = warehouse.query("/A { //D }")
-            fixed = warehouse.query("/A { //D }", planner=False)
+            planned = warehouse._query_answers("/A { //D }")
+            fixed = warehouse._query_answers("/A { //D }", planner=False)
             assert [(a.probability, a.tree.canonical()) for a in planned] == [
                 (a.probability, a.tree.canonical()) for a in fixed
             ]
@@ -355,7 +355,7 @@ class TestWarehousePlans:
         with Warehouse.create(path, slide12_doc):
             pass
         with Warehouse.open(path) as warehouse:
-            assert len(warehouse.query("//D")) == 1
+            assert len(warehouse._query_answers("//D")) == 1
 
 
 # ----------------------------------------------------------------------
@@ -376,7 +376,7 @@ class TestIncrementalStats:
         with Warehouse.create(tmp_path / "wh", slide12_doc) as warehouse:
             warehouse.engine.stats.current()  # one full collection
             collected_before = counters.prefixed("engine.")["engine.stats_collected"]
-            warehouse.update(self._insert_tx())
+            warehouse._commit_update(self._insert_tx())
             stats = warehouse.engine.stats.current()
             seen = counters.prefixed("engine.")
             assert seen["engine.stats_collected"] == collected_before
@@ -392,7 +392,7 @@ class TestIncrementalStats:
             plan_before = warehouse.engine.plan_for(pattern)
             version = warehouse.engine.stats.version
             # No Z anywhere: the update matches nothing, changes nothing.
-            report = warehouse.update(
+            report = warehouse._commit_update(
                 UpdateTransaction(parse_pattern("Z[$z]"), [DeleteOperation("z")], 1.0)
             )
             assert not report.applied
@@ -411,7 +411,7 @@ class TestIncrementalStats:
             plan_before = warehouse.engine.plan_for(pattern)
             version_before = warehouse.engine.stats.version
             frequency_before = warehouse.engine.stats.current().label_counts["B"]
-            warehouse.update(self._insert_tx(label="B"))  # B: 1 -> 2
+            warehouse._commit_update(self._insert_tx(label="B"))  # B: 1 -> 2
             assert warehouse.engine.stats.version > version_before
             plan_after = warehouse.engine.plan_for(pattern)
             assert plan_after is not plan_before
@@ -433,7 +433,7 @@ class TestIncrementalStats:
             warehouse.engine.stats.current()
             # D is the unique deepest node: its removal may lower
             # max_depth, which aggregates cannot decide — recollect.
-            warehouse.update(
+            warehouse._commit_update(
                 UpdateTransaction(parse_pattern("D[$d]"), [DeleteOperation("d")], 1.0)
             )
             stats = warehouse.engine.stats.current()

@@ -23,8 +23,8 @@ from repro import (
     collect_stats,
     execute_plan,
     find_matches,
-    parse_pattern,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.errors import QueryError
 from repro.tpwj.pattern import Pattern, PatternNode
 from repro.trees import Node, RandomTreeConfig

@@ -9,7 +9,8 @@ import os
 import pytest
 
 from repro.errors import WarehouseCorruptError, WarehouseError, XMLFormatError
-from repro import InsertOperation, UpdateTransaction, parse_pattern
+from repro import InsertOperation, UpdateTransaction
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 from repro.warehouse import Storage, Warehouse
 
@@ -32,7 +33,7 @@ class TestCrashDebris:
             tx = UpdateTransaction(
                 parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
             )
-            wh.update(tx)
+            wh._commit_update(tx)
         with Warehouse.open(path) as wh:
             assert wh.document.size() == 5
 
@@ -116,6 +117,6 @@ class TestLogResilience:
                     tx = UpdateTransaction(
                         parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
                     )
-                    wh.update(tx)
+                    wh._commit_update(tx)
         finally:
             os.chmod(path, 0o700)

@@ -19,8 +19,10 @@ from repro.serve.http import (
     BadRequest,
     ServerThread,
     canonical_json,
+    encode_estimate_row,
     encode_row,
     error_body,
+    estimate_response_body,
     query_response_body,
     status_for,
 )
@@ -157,6 +159,66 @@ class TestQueryByteIdentity:
         a = canonical_json({"b": 1.5, "a": [{"y": 2, "x": 1}]})
         b = canonical_json({"a": [{"x": 1, "y": 2}], "b": 1.5})
         assert a == b == b'{"a":[{"x":1,"y":2}],"b":1.5}'
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_session_topk_roundtrip(self, served_session, seed):
+        """Probability-ordered HTTP rows == in-process bounded rows."""
+        session, handle = served_session
+        rng = random.Random(seed)
+        pattern = rng.choice(PATTERNS)
+        k = rng.randint(1, 5)
+        floor = rng.choice((None, 0.4, 0.6))
+        payload = {"pattern": pattern, "limit": k, "order_by": "probability"}
+        results = session.query(pattern).order_by_probability().limit(k)
+        if floor is not None:
+            payload["min_probability"] = floor
+            results = results.min_probability(floor)
+        status, _, body = _request(handle.port, "POST", "/query", payload)
+        assert status == 200
+        with results.stream() as stream:
+            expected = query_response_body([encode_row(row) for row in stream])
+        assert body == expected
+
+    def test_session_estimate_roundtrip(self, served_session):
+        """HTTP anytime estimates == in-process estimates, byte for byte."""
+        session, handle = served_session
+        status, _, body = _request(
+            handle.port,
+            "POST",
+            "/query",
+            {"pattern": "//email", "epsilon": 0.05},
+        )
+        assert status == 200
+        expected = estimate_response_body(
+            [
+                encode_estimate_row(e)
+                for e in session.query("//email").estimate(epsilon=0.05)
+            ]
+        )
+        assert body == expected
+        payload = json.loads(body)
+        assert payload["estimate"] is True
+        assert all("stderr" in row for row in payload["rows"])
+
+    def test_collection_estimate_roundtrip(self, served_collection):
+        collection, handle = served_collection
+        status, _, body = _request(
+            handle.port,
+            "POST",
+            "/query",
+            {"pattern": "//email", "epsilon": 0.05},
+        )
+        assert status == 200
+        expected = estimate_response_body(
+            [
+                encode_estimate_row(e, document=key)
+                for key, e in collection.query("//email").estimate(
+                    epsilon=0.05
+                )
+            ]
+        )
+        assert body == expected
 
 
 class TestUpdateAndStats:
@@ -586,15 +648,29 @@ class TestApplicationDirect:
         assert isinstance(BadRequest("x"), ReproError)
 
     def test_query_payload_validation(self, tmp_path):
+        from repro.api import QueryOptionsError
+
         path = tmp_path / "wh"
         with repro.connect(path, create=True, root="person") as session:
             app = Application(session)
-            with pytest.raises(BadRequest):
+            with pytest.raises(QueryOptionsError):
                 app.query({}, None, None)
-            with pytest.raises(BadRequest):
+            with pytest.raises(QueryOptionsError):
                 app.query({"pattern": 7}, None, None)
-            with pytest.raises(BadRequest):
+            with pytest.raises(QueryOptionsError):
                 app.query({"pattern": "//x", "limit": "many"}, None, None)
+            # One aggregated 400: every invalid field reported at once.
+            with pytest.raises(QueryOptionsError) as excinfo:
+                app.query(
+                    {"limit": "many", "order_by": "size", "epsilon": 2},
+                    None,
+                    None,
+                )
+            fields = {e["field"] for e in excinfo.value.errors}
+            assert {"pattern", "limit", "order_by", "epsilon"} <= fields
+            status, payload = error_body(excinfo.value)
+            assert status == 400
+            assert payload["error"]["fields"] == excinfo.value.errors
             body = app.query({"pattern": "//email"}, None, None)
             assert json.loads(body) == {"count": 0, "rows": []}
 

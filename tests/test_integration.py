@@ -12,10 +12,10 @@ import pytest
 
 from repro import (
     estimate_query,
-    query_fuzzy_tree,
     query_possible_worlds,
     to_possible_worlds,
 )
+from repro.core.query import query_fuzzy_tree
 from repro.warehouse import Warehouse
 from repro.workloads import CleaningScenario, ExtractionScenario, MatchingScenario
 
@@ -25,10 +25,10 @@ class TestExtractionPipeline:
         scenario = ExtractionScenario(seed=11, n_people=5)
         with Warehouse.create(tmp_path / "wh", scenario.initial_document()) as wh:
             for tx in scenario.stream(30):
-                wh.update(tx)
+                wh._commit_update(tx)
             # Every query must return ranked, in-range probabilities.
             for pattern in scenario.query_mix():
-                answers = wh.query(pattern)
+                answers = wh._query_answers(pattern)
                 probabilities = [a.probability for a in answers]
                 assert all(0.0 < p <= 1.0 + 1e-9 for p in probabilities)
                 assert probabilities == sorted(probabilities, reverse=True)
@@ -40,7 +40,7 @@ class TestExtractionPipeline:
         with Warehouse.open(tmp_path / "wh") as wh:
             scenario2 = ExtractionScenario(seed=11, n_people=5)
             for pattern in scenario2.query_mix():
-                wh.query(pattern)
+                wh._query_answers(pattern)
 
     def test_confidence_accumulates_across_conflicting_facts(self, tmp_path):
         """Two modules proposing emails for the same person both persist."""
@@ -48,8 +48,8 @@ class TestExtractionPipeline:
         with Warehouse.create(tmp_path / "wh", scenario.initial_document()) as wh:
             emails = [tx for tx in scenario.stream(60) if "email" in str(tx.operations)]
             for tx in emails[:2]:
-                wh.update(tx)
-            answers = wh.query("/directory { person { //email } }")
+                wh._commit_update(tx)
+            answers = wh._query_answers("/directory { person { //email } }")
             # Each inserted email is an independent uncertain fact.
             assert len(answers) >= 1
             for answer in answers:
@@ -62,7 +62,7 @@ class TestCleaningPipeline:
         with Warehouse.create(tmp_path / "wh", scenario.initial_document()) as wh:
             before_nodes = wh.stats()["nodes"]
             for tx in scenario.stream(6):
-                wh.update(tx)
+                wh._commit_update(tx)
             grown = wh.stats()["nodes"]
             report = wh.simplify()
             shrunk = wh.stats()["nodes"]
@@ -74,14 +74,14 @@ class TestCleaningPipeline:
         scenario = CleaningScenario(seed=6, n_products=3, duplicate_rate=1.0)
         with Warehouse.create(tmp_path / "wh", scenario.initial_document()) as wh:
             for tx in scenario.stream(4):
-                wh.update(tx)
+                wh._commit_update(tx)
             pattern = scenario.query_mix()[0]
             before = {
-                a.tree.canonical(): a.probability for a in wh.query(pattern)
+                a.tree.canonical(): a.probability for a in wh._query_answers(pattern)
             }
             wh.simplify()
             after = {
-                a.tree.canonical(): a.probability for a in wh.query(pattern)
+                a.tree.canonical(): a.probability for a in wh._query_answers(pattern)
             }
             assert set(before) == set(after)
             for key in before:
@@ -92,7 +92,7 @@ class TestThreeEvaluatorsAgree:
     def test_exact_worlds_and_montecarlo(self):
         scenario = MatchingScenario(seed=7)
         doc = scenario.initial_document()
-        from repro import apply_update
+        from repro.core.update import apply_update
 
         for tx in scenario.stream(4):
             apply_update(doc, tx)
@@ -126,17 +126,18 @@ class TestMixedModules:
             matching = MatchingScenario(seed=22)
             # Interleave extraction inserts with a matching-style annotation
             # under the directory root.
-            from repro import InsertOperation, UpdateTransaction, parse_pattern
+            from repro import InsertOperation, UpdateTransaction
+            from repro.tpwj.parser import parse_pattern
             from repro.trees import tree
 
             for index, tx in enumerate(extraction.stream(10)):
-                wh.update(tx)
+                wh._commit_update(tx)
                 if index % 3 == 0:
                     annotation = UpdateTransaction(
                         parse_pattern("/directory[$d]"),
                         [InsertOperation("d", tree("audit", tree("note", f"n{index}")))],
                         0.99,
                     )
-                    wh.update(annotation)
+                    wh._commit_update(annotation)
             wh.document.validate()
             assert wh.stats()["sequence"] > 10

@@ -7,10 +7,10 @@ import pytest
 from repro import (
     DeleteOperation,
     UpdateTransaction,
-    parse_pattern,
     to_possible_worlds,
     update_possible_worlds,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.cli import main
 from repro.core import expected_matches, probability_at_least
 from repro.prxml import PDocument, PInd, PMux, PRegular, compile_to_fuzzy
@@ -38,10 +38,10 @@ def compiled_catalog():
 class TestPrxmlInWarehouse:
     def test_compiled_document_persists_and_queries(self, tmp_path, compiled_catalog):
         with Warehouse.create(tmp_path / "wh", compiled_catalog) as wh:
-            answers = wh.query('//sku[="laptop"]')
+            answers = wh._query_answers('//sku[="laptop"]')
             assert answers[0].probability == pytest.approx(0.9)
         with Warehouse.open(tmp_path / "wh") as wh:
-            answers = wh.query('//sku[="laptop"]')
+            answers = wh._query_answers('//sku[="laptop"]')
             assert answers[0].probability == pytest.approx(0.9)
 
     def test_update_on_compiled_document_commutes(self, compiled_catalog):
@@ -52,7 +52,7 @@ class TestPrxmlInWarehouse:
         )
         truth = update_possible_worlds(to_possible_worlds(compiled_catalog), tx)
         work = compiled_catalog.clone()
-        from repro import apply_update
+        from repro.core.update import apply_update
 
         apply_update(work, tx)
         assert to_possible_worlds(work).same_distribution(truth, 1e-9)
@@ -65,7 +65,7 @@ class TestPrxmlInWarehouse:
         )
         assert probability == pytest.approx(0.4)
         answers_without = parse_pattern('/catalog { !entry { sku[="phone"] } }')
-        from repro import query_fuzzy_tree
+        from repro.core.query import query_fuzzy_tree
 
         answers = query_fuzzy_tree(compiled_catalog, answers_without)
         assert answers[0].probability == pytest.approx(0.6)
@@ -108,7 +108,7 @@ class TestNegatedQueriesInWarehouse:
         )
         truth = update_possible_worlds(baseline, tx)
         with Warehouse.create(tmp_path / "wh", doc) as wh:
-            wh.update(tx)
+            wh._commit_update(tx)
             assert to_possible_worlds(wh.document).same_distribution(truth, 1e-9)
         # And it survives a reopen byte-exactly.
         with Warehouse.open(tmp_path / "wh") as wh:

@@ -20,13 +20,13 @@ from repro import (
     FuzzyNode,
     FuzzyTree,
     UpdateTransaction,
-    apply_update,
-    parse_pattern,
-    query_fuzzy_tree,
     query_possible_worlds,
     to_possible_worlds,
     update_possible_worlds,
 )
+from repro.core.update import apply_update
+from repro.tpwj.parser import parse_pattern
+from repro.core.query import query_fuzzy_tree
 from repro.tpwj import MatchConfig, find_embeddings, find_matches, format_pattern
 from repro.tpwj.pattern import Pattern, PatternNode
 from repro.trees import tree

@@ -17,14 +17,14 @@ from hypothesis import strategies as st
 from repro import (
     Condition,
     EventTable,
-    apply_update,
     from_possible_worlds,
-    query_fuzzy_tree,
     query_possible_worlds,
     simplify,
     to_possible_worlds,
     update_possible_worlds,
 )
+from repro.core.update import apply_update
+from repro.core.query import query_fuzzy_tree
 from repro.events import (
     assignment_weight,
     complement_as_disjoint_conditions,

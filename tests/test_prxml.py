@@ -146,7 +146,8 @@ class TestCompileNesting:
         assert worlds.probability_of(tree("A", tree("B"))) == pytest.approx(0.5)
 
     def test_compiled_document_is_valid_and_queries(self):
-        from repro import parse_pattern, query_fuzzy_tree
+        from repro.core.query import query_fuzzy_tree
+        from repro.tpwj.parser import parse_pattern
 
         root = PRegular("catalog")
         for sku, probability in (("laptop", 0.9), ("phone", 0.4)):

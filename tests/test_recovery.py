@@ -26,8 +26,8 @@ from repro import (
     InsertOperation,
     UpdateTransaction,
     collect_stats,
-    parse_pattern,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.errors import WarehouseCorruptError, WarehouseLockedError
 from repro.trees import tree
 from repro.trees.random import RandomTreeConfig
@@ -63,10 +63,10 @@ class TestCrashMidWalAppend:
         it and serves the previous commit's state."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         durable_state = wh.document.root.canonical()
         durable_sequence = wh.sequence
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         _kill(wh)
         # Tear the last WAL record: the crash happened mid-write.
         wal_path = path / "wal.jsonl"
@@ -80,7 +80,7 @@ class TestCrashMidWalAppend:
         """The append itself dies after partial bytes hit the file."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         durable_state = wh.document.root.canonical()
         durable_sequence = wh.sequence
 
@@ -91,7 +91,7 @@ class TestCrashMidWalAppend:
 
         monkeypatch.setattr(WriteAheadLog, "append", torn_append)
         with pytest.raises(_Crash):
-            wh.update(_insert_tx())
+            wh._commit_update(_insert_tx())
         monkeypatch.undo()
         _kill(wh)
         with Warehouse.open(path) as recovered:
@@ -102,8 +102,8 @@ class TestCrashMidWalAppend:
         """Acknowledged (non-tail) WAL damage must raise, not skip."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
+        wh._commit_update(_insert_tx())
         _kill(wh)
         wal_path = path / "wal.jsonl"
         lines = wal_path.read_bytes().splitlines(keepends=True)
@@ -116,7 +116,7 @@ class TestCrashMidWalAppend:
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
         for _ in range(3):
-            wh.update(_insert_tx())
+            wh._commit_update(_insert_tx())
         _kill(wh)
         wal_path = path / "wal.jsonl"
         lines = wal_path.read_bytes().splitlines(keepends=True)
@@ -134,14 +134,14 @@ class TestCrashDuringCompaction:
         wh = Warehouse.create(
             path, slide12_doc, policy=CommitPolicy(snapshot_every=2, compact_on_close=False)
         )
-        wh.update(_insert_tx())  # seq 2: WAL only
+        wh._commit_update(_insert_tx())  # seq 2: WAL only
 
         def dying_write(self, xml_text, sequence, extra_meta=None, binary=None):
             raise _Crash()
 
         monkeypatch.setattr(Storage, "write_document", dying_write)
         with pytest.raises(_Crash):
-            wh.update(_insert_tx())  # seq 3: WAL append ok, compaction dies
+            wh._commit_update(_insert_tx())  # seq 3: WAL append ok, compaction dies
         monkeypatch.undo()
         expected = wh.document.root.canonical()
         _kill(wh)
@@ -156,8 +156,8 @@ class TestCrashDuringCompaction:
         """Snapshot written, WAL reset dies: stale records are skipped."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
+        wh._commit_update(_insert_tx())
 
         def dying_reset(self):
             raise _Crash()
@@ -183,7 +183,7 @@ class TestCrashDuringCompaction:
         inconsistent — open must raise corrupt, never serve the mix."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         real_atomic_write = storage_module._atomic_write
         calls = {"n": 0}
 
@@ -211,14 +211,14 @@ class TestCrashBeforeAuditAppend:
         append must not lose history — recovery rebuilds the entry."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
 
         def dying_append(self, kind, sequence, payload, fsync=True):
             raise _Crash()
 
         monkeypatch.setattr(TransactionLog, "append", dying_append)
         with pytest.raises(_Crash):
-            wh.update(_insert_tx())
+            wh._commit_update(_insert_tx())
         monkeypatch.undo()
         expected = wh.document.root.canonical()
         _kill(wh)
@@ -236,7 +236,7 @@ class TestReplayDivergenceGuard:
         re-minted means snapshot and WAL describe different histories."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx(confidence=0.5))
+        wh._commit_update(_insert_tx(confidence=0.5))
         _kill(wh)
         wal_path = path / "wal.jsonl"
         record = json.loads(wal_path.read_text().splitlines()[0])
@@ -279,7 +279,7 @@ def _random_session(rng: random.Random, warehouse: Warehouse) -> None:
             ]
             warehouse.update_many(members)
         else:
-            warehouse.update(
+            warehouse._commit_update(
                 random_update_for(
                     rng, warehouse.document, confidence=rng.choice([0.5, 0.9, 1.0])
                 )
@@ -319,7 +319,7 @@ def test_incremental_stats_equal_fresh_stats_after_every_commit(seed):
         wh = Warehouse.create(Path(tmp) / "wh", doc)
         wh.engine.stats.current()  # prime the maintained accumulator
         for _ in range(rng.randint(2, 6)):
-            wh.update(
+            wh._commit_update(
                 random_update_for(
                     rng, wh.document, confidence=rng.choice([0.5, 0.9, 1.0])
                 )
@@ -342,8 +342,8 @@ class TestReviewRegressions:
         debris) must not prevent open — the entry is rebuilt from the WAL."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
+        wh._commit_update(_insert_tx())
         expected = wh.document.root.canonical()
         _kill(wh)
         log_path = path / "log.jsonl"
@@ -362,17 +362,17 @@ class TestReviewRegressions:
         commit snapshots so the orphaned in-memory mutation heals."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
 
         def dying_append(self, kind, sequence, payload):
             raise _Crash()
 
         monkeypatch.setattr(WriteAheadLog, "append", dying_append)
         with pytest.raises(_Crash):
-            wh.update(_insert_tx())
+            wh._commit_update(_insert_tx())
         monkeypatch.undo()
         assert wh.sequence == 2  # rolled back: no gap
-        wh.update(_insert_tx())  # heals via snapshot
+        wh._commit_update(_insert_tx())  # heals via snapshot
         assert wh.stats()["snapshot_sequence"] == wh.sequence == 3
         expected = wh.document.root.canonical()
         _kill(wh)
@@ -384,7 +384,7 @@ class TestReviewRegressions:
     ):
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         _kill(wh)
 
         def dying_append(self, kind, sequence, payload, fsync=True):
@@ -408,10 +408,10 @@ class TestReviewRegressions:
 
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx(confidence=1.0))  # first N under C
-        wh.update(_insert_tx(confidence=1.0))  # second N under C
+        wh._commit_update(_insert_tx(confidence=1.0))  # first N under C
+        wh._commit_update(_insert_tx(confidence=1.0))  # second N under C
         # Two N nodes: this transaction applies at BOTH matches.
-        wh.update(
+        wh._commit_update(
             UpdateTransaction(
                 parse_pattern("N[$n]"), [InsertOperation("n", tree("M"))], 1.0
             )
@@ -436,7 +436,7 @@ class TestReviewRegressions:
             slide12_doc,
             policy=CommitPolicy(snapshot_every=2, compact_on_close=False),
         )
-        wh.update(_insert_tx())  # seq 2: WAL only
+        wh._commit_update(_insert_tx())  # seq 2: WAL only
         # Crash during the threshold commit's snapshot: the WAL record
         # and audit entry are already down, the fold never happened.
         def dying_write(self, xml_text, sequence, extra_meta=None, binary=None):
@@ -444,7 +444,7 @@ class TestReviewRegressions:
 
         monkeypatch.setattr(Storage, "write_document", dying_write)
         with pytest.raises(_Crash):
-            wh.update(_insert_tx())  # seq 3 crosses snapshot_every=2
+            wh._commit_update(_insert_tx())  # seq 3 crosses snapshot_every=2
         monkeypatch.undo()
         _kill(wh)
         with Warehouse.open(path) as recovered:
@@ -484,7 +484,7 @@ class TestReviewRegressions:
             wh.update_many([orphan_insert, root_delete])
         # The orphan insert mutated the document in memory; the next
         # commit must snapshot so durable state matches it again.
-        report = wh.update(_insert_tx(confidence=0.5))
+        report = wh._commit_update(_insert_tx(confidence=0.5))
         assert report.applied
         assert wh.stats()["snapshot_sequence"] == wh.sequence
         expected = wh.document.root.canonical()
@@ -498,7 +498,7 @@ class TestReviewRegressions:
         torn tail."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         _kill(wh)
         wal_path = path / "wal.jsonl"
         raw = wal_path.read_bytes()
@@ -516,7 +516,7 @@ class TestReviewRegressions:
         that bricks recovery."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.update(_insert_tx())
+        wh._commit_update(_insert_tx())
         sequence = wh.sequence
 
         def dying_write(self, xml_text, sequence, extra_meta=None, binary=None):
@@ -527,7 +527,7 @@ class TestReviewRegressions:
             wh.simplify()
         monkeypatch.undo()
         assert wh.sequence == sequence  # rolled back: no gap
-        wh.update(_insert_tx())  # heals via snapshot (snapshot_due)
+        wh._commit_update(_insert_tx())  # heals via snapshot (snapshot_due)
         assert wh.stats()["snapshot_sequence"] == wh.sequence
         expected = wh.document.root.canonical()
         _kill(wh)
@@ -542,7 +542,7 @@ class TestReviewRegressions:
         stale cached walk would hide them)."""
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc, policy=_no_compact_policy())
-        wh.query("//N")  # warm the engine's walk on the pre-update tree
+        wh._query_answers("//N")  # warm the engine's walk on the pre-update tree
         fresh_tx = UpdateTransaction(
             parse_pattern("C[$c]"), [InsertOperation("c", tree("Fresh"))], 1.0
         )
@@ -552,9 +552,9 @@ class TestReviewRegressions:
 
         monkeypatch.setattr(TransactionLog, "append", dying_append)
         with pytest.raises(_Crash):
-            wh.update(fresh_tx)
+            wh._commit_update(fresh_tx)
         monkeypatch.undo()
-        assert len(wh.query("//Fresh")) == 1  # no stale walk served
+        assert len(wh._query_answers("//Fresh")) == 1  # no stale walk served
         wh.close()
 
     def test_lost_lock_race_backs_off(self, tmp_path, monkeypatch):

@@ -219,7 +219,7 @@ class TestWarehouseRecovery:
         path = tmp_path / "wh"
         policy = CommitPolicy(snapshot_every=1000, compact_on_close=False)
         wh = Warehouse.create(path, slide12_doc, policy=policy)
-        wh.update(compile_transaction(_insert_tx("N1")))
+        wh._commit_update(compile_transaction(_insert_tx("N1")))
         real_atomic_write = storage_module._atomic_write
         calls = {"n": 0}
 

@@ -13,8 +13,8 @@ from repro import (
     DeleteOperation,
     InsertOperation,
     UpdateTransaction,
-    parse_pattern,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 from repro.warehouse import Storage, TransactionLog, Warehouse
 
@@ -128,7 +128,7 @@ class TestWarehouseLifecycle:
         wh = Warehouse.create(tmp_path / "wh", slide12_doc)
         wh.close()
         with pytest.raises(WarehouseError, match="closed"):
-            wh.query("B")
+            wh._query_answers("B")
 
     def test_create_stores_a_clone(self, tmp_path, slide12_doc):
         with Warehouse.create(tmp_path / "wh", slide12_doc) as wh:
@@ -138,8 +138,8 @@ class TestWarehouseLifecycle:
 
 class TestWarehouseOperations:
     def test_query_text_or_pattern(self, warehouse):
-        via_text = warehouse.query("//D")
-        via_pattern = warehouse.query(parse_pattern("//D"))
+        via_text = warehouse._query_answers("//D")
+        via_pattern = warehouse._query_answers(parse_pattern("//D"))
         assert len(via_text) == len(via_pattern) == 1
         assert via_text[0].probability == pytest.approx(0.7)
 
@@ -147,7 +147,7 @@ class TestWarehouseOperations:
         tx = UpdateTransaction(
             parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 0.5
         )
-        report = warehouse.update(tx)
+        report = warehouse._commit_update(tx)
         assert report.applied
         assert warehouse.sequence == 2
 
@@ -158,14 +158,14 @@ class TestWarehouseOperations:
             "<xu:insert anchor='c'><N/></xu:insert>"
             "</xu:modifications>"
         )
-        report = warehouse.update(text)
+        report = warehouse._commit_update(text)
         assert report.applied
 
     def test_update_confidence_override(self, warehouse):
         tx = UpdateTransaction(
             parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 1.0
         )
-        report = warehouse.update(tx, confidence=0.25)
+        report = warehouse._commit_update(tx, confidence=0.25)
         assert warehouse.document.events.probability(
             report.confidence_event
         ) == pytest.approx(0.25)
@@ -175,7 +175,7 @@ class TestWarehouseOperations:
             parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], 0.5
         )
         with Warehouse.create(tmp_path / "wh", slide12_doc) as wh:
-            wh.update(tx)
+            wh._commit_update(tx)
             expected = wh.document.root.canonical()
         with Warehouse.open(tmp_path / "wh") as wh:
             assert wh.document.root.canonical() == expected
@@ -184,7 +184,7 @@ class TestWarehouseOperations:
         tx = UpdateTransaction(
             parse_pattern("B[$b]"), [DeleteOperation("b")], 0.9
         )
-        warehouse.update(tx)
+        warehouse._commit_update(tx)
         kinds = [entry["kind"] for entry in warehouse.history()]
         assert kinds == ["create", "update"]
         last = warehouse.history()[-1]
@@ -213,7 +213,7 @@ class TestWarehouseOperations:
                 [InsertOperation("c", tree("N", tree("M"), tree("O")))],
                 1.0,
             )
-            wh.update(tx)  # 4 -> 7 nodes > 1.5 * 4: simplify committed too
+            wh._commit_update(tx)  # 4 -> 7 nodes > 1.5 * 4: simplify committed too
             kinds = [entry["kind"] for entry in wh.history()]
             assert "simplify" in kinds
 
@@ -221,7 +221,7 @@ class TestWarehouseOperations:
         tx = UpdateTransaction(
             parse_pattern("B[$b]"), [DeleteOperation("b")], 0.9
         )
-        warehouse.update(tx)
+        warehouse._commit_update(tx)
         log_path = warehouse.history()
         for entry in log_path:
             json.dumps(entry)  # re-serializable
@@ -376,7 +376,7 @@ class TestCommitPipeline:
             path, slide12_doc, policy=CommitPolicy(snapshot_every=100)
         ) as wh:
             snapshot_bytes = (path / "document.xml").read_bytes()
-            wh.update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
             assert (path / "document.xml").read_bytes() == snapshot_bytes
             stats = wh.stats()
             assert stats["wal_depth"] == 1
@@ -390,10 +390,10 @@ class TestCommitPipeline:
         with Warehouse.create(
             tmp_path / "wh", slide12_doc, policy=CommitPolicy(snapshot_every=3)
         ) as wh:
-            wh.update(self._insert_tx())
-            wh.update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
             assert wh.stats()["wal_depth"] == 2
-            wh.update(self._insert_tx())  # third commit folds the WAL
+            wh._commit_update(self._insert_tx())  # third commit folds the WAL
             stats = wh.stats()
             assert stats["wal_depth"] == 0
             assert stats["snapshot_sequence"] == wh.sequence
@@ -406,7 +406,7 @@ class TestCommitPipeline:
             slide12_doc,
             policy=CommitPolicy(snapshot_every=1000, wal_bytes_limit=64),
         ) as wh:
-            wh.update(self._insert_tx())  # record alone exceeds 64 bytes
+            wh._commit_update(self._insert_tx())  # record alone exceeds 64 bytes
             assert wh.stats()["wal_depth"] == 0
 
     def test_close_compacts_by_default(self, tmp_path, slide12_doc):
@@ -414,7 +414,7 @@ class TestCommitPipeline:
 
         path = tmp_path / "wh"
         wh = Warehouse.create(path, slide12_doc)
-        wh.update(self._insert_tx())
+        wh._commit_update(self._insert_tx())
         assert wh.stats()["wal_depth"] == 1
         wh.close()
         assert WriteAheadLog(path).size_bytes() == 0
@@ -428,7 +428,7 @@ class TestCommitPipeline:
         path = tmp_path / "wh"
         policy = CommitPolicy(snapshot_every=100, compact_on_close=False)
         with Warehouse.create(path, slide12_doc, policy=policy) as wh:
-            wh.update(self._insert_tx(confidence=0.5))
+            wh._commit_update(self._insert_tx(confidence=0.5))
             expected = wh.document.root.canonical()
             events = wh.document.events.as_dict()
         with Warehouse.open(path) as reopened:
@@ -443,7 +443,7 @@ class TestCommitPipeline:
         with Warehouse.create(
             path, slide12_doc, policy=CommitPolicy(snapshot_every=1)
         ) as wh:
-            wh.update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
             assert wh.stats()["wal_depth"] == 0
             assert wh.stats()["snapshot_sequence"] == wh.sequence
             assert (path / "wal.jsonl").read_bytes() == b""
@@ -454,7 +454,7 @@ class TestCommitPipeline:
         with Warehouse.create(
             tmp_path / "wh", slide12_doc, policy=CommitPolicy(snapshot_every=100)
         ) as wh:
-            wh.update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
             wh.simplify()
             assert wh.stats()["wal_depth"] == 0
             assert wh.stats()["snapshot_sequence"] == wh.sequence
@@ -465,8 +465,8 @@ class TestCommitPipeline:
         with Warehouse.create(
             tmp_path / "wh", slide12_doc, policy=CommitPolicy(snapshot_every=100)
         ) as wh:
-            wh.update(self._insert_tx())
-            wh.update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
+            wh._commit_update(self._insert_tx())
             summary = wh.compact()
             assert summary["folded_records"] == 2
             assert wh.stats()["wal_depth"] == 0
@@ -474,7 +474,7 @@ class TestCommitPipeline:
     def test_fresh_counter_persisted_in_meta(self, tmp_path, slide12_doc):
         path = tmp_path / "wh"
         with Warehouse.create(path, slide12_doc) as wh:
-            wh.update(self._insert_tx(confidence=0.5))  # mints an event
+            wh._commit_update(self._insert_tx(confidence=0.5))  # mints an event
             counter = wh.document.events.fresh_counter
             assert counter >= 1
         meta = json.loads((path / "meta.json").read_text())
@@ -525,7 +525,7 @@ class TestBatchedUpdates:
         )
         reports = warehouse.update_many([first, second])
         assert reports[1].applied  # Fresh existed by the time it ran
-        assert len(warehouse.query("//Nested")) == 1
+        assert len(warehouse._query_answers("//Nested")) == 1
 
     def test_begin_batch_context_manager(self, warehouse):
         with warehouse.begin_batch() as batch:

@@ -3,7 +3,8 @@ the updates that introduced their events."""
 
 import pytest
 
-from repro import InsertOperation, UpdateTransaction, parse_pattern
+from repro import InsertOperation, UpdateTransaction
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 from repro.warehouse import Warehouse
 from repro.workloads import ExtractionScenario
@@ -20,7 +21,7 @@ class TestProvenance:
         tx = UpdateTransaction(
             parse_pattern("C[$c]"), [InsertOperation("c", tree("N", "x"))], 0.5
         )
-        report = warehouse.update(tx)
+        report = warehouse._commit_update(tx)
         entry = warehouse.provenance(report.confidence_event)
         assert entry is not None
         assert entry["confidence"] == 0.5
@@ -38,7 +39,7 @@ class TestProvenance:
             tx = UpdateTransaction(
                 parse_pattern("C[$c]"), [InsertOperation("c", tree("N"))], confidence
             )
-            events.append(warehouse.update(tx).confidence_event)
+            events.append(warehouse._commit_update(tx).confidence_event)
         assert len(set(events)) == 2
         for event, confidence in zip(events, (0.5, 0.6)):
             assert warehouse.provenance(event)["confidence"] == confidence
@@ -49,8 +50,8 @@ class TestExplain:
         tx = UpdateTransaction(
             parse_pattern("C[$c]"), [InsertOperation("c", tree("N", "x"))], 0.5
         )
-        report = warehouse.update(tx)
-        answers = warehouse.query("//N")
+        report = warehouse._commit_update(tx)
+        answers = warehouse._query_answers("//N")
         assert len(answers) == 1
         records = warehouse.explain(answers[0])
         by_event = {r["event"]: r for r in records}
@@ -60,7 +61,7 @@ class TestExplain:
         assert by_event[report.confidence_event]["probability"] == pytest.approx(0.5)
 
     def test_initial_events_marked_unoriginated(self, warehouse):
-        answers = warehouse.query("//D")  # depends on w2 from the initial doc
+        answers = warehouse._query_answers("//D")  # depends on w2 from the initial doc
         records = warehouse.explain(answers[0])
         assert any(r["event"] == "w2" and r["origin"] is None for r in records)
 
@@ -68,8 +69,8 @@ class TestExplain:
         scenario = ExtractionScenario(seed=3, n_people=2)
         with Warehouse.create(tmp_path / "wh", scenario.initial_document()) as wh:
             for tx in scenario.stream(10):
-                wh.update(tx)
-            for answer in wh.query("/directory { person { //email } }"):
+                wh._commit_update(tx)
+            for answer in wh._query_answers("/directory { person { //email } }"):
                 records = wh.explain(answer)
                 # Every event in a stream-built document must trace back
                 # to a committed update.

@@ -5,11 +5,11 @@ import random
 import pytest
 
 from repro import (
-    apply_update,
-    query_fuzzy_tree,
     to_possible_worlds,
     update_possible_worlds,
 )
+from repro.core.update import apply_update
+from repro.core.query import query_fuzzy_tree
 from repro.tpwj import find_matches
 from repro.trees import RandomTreeConfig
 from repro.workloads import (

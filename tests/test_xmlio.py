@@ -11,8 +11,8 @@ from repro import (
     FuzzyTree,
     InsertOperation,
     UpdateTransaction,
-    parse_pattern,
 )
+from repro.tpwj.parser import parse_pattern
 from repro.trees import tree
 from repro.xmlio import (
     fuzzy_from_string,
